@@ -1,0 +1,28 @@
+//! Table 1 row 2 — Delaunay triangulation: Algorithm 4 (sequential
+//! conflict sets) vs Algorithm 5 (parallel active faces), across two
+//! distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_bench::point_workload;
+use ri_geometry::PointDistribution;
+
+fn bench_delaunay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delaunay");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 14] {
+        for dist in [PointDistribution::UniformSquare, PointDistribution::Clusters(8)] {
+            let pts = point_workload(n, 3, dist);
+            let tag = format!("{}/{}", dist.name(), n);
+            group.bench_with_input(BenchmarkId::new("sequential", &tag), &pts, |b, p| {
+                b.iter(|| ri_delaunay::delaunay_sequential(p))
+            });
+            group.bench_with_input(BenchmarkId::new("parallel", &tag), &pts, |b, p| {
+                b.iter(|| ri_delaunay::delaunay_parallel(p))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delaunay);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 1 row 5 — smallest enclosing disk: Welzl sequential vs Type 2
+//! parallel; the near-circle distribution is the adversarial case (many
+//! boundary updates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_bench::point_workload;
+use ri_geometry::PointDistribution;
+
+fn bench_enclosing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enclosing");
+    group.sample_size(10);
+    for &n in &[1usize << 14, 1 << 17] {
+        for dist in [PointDistribution::UniformDisk, PointDistribution::NearCircle] {
+            let pts = point_workload(n, 4, dist);
+            let tag = format!("{}/{}", dist.name(), n);
+            group.bench_with_input(BenchmarkId::new("sequential", &tag), &pts, |b, p| {
+                b.iter(|| ri_enclosing::sed_sequential(p))
+            });
+            group.bench_with_input(BenchmarkId::new("parallel", &tag), &pts, |b, p| {
+                b.iter(|| ri_enclosing::sed_parallel(p))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enclosing);
+criterion_main!(benches);

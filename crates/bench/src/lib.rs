@@ -1,0 +1,86 @@
+//! # `ri-bench` — the experiment harness
+//!
+//! Regenerates every table, figure, and quantitative theorem claim of the
+//! paper (the experiment index lives in `DESIGN.md` §4; results are
+//! recorded in `EXPERIMENTS.md`).
+//!
+//! Report binaries (run with `cargo run -p ri-bench --release --bin <name>`):
+//!
+//! | Binary | Experiment | Paper artifact |
+//! |---|---|---|
+//! | `table1` | E1–E8 | Table 1 (all seven rows) |
+//! | `depth_scaling` | E1, E2, E14 | Thm 2.1/4.3, Lemma 3.1 depth growth |
+//! | `incircle_constant` | E3 | Thm 4.5 (`24 n ln n`, 36 ablation) |
+//! | `special_iterations` | E4–E6, E13 | Thm 2.2/5.1–5.3 special counts |
+//! | `lelist_lengths` | E7 | Thm 6.2 / Cohen list lengths |
+//! | `scc_visits` | E8 | Thm 6.4 per-vertex visit bound |
+//! | `dependence_counts` | E9 | Corollary 2.4 (`2 n ln n`) |
+//! | `dependence_histogram` | E10 | Lemma 2.5 geometric tail |
+//!
+//! Criterion wall-clock benches (`cargo bench -p ri-bench`) compare the
+//! sequential and parallel implementations of each Table 1 row on this
+//! machine.
+
+use ri_geometry::distributions::dedup_points;
+use ri_geometry::{Point2, PointDistribution};
+use ri_pram::random_permutation;
+
+/// A deduplicated, randomly ordered point workload (points shuffled into
+/// their insertion order).
+pub fn point_workload(n: usize, seed: u64, dist: PointDistribution) -> Vec<Point2> {
+    let raw = dedup_points(dist.generate(n, seed));
+    let order = random_permutation(raw.len(), seed ^ 0xbead);
+    order.iter().map(|&i| raw[i]).collect()
+}
+
+/// Geometric size sweep `2^lo ..= 2^hi`.
+pub fn sizes(lo: u32, hi: u32) -> Vec<usize> {
+    (lo..=hi).map(|k| 1usize << k).collect()
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Max of a slice.
+pub fn fmax(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_seeded_and_deduped() {
+        let a = point_workload(500, 1, PointDistribution::UniformSquare);
+        let b = point_workload(500, 1, PointDistribution::UniformSquare);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_by(|p, q| p.x.partial_cmp(&q.x).unwrap().then(p.y.partial_cmp(&q.y).unwrap()));
+        sorted.dedup_by(|p, q| p == q);
+        assert_eq!(sorted.len(), a.len());
+    }
+
+    #[test]
+    fn sizes_sweep() {
+        assert_eq!(sizes(3, 5), vec![8, 16, 32]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(fmax(&[1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # `ri-closest-pair` — the randomized incremental closest pair
+//! (§5.2 of the paper, Type 2)
+//!
+//! Points are inserted in random order into a uniform grid whose cell size
+//! is `r`, the closest-pair distance *so far*. Each insertion checks the
+//! 3×3 cell neighborhood:
+//!
+//! * if no earlier point is closer than `r`, the iteration is **regular**
+//!   (`O(1)` — a cell holds at most a constant number of points, else the
+//!   grid would already have been rebuilt);
+//! * otherwise the iteration is **special**: `r` shrinks to the new closest
+//!   distance and the grid is rebuilt with the new cell size (`O(i)` work).
+//!
+//! Backwards analysis: point `i` decreases `r` with probability ≤ `2/i`
+//! (it must be one of the two points of the closest pair among the first
+//! `i`), so expected work is `Σ O(i)·2/i = O(n)` and the Type 2 executor
+//! yields `O(log n · log* n)`-style depth (Theorem 5.2; our measured depth
+//! is the executor's sub-round count).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+
+pub use grid::{
+    brute_force_closest_pair, closest_pair_parallel, closest_pair_sequential, ClosestPairRun,
+};

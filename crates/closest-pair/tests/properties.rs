@@ -1,0 +1,48 @@
+//! Property tests for closest pair: agreement with O(n²) brute force and
+//! sequential/parallel equivalence on arbitrary distinct point sets.
+
+use proptest::prelude::*;
+use ri_closest_pair::{brute_force_closest_pair, closest_pair_parallel, closest_pair_sequential};
+use ri_geometry::Point2;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::hash_set((0i32..1000, 0i32..1000), 2..120).prop_map(|s| {
+        s.into_iter()
+            .map(|(x, y)| Point2::new(x as f64 / 7.0, y as f64 / 7.0))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_brute_force(pts in arb_points()) {
+        let (_, want) = brute_force_closest_pair(&pts);
+        let seq = closest_pair_sequential(&pts);
+        let par = closest_pair_parallel(&pts);
+        prop_assert_eq!(seq.dist, want);
+        prop_assert_eq!(par.dist, want);
+        prop_assert_eq!(seq.pair, par.pair);
+        prop_assert_eq!(seq.stats.specials, par.stats.specials);
+    }
+
+    #[test]
+    fn reported_pair_realises_reported_distance(pts in arb_points()) {
+        let run = closest_pair_parallel(&pts);
+        let (i, j) = run.pair;
+        prop_assert!(i < j);
+        let d = pts[i as usize].dist(pts[j as usize]);
+        prop_assert!((d - run.dist).abs() <= 1e-12 * (1.0 + d));
+    }
+
+    #[test]
+    fn no_pair_is_closer(pts in arb_points()) {
+        let run = closest_pair_parallel(&pts);
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                prop_assert!(pts[i].dist_sq(pts[j]) >= run.dist * run.dist - 1e-9);
+            }
+        }
+    }
+}

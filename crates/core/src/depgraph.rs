@@ -1,0 +1,166 @@
+//! Iteration dependence graphs (Definition 1 of the paper).
+//!
+//! *"An iteration dependence graph for an iterative computation is a DAG
+//! G(I, E) such that if every iteration i ∈ I runs after all predecessor
+//! iterations in G have completed, then every iteration will do the same
+//! computation as in the sequential order."*
+//!
+//! Algorithm crates record the dependences they actually generate (e.g. the
+//! BST parent links in §3, the triangle-creation arcs of §4) into this
+//! structure; its [`depth`](DependenceGraph::depth) is the quantity the
+//! paper's Theorem 2.1 bounds by `O(log n)` whp.
+
+/// A dependence DAG over iterations `0..n` (or sub-iterations), where every
+/// arc points from an earlier-created node to a later-created node.
+#[derive(Debug, Default, Clone)]
+pub struct DependenceGraph {
+    preds: Vec<Vec<u32>>,
+}
+
+impl DependenceGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        DependenceGraph {
+            preds: vec![Vec::new(); n],
+        }
+    }
+
+    /// Append a node with the given predecessors (all must be earlier
+    /// nodes); returns its id.
+    pub fn add_node(&mut self, preds: impl IntoIterator<Item = usize>) -> usize {
+        let id = self.preds.len();
+        let ps: Vec<u32> = preds
+            .into_iter()
+            .inspect(|&p| assert!(p < id, "dependence must point backwards: {p} >= {id}"))
+            .map(|p| p as u32)
+            .collect();
+        self.preds.push(ps);
+        id
+    }
+
+    /// Add an arc `from -> to` between existing nodes (`from < to`).
+    pub fn add_dep(&mut self, from: usize, to: usize) {
+        assert!(from < to, "dependence must point backwards: {from} -> {to}");
+        assert!(to < self.preds.len());
+        self.preds[to].push(from as u32);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Total number of dependence arcs.
+    pub fn num_deps(&self) -> usize {
+        self.preds.iter().map(|p| p.len()).sum()
+    }
+
+    /// Longest-path length counted in *nodes* (so a single node has depth 1
+    /// and depth 0 means the graph is empty). This is `D(G)` of the paper.
+    ///
+    /// Nodes are created in a topological order (arcs point backwards), so
+    /// one forward dynamic-programming pass suffices: O(V + E).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0u32; self.preds.len()];
+        let mut best = 0u32;
+        for (v, ps) in self.preds.iter().enumerate() {
+            let l = ps.iter().map(|&p| level[p as usize]).max().unwrap_or(0) + 1;
+            level[v] = l;
+            best = best.max(l);
+        }
+        best as usize
+    }
+
+    /// Per-node levels (longest path ending at each node, in nodes).
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.preds.len()];
+        for (v, ps) in self.preds.iter().enumerate() {
+            level[v] = ps.iter().map(|&p| level[p as usize]).max().unwrap_or(0) + 1;
+        }
+        level
+    }
+
+    /// Histogram of in-degrees (index = in-degree). Used by the experiments
+    /// checking the geometric tail of Lemma 2.5.
+    pub fn indegree_histogram(&self) -> Vec<usize> {
+        let max = self.preds.iter().map(|p| p.len()).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for p in &self.preds {
+            hist[p.len()] += 1;
+        }
+        hist
+    }
+
+    /// Predecessors of a node.
+    pub fn preds(&self, v: usize) -> &[u32] {
+        &self.preds[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_depth() {
+        let mut g = DependenceGraph::new();
+        let a = g.add_node([]);
+        let b = g.add_node([a]);
+        let c = g.add_node([b]);
+        let _ = c;
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.num_deps(), 2);
+    }
+
+    #[test]
+    fn diamond_depth() {
+        let mut g = DependenceGraph::new();
+        let a = g.add_node([]);
+        let b = g.add_node([a]);
+        let c = g.add_node([a]);
+        let d = g.add_node([b, c]);
+        let _ = d;
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.levels(), vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = DependenceGraph::with_nodes(5);
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.num_deps(), 0);
+        assert_eq!(g.indegree_histogram(), vec![5]);
+    }
+
+    #[test]
+    fn empty_graph_depth_zero() {
+        assert_eq!(DependenceGraph::new().depth(), 0);
+    }
+
+    #[test]
+    fn add_dep_after_creation() {
+        let mut g = DependenceGraph::with_nodes(3);
+        g.add_dep(0, 2);
+        g.add_dep(1, 2);
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.preds(2), &[0, 1]);
+        assert_eq!(g.indegree_histogram(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn forward_dep_rejected() {
+        let mut g = DependenceGraph::with_nodes(3);
+        g.add_dep(2, 1);
+    }
+}

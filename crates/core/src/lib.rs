@@ -1,0 +1,44 @@
+//! # `ri-core` — the framework of the paper
+//!
+//! Section 2 of *Parallelism in Randomized Incremental Algorithms* (Blelloch,
+//! Gu, Shun, Sun; SPAA 2016) classifies randomized incremental algorithms by
+//! the structure of their **iteration dependence graphs** and gives a
+//! general parallel execution scheme per class. This crate implements that
+//! framework:
+//!
+//! * [`depgraph`] — explicit iteration dependence graphs (Definition 1) and
+//!   their depth `D(G)`, the quantity Theorem 2.1 bounds.
+//! * [`type1`] — the round scheduler for **Type 1** algorithms (k-bounded
+//!   dependences; §2.1): each round runs every iteration whose dependences
+//!   are satisfied. The number of rounds equals the dependence depth.
+//! * [`type2`] — **Algorithm 1** of the paper for **Type 2** algorithms
+//!   (special/regular iterations; §2.2): geometrically growing prefixes,
+//!   each processed in sub-rounds that locate and execute the earliest
+//!   special iteration.
+//! * [`type3`] — **Algorithm 2** for **Type 3** algorithms (separating
+//!   dependences; §2.3): doubling rounds that run a whole prefix against
+//!   the previous round's state and then combine, tolerating (bounded)
+//!   redundant work.
+//! * [`theory`] — the closed-form quantities the experiments compare
+//!   against: harmonic numbers, the paper's expected special-iteration and
+//!   dependence counts.
+//!
+//! The algorithm crates (`ri-sort`, `ri-lp`, `ri-le-lists`, ...) plug into
+//! these executors; the bench harness reads the executors'
+//! [`ri_pram::RoundLog`]s to report measured depth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod depgraph;
+pub mod theory;
+pub mod type1;
+pub mod type2;
+pub mod type3;
+
+pub use depgraph::DependenceGraph;
+pub use ri_pram::{Permutation, RoundLog, WorkCounter};
+pub use theory::{harmonic, log2_ceil};
+pub use type1::{run_type1, Type1Algorithm};
+pub use type2::{run_type2_parallel, run_type2_sequential, Type2Algorithm, Type2Stats};
+pub use type3::{prefix_rounds, run_type3_parallel, Type3Algorithm};

@@ -1,0 +1,175 @@
+//! The Type 1 round scheduler (§2.1 of the paper).
+//!
+//! *"The Type 1 algorithms that we describe can be parallelized by running a
+//! sequence of rounds. Each round checks all remaining iterations to see if
+//! their dependences have been satisfied and runs the iterations if so."*
+//!
+//! This generic executor is the reference scheduler: it measures the
+//! iteration dependence depth of *any* plugged incremental algorithm (the
+//! number of rounds equals `D(G)` when `ready` faithfully encodes the
+//! dependences). The production algorithms (`ri-sort`, `ri-delaunay`) ship
+//! specialised lock-free versions of the same schedule; their tests check
+//! equivalence against this one.
+
+use rayon::prelude::*;
+
+use ri_pram::RoundLog;
+
+/// An incremental algorithm exposing its per-iteration readiness.
+///
+/// Contract:
+/// * `ready(k)` may be called concurrently (`&self`) and must be *monotone*:
+///   once true it stays true until `run(k)` happens.
+/// * `run(k)` is called exactly once, only when `ready(k)` held at the start
+///   of the round; iterations run within a round must not depend on each
+///   other (that is exactly the iteration-dependence-graph contract of
+///   Definition 1).
+pub trait Type1Algorithm: Sync {
+    /// Number of iterations.
+    fn len(&self) -> usize;
+
+    /// Convenience emptiness test.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Are all of iteration `k`'s dependences satisfied?
+    fn ready(&self, k: usize) -> bool;
+
+    /// Execute iteration `k`.
+    fn run(&mut self, k: usize);
+}
+
+/// Run a Type 1 algorithm in rounds; returns the per-round log.
+///
+/// The returned [`RoundLog::rounds`] equals the iteration dependence depth
+/// of the computation (each round peels one level of the dependence DAG).
+/// Panics if no progress is possible (a `ready` that never enables some
+/// iteration — i.e. an incorrectly encoded dependence graph).
+pub fn run_type1<A: Type1Algorithm>(algo: &mut A) -> RoundLog {
+    let n = algo.len();
+    let mut log = RoundLog::new();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while !remaining.is_empty() {
+        // Check phase (parallel, read-only), then run phase (sequential
+        // within the round: the iterations are mutually independent, so any
+        // execution order gives the sequential algorithm's result).
+        let ready_flags: Vec<bool> = remaining.par_iter().map(|&k| algo.ready(k)).collect();
+        let runnable: Vec<usize> = remaining
+            .iter()
+            .zip(&ready_flags)
+            .filter(|(_, &r)| r)
+            .map(|(&k, _)| k)
+            .collect();
+        assert!(
+            !runnable.is_empty(),
+            "Type 1 executor stalled with {} iterations remaining",
+            remaining.len()
+        );
+        for &k in &runnable {
+            algo.run(k);
+        }
+        remaining = remaining
+            .iter()
+            .zip(&ready_flags)
+            .filter(|(_, &r)| !r)
+            .map(|(&k, _)| k)
+            .collect();
+        log.record(runnable.len(), runnable.len() as u64);
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy Type 1 algorithm: iteration k is ready once all of its listed
+    /// predecessors ran. Records the round in which each iteration ran.
+    struct Toy {
+        preds: Vec<Vec<usize>>,
+        done: Vec<std::sync::atomic::AtomicBool>,
+        ran_round: Vec<usize>,
+        current_round: usize,
+    }
+
+    impl Toy {
+        fn new(preds: Vec<Vec<usize>>) -> Self {
+            let n = preds.len();
+            Toy {
+                preds,
+                done: (0..n).map(|_| Default::default()).collect(),
+                ran_round: vec![usize::MAX; n],
+                current_round: 0,
+            }
+        }
+    }
+
+    impl Type1Algorithm for Toy {
+        fn len(&self) -> usize {
+            self.preds.len()
+        }
+        fn ready(&self, k: usize) -> bool {
+            self.preds[k]
+                .iter()
+                .all(|&p| self.done[p].load(std::sync::atomic::Ordering::Relaxed))
+        }
+        fn run(&mut self, k: usize) {
+            self.ran_round[k] = self.current_round;
+            self.done[k].store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn rounds_equal_dag_depth() {
+        // Chain 0 -> 1 -> 2 plus independent 3: depth 3.
+        let mut toy = Toy::new(vec![vec![], vec![0], vec![1], vec![]]);
+        // The executor runs whole levels; patch current_round between rounds
+        // via a wrapper loop in run(): simplest is to bump in ready-phase —
+        // here we just check the round count.
+        let log = run_type1(&mut toy);
+        assert_eq!(log.rounds(), 3);
+        assert_eq!(log.total_items(), 4);
+    }
+
+    #[test]
+    fn diamond_runs_in_three_rounds() {
+        let mut toy = Toy::new(vec![vec![], vec![0], vec![0], vec![1, 2]]);
+        let log = run_type1(&mut toy);
+        assert_eq!(log.rounds(), 3);
+        assert_eq!(log.entries()[0].0, 1);
+        assert_eq!(log.entries()[1].0, 2);
+        assert_eq!(log.entries()[2].0, 1);
+    }
+
+    #[test]
+    fn independent_iterations_single_round() {
+        let mut toy = Toy::new(vec![vec![]; 100]);
+        let log = run_type1(&mut toy);
+        assert_eq!(log.rounds(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn cycle_detected_as_stall() {
+        // 0 depends on 1 via a fake "never ready" encoding.
+        struct Never;
+        impl Type1Algorithm for Never {
+            fn len(&self) -> usize {
+                1
+            }
+            fn ready(&self, _k: usize) -> bool {
+                false
+            }
+            fn run(&mut self, _k: usize) {}
+        }
+        run_type1(&mut Never);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut toy = Toy::new(vec![]);
+        let log = run_type1(&mut toy);
+        assert_eq!(log.rounds(), 0);
+    }
+}

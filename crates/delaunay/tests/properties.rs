@@ -1,0 +1,116 @@
+//! Property tests for Delaunay triangulation: validity, sequential ==
+//! parallel, and Fact 4.1 (the Figure 1 experiment, E11) on arbitrary
+//! point sets.
+
+use proptest::prelude::*;
+use ri_delaunay::{delaunay_parallel, delaunay_sequential};
+use ri_geometry::predicates::orient2d_sign;
+use ri_geometry::Point2;
+
+/// Arbitrary distinct points on a coarse grid: plenty of collinear and
+/// cocircular degeneracies, exercising the exact predicates.
+fn grid_points() -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::hash_set((0i32..24, 0i32..24), 3..60).prop_map(|s| {
+        s.into_iter()
+            .map(|(x, y)| Point2::new(x as f64, y as f64))
+            .collect()
+    })
+}
+
+/// Continuous points (no exact degeneracies, realistic inputs).
+fn float_points() -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..80).prop_map(|v| {
+        let mut pts: Vec<Point2> = v.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+        pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+        pts.dedup_by(|a, b| a == b);
+        pts
+    })
+}
+
+fn not_all_collinear(pts: &[Point2]) -> bool {
+    pts.len() >= 3
+        && pts
+            .iter()
+            .skip(2)
+            .any(|&p| orient2d_sign(pts[0], pts[1], p) != 0)
+        || (pts.len() >= 3 && {
+            // General check: any non-collinear triple at all.
+            let mut found = false;
+            'outer: for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    for k in j + 1..pts.len() {
+                        if orient2d_sign(pts[i], pts[j], pts[k]) != 0 {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            found
+        })
+}
+
+fn canonical(mesh: &ri_delaunay::Mesh) -> Vec<[u32; 3]> {
+    let mut ts: Vec<[u32; 3]> = mesh
+        .finite_triangles()
+        .into_iter()
+        .map(|mut v| {
+            let m = (0..3).min_by_key(|&i| v[i]).unwrap();
+            v.rotate_left(m);
+            v
+        })
+        .collect();
+    ts.sort_unstable();
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn degenerate_grids_triangulate_validly(pts in grid_points()) {
+        prop_assume!(not_all_collinear(&pts));
+        let r = delaunay_sequential(&pts);
+        prop_assert!(r.mesh.validate().is_ok(), "{:?}", r.mesh.validate());
+        prop_assert!(r.mesh.is_delaunay_brute_force());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_degenerate_grids(pts in grid_points()) {
+        prop_assume!(not_all_collinear(&pts));
+        let seq = delaunay_sequential(&pts);
+        let par = delaunay_parallel(&pts);
+        prop_assert_eq!(canonical(&seq.mesh), canonical(&par.mesh));
+        prop_assert_eq!(&seq.stats, &par.stats);
+    }
+
+    #[test]
+    fn continuous_points_triangulate_validly(pts in float_points()) {
+        prop_assume!(pts.len() >= 3 && not_all_collinear(&pts));
+        let par = delaunay_parallel(&pts);
+        prop_assert!(par.mesh.validate().is_ok());
+        prop_assert!(par.mesh.is_delaunay_brute_force());
+    }
+
+    /// E11 / Figure 1: Fact 4.1 holds on every ReplaceBoundary the run
+    /// performs — enforced by the `debug_assert!` inside `merge_conflicts`
+    /// (runs in debug-profile tests) plus the final validity above. Here we
+    /// additionally check the *upper* inclusion: every conflict of a final
+    /// run was discovered, i.e. all n points appear as mesh vertices.
+    #[test]
+    fn every_point_gets_inserted(pts in float_points()) {
+        prop_assume!(pts.len() >= 3 && not_all_collinear(&pts));
+        let r = delaunay_parallel(&pts);
+        let mut seen = vec![false; r.mesh.points.len()];
+        for t in r.mesh.finite_triangles() {
+            for v in t {
+                seen[v as usize] = true;
+            }
+        }
+        for (u, w) in r.mesh.hull_edges() {
+            seen[u as usize] = true;
+            seen[w as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a point vanished from the mesh");
+    }
+}

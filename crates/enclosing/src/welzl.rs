@@ -1,0 +1,299 @@
+//! Welzl's incremental smallest enclosing disk, in the Update1/Update2
+//! formulation the paper analyses.
+
+use rayon::prelude::*;
+
+use ri_core::{run_type2_parallel, run_type2_sequential, Type2Algorithm, Type2Stats};
+use ri_geometry::{circumcircle, diametral_disk, Disk, Point2};
+
+/// Result of a smallest-enclosing-disk run.
+#[derive(Debug)]
+pub struct SedRun {
+    /// The smallest enclosing disk of all points.
+    pub disk: Disk,
+    /// Executor statistics: `specials` are the `Update1` calls.
+    pub stats: Type2Stats,
+    /// Number of nested `Update2` scans across the whole run.
+    pub update2_calls: usize,
+    /// Total containment tests (the work measure of §5.3).
+    pub contains_tests: u64,
+}
+
+struct WelzlState<'a> {
+    points: &'a [Point2],
+    disk: Option<Disk>,
+    update2_calls: usize,
+    contains_tests: std::sync::atomic::AtomicU64,
+    parallel_scans: bool,
+}
+
+impl<'a> WelzlState<'a> {
+    fn new(points: &'a [Point2], parallel_scans: bool) -> Self {
+        WelzlState {
+            points,
+            disk: None,
+            update2_calls: 0,
+            contains_tests: std::sync::atomic::AtomicU64::new(0),
+            parallel_scans,
+        }
+    }
+
+    #[inline]
+    fn count(&self, n: u64) {
+        self.contains_tests
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Earliest index in `range` strictly outside `disk`, if any.
+    fn earliest_outside(&self, disk: &Disk, range: std::ops::Range<usize>) -> Option<usize> {
+        self.count(range.len() as u64);
+        if self.parallel_scans && range.len() > 2048 {
+            range
+                .into_par_iter()
+                .find_first(|&j| disk.strictly_excludes(self.points[j]))
+        } else {
+            range.into_iter().find(|&j| disk.strictly_excludes(self.points[j]))
+        }
+    }
+
+    /// Update2(i, j): smallest disk with `points[i]` and `points[j]` on the
+    /// boundary, enclosing `points[..j]`.
+    fn update2(&mut self, i: usize, j: usize) -> Disk {
+        self.update2_calls += 1;
+        let mut disk = diametral_disk(self.points[i], self.points[j]);
+        let mut from = 0usize;
+        while let Some(k) = self.earliest_outside(&disk, from..j) {
+            disk = circumcircle(self.points[i], self.points[j], self.points[k])
+                .expect("boundary points in general position");
+            from = k + 1;
+        }
+        disk
+    }
+
+    /// Update1(i): smallest disk with `points[i]` on the boundary,
+    /// enclosing `points[..i]`.
+    fn update1(&mut self, i: usize) -> Disk {
+        let mut disk = diametral_disk(self.points[0], self.points[i]);
+        let mut from = 1usize;
+        while let Some(j) = self.earliest_outside(&disk, from..i) {
+            disk = self.update2(i, j);
+            from = j + 1;
+        }
+        disk
+    }
+}
+
+impl Type2Algorithm for WelzlState<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn is_special(&self, k: usize) -> bool {
+        if k == 0 {
+            return false;
+        }
+        match &self.disk {
+            None => true, // second point initializes the disk
+            Some(d) => {
+                self.count(1);
+                d.strictly_excludes(self.points[k])
+            }
+        }
+    }
+
+    fn run_regular(&mut self, _k: usize) {}
+
+    fn run_special(&mut self, k: usize) {
+        let disk = if self.disk.is_none() {
+            diametral_disk(self.points[0], self.points[k])
+        } else {
+            self.update1(k)
+        };
+        self.disk = Some(disk);
+    }
+}
+
+/// Sequential Welzl SED. `points.len() >= 2`, points in general position
+/// (no four cocircular — the paper's assumption).
+pub fn sed_sequential(points: &[Point2]) -> SedRun {
+    assert!(points.len() >= 2, "need at least two points");
+    let mut st = WelzlState::new(points, false);
+    let stats = run_type2_sequential(&mut st);
+    finish(st, stats)
+}
+
+/// Parallel SED through Algorithm 1, with parallel find-earliest-outside
+/// scans inside `Update1`/`Update2`.
+pub fn sed_parallel(points: &[Point2]) -> SedRun {
+    assert!(points.len() >= 2, "need at least two points");
+    let mut st = WelzlState::new(points, true);
+    let stats = run_type2_parallel(&mut st);
+    finish(st, stats)
+}
+
+fn finish(st: WelzlState<'_>, stats: Type2Stats) -> SedRun {
+    SedRun {
+        disk: st.disk.expect("n >= 2 guarantees a disk"),
+        stats,
+        update2_calls: st.update2_calls,
+        contains_tests: st.contains_tests.into_inner(),
+    }
+}
+
+/// Brute-force reference: the best disk among all diametral pairs and all
+/// circumcircle triples that contains every point. O(n⁴) — tests only.
+pub fn brute_force_sed(points: &[Point2]) -> Disk {
+    let n = points.len();
+    assert!(n >= 2);
+    let mut best: Option<Disk> = None;
+    let mut consider = |d: Disk| {
+        if points.iter().all(|&p| d.contains(p))
+            && best.is_none_or(|b| d.radius_sq < b.radius_sq)
+        {
+            best = Some(d);
+        }
+    };
+    for i in 0..n {
+        for j in i + 1..n {
+            consider(diametral_disk(points[i], points[j]));
+            for k in j + 1..n {
+                if let Some(d) = circumcircle(points[i], points[j], points[k]) {
+                    consider(d);
+                }
+            }
+        }
+    }
+    best.expect("some disk always encloses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_geometry::distributions::dedup_points;
+    use ri_geometry::PointDistribution;
+    use ri_pram::random_permutation;
+
+    fn workload(n: usize, seed: u64, dist: PointDistribution) -> Vec<Point2> {
+        let pts = dedup_points(dist.generate(n, seed));
+        let order = random_permutation(pts.len(), seed ^ 0x5ed);
+        order.iter().map(|&i| pts[i]).collect()
+    }
+
+    fn radius_close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-6 * (1.0 + a.max(b))
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..8 {
+            let pts = workload(40, seed, PointDistribution::UniformDisk);
+            let want = brute_force_sed(&pts);
+            let seq = sed_sequential(&pts);
+            let par = sed_parallel(&pts);
+            assert!(
+                radius_close(seq.disk.radius(), want.radius()),
+                "seq radius {} vs brute {} at seed {seed}",
+                seq.disk.radius(),
+                want.radius()
+            );
+            assert!(
+                radius_close(par.disk.radius(), want.radius()),
+                "par radius {} vs brute {} at seed {seed}",
+                par.disk.radius(),
+                want.radius()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        for seed in 0..8 {
+            let pts = workload(400, seed, PointDistribution::UniformSquare);
+            let seq = sed_sequential(&pts);
+            let par = sed_parallel(&pts);
+            assert_eq!(seq.disk, par.disk, "seed {seed}");
+            assert_eq!(seq.stats.specials, par.stats.specials, "seed {seed}");
+            assert_eq!(seq.update2_calls, par.update2_calls, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn contains_all_points() {
+        for dist in [
+            PointDistribution::UniformSquare,
+            PointDistribution::NearCircle,
+            PointDistribution::Clusters(4),
+        ] {
+            let pts = workload(2000, 7, dist);
+            let run = sed_parallel(&pts);
+            for (i, &p) in pts.iter().enumerate() {
+                assert!(
+                    run.disk.contains(p),
+                    "{} point {i} escapes the disk",
+                    dist.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update1_count_logarithmic() {
+        let n = 1 << 13;
+        let trials = 8;
+        let mut total = 0usize;
+        for seed in 0..trials {
+            let pts = workload(n, seed, PointDistribution::UniformDisk);
+            total += sed_parallel(&pts).stats.specials.len();
+        }
+        let avg = total as f64 / trials as f64;
+        let bound = 3.0 * ri_core::harmonic(n) + 4.0;
+        assert!(avg <= bound, "avg Update1 {avg} above 3·H_n + 4 = {bound}");
+    }
+
+    #[test]
+    fn near_circle_is_harder_but_correct() {
+        // Adversarial: most points near the boundary → many specials, but
+        // the answer must still match brute force on a subsample size.
+        let pts = workload(30, 3, PointDistribution::NearCircle);
+        let want = brute_force_sed(&pts);
+        let run = sed_parallel(&pts);
+        assert!(radius_close(run.disk.radius(), want.radius()));
+    }
+
+    #[test]
+    fn work_is_linear() {
+        let n = 1 << 14;
+        let pts = workload(n, 5, PointDistribution::UniformSquare);
+        let run = sed_parallel(&pts);
+        assert!(
+            run.contains_tests < 40 * n as u64,
+            "contains tests {} not O(n)",
+            run.contains_tests
+        );
+    }
+
+    #[test]
+    fn two_points() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(2.0, 0.0)];
+        let run = sed_parallel(&pts);
+        assert_eq!(run.disk.center, Point2::new(1.0, 0.0));
+        assert!(radius_close(run.disk.radius(), 1.0));
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point2> = random_permutation(50, 2)
+            .iter()
+            .map(|&i| Point2::new(i as f64, 2.0 * i as f64))
+            .collect();
+        let run = sed_parallel(&pts);
+        // Enclosing disk of collinear points: diametral disk of extremes.
+        for &p in &pts {
+            assert!(run.disk.contains(p));
+        }
+        assert!(radius_close(
+            run.disk.radius(),
+            (Point2::new(0.0, 0.0).dist(Point2::new(49.0, 98.0))) / 2.0
+        ));
+    }
+}

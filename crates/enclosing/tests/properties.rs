@@ -1,0 +1,45 @@
+//! Property tests for smallest enclosing disk: coverage, minimality vs the
+//! O(n⁴) brute force, and sequential/parallel equivalence.
+
+use proptest::prelude::*;
+use ri_enclosing::{brute_force_sed, sed_parallel, sed_sequential};
+use ri_geometry::Point2;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::hash_set((-500i32..500, -500i32..500), 2..28).prop_map(|s| {
+        s.into_iter()
+            .map(|(x, y)| Point2::new(x as f64 / 13.0, y as f64 / 13.0))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn disk_contains_all_points(pts in arb_points()) {
+        let run = sed_parallel(&pts);
+        for &p in &pts {
+            prop_assert!(run.disk.contains(p), "{p} escapes disk");
+        }
+    }
+
+    #[test]
+    fn radius_matches_brute_force(pts in arb_points()) {
+        let got = sed_parallel(&pts).disk.radius();
+        let want = brute_force_sed(&pts).radius();
+        prop_assert!(
+            (got - want).abs() <= 1e-6 * (1.0 + want),
+            "radius {got} vs brute-force {want}"
+        );
+    }
+
+    #[test]
+    fn parallel_equals_sequential(pts in arb_points()) {
+        let seq = sed_sequential(&pts);
+        let par = sed_parallel(&pts);
+        prop_assert_eq!(seq.disk, par.disk);
+        prop_assert_eq!(seq.stats.specials, par.stats.specials);
+        prop_assert_eq!(seq.update2_calls, par.update2_calls);
+    }
+}

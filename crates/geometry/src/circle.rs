@@ -1,0 +1,150 @@
+//! Disks and circumcircles.
+//!
+//! The Type 2 algorithms (§5 of the paper) work with concrete disks: the
+//! smallest-enclosing-disk algorithm maintains a candidate disk; the
+//! closest-pair sieve compares squared radii. These are computed in plain
+//! `f64` — the algorithms are robust to ε-slack in radius comparisons (the
+//! paper assumes general position, and our workloads are generated to
+//! respect it); all *combinatorial* decisions in Delaunay go through the
+//! exact predicates instead.
+
+use crate::point::Point2;
+
+/// A closed disk: center plus squared radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disk {
+    /// Center of the disk.
+    pub center: Point2,
+    /// Squared radius (kept squared to avoid square roots in containment
+    /// tests).
+    pub radius_sq: f64,
+}
+
+impl Disk {
+    /// The degenerate disk of radius 0 around a point.
+    pub fn point(p: Point2) -> Disk {
+        Disk {
+            center: p,
+            radius_sq: 0.0,
+        }
+    }
+
+    /// Radius (square root taken here only).
+    pub fn radius(&self) -> f64 {
+        self.radius_sq.sqrt()
+    }
+
+    /// Does the closed disk contain `p`, with a relative ε-tolerance?
+    ///
+    /// The tolerance absorbs the rounding of the disk construction itself so
+    /// that boundary-defining points always test as contained — the Welzl
+    /// invariant the paper's §5.3 relies on.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        let d = self.center.dist_sq(p);
+        d <= self.radius_sq + 1e-9 * (1.0 + self.radius_sq)
+    }
+
+    /// Strict exclusion test used to find violating points: `true` iff `p`
+    /// is strictly outside (beyond the tolerance).
+    #[inline]
+    pub fn strictly_excludes(&self, p: Point2) -> bool {
+        !self.contains(p)
+    }
+}
+
+/// Smallest disk with the segment `ab` as diameter.
+pub fn diametral_disk(a: Point2, b: Point2) -> Disk {
+    let center = a.midpoint(b);
+    Disk {
+        center,
+        radius_sq: center.dist_sq(a).max(center.dist_sq(b)),
+    }
+}
+
+/// Circumcircle of three points; `None` if they are (numerically)
+/// collinear.
+///
+/// Uses the standard perpendicular-bisector solve; the determinant `d`
+/// equals twice the signed triangle area.
+pub fn circumcircle(a: Point2, b: Point2, c: Point2) -> Option<Disk> {
+    let d = 2.0 * ((b - a).cross(c - a));
+    if d == 0.0 {
+        return None;
+    }
+    let a2 = a.norm_sq();
+    let b2 = b.norm_sq();
+    let c2 = c.norm_sq();
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    let center = Point2::new(ux, uy);
+    // Radius from the farthest defining point: keeps all three inside under
+    // the containment tolerance.
+    let radius_sq = center
+        .dist_sq(a)
+        .max(center.dist_sq(b))
+        .max(center.dist_sq(c));
+    if !center.is_finite() || !radius_sq.is_finite() {
+        return None;
+    }
+    Some(Disk { center, radius_sq })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diametral_disk_contains_endpoints() {
+        let d = diametral_disk(Point2::new(0.0, 0.0), Point2::new(2.0, 0.0));
+        assert_eq!(d.center, Point2::new(1.0, 0.0));
+        assert!(d.contains(Point2::new(0.0, 0.0)));
+        assert!(d.contains(Point2::new(2.0, 0.0)));
+        assert!(d.contains(Point2::new(1.0, 1.0))); // on boundary
+        assert!(d.strictly_excludes(Point2::new(1.0, 1.1)));
+    }
+
+    #[test]
+    fn circumcircle_right_triangle() {
+        // Right triangle: circumcenter at hypotenuse midpoint.
+        let d = circumcircle(
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(0.0, 3.0),
+        )
+        .unwrap();
+        assert!((d.center.x - 2.0).abs() < 1e-12);
+        assert!((d.center.y - 1.5).abs() < 1e-12);
+        assert!((d.radius() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcircle_contains_defining_points() {
+        let pts = [
+            Point2::new(0.12, 0.77),
+            Point2::new(5.3, -2.2),
+            Point2::new(-3.25, 2.72),
+        ];
+        let d = circumcircle(pts[0], pts[1], pts[2]).unwrap();
+        for p in pts {
+            assert!(d.contains(p));
+        }
+    }
+
+    #[test]
+    fn circumcircle_collinear_is_none() {
+        assert!(circumcircle(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn point_disk() {
+        let d = Disk::point(Point2::new(1.0, 1.0));
+        assert!(d.contains(Point2::new(1.0, 1.0)));
+        assert!(d.strictly_excludes(Point2::new(1.0, 1.01)));
+    }
+}

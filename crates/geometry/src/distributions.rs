@@ -1,0 +1,173 @@
+//! Seeded point-cloud generators for the experiment workloads.
+//!
+//! The paper's bounds are *expectations over the random insertion order*
+//! and hold for any input point set; the distributions here pick the input
+//! regimes the experiments sweep: uniform (the benign case), clustered
+//! (stresses conflict-set sizes in Delaunay), near-circular (stresses the
+//! smallest-enclosing-disk special-iteration count), and jittered grids
+//! (near-degenerate, stresses the exact predicates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::point::Point2;
+
+/// Families of synthetic point clouds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointDistribution {
+    /// Uniform in the unit square.
+    UniformSquare,
+    /// Uniform in the unit disk (rejection sampled).
+    UniformDisk,
+    /// `k`-cluster Gaussian mixture inside the unit square.
+    Clusters(usize),
+    /// Near the unit circle with small radial noise — adversarial for
+    /// smallest enclosing disk (many boundary updates).
+    NearCircle,
+    /// Jittered integer grid — near-degenerate, exercises exact predicates.
+    JitteredGrid,
+}
+
+impl PointDistribution {
+    /// Generate `n` points, seeded and reproducible.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            PointDistribution::UniformSquare => (0..n)
+                .map(|_| Point2::new(rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect(),
+            PointDistribution::UniformDisk => {
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    let x = rng.gen::<f64>() * 2.0 - 1.0;
+                    let y = rng.gen::<f64>() * 2.0 - 1.0;
+                    if x * x + y * y <= 1.0 {
+                        out.push(Point2::new(x, y));
+                    }
+                }
+                out
+            }
+            PointDistribution::Clusters(k) => {
+                let k = k.max(1);
+                let centers: Vec<Point2> = (0..k)
+                    .map(|_| Point2::new(rng.gen::<f64>(), rng.gen::<f64>()))
+                    .collect();
+                (0..n)
+                    .map(|i| {
+                        let c = centers[i % k];
+                        // Box-Muller for a compact Gaussian blob.
+                        let u1: f64 = rng.gen::<f64>().max(1e-12);
+                        let u2: f64 = rng.gen::<f64>();
+                        let r = (-2.0 * u1.ln()).sqrt() * 0.02;
+                        let th = 2.0 * std::f64::consts::PI * u2;
+                        Point2::new(c.x + r * th.cos(), c.y + r * th.sin())
+                    })
+                    .collect()
+            }
+            PointDistribution::NearCircle => (0..n)
+                .map(|_| {
+                    let th = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                    let r = 1.0 + (rng.gen::<f64>() - 0.5) * 1e-3;
+                    Point2::new(r * th.cos(), r * th.sin())
+                })
+                .collect(),
+            PointDistribution::JitteredGrid => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                (0..n)
+                    .map(|i| {
+                        let gx = (i % side) as f64;
+                        let gy = (i / side) as f64;
+                        let jitter = 1e-6;
+                        Point2::new(
+                            gx + rng.gen::<f64>() * jitter,
+                            gy + rng.gen::<f64>() * jitter,
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// All distribution families (for sweeping experiments).
+    pub fn all() -> Vec<PointDistribution> {
+        vec![
+            PointDistribution::UniformSquare,
+            PointDistribution::UniformDisk,
+            PointDistribution::Clusters(8),
+            PointDistribution::NearCircle,
+            PointDistribution::JitteredGrid,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PointDistribution::UniformSquare => "uniform-square",
+            PointDistribution::UniformDisk => "uniform-disk",
+            PointDistribution::Clusters(_) => "clusters",
+            PointDistribution::NearCircle => "near-circle",
+            PointDistribution::JitteredGrid => "jittered-grid",
+        }
+    }
+}
+
+/// Deduplicate exactly-equal points (the algorithms assume distinct
+/// points; generators can collide at tiny probability).
+pub fn dedup_points(mut pts: Vec<Point2>) -> Vec<Point2> {
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_reproducibility() {
+        for d in PointDistribution::all() {
+            let a = d.generate(100, 42);
+            let b = d.generate(100, 42);
+            let c = d.generate(100, 43);
+            assert_eq!(a.len(), 100);
+            assert_eq!(a, b, "{} not reproducible", d.name());
+            assert_ne!(a, c, "{} ignores seed", d.name());
+        }
+    }
+
+    #[test]
+    fn uniform_square_in_bounds() {
+        for p in PointDistribution::UniformSquare.generate(1000, 1) {
+            assert!((0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn uniform_disk_in_disk() {
+        for p in PointDistribution::UniformDisk.generate(1000, 1) {
+            assert!(p.norm_sq() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn near_circle_radii() {
+        for p in PointDistribution::NearCircle.generate(1000, 1) {
+            let r = p.norm_sq().sqrt();
+            assert!((0.999..1.001).contains(&r));
+        }
+    }
+
+    #[test]
+    fn dedup_removes_exact_duplicates() {
+        let pts = vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+        ];
+        assert_eq!(dedup_points(pts).len(), 2);
+    }
+}

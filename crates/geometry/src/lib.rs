@@ -1,0 +1,34 @@
+//! # `ri-geometry` — exact predicates and geometric helpers
+//!
+//! The geometric algorithms of the paper (§4 Delaunay, §5 LP / closest pair
+//! / smallest enclosing disk) stand on two primitives: the *orientation*
+//! test and the *InCircle* (encroachment) test. Both are signs of
+//! determinants, and getting the sign wrong on nearly-degenerate inputs
+//! makes incremental Delaunay loop or produce invalid triangulations — so
+//! this crate implements them **exactly**, using Shewchuk-style
+//! floating-point expansion arithmetic with a fast floating-point filter in
+//! front (the exact path is only taken when the filter cannot certify the
+//! sign).
+//!
+//! Layout:
+//! * [`expansion`] — error-free transformations (two-sum, two-product) and
+//!   expansion arithmetic (the exact-arithmetic substrate).
+//! * [`predicates`] — `orient2d`, `incircle`: filtered + exact.
+//! * [`point`] — `Point2` and basic vector operations.
+//! * [`circle`] — circumcircles and disks (approximate f64; fine for the
+//!   Type 2 algorithms which tolerate ε-slack, as the paper's do).
+//! * [`distributions`] — seeded point-cloud generators for workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circle;
+pub mod distributions;
+pub mod expansion;
+pub mod point;
+pub mod predicates;
+
+pub use circle::{circumcircle, diametral_disk, Disk};
+pub use distributions::PointDistribution;
+pub use point::Point2;
+pub use predicates::{incircle, orient2d, Orientation};

@@ -1,0 +1,134 @@
+//! 2-D points and elementary vector operations.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Squared Euclidean distance to `other` (exact comparisons of squared
+    /// distances avoid a square root; the closest-pair sieve relies on it).
+    #[inline]
+    pub fn dist_sq(&self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point2) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Dot product (treating both as vectors).
+    #[inline]
+    pub fn dot(&self, other: Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// z-component of the cross product (treating both as vectors).
+    #[inline]
+    pub fn cross(&self, other: Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Squared length as a vector.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.dot(*self)
+    }
+
+    /// Midpoint of the segment to `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Both coordinates finite?
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, s: f64) -> Point2 {
+        Point2::new(self.x * s, self.y * s)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -1.0);
+        assert_eq!(a + b, Point2::new(4.0, 1.0));
+        assert_eq!(a - b, Point2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+        assert_eq!(a.midpoint(b), Point2::new(2.0, 0.5));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point2::new(1.0, 2.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point2::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the exact predicates: on dyadic-rational inputs the
+//! predicates must agree with big-integer reference arithmetic, and the
+//! algebraic symmetries of the determinants must hold for arbitrary floats.
+
+use proptest::prelude::*;
+use ri_geometry::predicates::{det2_sign, incircle, orient2d_sign};
+use ri_geometry::Point2;
+
+/// Exact orientation over i128 (valid when coordinates are small integers).
+fn orient_ref(a: (i64, i64), b: (i64, i64), c: (i64, i64)) -> i32 {
+    let det = (a.0 as i128 - c.0 as i128) * (b.1 as i128 - c.1 as i128)
+        - (a.1 as i128 - c.1 as i128) * (b.0 as i128 - c.0 as i128);
+    det.signum() as i32
+}
+
+/// Exact incircle over i128 for integer points: sign of the 4x4 lifted
+/// determinant, normalised for orientation.
+fn incircle_ref(a: (i64, i64), b: (i64, i64), c: (i64, i64), d: (i64, i64)) -> i32 {
+    let o = orient_ref(a, b, c);
+    if o == 0 {
+        return 0;
+    }
+    let col = |p: (i64, i64)| {
+        let dx = p.0 as i128 - d.0 as i128;
+        let dy = p.1 as i128 - d.1 as i128;
+        (dx, dy, dx * dx + dy * dy)
+    };
+    let (adx, ady, al) = col(a);
+    let (bdx, bdy, bl) = col(b);
+    let (cdx, cdy, cl) = col(c);
+    let det = al * (bdx * cdy - cdx * bdy) - bl * (adx * cdy - cdx * ady)
+        + cl * (adx * bdy - bdx * ady);
+    (det.signum() as i32) * o
+}
+
+fn p(xy: (i64, i64)) -> Point2 {
+    Point2::new(xy.0 as f64, xy.1 as f64)
+}
+
+// Small coordinates provoke many exact collinear/cocircular cases.
+fn coord() -> impl Strategy<Value = (i64, i64)> {
+    (-12i64..=12, -12i64..=12)
+}
+
+// Large coordinates stress the floating-point filter.
+fn coord_large() -> impl Strategy<Value = (i64, i64)> {
+    (-(1i64 << 26)..(1i64 << 26), -(1i64 << 26)..(1i64 << 26))
+}
+
+proptest! {
+    #[test]
+    fn orient_matches_integer_reference((a, b, c) in (coord(), coord(), coord())) {
+        prop_assert_eq!(orient2d_sign(p(a), p(b), p(c)), orient_ref(a, b, c));
+    }
+
+    #[test]
+    fn orient_matches_integer_reference_large((a, b, c) in (coord_large(), coord_large(), coord_large())) {
+        prop_assert_eq!(orient2d_sign(p(a), p(b), p(c)), orient_ref(a, b, c));
+    }
+
+    #[test]
+    fn orient_antisymmetric(ax in any::<f64>(), ay in any::<f64>(),
+                            bx in any::<f64>(), by in any::<f64>(),
+                            cx in any::<f64>(), cy in any::<f64>()) {
+        prop_assume!(ax.is_finite() && ay.is_finite() && bx.is_finite()
+                     && by.is_finite() && cx.is_finite() && cy.is_finite());
+        // Keep magnitudes sane so products don't overflow to infinity.
+        let clamp = |v: f64| v % 1e100;
+        let a = Point2::new(clamp(ax), clamp(ay));
+        let b = Point2::new(clamp(bx), clamp(by));
+        let c = Point2::new(clamp(cx), clamp(cy));
+        prop_assert_eq!(orient2d_sign(a, b, c), -orient2d_sign(b, a, c));
+        prop_assert_eq!(orient2d_sign(a, b, c), orient2d_sign(b, c, a));
+    }
+
+    #[test]
+    fn incircle_matches_integer_reference((a, b, c, d) in (coord(), coord(), coord(), coord())) {
+        prop_assert_eq!(incircle(p(a), p(b), p(c), p(d)), incircle_ref(a, b, c, d));
+    }
+
+    #[test]
+    fn incircle_matches_integer_reference_large((a, b, c, d) in (coord_large(), coord_large(), coord_large(), coord_large())) {
+        prop_assert_eq!(incircle(p(a), p(b), p(c), p(d)), incircle_ref(a, b, c, d));
+    }
+
+    #[test]
+    fn incircle_invariant_under_triangle_relabeling((a, b, c, d) in (coord(), coord(), coord(), coord())) {
+        let s = incircle(p(a), p(b), p(c), p(d));
+        prop_assert_eq!(s, incircle(p(b), p(c), p(a), p(d)));
+        prop_assert_eq!(s, incircle(p(c), p(a), p(b), p(d)));
+        prop_assert_eq!(s, incircle(p(b), p(a), p(c), p(d)));
+    }
+
+    #[test]
+    fn det2_matches_integer_reference(a in -1000i64..1000, b in -1000i64..1000,
+                                      c in -1000i64..1000, d in -1000i64..1000) {
+        let want = ((a as i128) * (b as i128) - (c as i128) * (d as i128)).signum() as i32;
+        prop_assert_eq!(det2_sign(a as f64, b as f64, c as f64, d as f64), want);
+    }
+}

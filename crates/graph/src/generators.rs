@@ -1,0 +1,286 @@
+//! Seeded synthetic graph generators.
+//!
+//! The §6 theorems hold for *any* input graph over the random vertex order;
+//! these families pick the regimes that stress them: sparse/dense uniform
+//! digraphs (G(n,m)), skewed-degree RMAT (web-like, the SCC application's
+//! practical habitat), high-diameter grids (stress search depth), DAGs (no
+//! nontrivial SCCs — worst case for partition refinement), and
+//! planted-SCC graphs (known ground truth of every size).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+
+/// Uniform random digraph with `n` vertices and `m` edges (self-loops
+/// excluded, parallel edges possible). `symmetric` adds each edge in both
+/// directions (an undirected graph for LE-lists).
+pub fn gnm(n: usize, m: usize, seed: u64, symmetric: bool) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(if symmetric { 2 * m } else { m });
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let mut v = rng.gen_range(0..n) as u32;
+        while v == u {
+            v = rng.gen_range(0..n) as u32;
+        }
+        edges.push((u, v));
+        if symmetric {
+            edges.push((v, u));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Weighted variant of [`gnm`] with weights uniform in `[1, 2)` —
+/// generically distinct, which keeps LE-list distance ties measure-zero.
+pub fn gnm_weighted(n: usize, m: usize, seed: u64, symmetric: bool) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let g = gnm(n, m, seed, symmetric);
+    let mut edges = Vec::with_capacity(g.num_edges());
+    let mut weights = Vec::with_capacity(g.num_edges());
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            edges.push((u, v));
+            weights.push(1.0 + rng.gen::<f64>());
+        }
+    }
+    // Symmetric graphs must keep w(u,v) == w(v,u): regenerate canonically.
+    if symmetric {
+        for (k, &(u, v)) in edges.iter().enumerate() {
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            let mut wrng = StdRng::seed_from_u64(
+                seed ^ ((a as u64) << 32 | b as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            );
+            weights[k] = 1.0 + wrng.gen::<f64>();
+        }
+    }
+    CsrGraph::from_weighted_edges(g.num_vertices(), &edges, &weights)
+}
+
+/// RMAT power-law digraph (Chakrabarti–Zhan–Faloutsos parameters
+/// a=0.57, b=0.19, c=0.19, d=0.05). `scale` gives `n = 2^scale`.
+pub fn rmat(scale: u32, m: usize, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < 0.57 {
+                (0, 0)
+            } else if r < 0.76 {
+                (0, 1)
+            } else if r < 0.95 {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push((u as u32, v as u32));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// `side × side` grid, 4-neighbor, both directions (an undirected
+/// high-diameter graph).
+pub fn grid2d(side: usize) -> CsrGraph {
+    let n = side * side;
+    let id = |x: usize, y: usize| (y * side + x) as u32;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                edges.push((id(x, y), id(x + 1, y)));
+                edges.push((id(x + 1, y), id(x, y)));
+            }
+            if y + 1 < side {
+                edges.push((id(x, y), id(x, y + 1)));
+                edges.push((id(x, y + 1), id(x, y)));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Random DAG: `m` edges `u → v` with `u < v` in a hidden random topological
+/// order. Every SCC is trivial — the stress case for SCC partitioning.
+pub fn random_dag(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let order = ri_pram::random_permutation(n, seed ^ 0xDA6);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        edges.push((order[lo] as u32, order[hi] as u32));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Planted SCC graph: `k` components of the given `sizes`, each a directed
+/// cycle plus `intra_extra` random internal edges, connected by
+/// `inter_edges` random edges that respect a hidden component order (so the
+/// planted components are exactly the SCCs). Returns the graph and the
+/// ground-truth component id per vertex.
+pub fn planted_sccs(
+    sizes: &[usize],
+    intra_extra: usize,
+    inter_edges: usize,
+    seed: u64,
+) -> (CsrGraph, Vec<u32>) {
+    let n: usize = sizes.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Scatter vertex ids so component membership is not contiguous.
+    let ids = ri_pram::random_permutation(n, seed ^ 0x5cc);
+    let mut truth = vec![0u32; n];
+    let mut edges = Vec::new();
+    let mut comp_ranges = Vec::new();
+    let mut base = 0usize;
+    for (c, &sz) in sizes.iter().enumerate() {
+        assert!(sz >= 1);
+        let members: Vec<u32> = (base..base + sz).map(|k| ids[k] as u32).collect();
+        for &v in &members {
+            truth[v as usize] = c as u32;
+        }
+        // Cycle makes the component strongly connected.
+        for w in 0..sz {
+            edges.push((members[w], members[(w + 1) % sz]));
+        }
+        // Extra internal edges.
+        if sz >= 2 {
+            for _ in 0..intra_extra * sz / n.max(1) {
+                let a = members[rng.gen_range(0..sz)];
+                let b = members[rng.gen_range(0..sz)];
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        comp_ranges.push(members);
+        base += sz;
+    }
+    // Inter-component edges only from earlier to later components.
+    let k = sizes.len();
+    if k >= 2 {
+        for _ in 0..inter_edges {
+            let c1 = rng.gen_range(0..k - 1);
+            let c2 = rng.gen_range(c1 + 1..k);
+            let a = comp_ranges[c1][rng.gen_range(0..sizes[c1])];
+            let b = comp_ranges[c2][rng.gen_range(0..sizes[c2])];
+            edges.push((a, b));
+        }
+    }
+    (CsrGraph::from_edges(n, &edges), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_shape_and_seeding() {
+        let g = gnm(100, 500, 7, false);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+        assert_eq!(gnm(100, 500, 7, false), g);
+        assert_ne!(gnm(100, 500, 8, false), g);
+        // No self loops.
+        for u in 0..100u32 {
+            assert!(!g.neighbors(u).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gnm_symmetric_has_both_directions() {
+        let g = gnm(50, 200, 3, true);
+        for u in 0..50u32 {
+            for &v in g.neighbors(u) {
+                assert!(g.neighbors(v).contains(&u), "missing reverse of {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_weighted_symmetric_weights_match() {
+        let g = gnm_weighted(40, 100, 11, true);
+        for u in 0..40u32 {
+            for (v, w) in g.edges(u) {
+                let back: Vec<f64> = g
+                    .edges(v)
+                    .filter(|&(t, _)| t == u)
+                    .map(|(_, w2)| w2)
+                    .collect();
+                assert!(back.contains(&w), "asymmetric weight {u}<->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_skewed_degrees() {
+        let g = rmat(10, 8192, 5);
+        let max_deg = (0..g.num_vertices() as u32).map(|u| g.degree(u)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > 4.0 * avg,
+            "rmat should be skewed: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid2d(10);
+        assert_eq!(g.num_vertices(), 100);
+        // Corner has degree 2, interior 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(11), 4);
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let g = random_dag(200, 1000, 2);
+        // Kahn's algorithm must consume all vertices.
+        let n = g.num_vertices();
+        let mut indeg = vec![0usize; n];
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                indeg[v as usize] += 1;
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in g.neighbors(u) {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        assert_eq!(seen, n, "cycle detected in random_dag");
+    }
+
+    #[test]
+    fn planted_sccs_ground_truth_shape() {
+        let sizes = vec![5, 1, 10, 3];
+        let (g, truth) = planted_sccs(&sizes, 10, 20, 9);
+        assert_eq!(g.num_vertices(), 19);
+        for c in 0..sizes.len() as u32 {
+            assert_eq!(
+                truth.iter().filter(|&&t| t == c).count(),
+                sizes[c as usize]
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # `ri-le-lists` — Cohen's least-element lists
+//! (§6.1 of the paper, Type 3)
+//!
+//! Given a graph whose vertices carry a random priority order
+//! `v₁, ..., v_n`, vertex `v_j` belongs to `L(u)` iff `v_j` is closer to
+//! `u` than every earlier vertex (Definition 3). LE-lists have `O(log n)`
+//! entries whp and power neighborhood-size estimation and probabilistic
+//! tree embeddings.
+//!
+//! * [`le_lists_sequential`] — Algorithm 6: iterate sources in priority
+//!   order, running a **δ-pruned** shortest-path search that only visits
+//!   vertices the source improves.
+//! * [`le_lists_parallel`] — the Type 3 execution: doubling rounds of
+//!   sources search *in parallel against the previous round's δ array*,
+//!   and a combine step (semisort by target, then a running-minimum filter
+//!   in source order) discards the redundant entries, reproducing the
+//!   sequential lists exactly.
+//!
+//! Theorem 6.2: the parallel version does `O(W_SP(n,m) log n)` expected
+//! work over `O(log n)` rounds. Lemma 6.1 establishes the separating
+//! dependences: if `b` is closer to `c` than `a` is and runs first, `a`'s
+//! search can no longer reach `c`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lists;
+
+pub use lists::{
+    le_lists_brute_force, le_lists_parallel, le_lists_sequential, LeListsResult, LeStats,
+};

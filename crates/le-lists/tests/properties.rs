@@ -1,0 +1,72 @@
+//! Property tests for LE-lists: the literal Definition 3 against all-pairs
+//! distances, and sequential/parallel equivalence, on arbitrary weighted
+//! digraphs.
+
+use proptest::prelude::*;
+use ri_graph::CsrGraph;
+use ri_le_lists::{le_lists_brute_force, le_lists_parallel, le_lists_sequential};
+use ri_pram::random_permutation;
+
+fn arb_weighted_graph() -> impl Strategy<Value = (CsrGraph, u64)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            ((0..n as u32), (0..n as u32), (1u32..1000)),
+            0..(3 * n),
+        );
+        (Just(n), edges, any::<u64>()).prop_map(|(n, ews, seed)| {
+            let edges: Vec<(u32, u32)> = ews.iter().map(|&(u, v, _)| (u, v)).collect();
+            // Irregular weights (w/1009 + tiny per-edge offset) make exact
+            // distance ties essentially impossible, matching the paper's
+            // distinct-distance assumption.
+            let weights: Vec<f64> = ews
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, _, w))| w as f64 / 1009.0 + i as f64 * 1e-9 + 1e-3)
+                .collect();
+            (CsrGraph::from_weighted_edges(n, &edges, &weights), seed)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matches_definition_3((g, seed) in arb_weighted_graph()) {
+        let n = g.num_vertices();
+        let order = random_permutation(n, seed);
+        let want = le_lists_brute_force(&g, &order);
+        let seq = le_lists_sequential(&g, &order);
+        prop_assert_eq!(&seq.lists, &want);
+    }
+
+    #[test]
+    fn parallel_equals_sequential((g, seed) in arb_weighted_graph()) {
+        let n = g.num_vertices();
+        let order = random_permutation(n, seed);
+        let seq = le_lists_sequential(&g, &order);
+        let par = le_lists_parallel(&g, &order);
+        prop_assert_eq!(&seq.lists, &par.lists);
+    }
+
+    #[test]
+    fn lists_are_antichains_in_priority_and_distance((g, seed) in arb_weighted_graph()) {
+        // Definition 3 invariant: along each list, source priority strictly
+        // increases while distance strictly decreases — no entry dominates
+        // another.
+        let n = g.num_vertices();
+        let order = random_permutation(n, seed);
+        let rank = {
+            let mut r = vec![0usize; n];
+            for (k, &v) in order.iter().enumerate() { r[v] = k; }
+            r
+        };
+        let res = le_lists_parallel(&g, &order);
+        for list in &res.lists {
+            for w in list.windows(2) {
+                prop_assert!(rank[w[0].0 as usize] < rank[w[1].0 as usize]);
+                prop_assert!(w[0].1 > w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # `ri-lp` — Seidel's randomized incremental 2-D linear programming
+//! (§5.1 of the paper, Type 2)
+//!
+//! Maximise `objective · x` subject to halfplane constraints
+//! `normalᵢ · x ≤ boundᵢ`, constraints added one-by-one in random order
+//! while maintaining the optimum vertex.
+//!
+//! * A **regular** iteration is a constraint the current optimum already
+//!   satisfies — `O(1)` work, nothing changes.
+//! * A **special** iteration is a *tight* constraint (the optimum violates
+//!   it): the new optimum lies on that constraint's line, found by a
+//!   one-dimensional LP over all earlier constraints (`O(i)` work — a
+//!   parallel min/max reduction in the parallel version).
+//!
+//! By backwards analysis the probability iteration `j` is special is at
+//! most `2/j` (the optimum is defined by ≤ 2 constraints), giving `O(n)`
+//! expected work and — through the Type 2 executor — `O(log n)` dependence
+//! depth (Theorem 5.1).
+//!
+//! Boundedness: following Seidel, two synthetic *box constraints* that
+//! bound the optimum in the objective direction are treated as implicit
+//! iterations `−2, −1`; they make the initial optimum unique and keep every
+//! 1-D LP bounded.
+//!
+//! The [`highdim`] module implements the paper's d > 2 extension
+//! (recursive dimension reduction with the same random order for every
+//! sub-problem).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod highdim;
+mod seidel;
+pub mod workloads;
+
+pub use highdim::{
+    lp_d_parallel, lp_d_sequential, tangent_instance_d, ConstraintD, LpInstanceD, LpOutcomeD,
+    LpRunD,
+};
+pub use seidel::{
+    lp_parallel, lp_sequential, Constraint, LpInstance, LpOutcome, LpRun, EPS,
+};

@@ -1,0 +1,109 @@
+//! LP workload generators (seeded, reproducible).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ri_geometry::Point2;
+
+use crate::seidel::{Constraint, LpInstance};
+
+/// Constraints tangent to the unit disk: `n̂ · x ≤ 1` for random unit
+/// normals `n̂`. Always feasible (the unit disk is inside every halfplane),
+/// the feasible region is a random polygon circumscribing the disk, and
+/// with a random objective the optimum is a non-degenerate vertex — the
+/// standard benign-but-nontrivial Seidel workload.
+pub fn tangent_instance(n: usize, seed: u64) -> LpInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut angle = || rng.gen::<f64>() * std::f64::consts::TAU;
+    let objective = {
+        let a = angle();
+        Point2::new(a.cos(), a.sin())
+    };
+    let constraints = (0..n)
+        .map(|_| {
+            let a = angle();
+            Constraint::new(Point2::new(a.cos(), a.sin()), 1.0)
+        })
+        .collect();
+    LpInstance {
+        objective,
+        constraints,
+    }
+}
+
+/// A feasible instance whose optimum moves many times: constraints tangent
+/// to a shrinking spiral of disks (more special iterations early).
+pub fn shrinking_instance(n: usize, seed: u64) -> LpInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objective = Point2::new(1.0, 0.3);
+    let constraints = (0..n)
+        .map(|i| {
+            let a = rng.gen::<f64>() * std::f64::consts::TAU;
+            let radius = 1.0 + 10.0 / (1.0 + i as f64);
+            Constraint::new(Point2::new(a.cos(), a.sin()), radius)
+        })
+        .collect();
+    LpInstance {
+        objective,
+        constraints,
+    }
+}
+
+/// An infeasible instance: tangent constraints plus an early pair of
+/// contradictory halfplanes (`x ≤ −2`, `−x ≤ −2`) shuffled in.
+pub fn infeasible_instance(n: usize, seed: u64) -> LpInstance {
+    let mut inst = tangent_instance(n.saturating_sub(2), seed);
+    inst.constraints
+        .push(Constraint::new(Point2::new(1.0, 0.0), -2.0));
+    inst.constraints
+        .push(Constraint::new(Point2::new(-1.0, 0.0), -2.0));
+    // Deterministic shuffle so the contradiction is discovered mid-run.
+    let order = ri_pram::random_permutation(inst.constraints.len(), seed ^ 0xbad);
+    inst.constraints = order.iter().map(|&i| inst.constraints[i]).collect();
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seidel::{lp_parallel, LpOutcome};
+
+    #[test]
+    fn tangent_is_reproducible() {
+        let a = tangent_instance(50, 1);
+        let b = tangent_instance(50, 1);
+        assert_eq!(a.constraints.len(), b.constraints.len());
+        assert_eq!(a.objective, b.objective);
+        assert!(a
+            .constraints
+            .iter()
+            .zip(&b.constraints)
+            .all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn tangent_contains_unit_disk() {
+        let inst = tangent_instance(100, 2);
+        // Origin is strictly feasible.
+        for c in &inst.constraints {
+            assert!(c.violation(Point2::new(0.0, 0.0)) < 0.0);
+        }
+    }
+
+    #[test]
+    fn infeasible_instance_is_infeasible() {
+        for seed in 0..5 {
+            let inst = infeasible_instance(64, seed);
+            assert_eq!(lp_parallel(&inst).outcome, LpOutcome::Infeasible);
+        }
+    }
+
+    #[test]
+    fn shrinking_instance_feasible() {
+        let inst = shrinking_instance(200, 3);
+        match lp_parallel(&inst).outcome {
+            LpOutcome::Optimal(_) => {}
+            o => panic!("expected optimal, got {o:?}"),
+        }
+    }
+}

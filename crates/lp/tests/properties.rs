@@ -1,0 +1,109 @@
+//! Property tests for Seidel LP: agreement between sequential, parallel,
+//! and a brute-force vertex enumeration on arbitrary constraint sets.
+
+use proptest::prelude::*;
+use ri_geometry::Point2;
+use ri_lp::{lp_parallel, lp_sequential, Constraint, LpInstance, LpOutcome};
+
+/// Random constraints with normals on a coarse angular grid and bounds in
+/// a small range: plenty of near-parallel pairs and infeasible instances.
+fn arb_instance() -> impl Strategy<Value = LpInstance> {
+    let constraint = (0usize..48, -4i32..=8).prop_map(|(a, b)| {
+        let th = a as f64 * std::f64::consts::TAU / 48.0;
+        Constraint::new(Point2::new(th.cos(), th.sin()), b as f64)
+    });
+    (
+        0usize..48,
+        proptest::collection::vec(constraint, 0..40),
+    )
+        .prop_map(|(oa, constraints)| {
+            let th = oa as f64 * std::f64::consts::TAU / 48.0 + 0.013;
+            LpInstance {
+                objective: Point2::new(th.cos(), th.sin()),
+                constraints,
+            }
+        })
+}
+
+/// Brute force: best feasible vertex among all constraint-pair
+/// intersections (including the solver's own box construction).
+fn brute_force(inst: &LpInstance) -> LpOutcome {
+    let d = inst.objective;
+    let len = d.norm_sq().sqrt();
+    let dhat = d * (1.0 / len);
+    let ehat = Point2::new(-dhat.y, dhat.x);
+    let mut cs = vec![
+        Constraint::new(dhat + ehat, 1e6),
+        Constraint::new(dhat - ehat, 1e6),
+    ];
+    cs.extend_from_slice(&inst.constraints);
+    let mut best: Option<Point2> = None;
+    for i in 0..cs.len() {
+        for j in i + 1..cs.len() {
+            let (a, b) = (cs[i], cs[j]);
+            let det = a.normal.cross(b.normal);
+            if det.abs() < 1e-9 {
+                continue;
+            }
+            let x = Point2::new(
+                (a.bound * b.normal.y - b.bound * a.normal.y) / det,
+                (a.normal.x * b.bound - b.normal.x * a.bound) / det,
+            );
+            if cs.iter().all(|c| c.violation(x) <= 1e-6)
+                && best.is_none_or(|cur| inst.objective.dot(x) > inst.objective.dot(cur))
+            {
+                best = Some(x);
+            }
+        }
+    }
+    match best {
+        Some(x) => LpOutcome::Optimal(x),
+        None => LpOutcome::Infeasible,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parallel_equals_sequential(inst in arb_instance()) {
+        let seq = lp_sequential(&inst);
+        let par = lp_parallel(&inst);
+        match (seq.outcome, par.outcome) {
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (LpOutcome::Optimal(x), LpOutcome::Optimal(y)) => {
+                prop_assert!(x.dist(y) < 1e-6, "{x} vs {y}");
+            }
+            (a, b) => prop_assert!(false, "outcome mismatch {a:?} vs {b:?}"),
+        }
+        prop_assert_eq!(seq.stats.specials, par.stats.specials);
+    }
+
+    #[test]
+    fn objective_value_matches_brute_force(inst in arb_instance()) {
+        let got = lp_parallel(&inst).outcome;
+        let want = brute_force(&inst);
+        match (got, want) {
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (LpOutcome::Optimal(x), LpOutcome::Optimal(y)) => {
+                // Compare objective values (the optimum vertex may be
+                // non-unique under the grid normals).
+                let (vx, vy) = (inst.objective.dot(x), inst.objective.dot(y));
+                prop_assert!(
+                    (vx - vy).abs() <= 1e-5 * (1.0 + vy.abs()),
+                    "objective {vx} vs brute-force {vy}"
+                );
+            }
+            (a, b) => prop_assert!(false, "outcome mismatch: got {a:?}, brute force {b:?}"),
+        }
+    }
+
+    #[test]
+    fn optimum_is_feasible(inst in arb_instance()) {
+        if let LpOutcome::Optimal(x) = lp_parallel(&inst).outcome {
+            for c in &inst.constraints {
+                prop_assert!(c.violation(x) <= 1e-6, "constraint violated by {}", c.violation(x));
+            }
+        }
+    }
+}

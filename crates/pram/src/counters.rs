@@ -1,0 +1,128 @@
+//! Work and round instrumentation.
+//!
+//! The paper's claims are about *work* (total operations) and *depth*
+//! (rounds of the parallel executors). Every algorithm crate reports its
+//! measurements through these two small types so the bench harness can print
+//! paper-vs-measured tables from one code path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent work counter (relaxed increments; read at phase boundaries).
+///
+/// Counts "units of work" — comparisons for sorting, InCircle tests for
+/// Delaunay, vertex visits for the graph algorithms. Relaxed ordering is
+/// fine: totals are only read after the parallel phase has joined.
+#[derive(Debug, Default)]
+pub struct WorkCounter(AtomicU64);
+
+impl WorkCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` units of work.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one unit of work.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between experiments).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Per-round log of a parallel execution: how many items ran in each round
+/// and how much work the round did. `rounds()` is the measured *depth* in
+/// the model sense of the paper's theorems.
+#[derive(Debug, Default, Clone)]
+pub struct RoundLog {
+    entries: Vec<(usize, u64)>,
+}
+
+impl RoundLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed round.
+    pub fn record(&mut self, items: usize, work: u64) {
+        self.entries.push((items, work));
+    }
+
+    /// Number of rounds executed (the measured depth).
+    pub fn rounds(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total work across rounds.
+    pub fn total_work(&self) -> u64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total items across rounds.
+    pub fn total_items(&self) -> usize {
+        self.entries.iter().map(|&(i, _)| i).sum()
+    }
+
+    /// Largest single round (items, work).
+    pub fn max_round(&self) -> (usize, u64) {
+        self.entries
+            .iter()
+            .copied()
+            .max_by_key(|&(i, _)| i)
+            .unwrap_or((0, 0))
+    }
+
+    /// The raw `(items, work)` entries, one per round.
+    pub fn entries(&self) -> &[(usize, u64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn counter_concurrent_sum() {
+        let c = WorkCounter::new();
+        (0..100_000u64).into_par_iter().for_each(|_| c.incr());
+        assert_eq!(c.get(), 100_000);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn round_log_aggregates() {
+        let mut log = RoundLog::new();
+        log.record(10, 100);
+        log.record(20, 50);
+        log.record(5, 5);
+        assert_eq!(log.rounds(), 3);
+        assert_eq!(log.total_work(), 155);
+        assert_eq!(log.total_items(), 35);
+        assert_eq!(log.max_round(), (20, 50));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = RoundLog::new();
+        assert_eq!(log.rounds(), 0);
+        assert_eq!(log.max_round(), (0, 0));
+    }
+}

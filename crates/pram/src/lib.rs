@@ -1,0 +1,60 @@
+//! # `ri-pram` — work-depth parallel primitives
+//!
+//! The paper analyses its algorithms on the CRCW PRAM in the *work-depth*
+//! model. This crate is the shared-memory substrate standing in for that
+//! model: every primitive the seven algorithms rely on is implemented here on
+//! top of [`rayon`]'s work-stealing scheduler and `std::sync::atomic`.
+//!
+//! Provided primitives and their PRAM counterparts:
+//!
+//! | Module | Primitive | PRAM role in the paper |
+//! |---|---|---|
+//! | [`scan`] | parallel prefix sums | processor allocation / compaction |
+//! | [`pack`](mod@crate::pack) | filter & pack | compaction after InCircle filtering (§4) |
+//! | [`reduce`] | min / min-index reductions | "find earliest violating iteration" (§2.2, §5) |
+//! | [`priority`] | priority-write cells | priority-write CRCW (§3, §6.2) |
+//! | [`radix`] | stable parallel LSD radix sort | integer sorting for semisort |
+//! | [`semisort`] | group-by-key | combine steps of Type 3 algorithms (§6) |
+//! | [`conmap`] | concurrent fixed-capacity hash maps | face hashmap of parallel DT (§4) |
+//! | [`permutation`] | seeded random permutations | the random insertion order itself |
+//! | [`hash`] | fast non-cryptographic hashing | hashing for semisort / hash tables |
+//! | [`counters`] | work/round instrumentation | measuring work and depth (rounds) |
+//!
+//! All primitives are deterministic given their inputs (and seeds), which is
+//! what lets the algorithm crates assert *parallel output == sequential
+//! output* in their test suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conmap;
+pub mod counters;
+pub mod hash;
+pub mod pack;
+pub mod permutation;
+pub mod priority;
+pub mod radix;
+pub mod reduce;
+pub mod scan;
+pub mod semisort;
+
+pub use conmap::{ConcurrentPairMap, PairSlots};
+pub use counters::{RoundLog, WorkCounter};
+pub use hash::{hash_u64, FxBuildHasher, FxHasher};
+pub use pack::{pack, pack_indices, pack_indices_where};
+pub use permutation::{
+    knuth_shuffle_parallel, knuth_shuffle_sequential, knuth_targets, random_permutation,
+    random_permutation_par, Permutation,
+};
+pub use priority::{MinIndex, PriorityCell};
+pub use radix::{radix_sort_by_key, radix_sort_u64};
+pub use reduce::{min_float_index, min_index, min_index_by_key};
+pub use scan::{exclusive_scan_inplace, exclusive_scan_usize};
+pub use semisort::{semisort_by_key, Grouped};
+
+/// Grain size below which primitives fall back to sequential loops.
+///
+/// Rayon's scheduler has per-task overhead; all primitives in this crate stop
+/// spawning below this many elements. The value is deliberately conservative
+/// (favouring correctness-of-measurement over micro-tuning).
+pub const SEQ_THRESHOLD: usize = 4096;

@@ -1,0 +1,119 @@
+//! Filter-and-pack (compaction).
+//!
+//! The paper's parallel Delaunay step "applies and filters on the InCircle
+//! tests ... using processor allocation and compaction" (§4); Type 2
+//! executors compact the surviving iterations of each prefix. `pack` is the
+//! deterministic (exact, not approximate) version of that primitive: it
+//! preserves input order, so parallel runs remain reproducible.
+
+use rayon::prelude::*;
+
+use crate::scan::exclusive_scan_inplace;
+use crate::SEQ_THRESHOLD;
+
+/// Keep the elements whose flag is `true`, preserving order.
+pub fn pack<T: Clone + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), flags.len(), "pack: length mismatch");
+    if items.len() <= SEQ_THRESHOLD {
+        return items
+            .iter()
+            .zip(flags)
+            .filter(|(_, &f)| f)
+            .map(|(x, _)| x.clone())
+            .collect();
+    }
+    let mut offsets: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
+    let total = exclusive_scan_inplace(&mut offsets);
+    let chunk = items.len().div_ceil(rayon::current_num_threads().max(2) * 4);
+    // Per-chunk local packs, concatenated in chunk order (order preserving).
+    let mut result: Vec<T> = Vec::with_capacity(total);
+    let parts: Vec<Vec<T>> = items
+        .par_chunks(chunk)
+        .zip(flags.par_chunks(chunk))
+        .map(|(is, fs)| {
+            is.iter()
+                .zip(fs)
+                .filter(|(_, &f)| f)
+                .map(|(x, _)| x.clone())
+                .collect::<Vec<T>>()
+        })
+        .collect();
+    for p in parts {
+        result.extend(p);
+    }
+    debug_assert_eq!(result.len(), total);
+    result
+}
+
+/// Indices `i` with `flags[i] == true`, in increasing order.
+pub fn pack_indices(flags: &[bool]) -> Vec<usize> {
+    pack_indices_where(flags.len(), |i| flags[i])
+}
+
+/// Indices `0..n` satisfying `pred`, in increasing order, evaluated in
+/// parallel. `pred` must be pure.
+pub fn pack_indices_where<F>(n: usize, pred: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if n <= SEQ_THRESHOLD {
+        return (0..n).filter(|&i| pred(i)).collect();
+    }
+    let nchunks = rayon::current_num_threads().max(2) * 4;
+    let chunk = n.div_ceil(nchunks);
+    let parts: Vec<Vec<usize>> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            (lo..hi).filter(|&i| pred(i)).collect::<Vec<usize>>()
+        })
+        .collect();
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_keeps_order() {
+        let items: Vec<u32> = (0..10).collect();
+        let flags: Vec<bool> = items.iter().map(|&x| x % 3 == 0).collect();
+        assert_eq!(pack(&items, &flags), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn pack_empty_and_full() {
+        let items: Vec<u32> = (0..100).collect();
+        assert_eq!(pack(&items, &[false; 100]), Vec::<u32>::new());
+        assert_eq!(pack(&items, &[true; 100]), items);
+    }
+
+    #[test]
+    fn pack_large_parallel_path() {
+        let items: Vec<u64> = (0..200_000).collect();
+        let flags: Vec<bool> = items.iter().map(|&x| x % 7 == 0).collect();
+        let got = pack(&items, &flags);
+        let want: Vec<u64> = items.iter().copied().filter(|&x| x % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_indices_matches_filter() {
+        let n = 100_000;
+        let got = pack_indices_where(n, |i| i % 13 == 5);
+        let want: Vec<usize> = (0..n).filter(|&i| i % 13 == 5).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pack_length_mismatch_panics() {
+        pack(&[1, 2, 3], &[true]);
+    }
+}

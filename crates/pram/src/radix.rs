@@ -1,0 +1,163 @@
+//! Stable parallel LSD radix sort on `u64` keys.
+//!
+//! The paper's combine steps need integer sorting (semisort groups by hashed
+//! key; LE-lists sort contributions per target by source index). We use the
+//! classic stable least-significant-digit scheme. Each pass:
+//!
+//! 1. every block counting-sorts its chunk locally by the current 8-bit
+//!    digit (stable within the block),
+//! 2. the global output is the column-major concatenation — for each digit
+//!    `d`, block 0's `d`-bucket, then block 1's, ... — which preserves
+//!    stability across blocks,
+//! 3. the concatenation itself is a parallel order-preserving flat-map.
+//!
+//! Work O(8 · n), depth O(log n) per pass. Entirely safe code: the only
+//! "scatter" is a local write into a block-owned buffer.
+
+use rayon::prelude::*;
+
+use crate::SEQ_THRESHOLD;
+
+const DIGIT_BITS: usize = 8;
+const RADIX: usize = 1 << DIGIT_BITS;
+
+/// Sort items by a `u64` key, stably.
+pub fn radix_sort_by_key<T, F>(items: &mut Vec<T>, key: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    if n <= SEQ_THRESHOLD {
+        items.sort_by_key(|x| key(x));
+        return;
+    }
+    // Skip passes above the highest set bit of any key (common case: small keys).
+    let max_key = items.par_iter().map(&key).reduce(|| 0, u64::max);
+    let passes = if max_key == 0 {
+        1
+    } else {
+        (64 - max_key.leading_zeros() as usize).div_ceil(DIGIT_BITS)
+    };
+
+    let nblocks = rayon::current_num_threads().max(2) * 4;
+    let block = n.div_ceil(nblocks);
+    let mut src: Vec<T> = std::mem::take(items);
+
+    for pass in 0..passes {
+        let shift = pass * DIGIT_BITS;
+        let digit = |x: &T| ((key(x) >> shift) as usize) & (RADIX - 1);
+
+        // Per-block local stable counting sort: (sorted buffer, bucket starts).
+        let locals: Vec<(Vec<T>, Vec<u32>)> = src
+            .par_chunks(block)
+            .map(|chunk| {
+                let mut hist = [0u32; RADIX];
+                for x in chunk {
+                    hist[digit(x)] += 1;
+                }
+                let mut starts = vec![0u32; RADIX + 1];
+                for d in 0..RADIX {
+                    starts[d + 1] = starts[d] + hist[d];
+                }
+                let mut cursor: Vec<u32> = starts[..RADIX].to_vec();
+                // Pre-fill then overwrite: keeps the placement loop safe.
+                let mut buf: Vec<T> = chunk.to_vec();
+                for x in chunk {
+                    let d = digit(x);
+                    buf[cursor[d] as usize] = x.clone();
+                    cursor[d] += 1;
+                }
+                (buf, starts)
+            })
+            .collect();
+
+        // Column-major concatenation; rayon's collect preserves order.
+        let nb = locals.len();
+        src = (0..RADIX * nb)
+            .into_par_iter()
+            .flat_map_iter(|seg| {
+                let (d, b) = (seg / nb, seg % nb);
+                let (buf, starts) = &locals[b];
+                buf[starts[d] as usize..starts[d + 1] as usize]
+                    .iter()
+                    .cloned()
+            })
+            .collect();
+        debug_assert_eq!(src.len(), n);
+    }
+    *items = src;
+}
+
+/// Sort a `u64` vector in place (stable, parallel).
+pub fn radix_sort_u64(items: &mut Vec<u64>) {
+    radix_sort_by_key(items, |&x| x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_small() {
+        let mut v = vec![5u64, 3, 9, 1, 1, 0];
+        radix_sort_u64(&mut v);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_large_random() {
+        let mut v: Vec<u64> = (0..250_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+            .collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        radix_sort_u64(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn stability_preserved() {
+        // Pairs (key, original index): after sorting by key, equal keys must
+        // keep index order.
+        let n = 100_000usize;
+        let mut v: Vec<(u64, usize)> = (0..n).map(|i| ((i % 16) as u64, i)).collect();
+        radix_sort_by_key(&mut v, |&(k, _)| k);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_max_values() {
+        let mut v = vec![u64::MAX, 0, u64::MAX - 1, 1];
+        radix_sort_u64(&mut v);
+        assert_eq!(v, vec![0, 1, u64::MAX - 1, u64::MAX]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut v: Vec<u64> = vec![];
+        radix_sort_u64(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![42u64];
+        radix_sort_u64(&mut v);
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn sorts_large_small_keyspace() {
+        // Exercises the early-pass-exit path (max key fits one digit).
+        let mut v: Vec<u64> = (0..200_000u64).map(|i| i % 7).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        radix_sort_u64(&mut v);
+        assert_eq!(v, want);
+    }
+}

@@ -1,0 +1,138 @@
+//! Parallel prefix sums (scan).
+//!
+//! Scan is the PRAM workhorse behind processor allocation and compaction
+//! (Preliminaries of the paper; used implicitly by every "filter and keep
+//! the survivors" step). The implementation is the standard two-pass blocked
+//! scheme: per-block sums, a sequential scan over the (few) block sums, then
+//! a parallel fix-up pass. Work O(n), depth O(n / P + log P).
+
+use rayon::prelude::*;
+
+use crate::SEQ_THRESHOLD;
+
+/// Exclusive prefix sum over `usize` values.
+///
+/// Returns `(prefix, total)` where `prefix[i] = sum(values[..i])` and
+/// `total = sum(values)`.
+///
+/// ```
+/// let (pre, total) = ri_pram::exclusive_scan_usize(&[3, 1, 4, 1, 5]);
+/// assert_eq!(pre, vec![0, 3, 4, 8, 9]);
+/// assert_eq!(total, 14);
+/// ```
+pub fn exclusive_scan_usize(values: &[usize]) -> (Vec<usize>, usize) {
+    let mut out = values.to_vec();
+    let total = exclusive_scan_inplace(&mut out);
+    (out, total)
+}
+
+/// In-place exclusive prefix sum; returns the grand total.
+pub fn exclusive_scan_inplace(values: &mut [usize]) -> usize {
+    let n = values.len();
+    if n == 0 {
+        return 0;
+    }
+    if n <= SEQ_THRESHOLD {
+        return scan_seq(values);
+    }
+    let nblocks = rayon::current_num_threads().max(2) * 4;
+    let block = n.div_ceil(nblocks);
+    // Pass 1: independent sums per block.
+    let mut block_sums: Vec<usize> = values
+        .par_chunks(block)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    // Scan the (small) block-sum array sequentially.
+    let total = scan_seq(&mut block_sums);
+    // Pass 2: per-block exclusive scan offset by the block prefix.
+    values
+        .par_chunks_mut(block)
+        .zip(block_sums.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let mut acc = offset;
+            for v in chunk {
+                let x = *v;
+                *v = acc;
+                acc += x;
+            }
+        });
+    total
+}
+
+fn scan_seq(values: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for v in values.iter_mut() {
+        let x = *v;
+        *v = acc;
+        acc += x;
+    }
+    acc
+}
+
+/// Exclusive max-scan: `out[i] = max(values[..i])`, with `identity` for
+/// `out[0]`. Used by tests validating monotone filtering in the Type 3
+/// combine steps (drop entries whose distance is not a running minimum).
+pub fn exclusive_scan_max(values: &[u64], identity: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = identity;
+    for &v in values {
+        out.push(acc);
+        acc = acc.max(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(values: &[usize]) -> (Vec<usize>, usize) {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(values.len());
+        for &v in values {
+            out.push(acc);
+            acc += v;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty() {
+        let (pre, total) = exclusive_scan_usize(&[]);
+        assert!(pre.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn singleton() {
+        let (pre, total) = exclusive_scan_usize(&[7]);
+        assert_eq!(pre, vec![0]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        let v: Vec<usize> = (0..100).map(|i| (i * 37) % 11).collect();
+        assert_eq!(exclusive_scan_usize(&v), reference(&v));
+    }
+
+    #[test]
+    fn matches_reference_large_parallel_path() {
+        let v: Vec<usize> = (0..100_000).map(|i| (i * 2654435761) % 17).collect();
+        assert_eq!(exclusive_scan_usize(&v), reference(&v));
+    }
+
+    #[test]
+    fn all_zeros() {
+        let v = vec![0usize; 50_000];
+        let (pre, total) = exclusive_scan_usize(&v);
+        assert_eq!(total, 0);
+        assert!(pre.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn max_scan() {
+        let out = exclusive_scan_max(&[3, 1, 4, 1, 5], 0);
+        assert_eq!(out, vec![0, 3, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The Type 3 (batch) execution of BST insertion — the worked example of
+//! §2.3 of the paper.
+//!
+//! *"On each round i, 2^{i−1} keys are already inserted into a BST and in
+//! parallel we try to insert the next 2^{i−1} keys. In the first loop all
+//! new keys will search the tree for where they belong. Many will fall into
+//! their own leaf and be happy, but there will be some conflicts in which
+//! multiple keys fall into the same leaf. The second loop would resolve
+//! these conflicts."*
+//!
+//! The conflict resolution inserts each colliding group in iteration order
+//! from the contested slot, which reproduces the sequential tree exactly —
+//! the "extra work" of Type 3 is the intra-round comparisons that a
+//! sequential run would have avoided via separation.
+//!
+//! This module also instruments **Lemma 2.5**: for every key `j` and every
+//! round `i`, it records how many round-`i` keys have a *left dependence*
+//! to `j` (a comparison where `j` descends right). The lemma predicts a
+//! geometric tail `P[l] ≤ 2^{-l}`; the bench harness plots the measured
+//! histogram.
+
+use std::collections::HashMap;
+
+use ri_core::{prefix_rounds, run_type3_parallel, Type3Algorithm};
+use ri_pram::{RoundLog, WorkCounter};
+
+use crate::tree::{Bst, NONE};
+
+/// Output of the batch (Type 3) sort.
+#[derive(Debug)]
+pub struct BatchSortResult {
+    /// The constructed tree — still equal to the sequential tree.
+    pub tree: Bst,
+    /// Iteration indices in key-sorted order.
+    pub sorted_indices: Vec<usize>,
+    /// Total comparisons (frozen-tree searches + conflict resolution).
+    pub comparisons: u64,
+    /// Per-round log (`rounds() = ⌈log₂ n⌉ + 1` by construction).
+    pub log: RoundLog,
+    /// `left_dep_histogram[l]` = number of (key, earlier-round) pairs with
+    /// exactly `l` left dependences from that round (Lemma 2.5 data).
+    pub left_dep_histogram: Vec<u64>,
+}
+
+/// Slot in the frozen tree where a probing key landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Slot {
+    Root,
+    Left(u32),
+    Right(u32),
+}
+
+/// One key's search result against the frozen tree.
+struct Probe {
+    key: usize,
+    slot: Slot,
+    /// Left dependences per earlier round (index = round).
+    left_hits: Vec<u16>,
+}
+
+struct BatchState<'a, T> {
+    keys: &'a [T],
+    tree: Bst,
+    round_of: Vec<u16>,
+    num_rounds: usize,
+    search_comparisons: WorkCounter,
+    resolve_comparisons: u64,
+    histogram: Vec<u64>,
+}
+
+impl<T: Ord + Sync> Type3Algorithm for BatchState<'_, T> {
+    type Output = Probe;
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn run_iteration(&self, k: usize) -> Probe {
+        let mut left_hits = vec![0u16; self.num_rounds];
+        let mut slot = Slot::Root;
+        let mut cur = self.tree.root;
+        while cur != NONE {
+            self.search_comparisons.incr();
+            let node = cur as usize;
+            if self.keys[k] < self.keys[node] {
+                slot = Slot::Left(cur as u32);
+                cur = self.tree.left[node];
+            } else {
+                // Descending right: `node`'s key is less than `k`'s — a
+                // *left* dependence from node's round to iteration k.
+                left_hits[self.round_of[node] as usize] += 1;
+                slot = Slot::Right(cur as u32);
+                cur = self.tree.right[node];
+            }
+        }
+        Probe {
+            key: k,
+            slot,
+            left_hits,
+        }
+    }
+
+    fn combine(&mut self, lo: usize, outputs: Vec<Probe>) -> u64 {
+        let round = self.round_of[lo] as usize;
+        let work_before = self.search_comparisons.get() + self.resolve_comparisons;
+
+        // Group colliding keys by contested slot (outputs arrive in
+        // iteration order; HashMap preserves insertion order per group via
+        // push order).
+        let mut groups: HashMap<Slot, Vec<usize>> = HashMap::new();
+        let mut order: Vec<Slot> = Vec::new();
+        let mut hits_of: HashMap<usize, Vec<u16>> = HashMap::new();
+        for p in outputs {
+            let e = groups.entry(p.slot).or_default();
+            if e.is_empty() {
+                order.push(p.slot);
+            }
+            e.push(p.key);
+            hits_of.insert(p.key, p.left_hits);
+        }
+
+        for slot in order {
+            let members = &groups[&slot];
+            // Place the earliest key into the contested slot...
+            let winner = members[0];
+            match slot {
+                Slot::Root => self.tree.root = winner as u64,
+                Slot::Left(p) => self.tree.left[p as usize] = winner as u64,
+                Slot::Right(p) => self.tree.right[p as usize] = winner as u64,
+            }
+            // ...then insert the rest in iteration order, descending from
+            // the winner: exactly the comparisons sequential separation
+            // would have charged inside this subtree.
+            for &k in &members[1..] {
+                let mut cur = winner as u64;
+                loop {
+                    self.resolve_comparisons += 1;
+                    let node = cur as usize;
+                    let child = if self.keys[k] < self.keys[node] {
+                        &mut self.tree.left[node]
+                    } else {
+                        let h = hits_of.get_mut(&k).expect("probe recorded");
+                        h[round] += 1;
+                        &mut self.tree.right[node]
+                    };
+                    if *child == NONE {
+                        *child = k as u64;
+                        break;
+                    }
+                    cur = *child;
+                }
+            }
+        }
+
+        // Fold this round's probes into the Lemma 2.5 histogram: one sample
+        // per (key, round ≤ current) pair.
+        for (_, hits) in hits_of {
+            for &l in hits.iter().take(round + 1) {
+                let l = l as usize;
+                if self.histogram.len() <= l {
+                    self.histogram.resize(l + 1, 0);
+                }
+                self.histogram[l] += 1;
+            }
+        }
+
+        self.search_comparisons.get() + self.resolve_comparisons - work_before
+    }
+}
+
+/// Sort by batched (Type 3) BST insertion. Keys must be distinct.
+pub fn batch_bst_sort<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
+    let n = keys.len();
+    let rounds = prefix_rounds(n);
+    let mut round_of = vec![0u16; n];
+    for (r, &(lo, hi)) in rounds.iter().enumerate() {
+        for x in round_of.iter_mut().take(hi).skip(lo) {
+            *x = r as u16;
+        }
+    }
+    let mut state = BatchState {
+        keys,
+        tree: Bst::new(n),
+        round_of,
+        num_rounds: rounds.len(),
+        search_comparisons: WorkCounter::new(),
+        resolve_comparisons: 0,
+        histogram: Vec::new(),
+    };
+    let log = run_type3_parallel(&mut state);
+    let sorted_indices = state.tree.in_order();
+    BatchSortResult {
+        tree: state.tree,
+        sorted_indices,
+        comparisons: state.search_comparisons.get() + state.resolve_comparisons,
+        log,
+        left_dep_histogram: state.histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sequential_bst_sort;
+    use ri_pram::random_permutation;
+
+    #[test]
+    fn sorts_correctly() {
+        let keys = random_permutation(10_000, 21);
+        let r = batch_bst_sort(&keys);
+        let got: Vec<usize> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
+        assert_eq!(got, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_matches_sequential() {
+        for seed in 0..5 {
+            let keys = random_permutation(3000, seed);
+            let batch = batch_bst_sort(&keys);
+            let seq = sequential_bst_sort(&keys);
+            assert_eq!(batch.tree, seq.tree, "batch tree differs at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn round_count_is_logarithmic_by_construction() {
+        let keys = random_permutation(1 << 12, 8);
+        let r = batch_bst_sort(&keys);
+        assert_eq!(r.log.rounds(), 13);
+    }
+
+    #[test]
+    fn extra_work_is_constant_factor() {
+        // Type 3 does more comparisons than sequential, but only by a
+        // constant factor in expectation (Theorem 2.6 discussion).
+        let keys = random_permutation(1 << 14, 8);
+        let batch = batch_bst_sort(&keys);
+        let seq = sequential_bst_sort(&keys);
+        let ratio = batch.comparisons as f64 / seq.comparisons as f64;
+        assert!(
+            (1.0..2.5).contains(&ratio),
+            "work ratio {ratio} outside expected constant-factor band"
+        );
+    }
+
+    #[test]
+    fn left_dep_histogram_has_geometric_tail() {
+        // Lemma 2.5: P[l left deps from one round] ≤ 2^{-l}; check the
+        // measured histogram decays at least geometrically past l = 2.
+        let keys = random_permutation(1 << 14, 13);
+        let r = batch_bst_sort(&keys);
+        let h = &r.left_dep_histogram;
+        let total: u64 = h.iter().sum();
+        assert!(total > 0);
+        for l in 3..h.len().saturating_sub(1) {
+            // Allow slack 2x on the ratio but demand decay on average.
+            if h[l] > 100 {
+                assert!(
+                    h[l + 1] * 2 <= h[l] * 3,
+                    "histogram not decaying at l={l}: {} -> {}",
+                    h[l],
+                    h[l + 1]
+                );
+            }
+        }
+        // The mass at l >= 1 must be a minority of all samples.
+        let ge1: u64 = h.iter().skip(1).sum();
+        assert!(ge1 * 2 < total, "left-dep tail too heavy: {ge1}/{total}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let r = batch_bst_sort::<u32>(&[]);
+        assert!(r.sorted_indices.is_empty());
+        let r = batch_bst_sort(&[9u32]);
+        assert_eq!(r.sorted_indices, vec![0]);
+    }
+}

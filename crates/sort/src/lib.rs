@@ -1,0 +1,36 @@
+//! # `ri-sort` — incremental BST comparison sorting (§3 of the paper)
+//!
+//! Sorting by inserting keys into an (unbalanced) binary search tree in
+//! random order is the paper's warm-up Type 1 algorithm:
+//!
+//! * Inserting a key depends on at most two earlier keys (its sorted-order
+//!   predecessor and successor) — a *2-bounded dependence* — so by
+//!   Theorem 2.1 the iteration dependence depth is `O(log n)` whp
+//!   (Lemma 3.1).
+//! * Algorithm 3 parallelises the insertion with **priority-writes**: all
+//!   outstanding keys race one step down the tree per round, concurrent
+//!   writers of an empty child slot are resolved by minimum iteration
+//!   index, and the resulting tree is *identical* to the sequential tree
+//!   (Theorem 3.2).
+//!
+//! Three implementations:
+//! * [`sequential::sequential_bst_sort`] — the classic sequential loop;
+//! * [`parallel::parallel_bst_sort`] — Algorithm 3 with synchronous rounds
+//!   (snapshot / priority-write / descend phases), measured rounds = the
+//!   iteration dependence depth;
+//! * [`batch::batch_bst_sort`] — the §2.3 worked example of a **Type 3**
+//!   execution of the same algorithm (doubling rounds + conflict
+//!   resolution), used by the Lemma 2.5 tail experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod parallel;
+pub mod sequential;
+pub mod tree;
+
+pub use batch::{batch_bst_sort, BatchSortResult};
+pub use parallel::{parallel_bst_sort, ParSortResult};
+pub use sequential::{sequential_bst_sort, SeqSortResult};
+pub use tree::Bst;

@@ -1,0 +1,192 @@
+//! Algorithm 3: the parallel incremental sort with priority-writes.
+//!
+//! All outstanding keys advance one tree level per round. Each round has
+//! three synchronous phases, reproducing the priority-write CRCW PRAM step
+//! semantics on shared memory:
+//!
+//! 1. **snapshot** — every active key reads its current slot;
+//! 2. **write** — keys whose slot was empty priority-write their iteration
+//!    index (`fetch_min`);
+//! 3. **resolve** — every active key re-reads the slot: the winner is
+//!    placed, everyone else descends one level past the slot's (now fixed)
+//!    occupant.
+//!
+//! Because writes happen only in phase 2 and the minimum iteration index
+//! wins, the constructed tree is **identical** to the sequential one
+//! (Theorem 3.2), and the number of rounds equals the iteration dependence
+//! depth (each round retires exactly one level of the dependence DAG).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use crate::tree::{Bst, NONE};
+use ri_pram::RoundLog;
+
+/// Output of the parallel sort.
+#[derive(Debug)]
+pub struct ParSortResult {
+    /// The constructed search tree — equal to the sequential tree.
+    pub tree: Bst,
+    /// Iteration indices in key-sorted order.
+    pub sorted_indices: Vec<usize>,
+    /// Total key comparisons across all rounds.
+    pub comparisons: u64,
+    /// Per-round log; `log.rounds()` = iteration dependence depth.
+    pub log: RoundLog,
+}
+
+/// Where an outstanding key currently points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cursor {
+    Root,
+    Left(u64),
+    Right(u64),
+}
+
+/// Sort by parallel BST insertion (Algorithm 3). Keys must be distinct.
+pub fn parallel_bst_sort<T: Ord + Sync>(keys: &[T]) -> ParSortResult {
+    let n = keys.len();
+    let root = AtomicU64::new(NONE);
+    let left: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+    let right: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+
+    let slot_of = |c: Cursor| -> &AtomicU64 {
+        match c {
+            Cursor::Root => &root,
+            Cursor::Left(v) => &left[v as usize],
+            Cursor::Right(v) => &right[v as usize],
+        }
+    };
+
+    let mut active: Vec<(usize, Cursor)> = (0..n).map(|i| (i, Cursor::Root)).collect();
+    let mut log = RoundLog::new();
+    let comparisons = ri_pram::WorkCounter::new();
+
+    while !active.is_empty() {
+        // Phase 1: snapshot each active key's slot.
+        let snapshot: Vec<u64> = active
+            .par_iter()
+            .map(|&(_, c)| slot_of(c).load(Ordering::Acquire))
+            .collect();
+
+        // Phase 2: keys that saw an empty slot priority-write their index.
+        active
+            .par_iter()
+            .zip(snapshot.par_iter())
+            .for_each(|(&(i, c), &seen)| {
+                if seen == NONE {
+                    slot_of(c).fetch_min(i as u64, Ordering::AcqRel);
+                }
+            });
+
+        // Phase 3: resolve — winners retire, losers descend one level.
+        let next: Vec<Option<(usize, Cursor)>> = active
+            .par_iter()
+            .map(|&(i, c)| {
+                let occupant = slot_of(c).load(Ordering::Acquire);
+                debug_assert_ne!(occupant, NONE, "write phase must have filled the slot");
+                if occupant == i as u64 {
+                    return None; // placed
+                }
+                comparisons.incr();
+                let next_cursor = if keys[i] < keys[occupant as usize] {
+                    Cursor::Left(occupant)
+                } else {
+                    Cursor::Right(occupant)
+                };
+                Some((i, next_cursor))
+            })
+            .collect();
+
+        let round_items = active.len();
+        active = next.into_iter().flatten().collect();
+        log.record(round_items, (round_items - active.len()) as u64);
+    }
+
+    let tree = Bst {
+        root: root.into_inner(),
+        left: left.into_iter().map(|a| a.into_inner()).collect(),
+        right: right.into_iter().map(|a| a.into_inner()).collect(),
+    };
+    let sorted_indices = tree.in_order();
+    ParSortResult {
+        tree,
+        sorted_indices,
+        comparisons: comparisons.get(),
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sequential_bst_sort;
+    use ri_pram::random_permutation;
+
+    #[test]
+    fn sorts_correctly() {
+        let keys: Vec<usize> = random_permutation(10_000, 1);
+        let r = parallel_bst_sort(&keys);
+        let got: Vec<usize> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
+        assert_eq!(got, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_identical_to_sequential() {
+        for seed in 0..5 {
+            let keys = random_permutation(2000, seed);
+            let par = parallel_bst_sort(&keys);
+            let seq = sequential_bst_sort(&keys);
+            assert_eq!(par.tree, seq.tree, "Theorem 3.2 violated at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn comparisons_match_sequential() {
+        let keys = random_permutation(5000, 9);
+        let par = parallel_bst_sort(&keys);
+        let seq = sequential_bst_sort(&keys);
+        assert_eq!(par.comparisons, seq.comparisons);
+    }
+
+    #[test]
+    fn rounds_equal_dependence_depth() {
+        let keys = random_permutation(5000, 4);
+        let r = parallel_bst_sort(&keys);
+        assert_eq!(r.log.rounds(), r.tree.dependence_depth());
+    }
+
+    #[test]
+    fn rounds_logarithmic_for_random_order() {
+        let n = 1 << 15;
+        let keys = random_permutation(n, 2);
+        let r = parallel_bst_sort(&keys);
+        assert!(
+            r.log.rounds() < 6 * 15,
+            "rounds {} not O(log n)",
+            r.log.rounds()
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let r = parallel_bst_sort::<u32>(&[]);
+        assert!(r.sorted_indices.is_empty());
+        assert_eq!(r.log.rounds(), 0);
+        let r = parallel_bst_sort(&[42u32]);
+        assert_eq!(r.sorted_indices, vec![0]);
+        assert_eq!(r.log.rounds(), 1);
+    }
+
+    #[test]
+    fn adversarial_sorted_order_still_correct() {
+        // Sorted input: the tree is a path; rounds = n. Correctness (not
+        // performance) must hold.
+        let keys: Vec<u32> = (0..200).collect();
+        let r = parallel_bst_sort(&keys);
+        assert_eq!(r.log.rounds(), 200);
+        let got: Vec<u32> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
+        assert_eq!(got, keys);
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests: all three sort implementations agree with `std` sorting
+//! and with each other (same tree ⇒ Theorem 3.2), for arbitrary distinct
+//! key sets and arbitrary insertion orders.
+
+use proptest::prelude::*;
+use ri_sort::{batch_bst_sort, parallel_bst_sort, sequential_bst_sort};
+
+fn distinct_keys() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::hash_set(any::<i64>(), 0..500)
+        .prop_map(|s| s.into_iter().collect::<Vec<i64>>())
+}
+
+proptest! {
+    #[test]
+    fn sequential_sorts(keys in distinct_keys()) {
+        let r = sequential_bst_sort(&keys);
+        let got: Vec<i64> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert!(r.tree.is_search_tree(&keys) || keys.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential(keys in distinct_keys()) {
+        let seq = sequential_bst_sort(&keys);
+        let par = parallel_bst_sort(&keys);
+        prop_assert_eq!(&par.tree, &seq.tree);
+        prop_assert_eq!(par.comparisons, seq.comparisons);
+        prop_assert_eq!(par.sorted_indices, seq.sorted_indices);
+    }
+
+    #[test]
+    fn batch_equals_sequential(keys in distinct_keys()) {
+        let seq = sequential_bst_sort(&keys);
+        let batch = batch_bst_sort(&keys);
+        prop_assert_eq!(&batch.tree, &seq.tree);
+        prop_assert_eq!(batch.sorted_indices, seq.sorted_indices);
+        // Batch never does fewer comparisons than sequential.
+        prop_assert!(batch.comparisons >= seq.comparisons);
+    }
+
+    #[test]
+    fn parallel_rounds_equal_tree_height(keys in distinct_keys()) {
+        let par = parallel_bst_sort(&keys);
+        prop_assert_eq!(par.log.rounds(), par.tree.dependence_depth());
+    }
+}

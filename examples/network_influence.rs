@@ -1,0 +1,94 @@
+//! Neighborhood-size estimation from LE-lists — Cohen's original
+//! application (§6.1 of the paper cites it as the motivation).
+//!
+//! The size of the ball `B(u, r) = {v : d(u, v) ≤ r}` can be estimated
+//! from `u`'s least-element list alone: if vertices are ranked uniformly
+//! at random, the lowest-ranked vertex inside the ball is distributed as
+//! the minimum of `|B|` uniform ranks, so `E[min rank] ≈ n / (|B|+1)` and
+//! `|B| ≈ n / min_rank − 1`. The LE-list contains exactly the information
+//! to read off that minimum for *every* radius at once.
+//!
+//! This example builds LE-lists on a synthetic social graph (in parallel),
+//! estimates ball sizes around sample vertices, and compares against exact
+//! BFS counts.
+//!
+//! Run with: `cargo run --release --example network_influence [n]`
+
+use parallel_ri::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 13);
+
+    // A power-law-ish undirected social graph.
+    let scale = (n as f64).log2().ceil() as u32;
+    let g0 = parallel_ri::graph::generators::rmat(scale, 16 * n, 3);
+    // Symmetrise so distances are metric-like.
+    let mut edges = Vec::new();
+    for u in 0..g0.num_vertices() as u32 {
+        for &v in g0.neighbors(u) {
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+    }
+    let g = CsrGraph::from_edges(g0.num_vertices(), &edges);
+    let nn = g.num_vertices();
+
+    // Rank vertices uniformly at random; build LE-lists in parallel.
+    let order = random_permutation(nn, 7);
+    let rank_of = {
+        let mut r = vec![0usize; nn];
+        for (k, &v) in order.iter().enumerate() {
+            r[v] = k;
+        }
+        r
+    };
+    let t0 = std::time::Instant::now();
+    let le = le_lists_parallel(&g, &order);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "LE-lists built: n = {nn}, m = {}, avg list len {:.2} (H_n = {:.2}), {:.1} ms\n",
+        g.num_edges(),
+        le.total_entries() as f64 / nn as f64,
+        harmonic(nn),
+        build_ms
+    );
+
+    // Estimate |B(u, r)| for sample vertices and radii; compare to exact.
+    println!(
+        "{:>8} {:>4} {:>10} {:>10} {:>8}",
+        "vertex", "r", "exact", "estimate", "error"
+    );
+    let radii = [1u32, 2, 3];
+    let mut rel_errors: Vec<f64> = Vec::new();
+    for s in 0..8 {
+        let u = (s * (nn / 8)) as u32;
+        let exact_d = ri_graph::bfs_distances(&g, u);
+        for &r in &radii {
+            let exact = exact_d.iter().filter(|&&d| d <= r).count();
+            // Minimum rank within radius r, read from the LE-list: entries
+            // are (source, dist) with decreasing dist / increasing
+            // priority; the first entry with dist ≤ r has the min rank.
+            let min_rank = le.lists[u as usize]
+                .iter()
+                .find(|&&(_, d)| d <= r as f64)
+                .map(|&(src, _)| rank_of[src as usize]);
+            let estimate = match min_rank {
+                Some(k) => nn as f64 / (k as f64 + 1.0),
+                None => 0.0,
+            };
+            let err = (estimate - exact as f64).abs() / exact.max(1) as f64;
+            rel_errors.push(err);
+            println!("{u:>8} {r:>4} {exact:>10} {estimate:>10.0} {:>7.0}%", err * 100.0);
+        }
+    }
+    let mean_err = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
+    println!(
+        "\nmean relative error {:.0}% — a single LE-list gives a one-permutation\n\
+         estimator (Cohen averages over O(log n) permutations to concentrate it);\n\
+         the point here is that ALL ball sizes come from one parallel pass.",
+        mean_err * 100.0
+    );
+}

@@ -1,0 +1,90 @@
+//! SCC decomposition of a synthetic web-like digraph — the setting where
+//! the Coppersmith et al. algorithm is used in practice (§6.2 cites CUDA,
+//! multicore and distributed implementations).
+//!
+//! Compares the Type 3 parallel incremental algorithm against Tarjan's
+//! sequential algorithm on several graph shapes, reporting components,
+//! reachability-query counts, per-vertex visit bounds and wall-clock time.
+//!
+//! Run with: `cargo run --release --example web_graph_scc [n]`
+
+use std::time::Instant;
+
+use parallel_ri::prelude::*;
+
+fn count_components(labels: &[u32]) -> usize {
+    let mut ids = labels.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 14);
+    let scale = (n as f64).log2().ceil() as u32;
+
+    println!("SCC on synthetic digraphs, n ≈ {n}\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} {:>8} {:>9} {:>10} {:>10}",
+        "graph", "m", "comps", "queries", "max v/v", "rounds", "tarjan ms", "par ms"
+    );
+
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("web (rmat)", parallel_ri::graph::generators::rmat(scale, 8 * n, 1)),
+        ("gnm sparse", parallel_ri::graph::generators::gnm(n, 2 * n, 2, false)),
+        ("gnm dense", parallel_ri::graph::generators::gnm(n, 8 * n, 3, false)),
+        ("dag", parallel_ri::graph::generators::random_dag(n, 4 * n, 4)),
+        (
+            "planted",
+            parallel_ri::graph::generators::planted_sccs(
+                &vec![n / 64; 64],
+                4 * n,
+                2 * n,
+                5,
+            )
+            .0,
+        ),
+    ];
+
+    for (name, g) in graphs {
+        let nv = g.num_vertices();
+        let order = random_permutation(nv, 42);
+
+        let t0 = Instant::now();
+        let base = tarjan_scc(&g);
+        let tarjan_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let par = scc_parallel(&g, &order);
+        let par_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            canonical_labels(&par.comp),
+            canonical_labels(&base),
+            "{name}: parallel SCC disagrees with Tarjan"
+        );
+
+        println!(
+            "{:<14} {:>9} {:>9} {:>8} {:>8} {:>9} {:>10.1} {:>10.1}",
+            name,
+            g.num_edges(),
+            count_components(&base),
+            par.stats.queries,
+            par.stats.max_visits_per_vertex(),
+            par.stats.rounds.as_ref().unwrap().rounds(),
+            tarjan_ms,
+            par_ms,
+        );
+    }
+
+    println!(
+        "\nTheorem 6.4: every vertex is visited O(log n) times whp ('max v/v'\n\
+         column; log₂ n = {:.0} here) across O(log n) rounds of reachability.\n\
+         Tarjan is the work-optimal sequential baseline — the parallel version\n\
+         trades an O(log n) work factor for round-parallelism.",
+        (n as f64).log2()
+    );
+}
