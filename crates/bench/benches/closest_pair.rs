@@ -2,6 +2,16 @@
 //! uniform and clustered inputs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_core::engine::{Problem, RunConfig};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
+
 use ri_bench::point_workload;
 use ri_geometry::PointDistribution;
 
@@ -9,14 +19,17 @@ fn bench_closest_pair(c: &mut Criterion) {
     let mut group = c.benchmark_group("closest_pair");
     group.sample_size(10);
     for &n in &[1usize << 14, 1 << 17] {
-        for dist in [PointDistribution::UniformSquare, PointDistribution::Clusters(8)] {
+        for dist in [
+            PointDistribution::UniformSquare,
+            PointDistribution::Clusters(8),
+        ] {
             let pts = point_workload(n, 5, dist);
             let tag = format!("{}/{}", dist.name(), n);
             group.bench_with_input(BenchmarkId::new("sequential", &tag), &pts, |b, p| {
-                b.iter(|| ri_closest_pair::closest_pair_sequential(p))
+                b.iter(|| ri_closest_pair::ClosestPairProblem::new(p).solve(&seq_cfg()))
             });
             group.bench_with_input(BenchmarkId::new("parallel", &tag), &pts, |b, p| {
-                b.iter(|| ri_closest_pair::closest_pair_parallel(p))
+                b.iter(|| ri_closest_pair::ClosestPairProblem::new(p).solve(&par_cfg()))
             });
         }
     }

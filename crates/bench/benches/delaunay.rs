@@ -3,6 +3,16 @@
 //! distributions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_core::engine::{Problem, RunConfig};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
+
 use ri_bench::point_workload;
 use ri_geometry::PointDistribution;
 
@@ -10,14 +20,17 @@ fn bench_delaunay(c: &mut Criterion) {
     let mut group = c.benchmark_group("delaunay");
     group.sample_size(10);
     for &n in &[1usize << 12, 1 << 14] {
-        for dist in [PointDistribution::UniformSquare, PointDistribution::Clusters(8)] {
+        for dist in [
+            PointDistribution::UniformSquare,
+            PointDistribution::Clusters(8),
+        ] {
             let pts = point_workload(n, 3, dist);
             let tag = format!("{}/{}", dist.name(), n);
             group.bench_with_input(BenchmarkId::new("sequential", &tag), &pts, |b, p| {
-                b.iter(|| ri_delaunay::delaunay_sequential(p))
+                b.iter(|| ri_delaunay::DelaunayProblem::new(p).solve(&seq_cfg()))
             });
             group.bench_with_input(BenchmarkId::new("parallel", &tag), &pts, |b, p| {
-                b.iter(|| ri_delaunay::delaunay_parallel(p))
+                b.iter(|| ri_delaunay::DelaunayProblem::new(p).solve(&par_cfg()))
             });
         }
     }

@@ -3,6 +3,16 @@
 //! boundary updates).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_core::engine::{Problem, RunConfig};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
+
 use ri_bench::point_workload;
 use ri_geometry::PointDistribution;
 
@@ -10,14 +20,17 @@ fn bench_enclosing(c: &mut Criterion) {
     let mut group = c.benchmark_group("enclosing");
     group.sample_size(10);
     for &n in &[1usize << 14, 1 << 17] {
-        for dist in [PointDistribution::UniformDisk, PointDistribution::NearCircle] {
+        for dist in [
+            PointDistribution::UniformDisk,
+            PointDistribution::NearCircle,
+        ] {
             let pts = point_workload(n, 4, dist);
             let tag = format!("{}/{}", dist.name(), n);
             group.bench_with_input(BenchmarkId::new("sequential", &tag), &pts, |b, p| {
-                b.iter(|| ri_enclosing::sed_sequential(p))
+                b.iter(|| ri_enclosing::EnclosingProblem::new(p).solve(&seq_cfg()))
             });
             group.bench_with_input(BenchmarkId::new("parallel", &tag), &pts, |b, p| {
-                b.iter(|| ri_enclosing::sed_parallel(p))
+                b.iter(|| ri_enclosing::EnclosingProblem::new(p).solve(&par_cfg()))
             });
         }
     }

@@ -2,6 +2,16 @@
 //! weighted uniform graphs and high-diameter grids.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_core::engine::{Problem, RunConfig};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
+
 use ri_pram::random_permutation;
 
 fn bench_le_lists(c: &mut Criterion) {
@@ -13,12 +23,18 @@ fn bench_le_lists(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("sequential", n),
             &(&g, &order),
-            |b, (g, o)| b.iter(|| ri_le_lists::le_lists_sequential(g, o)),
+            |b, (g, o)| {
+                let problem = ri_le_lists::LeListsProblem::new(g).with_order(o.to_vec());
+                b.iter(|| problem.solve(&seq_cfg()))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("parallel", n),
             &(&g, &order),
-            |b, (g, o)| b.iter(|| ri_le_lists::le_lists_parallel(g, o)),
+            |b, (g, o)| {
+                let problem = ri_le_lists::LeListsProblem::new(g).with_order(o.to_vec());
+                b.iter(|| problem.solve(&par_cfg()))
+            },
         );
     }
     // High-diameter stress: grid graph.
@@ -27,7 +43,10 @@ fn bench_le_lists(c: &mut Criterion) {
     group.bench_with_input(
         BenchmarkId::new("parallel_grid", g.num_vertices()),
         &(&g, &order),
-        |b, (g, o)| b.iter(|| ri_le_lists::le_lists_parallel(g, o)),
+        |b, (g, o)| {
+            let problem = ri_le_lists::LeListsProblem::new(g).with_order(o.to_vec());
+            b.iter(|| problem.solve(&par_cfg()))
+        },
     );
     group.finish();
 }

@@ -2,6 +2,15 @@
 //! prefix-doubling parallel executor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_core::engine::{Problem, RunConfig};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp");
@@ -9,16 +18,18 @@ fn bench_lp(c: &mut Criterion) {
     for &n in &[1usize << 14, 1 << 18] {
         let inst = ri_lp::workloads::tangent_instance(n, 2);
         group.bench_with_input(BenchmarkId::new("sequential", n), &inst, |b, i| {
-            b.iter(|| ri_lp::lp_sequential(i))
+            b.iter(|| ri_lp::LpProblem::new(i).solve(&seq_cfg()))
         });
         group.bench_with_input(BenchmarkId::new("parallel", n), &inst, |b, i| {
-            b.iter(|| ri_lp::lp_parallel(i))
+            b.iter(|| ri_lp::LpProblem::new(i).solve(&par_cfg()))
         });
         // Harder instance: the optimum moves many times early on.
         let shrink = ri_lp::workloads::shrinking_instance(n, 2);
-        group.bench_with_input(BenchmarkId::new("parallel_shrinking", n), &shrink, |b, i| {
-            b.iter(|| ri_lp::lp_parallel(i))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_shrinking", n),
+            &shrink,
+            |b, i| b.iter(|| ri_lp::LpProblem::new(i).solve(&par_cfg())),
+        );
     }
     group.finish();
 }

@@ -2,6 +2,16 @@
 //! incremental) vs the Type 3 parallel rounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ri_core::engine::{Problem, RunConfig};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
+
 use ri_pram::random_permutation;
 
 fn bench_scc(c: &mut Criterion) {
@@ -20,12 +30,18 @@ fn bench_scc(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("incremental_seq", &tag),
                 &(&g, &order),
-                |b, (g, o)| b.iter(|| ri_scc::scc_sequential(g, o)),
+                |b, (g, o)| {
+                    let problem = ri_scc::SccProblem::new(g).with_order(o.to_vec());
+                    b.iter(|| problem.solve(&seq_cfg()))
+                },
             );
             group.bench_with_input(
                 BenchmarkId::new("parallel", &tag),
                 &(&g, &order),
-                |b, (g, o)| b.iter(|| ri_scc::scc_parallel(g, o)),
+                |b, (g, o)| {
+                    let problem = ri_scc::SccProblem::new(g).with_order(o.to_vec());
+                    b.iter(|| problem.solve(&par_cfg()))
+                },
             );
             // Ablation: eager partition refinement (default) vs the
             // deterministic sequential-faithful combine of §6.2.

@@ -3,7 +3,19 @@
 //! conventional baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ri_pram::{knuth_shuffle_parallel, knuth_shuffle_sequential, knuth_targets, random_permutation};
+use ri_core::engine::{Problem, RunConfig};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
+
+use ri_pram::{
+    knuth_shuffle_parallel, knuth_shuffle_sequential, knuth_targets, random_permutation,
+};
 
 /// The random-permutation substrate itself ([66]'s parallel Knuth
 /// shuffle) — the ancestor of the paper's framework.
@@ -28,13 +40,13 @@ fn bench_sort(c: &mut Criterion) {
     for &n in &[1usize << 14, 1 << 17] {
         let keys = random_permutation(n, 1);
         group.bench_with_input(BenchmarkId::new("sequential_bst", n), &keys, |b, k| {
-            b.iter(|| ri_sort::sequential_bst_sort(k))
+            b.iter(|| ri_sort::SortProblem::new(k).solve(&seq_cfg()))
         });
         group.bench_with_input(BenchmarkId::new("parallel_bst", n), &keys, |b, k| {
-            b.iter(|| ri_sort::parallel_bst_sort(k))
+            b.iter(|| ri_sort::SortProblem::new(k).solve(&par_cfg()))
         });
         group.bench_with_input(BenchmarkId::new("batch_bst", n), &keys, |b, k| {
-            b.iter(|| ri_sort::batch_bst_sort(k))
+            b.iter(|| ri_sort::BatchSortProblem::new(k).solve(&par_cfg()))
         });
         group.bench_with_input(BenchmarkId::new("std_sort_baseline", n), &keys, |b, k| {
             b.iter(|| {

@@ -3,21 +3,33 @@
 //! claims 1 for Types 1–2 and a constant for Type 3) and the measured
 //! *depth* (rounds), against the theorem's prediction.
 //!
-//! `cargo run -p ri-bench --release --bin table1 [log2_n]`
+//! Every row runs through the unified engine: the same `RunConfig` pair
+//! (sequential + parallel) and the same `RunReport` shape for all eight
+//! algorithms. Pass `--json` to additionally emit one report JSON line per
+//! run for downstream tooling.
+//!
+//! `cargo run -p ri-bench --release --bin table1 [log2_n] [--json]`
 
 use ri_bench::point_workload;
+use ri_core::engine::{Problem, RunConfig, RunReport};
 use ri_core::harmonic;
 use ri_geometry::PointDistribution;
 use ri_pram::random_permutation;
 
 fn main() {
-    let log2n: u32 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    let emit_json = args.iter().any(|a| a == "--json");
+    let log2n: u32 = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(14);
     let n = 1usize << log2n;
     let seed = 7u64;
     let hn = harmonic(n);
+    let seq_cfg = RunConfig::new().seed(seed).sequential();
+    let par_cfg = RunConfig::new().seed(seed).parallel();
 
     println!("Table 1 reproduction, n = 2^{log2n} = {n} (seed {seed})");
     println!();
@@ -28,80 +40,101 @@ fn main() {
     println!("{header}");
     ri_bench::rule(&header);
 
+    let mut json_lines: Vec<String> = Vec::new();
+    let mut record = |reports: [&RunReport; 2]| {
+        if emit_json {
+            for r in reports {
+                json_lines.push(r.to_json());
+            }
+        }
+    };
+
     // Row 1: comparison sorting (Type 1). Work = comparisons; depth =
     // priority-write rounds; prediction Θ(log n) (Lemma 3.1: ≈ c·ln n).
     {
         let keys = random_permutation(n, seed);
-        let seq = ri_sort::sequential_bst_sort(&keys);
-        let par = ri_sort::parallel_bst_sort(&keys);
+        let problem = ri_sort::SortProblem::new(&keys);
+        let (seq, seq_report) = problem.solve(&seq_cfg);
+        let (par, par_report) = problem.solve(&par_cfg);
+        assert_eq!(seq.tree, par.tree);
         row(
             "sorting (1)",
             seq.comparisons,
             par.comparisons,
-            par.log.rounds(),
+            par_report.depth,
             &format!("Θ(log n) ≈ {:.0}", 4.3 * (n as f64).log2()),
         );
+        record([&seq_report, &par_report]);
     }
 
     // Row 2: Delaunay triangulation (Type 1 nested). Work = InCircle
     // tests; depth = face rounds; prediction O(log n).
     {
         let pts = point_workload(n, seed, PointDistribution::UniformSquare);
-        let seq = ri_delaunay::delaunay_sequential(&pts);
-        let par = ri_delaunay::delaunay_parallel(&pts);
+        let problem = ri_delaunay::DelaunayProblem::new(&pts);
+        let (seq, seq_report) = problem.solve(&seq_cfg);
+        let (par, par_report) = problem.solve(&par_cfg);
+        assert_eq!(seq.stats, par.stats);
         row(
             "delaunay (1, nested)",
             seq.stats.incircle_tests,
             par.stats.incircle_tests,
-            par.rounds.unwrap().rounds(),
+            par_report.depth,
             &format!("O(log n), 24nlnn={:.1e}", 24.0 * n as f64 * (n as f64).ln()),
         );
+        record([&seq_report, &par_report]);
     }
 
     // Row 3: 2-D LP (Type 2). Work = feasibility checks; depth = executor
     // sub-rounds; prediction O(log n) specials.
     {
         let inst = ri_lp::workloads::tangent_instance(n, seed);
-        let seq = ri_lp::lp_sequential(&inst);
-        let par = ri_lp::lp_parallel(&inst);
+        let problem = ri_lp::LpProblem::new(&inst);
+        let (_, seq_report) = problem.solve(&seq_cfg);
+        let (_, par_report) = problem.solve(&par_cfg);
+        assert_eq!(seq_report.specials, par_report.specials);
         row(
             "2d linear program (2)",
-            seq.stats.checks,
-            par.stats.checks,
-            par.stats.total_sub_rounds(),
+            seq_report.checks,
+            par_report.checks,
+            par_report.depth,
             &format!("specials ≤ 2H_n = {:.1}", 2.0 * hn),
         );
-        assert_eq!(seq.stats.specials, par.stats.specials);
+        record([&seq_report, &par_report]);
     }
 
     // Row 4: closest pair (Type 2).
     {
         let pts = point_workload(n, seed, PointDistribution::UniformSquare);
-        let seq = ri_closest_pair::closest_pair_sequential(&pts);
-        let par = ri_closest_pair::closest_pair_parallel(&pts);
+        let problem = ri_closest_pair::ClosestPairProblem::new(&pts);
+        let (seq, seq_report) = problem.solve(&seq_cfg);
+        let (par, par_report) = problem.solve(&par_cfg);
+        assert_eq!(seq.dist, par.dist);
         row(
             "closest pair (2)",
-            seq.stats.checks,
-            par.stats.checks,
-            par.stats.total_sub_rounds(),
+            seq_report.checks,
+            par_report.checks,
+            par_report.depth,
             &format!("specials ≤ 2H_n = {:.1}", 2.0 * hn),
         );
-        assert_eq!(seq.dist, par.dist);
+        record([&seq_report, &par_report]);
     }
 
     // Row 5: smallest enclosing disk (Type 2). Work = containment tests.
     {
         let pts = point_workload(n, seed, PointDistribution::UniformDisk);
-        let seq = ri_enclosing::sed_sequential(&pts);
-        let par = ri_enclosing::sed_parallel(&pts);
+        let problem = ri_enclosing::EnclosingProblem::new(&pts);
+        let (seq, seq_report) = problem.solve(&seq_cfg);
+        let (par, par_report) = problem.solve(&par_cfg);
+        assert_eq!(seq.disk, par.disk);
         row(
             "smallest disk (2)",
             seq.contains_tests,
             par.contains_tests,
-            par.stats.total_sub_rounds(),
+            par_report.depth,
             &format!("specials ≤ 3H_n = {:.1}", 3.0 * hn),
         );
-        assert_eq!(seq.disk, par.disk);
+        record([&seq_report, &par_report]);
     }
 
     // Row 6: LE-lists (Type 3). Work = settled vertices + relaxations;
@@ -109,35 +142,39 @@ fn main() {
     {
         let g = ri_graph::generators::gnm_weighted(n, 8 * n, seed, true);
         let order = random_permutation(n, seed ^ 1);
-        let seq = ri_le_lists::le_lists_sequential(&g, &order);
-        let par = ri_le_lists::le_lists_parallel(&g, &order);
+        let problem = ri_le_lists::LeListsProblem::new(&g).with_order(order);
+        let (seq, seq_report) = problem.solve(&seq_cfg);
+        let (par, par_report) = problem.solve(&par_cfg);
+        assert_eq!(seq.lists, par.lists);
         row(
             "le-lists (3)",
-            seq.stats.visits + seq.stats.relaxations,
-            par.stats.visits + par.stats.relaxations,
-            par.stats.rounds.unwrap().rounds(),
+            seq_report.checks,
+            par_report.checks,
+            par_report.depth,
             &format!("⌈log₂ n⌉+1 = {}", log2n + 1),
         );
-        assert_eq!(seq.lists, par.lists);
+        record([&seq_report, &par_report]);
     }
 
     // Row 7: SCC (Type 3).
     {
         let g = ri_graph::generators::gnm(n, 4 * n, seed, false);
         let order = random_permutation(n, seed ^ 2);
-        let seq = ri_scc::scc_sequential(&g, &order);
-        let par = ri_scc::scc_parallel(&g, &order);
-        row(
-            "scc (3)",
-            seq.stats.visits + seq.stats.relaxations,
-            par.stats.visits + par.stats.relaxations,
-            par.stats.rounds.as_ref().unwrap().rounds(),
-            &format!("⌈log₂ n⌉+1 = {}", log2n + 1),
-        );
+        let problem = ri_scc::SccProblem::new(&g).with_order(order);
+        let (seq, seq_report) = problem.solve(&seq_cfg);
+        let (par, par_report) = problem.solve(&par_cfg);
         assert_eq!(
             ri_scc::canonical_labels(&seq.comp),
             ri_scc::canonical_labels(&par.comp)
         );
+        row(
+            "scc (3)",
+            seq_report.checks,
+            par_report.checks,
+            par_report.depth,
+            &format!("⌈log₂ n⌉+1 = {}", log2n + 1),
+        );
+        record([&seq_report, &par_report]);
     }
 
     println!();
@@ -150,6 +187,13 @@ fn main() {
          rounds — the machine-independent quantity the theorems bound\n\
          (wall-clock comparisons live in `cargo bench`)."
     );
+
+    if emit_json {
+        println!();
+        for line in json_lines {
+            println!("{line}");
+        }
+    }
 }
 
 fn row(name: &str, seq_work: u64, par_work: u64, depth: usize, predicted: &str) {

@@ -67,7 +67,11 @@ mod tests {
         let b = point_workload(500, 1, PointDistribution::UniformSquare);
         assert_eq!(a, b);
         let mut sorted = a.clone();
-        sorted.sort_by(|p, q| p.x.partial_cmp(&q.x).unwrap().then(p.y.partial_cmp(&q.y).unwrap()));
+        sorted.sort_by(|p, q| {
+            p.x.partial_cmp(&q.x)
+                .unwrap()
+                .then(p.y.partial_cmp(&q.y).unwrap())
+        });
         sorted.dedup_by(|p, q| p == q);
         assert_eq!(sorted.len(), a.len());
     }

@@ -1,6 +1,7 @@
 //! The grid sieve and its Type 2 plumbing.
 
-use ri_core::{run_type2_parallel, run_type2_sequential, Type2Algorithm, Type2Stats};
+use ri_core::engine::{execute_type2, RunConfig, RunReport};
+use ri_core::{Type2Algorithm, Type2Stats};
 use ri_geometry::Point2;
 use ri_pram::hash::FxHashMap;
 
@@ -44,7 +45,10 @@ impl<'a> GridState<'a> {
     #[inline]
     fn cell_of(&self, p: Point2) -> (i64, i64) {
         debug_assert!(self.cell.is_finite() && self.cell > 0.0);
-        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
     }
 
     /// Nearest earlier (index `< k`) point within the 3×3 neighborhood;
@@ -104,8 +108,7 @@ impl Type2Algorithm for GridState<'_> {
         if self.r_sq.is_infinite() {
             return k >= 1; // the second point always sets r
         }
-        self.nearest_earlier(k)
-            .is_some_and(|(_, d)| d < self.r_sq)
+        self.nearest_earlier(k).is_some_and(|(_, d)| d < self.r_sq)
     }
 
     fn run_regular(&mut self, _k: usize) {}
@@ -118,7 +121,8 @@ impl Type2Algorithm for GridState<'_> {
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
                 .expect("special iteration needs an earlier point")
         } else {
-            self.nearest_earlier(k).expect("special implies a close pair")
+            self.nearest_earlier(k)
+                .expect("special implies a close pair")
         };
         self.r_sq = d;
         self.pair = (j.min(k as u32), j.max(k as u32));
@@ -128,27 +132,57 @@ impl Type2Algorithm for GridState<'_> {
 
 /// Sequential incremental closest pair (the classic sieve).
 /// Points must be pairwise distinct; `points.len() >= 2`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ClosestPairProblem::new(points).solve(&RunConfig::new().sequential())`"
+)]
 pub fn closest_pair_sequential(points: &[Point2]) -> ClosestPairRun {
-    assert!(points.len() >= 2, "need at least two points");
-    let mut st = GridState::new(points);
-    let stats = run_type2_sequential(&mut st);
-    finish(st, stats)
+    let (out, report) = run_with(points, &RunConfig::new().sequential());
+    ClosestPairRun {
+        pair: out.pair,
+        dist: out.dist,
+        stats: Type2Stats::from_report(&report),
+    }
 }
 
 /// Parallel closest pair through Algorithm 1 (prefix doubling).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ClosestPairProblem::new(points).solve(&RunConfig::new().parallel())`"
+)]
 pub fn closest_pair_parallel(points: &[Point2]) -> ClosestPairRun {
-    assert!(points.len() >= 2, "need at least two points");
-    let mut st = GridState::new(points);
-    let stats = run_type2_parallel(&mut st);
-    finish(st, stats)
+    let (out, report) = run_with(points, &RunConfig::new().parallel());
+    ClosestPairRun {
+        pair: out.pair,
+        dist: out.dist,
+        stats: Type2Stats::from_report(&report),
+    }
 }
 
-fn finish(st: GridState<'_>, stats: Type2Stats) -> ClosestPairRun {
-    ClosestPairRun {
-        pair: st.pair,
-        dist: st.r_sq.sqrt(),
-        stats,
-    }
+/// The answer of a closest-pair run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosestPairOutput {
+    /// Indices (into the insertion order) of the closest pair, `(i, j)`
+    /// with `i < j`.
+    pub pair: (u32, u32),
+    /// Their distance.
+    pub dist: f64,
+}
+
+/// Engine entry point: solve under `cfg`, returning the answer and the
+/// unified report.
+pub(crate) fn run_with(points: &[Point2], cfg: &RunConfig) -> (ClosestPairOutput, RunReport) {
+    assert!(points.len() >= 2, "need at least two points");
+    let mut st = GridState::new(points);
+    let mut report = execute_type2(&mut st, cfg);
+    report.algorithm = "closest-pair".to_string();
+    (
+        ClosestPairOutput {
+            pair: st.pair,
+            dist: st.r_sq.sqrt(),
+        },
+        report,
+    )
 }
 
 /// O(n²) reference for tests and tiny inputs.
@@ -167,6 +201,7 @@ pub fn brute_force_closest_pair(points: &[Point2]) -> ((u32, u32), f64) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_geometry::distributions::dedup_points;

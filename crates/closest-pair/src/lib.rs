@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 
 mod grid;
+pub mod problem;
 
-pub use grid::{
-    brute_force_closest_pair, closest_pair_parallel, closest_pair_sequential, ClosestPairRun,
-};
+pub use grid::{brute_force_closest_pair, ClosestPairOutput, ClosestPairRun};
+#[allow(deprecated)]
+pub use grid::{closest_pair_parallel, closest_pair_sequential};
+pub use problem::ClosestPairProblem;

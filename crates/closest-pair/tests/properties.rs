@@ -2,8 +2,17 @@
 //! sequential/parallel equivalence on arbitrary distinct point sets.
 
 use proptest::prelude::*;
-use ri_closest_pair::{brute_force_closest_pair, closest_pair_parallel, closest_pair_sequential};
+use ri_closest_pair::{brute_force_closest_pair, ClosestPairProblem};
+use ri_core::engine::{Problem, RunConfig};
 use ri_geometry::Point2;
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
     proptest::collection::hash_set((0i32..1000, 0i32..1000), 2..120).prop_map(|s| {
@@ -19,17 +28,17 @@ proptest! {
     #[test]
     fn matches_brute_force(pts in arb_points()) {
         let (_, want) = brute_force_closest_pair(&pts);
-        let seq = closest_pair_sequential(&pts);
-        let par = closest_pair_parallel(&pts);
+        let (seq, seq_report) = ClosestPairProblem::new(&pts).solve(&seq_cfg());
+        let (par, par_report) = ClosestPairProblem::new(&pts).solve(&par_cfg());
         prop_assert_eq!(seq.dist, want);
         prop_assert_eq!(par.dist, want);
         prop_assert_eq!(seq.pair, par.pair);
-        prop_assert_eq!(seq.stats.specials, par.stats.specials);
+        prop_assert_eq!(seq_report.specials, par_report.specials);
     }
 
     #[test]
     fn reported_pair_realises_reported_distance(pts in arb_points()) {
-        let run = closest_pair_parallel(&pts);
+        let (run, _) = ClosestPairProblem::new(&pts).solve(&par_cfg());
         let (i, j) = run.pair;
         prop_assert!(i < j);
         let d = pts[i as usize].dist(pts[j as usize]);
@@ -38,7 +47,7 @@ proptest! {
 
     #[test]
     fn no_pair_is_closer(pts in arb_points()) {
-        let run = closest_pair_parallel(&pts);
+        let (run, _) = ClosestPairProblem::new(&pts).solve(&par_cfg());
         for i in 0..pts.len() {
             for j in i + 1..pts.len() {
                 prop_assert!(pts[i].dist_sq(pts[j]) >= run.dist * run.dist - 1e-9);

@@ -1,0 +1,54 @@
+//! # The unified execution engine
+//!
+//! One API over the paper's three executor schedules, all eight
+//! algorithms, and a single execution record:
+//!
+//! * [`RunConfig`] — seed, [`ExecMode`], worker threads, instrumentation;
+//! * [`Runner`] — executes any [`Executable`] under a config inside a
+//!   scoped thread pool;
+//! * [`Type1Adapter`] / [`Type2Adapter`] / [`Type3Adapter`] — make every
+//!   algorithm written against the `Type1Algorithm` / `Type2Algorithm` /
+//!   `Type3Algorithm` traits executable through `Runner::run`;
+//! * [`RunReport`] — the unified per-run record (rounds, work, measured
+//!   dependence depth, special-iteration trace, phase wall times, JSON);
+//! * [`Problem`] — the uniform problem-level trait the algorithm crates
+//!   implement (`SortProblem`, `DelaunayProblem`, `LpProblem`,
+//!   `ClosestPairProblem`, `EnclosingProblem`, `LeListsProblem`,
+//!   `SccProblem`, ...), each solving to `(Output, RunReport)`.
+//!
+//! ```
+//! use ri_core::engine::{ExecMode, RunConfig, Runner, Type1Adapter};
+//! use ri_core::Type1Algorithm;
+//!
+//! // A 4-iteration chain 0 -> 1 -> 2 plus an independent iteration 3.
+//! struct Chain {
+//!     done: Vec<std::sync::atomic::AtomicBool>,
+//! }
+//! impl Type1Algorithm for Chain {
+//!     fn len(&self) -> usize {
+//!         self.done.len()
+//!     }
+//!     fn ready(&self, k: usize) -> bool {
+//!         k == 0 || k == 3 || self.done[k - 1].load(std::sync::atomic::Ordering::Relaxed)
+//!     }
+//!     fn run(&mut self, k: usize) {
+//!         self.done[k].store(true, std::sync::atomic::Ordering::Relaxed);
+//!     }
+//! }
+//!
+//! let mut algo = Chain { done: (0..4).map(|_| Default::default()).collect() };
+//! let report = Runner::new(RunConfig::new()).run(&mut Type1Adapter(&mut algo));
+//! assert_eq!(report.depth, 3); // the dependence depth of the chain
+//! assert_eq!(report.mode, ExecMode::Parallel);
+//! assert_eq!(report.total_items(), 4);
+//! ```
+
+pub mod json;
+mod report;
+mod runner;
+
+pub use report::{Phase, RunReport};
+pub use runner::{
+    execute_type1, execute_type2, execute_type3, ExecMode, Executable, Problem, RunConfig, Runner,
+    Type1Adapter, Type2Adapter, Type3Adapter,
+};

@@ -1,0 +1,334 @@
+//! The unified execution record every engine run produces.
+//!
+//! [`RunReport`] subsumes the two incompatible stats types the executors
+//! used to return — [`RoundLog`] (Types 1 and 3) and
+//! [`Type2Stats`](crate::Type2Stats) (Type 2) — so the bench harness, the
+//! integration tests, and downstream tooling read *one* shape for all
+//! eight algorithms: per-round items/work, the special-iteration trace,
+//! the measured dependence depth, per-phase wall times, and a JSON form.
+
+use std::time::Instant;
+
+use ri_pram::RoundLog;
+
+use super::json::{self, Value};
+use super::runner::ExecMode;
+
+/// One named, timed phase of a run (e.g. `"build"`, `"solve"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name.
+    pub name: String,
+    /// Wall time in seconds.
+    pub seconds: f64,
+}
+
+/// The unified execution record of one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Which algorithm ran (e.g. `"bst-sort"`, `"delaunay"`).
+    pub algorithm: String,
+    /// Execution mode of the run.
+    pub mode: ExecMode,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// Number of iterations (input items) processed.
+    pub items: usize,
+    /// Per-round `(items, work)` log. For parallel runs one entry per
+    /// executor round; sequential runs record a single summary entry.
+    pub rounds: RoundLog,
+    /// Measured iteration dependence depth: executor rounds (Type 1),
+    /// total sub-rounds (Type 2 parallel), doubling rounds (Type 3) — or
+    /// `items` for sequential runs, whose dependence chain is the input
+    /// order itself.
+    pub depth: usize,
+    /// Indices that executed as special iterations, in execution order
+    /// (Type 2 only; empty otherwise).
+    pub specials: Vec<usize>,
+    /// Sub-rounds per prefix (Type 2 parallel only; empty otherwise).
+    pub sub_rounds: Vec<usize>,
+    /// The algorithm's scalar work measure: specialness checks for Type 2
+    /// runs; the problem's own work counter (comparisons, InCircle tests,
+    /// visits + relaxations, ...) for problem-level runs.
+    pub checks: u64,
+    /// Named, timed phases (empty when instrumentation is off).
+    pub phases: Vec<Phase>,
+    /// Total wall time of the run in seconds (0 when instrumentation is
+    /// off).
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// A fresh report for `algorithm` (counters zeroed; mode/threads are
+    /// filled in by the [`Runner`](super::Runner)).
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        RunReport {
+            algorithm: algorithm.into(),
+            mode: ExecMode::Parallel,
+            threads: 1,
+            items: 0,
+            rounds: RoundLog::new(),
+            depth: 0,
+            specials: Vec::new(),
+            sub_rounds: Vec::new(),
+            checks: 0,
+            phases: Vec::new(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Record one completed executor round.
+    pub fn record_round(&mut self, items: usize, work: u64) {
+        self.rounds.record(items, work);
+    }
+
+    /// Total work across rounds.
+    pub fn total_work(&self) -> u64 {
+        self.rounds.total_work()
+    }
+
+    /// Total items across rounds.
+    pub fn total_items(&self) -> usize {
+        self.rounds.total_items()
+    }
+
+    /// Sum of per-prefix sub-round counts (Type 2 parallel depth measure).
+    pub fn total_sub_rounds(&self) -> usize {
+        self.sub_rounds.iter().sum()
+    }
+
+    /// Time `f` as a named phase, recording it when `instrument` is set.
+    pub fn phase<R>(&mut self, name: &str, instrument: bool, f: impl FnOnce(&mut Self) -> R) -> R {
+        if !instrument {
+            return f(self);
+        }
+        let t0 = Instant::now();
+        let out = f(self);
+        self.phases.push(Phase {
+            name: name.to_string(),
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+        out
+    }
+
+    /// Fold another report into this one (for runs assembled from several
+    /// stages): round entries append in order, traces concatenate,
+    /// counters add, and depth accumulates (stages execute back-to-back,
+    /// so their dependence chains compose).
+    pub fn merge(&mut self, other: &RunReport) {
+        self.items += other.items;
+        for &(items, work) in other.rounds.entries() {
+            self.rounds.record(items, work);
+        }
+        self.depth += other.depth;
+        self.specials.extend_from_slice(&other.specials);
+        self.sub_rounds.extend_from_slice(&other.sub_rounds);
+        self.checks += other.checks;
+        self.phases.extend_from_slice(&other.phases);
+        self.wall_seconds += other.wall_seconds;
+    }
+
+    /// Serialize to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let rounds = Value::Arr(
+            self.rounds
+                .entries()
+                .iter()
+                .map(|&(items, work)| {
+                    Value::Arr(vec![Value::Num(items as f64), Value::Num(work as f64)])
+                })
+                .collect(),
+        );
+        let specials = Value::Arr(
+            self.specials
+                .iter()
+                .map(|&s| Value::Num(s as f64))
+                .collect(),
+        );
+        let sub_rounds = Value::Arr(
+            self.sub_rounds
+                .iter()
+                .map(|&s| Value::Num(s as f64))
+                .collect(),
+        );
+        let phases = Value::Arr(
+            self.phases
+                .iter()
+                .map(|p| Value::Arr(vec![Value::Str(p.name.clone()), Value::Num(p.seconds)]))
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("algorithm".into(), Value::Str(self.algorithm.clone())),
+            ("mode".into(), Value::Str(self.mode.as_str().into())),
+            ("threads".into(), Value::Num(self.threads as f64)),
+            ("items".into(), Value::Num(self.items as f64)),
+            ("rounds".into(), rounds),
+            ("depth".into(), Value::Num(self.depth as f64)),
+            ("specials".into(), specials),
+            ("sub_rounds".into(), sub_rounds),
+            ("checks".into(), Value::Num(self.checks as f64)),
+            ("phases".into(), phases),
+            ("wall_seconds".into(), Value::Num(self.wall_seconds)),
+        ])
+        .write()
+    }
+
+    /// Parse a report back from [`RunReport::to_json`] output.
+    ///
+    /// Counters above 2⁵³ would lose precision through the JSON number
+    /// representation; no realistic run reaches that.
+    pub fn from_json(text: &str) -> Result<RunReport, json::ParseError> {
+        let v = json::parse(text)?;
+        let field = |key: &str| {
+            v.get(key).ok_or_else(|| json::ParseError {
+                message: format!("missing field `{key}`"),
+                at: 0,
+            })
+        };
+        let bad = |key: &str| json::ParseError {
+            message: format!("malformed field `{key}`"),
+            at: 0,
+        };
+
+        let mut report = RunReport::new(
+            field("algorithm")?
+                .as_str()
+                .ok_or_else(|| bad("algorithm"))?,
+        );
+        report.mode = match field("mode")?.as_str() {
+            Some("sequential") => ExecMode::Sequential,
+            Some("parallel") => ExecMode::Parallel,
+            _ => return Err(bad("mode")),
+        };
+        report.threads = field("threads")?.as_usize().ok_or_else(|| bad("threads"))?;
+        report.items = field("items")?.as_usize().ok_or_else(|| bad("items"))?;
+        for entry in field("rounds")?.as_arr().ok_or_else(|| bad("rounds"))? {
+            let pair = entry
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| bad("rounds"))?;
+            report.rounds.record(
+                pair[0].as_usize().ok_or_else(|| bad("rounds"))?,
+                pair[1].as_u64().ok_or_else(|| bad("rounds"))?,
+            );
+        }
+        report.depth = field("depth")?.as_usize().ok_or_else(|| bad("depth"))?;
+        for s in field("specials")?.as_arr().ok_or_else(|| bad("specials"))? {
+            report
+                .specials
+                .push(s.as_usize().ok_or_else(|| bad("specials"))?);
+        }
+        for s in field("sub_rounds")?
+            .as_arr()
+            .ok_or_else(|| bad("sub_rounds"))?
+        {
+            report
+                .sub_rounds
+                .push(s.as_usize().ok_or_else(|| bad("sub_rounds"))?);
+        }
+        report.checks = field("checks")?.as_u64().ok_or_else(|| bad("checks"))?;
+        for p in field("phases")?.as_arr().ok_or_else(|| bad("phases"))? {
+            let pair = p
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| bad("phases"))?;
+            report.phases.push(Phase {
+                name: pair[0].as_str().ok_or_else(|| bad("phases"))?.to_string(),
+                seconds: pair[1].as_f64().ok_or_else(|| bad("phases"))?,
+            });
+        }
+        report.wall_seconds = field("wall_seconds")?
+            .as_f64()
+            .ok_or_else(|| bad("wall_seconds"))?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new("demo");
+        r.mode = ExecMode::Parallel;
+        r.threads = 4;
+        r.items = 35;
+        r.record_round(10, 100);
+        r.record_round(20, 50);
+        r.record_round(5, 5);
+        r.depth = 3;
+        r.specials = vec![0, 7, 19];
+        r.sub_rounds = vec![1, 2, 2];
+        r.checks = 155;
+        r.phases.push(Phase {
+            name: "solve".into(),
+            seconds: 0.125,
+        });
+        r.wall_seconds = 0.25;
+        r
+    }
+
+    #[test]
+    fn aggregation_over_rounds() {
+        let r = sample();
+        assert_eq!(r.total_items(), 35);
+        assert_eq!(r.total_work(), 155);
+        assert_eq!(r.rounds.rounds(), 3);
+        assert_eq!(r.total_sub_rounds(), 5);
+    }
+
+    #[test]
+    fn merge_appends_rounds_and_accumulates_depth() {
+        let mut a = sample();
+        let mut b = RunReport::new("demo");
+        b.items = 7;
+        b.record_round(7, 70);
+        b.depth = 2;
+        b.specials = vec![3];
+        b.checks = 70;
+        b.wall_seconds = 0.5;
+        a.merge(&b);
+        assert_eq!(a.items, 42);
+        assert_eq!(a.rounds.rounds(), 4);
+        assert_eq!(a.total_work(), 225);
+        assert_eq!(a.depth, 5);
+        assert_eq!(a.specials, vec![0, 7, 19, 3]);
+        assert_eq!(a.checks, 225);
+        assert!((a.wall_seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = sample();
+        let text = r.to_json();
+        let parsed = RunReport::from_json(&text).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn json_round_trip_of_empty_report() {
+        let r = RunReport::new("empty");
+        assert_eq!(RunReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+        let mut ok = sample().to_json();
+        ok = ok.replace("\"parallel\"", "\"sideways\"");
+        assert!(RunReport::from_json(&ok).is_err());
+    }
+
+    #[test]
+    fn phase_timer_records_when_instrumented() {
+        let mut r = RunReport::new("p");
+        let x = r.phase("stage", true, |_| 41 + 1);
+        assert_eq!(x, 42);
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].name, "stage");
+        let y = r.phase("quiet", false, |_| 1);
+        assert_eq!(y, 1);
+        assert_eq!(r.phases.len(), 1, "uninstrumented phases are not recorded");
+    }
+}

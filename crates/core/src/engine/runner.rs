@@ -1,0 +1,410 @@
+//! The execution engine: one configuration, one runner, one report.
+//!
+//! [`RunConfig`] fixes everything that varies between runs — RNG seed,
+//! [`ExecMode`], worker-thread count, instrumentation — and
+//! [`Runner::run`] executes any [`Executable`] under it inside a scoped
+//! thread pool, returning a [`RunReport`]. The three per-class adapters
+//! ([`Type1Adapter`], [`Type2Adapter`], [`Type3Adapter`]) make every
+//! algorithm written against the paper's `Type1Algorithm` /
+//! `Type2Algorithm` / `Type3Algorithm` traits executable through this one
+//! path; the algorithm crates' `*Problem` types build on the same engine
+//! for their specialised (non-trait) implementations.
+
+use rayon::ThreadPoolBuilder;
+
+use rayon::prelude::*;
+
+use crate::type1::Type1Algorithm;
+use crate::type2::Type2Algorithm;
+use crate::type3::{prefix_rounds, Type3Algorithm};
+
+use super::report::RunReport;
+
+/// How the engine schedules iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Run iterations one at a time in insertion order — the classic
+    /// sequential randomized incremental algorithm.
+    Sequential,
+    /// Run the paper's parallel schedule for the algorithm's class.
+    Parallel,
+}
+
+impl ExecMode {
+    /// Lower-case name (stable; used by the JSON form).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecMode::Sequential => "sequential",
+            ExecMode::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Run configuration: seed, mode, worker threads, instrumentation.
+///
+/// Built fluently; field and builder method share names (fields are public
+/// for reading, methods consume and return `self` for writing):
+///
+/// ```
+/// use ri_core::engine::{ExecMode, RunConfig};
+/// let cfg = RunConfig::new().seed(42).sequential().threads(2).instrument(false);
+/// assert_eq!(cfg.seed, 42);
+/// assert_eq!(cfg.mode, ExecMode::Sequential);
+/// assert_eq!(cfg.resolved_threads(), 1); // sequential mode pins one worker
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunConfig {
+    /// RNG seed for runs that draw their own randomness (insertion orders,
+    /// priorities). Ignored by problems whose input fixes the order.
+    pub seed: u64,
+    /// Scheduling mode.
+    pub mode: ExecMode,
+    /// Worker-thread count; `None` uses the machine default.
+    pub threads: Option<usize>,
+    /// Record per-phase and total wall times in the report.
+    pub instrument: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            mode: ExecMode::Parallel,
+            threads: None,
+            instrument: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parallel mode, seed 0, machine-default threads, instrumented.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the scheduling mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `.mode(ExecMode::Sequential)`.
+    pub fn sequential(self) -> Self {
+        self.mode(ExecMode::Sequential)
+    }
+
+    /// Shorthand for `.mode(ExecMode::Parallel)`.
+    pub fn parallel(self) -> Self {
+        self.mode(ExecMode::Parallel)
+    }
+
+    /// Set the worker-thread count (`0` restores the machine default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = (threads > 0).then_some(threads);
+        self
+    }
+
+    /// Toggle instrumentation (phase and wall-time recording).
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.instrument = on;
+        self
+    }
+
+    /// Worker threads a run under this config uses: 1 in sequential mode,
+    /// otherwise the configured or machine-default count.
+    pub fn resolved_threads(&self) -> usize {
+        match self.mode {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel => self
+                .threads
+                .unwrap_or_else(rayon::current_num_threads)
+                .max(1),
+        }
+    }
+}
+
+/// Something the engine can execute: the per-class adapters implement this
+/// over the paper's algorithm traits, and specialised algorithms implement
+/// it directly.
+pub trait Executable {
+    /// Report label; [`Runner::run`] stamps it onto the report's
+    /// `algorithm` field.
+    fn name(&self) -> &str {
+        "algorithm"
+    }
+
+    /// Execute under `cfg` (already inside the runner's thread pool) and
+    /// fill a report. Implementations should honour `cfg.mode` and
+    /// `cfg.instrument`; threads and wall time are stamped by the runner.
+    fn execute(&mut self, cfg: &RunConfig) -> RunReport;
+}
+
+/// A problem instance solvable under a [`RunConfig`]: the uniform
+/// problem-level API every algorithm crate exposes (`SortProblem`,
+/// `DelaunayProblem`, `LpProblem`, ...).
+pub trait Problem {
+    /// The algorithm's answer (tree, mesh, optimum, components, ...).
+    type Output;
+
+    /// Solve under `cfg`, returning the answer and the unified report.
+    fn solve(&self, cfg: &RunConfig) -> (Self::Output, RunReport);
+}
+
+/// The engine facade: executes algorithms under a [`RunConfig`] inside a
+/// scoped thread pool.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cfg: RunConfig,
+}
+
+impl Runner {
+    /// A runner for `cfg`.
+    pub fn new(cfg: RunConfig) -> Self {
+        Runner { cfg }
+    }
+
+    /// The configuration this runner applies.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Run `op` inside this runner's scoped thread pool (for specialised
+    /// algorithms that drive their own parallelism).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.cfg.resolved_threads())
+            .build()
+            .expect("thread pool construction cannot fail");
+        pool.install(op)
+    }
+
+    /// Execute `algo` under this runner's config: scope the thread pool,
+    /// run, and stamp name/mode/threads/wall time on the report.
+    pub fn run<E: Executable + ?Sized>(&self, algo: &mut E) -> RunReport {
+        let threads = self.cfg.resolved_threads();
+        let t0 = std::time::Instant::now();
+        let mut report = self.install(|| algo.execute(&self.cfg));
+        report.algorithm = algo.name().to_string();
+        report.mode = self.cfg.mode;
+        report.threads = threads;
+        if self.cfg.instrument {
+            report.wall_seconds = t0.elapsed().as_secs_f64();
+        }
+        report
+    }
+}
+
+/// Adapter: run a [`Type1Algorithm`] through the engine.
+pub struct Type1Adapter<'a, A: ?Sized>(pub &'a mut A);
+
+impl<A: Type1Algorithm + ?Sized> Executable for Type1Adapter<'_, A> {
+    fn name(&self) -> &str {
+        "type1"
+    }
+    fn execute(&mut self, cfg: &RunConfig) -> RunReport {
+        execute_type1(self.0, cfg)
+    }
+}
+
+/// Adapter: run a [`Type2Algorithm`] through the engine.
+pub struct Type2Adapter<'a, A: ?Sized>(pub &'a mut A);
+
+impl<A: Type2Algorithm + ?Sized> Executable for Type2Adapter<'_, A> {
+    fn name(&self) -> &str {
+        "type2"
+    }
+    fn execute(&mut self, cfg: &RunConfig) -> RunReport {
+        execute_type2(self.0, cfg)
+    }
+}
+
+/// Adapter: run a [`Type3Algorithm`] through the engine.
+pub struct Type3Adapter<'a, A: ?Sized>(pub &'a mut A);
+
+impl<A: Type3Algorithm + ?Sized> Executable for Type3Adapter<'_, A> {
+    fn name(&self) -> &str {
+        "type3"
+    }
+    fn execute(&mut self, cfg: &RunConfig) -> RunReport {
+        execute_type3(self.0, cfg)
+    }
+}
+
+/// The Type 1 executor (§2.1): parallel mode runs rounds of all ready
+/// iterations (rounds = iteration dependence depth); sequential mode runs
+/// iterations in insertion order.
+///
+/// Panics if no progress is possible (an incorrectly encoded dependence
+/// graph).
+pub fn execute_type1<A: Type1Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) -> RunReport {
+    let n = algo.len();
+    let mut report = RunReport::new("type1");
+    report.items = n;
+    match cfg.mode {
+        ExecMode::Sequential => {
+            for k in 0..n {
+                algo.begin_round(k);
+                assert!(
+                    algo.ready(k),
+                    "Type 1 executor stalled: iteration {k} not ready in insertion order"
+                );
+                algo.run(k);
+            }
+            if n > 0 {
+                report.record_round(n, n as u64);
+            }
+            report.depth = n;
+        }
+        ExecMode::Parallel => {
+            let mut remaining: Vec<usize> = (0..n).collect();
+            let mut round = 0usize;
+            while !remaining.is_empty() {
+                algo.begin_round(round);
+                // Check phase (parallel, read-only), then run phase
+                // (sequential within the round: iterations that run
+                // together are mutually independent, so any order gives
+                // the sequential algorithm's result).
+                let ready_flags: Vec<bool> = remaining.par_iter().map(|&k| algo.ready(k)).collect();
+                let runnable: Vec<usize> = remaining
+                    .iter()
+                    .zip(&ready_flags)
+                    .filter(|(_, &r)| r)
+                    .map(|(&k, _)| k)
+                    .collect();
+                assert!(
+                    !runnable.is_empty(),
+                    "Type 1 executor stalled with {} iterations remaining",
+                    remaining.len()
+                );
+                for &k in &runnable {
+                    algo.run(k);
+                }
+                remaining = remaining
+                    .iter()
+                    .zip(&ready_flags)
+                    .filter(|(_, &r)| !r)
+                    .map(|(&k, _)| k)
+                    .collect();
+                report.record_round(runnable.len(), runnable.len() as u64);
+                round += 1;
+            }
+            report.depth = round;
+        }
+    }
+    report
+}
+
+/// The Type 2 executor — Algorithm 1 of the paper (§2.2) in parallel mode,
+/// the classic sequential dispatch loop in sequential mode. Fills
+/// `specials`, `sub_rounds` and `checks`; round entries are one per prefix
+/// (parallel) or one summary entry (sequential).
+pub fn execute_type2<A: Type2Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) -> RunReport {
+    let n = algo.len();
+    let mut report = RunReport::new("type2");
+    report.items = n;
+    match cfg.mode {
+        ExecMode::Sequential => {
+            for k in 0..n {
+                algo.begin_prefix(k, k + 1);
+                report.checks += 1;
+                if algo.is_special(k) {
+                    report.specials.push(k);
+                    algo.run_special(k);
+                } else {
+                    algo.run_regular(k);
+                }
+            }
+            if n > 0 {
+                report.record_round(n, report.checks);
+            }
+            report.depth = n;
+        }
+        ExecMode::Parallel => {
+            let mut lo = 0usize;
+            let mut width = 1usize;
+            while lo < n {
+                let hi = (lo + width).min(n);
+                algo.begin_prefix(lo, hi);
+                let mut sub_rounds = 0usize;
+                let mut prefix_checks = 0u64;
+                let mut j = lo;
+                while j < hi {
+                    sub_rounds += 1;
+                    prefix_checks += (hi - j) as u64;
+                    // Parallel check phase over the outstanding prefix
+                    // tail; find the earliest special iteration
+                    // (min-reduction).
+                    let l = (j..hi)
+                        .into_par_iter()
+                        .find_first(|&k| algo.is_special(k))
+                        .unwrap_or(hi);
+                    for k in j..l {
+                        algo.run_regular(k);
+                    }
+                    if l < hi {
+                        report.specials.push(l);
+                        algo.run_special(l);
+                        j = l + 1;
+                    } else {
+                        j = hi;
+                    }
+                }
+                report.checks += prefix_checks;
+                report.sub_rounds.push(sub_rounds);
+                report.record_round(hi - lo, prefix_checks);
+                lo = hi;
+                width *= 2;
+            }
+            report.depth = report.total_sub_rounds();
+        }
+    }
+    report
+}
+
+/// The Type 3 executor — Algorithm 2 of the paper (§2.3) in parallel mode
+/// (doubling rounds against the previous round's frozen state, then
+/// combine); sequential mode runs width-1 rounds, i.e. the classic
+/// sequential incremental algorithm.
+pub fn execute_type3<A: Type3Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) -> RunReport {
+    let n = algo.len();
+    let mut report = RunReport::new("type3");
+    report.items = n;
+    match cfg.mode {
+        ExecMode::Sequential => {
+            let mut total_work = 0u64;
+            for k in 0..n {
+                let out = algo.run_iteration(k);
+                total_work += algo.combine(k, vec![out]);
+            }
+            if n > 0 {
+                report.record_round(n, total_work);
+            }
+            report.depth = n;
+        }
+        ExecMode::Parallel => {
+            let rounds = prefix_rounds(n);
+            report.depth = rounds.len();
+            for (lo, hi) in rounds {
+                let outputs: Vec<A::Output> = (lo..hi)
+                    .into_par_iter()
+                    .map(|k| algo.run_iteration(k))
+                    .collect();
+                let work = algo.combine(lo, outputs);
+                report.record_round(hi - lo, work);
+            }
+        }
+    }
+    report
+}

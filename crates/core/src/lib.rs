@@ -22,23 +22,38 @@
 //! * [`theory`] — the closed-form quantities the experiments compare
 //!   against: harmonic numbers, the paper's expected special-iteration and
 //!   dependence counts.
+//! * [`engine`] — the **unified execution engine**: one
+//!   [`Runner`](engine::Runner) over all three executor schedules,
+//!   configured by a [`RunConfig`](engine::RunConfig) (seed, mode, worker
+//!   threads, instrumentation) and producing one
+//!   [`RunReport`](engine::RunReport) shape for every algorithm.
 //!
 //! The algorithm crates (`ri-sort`, `ri-lp`, `ri-le-lists`, ...) plug into
-//! these executors; the bench harness reads the executors'
-//! [`ri_pram::RoundLog`]s to report measured depth.
+//! the engine; each exposes a `*Problem` type implementing
+//! [`engine::Problem`], whose `solve(&RunConfig)` returns the answer plus
+//! the unified report. The pre-engine entry points (`run_type1`,
+//! `run_type2_*`, `run_type3_parallel`) remain as deprecated shims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod depgraph;
+pub mod engine;
 pub mod theory;
 pub mod type1;
 pub mod type2;
 pub mod type3;
 
 pub use depgraph::DependenceGraph;
+pub use engine::{ExecMode, Problem, RunConfig, RunReport, Runner};
 pub use ri_pram::{Permutation, RoundLog, WorkCounter};
 pub use theory::{harmonic, log2_ceil};
-pub use type1::{run_type1, Type1Algorithm};
-pub use type2::{run_type2_parallel, run_type2_sequential, Type2Algorithm, Type2Stats};
-pub use type3::{prefix_rounds, run_type3_parallel, Type3Algorithm};
+pub use type1::Type1Algorithm;
+pub use type2::{Type2Algorithm, Type2Stats};
+pub use type3::{prefix_rounds, Type3Algorithm};
+#[allow(deprecated)]
+pub use {
+    type1::run_type1,
+    type2::{run_type2_parallel, run_type2_sequential},
+    type3::run_type3_parallel,
+};

@@ -4,16 +4,19 @@
 //! sequence of rounds. Each round checks all remaining iterations to see if
 //! their dependences have been satisfied and runs the iterations if so."*
 //!
-//! This generic executor is the reference scheduler: it measures the
-//! iteration dependence depth of *any* plugged incremental algorithm (the
-//! number of rounds equals `D(G)` when `ready` faithfully encodes the
-//! dependences). The production algorithms (`ri-sort`, `ri-delaunay`) ship
-//! specialised lock-free versions of the same schedule; their tests check
-//! equivalence against this one.
-
-use rayon::prelude::*;
+//! The executor itself lives in [`crate::engine`]
+//! ([`execute_type1`](crate::engine::execute_type1)); this module defines
+//! the [`Type1Algorithm`] contract and keeps the original [`run_type1`]
+//! entry point as a deprecated shim. The generic executor is the reference
+//! scheduler: it measures the iteration dependence depth of *any* plugged
+//! incremental algorithm (the number of rounds equals `D(G)` when `ready`
+//! faithfully encodes the dependences). The production algorithms
+//! (`ri-sort`, `ri-delaunay`) ship specialised lock-free versions of the
+//! same schedule; their tests check equivalence against this one.
 
 use ri_pram::RoundLog;
+
+use crate::engine::{ExecMode, RunConfig};
 
 /// An incremental algorithm exposing its per-iteration readiness.
 ///
@@ -24,6 +27,9 @@ use ri_pram::RoundLog;
 ///   of the round; iterations run within a round must not depend on each
 ///   other (that is exactly the iteration-dependence-graph contract of
 ///   Definition 1).
+/// * `begin_round(r)` is called once at the start of executor round `r`
+///   (0-based), before that round's `ready` checks — instrumentation hook
+///   for algorithms that track *when* each iteration ran.
 pub trait Type1Algorithm: Sync {
     /// Number of iterations.
     fn len(&self) -> usize;
@@ -36,6 +42,11 @@ pub trait Type1Algorithm: Sync {
     /// Are all of iteration `k`'s dependences satisfied?
     fn ready(&self, k: usize) -> bool;
 
+    /// Round-start hook (see trait docs). Default: no-op.
+    fn begin_round(&mut self, round: usize) {
+        let _ = round;
+    }
+
     /// Execute iteration `k`.
     fn run(&mut self, k: usize);
 }
@@ -46,46 +57,22 @@ pub trait Type1Algorithm: Sync {
 /// of the computation (each round peels one level of the dependence DAG).
 /// Panics if no progress is possible (a `ready` that never enables some
 /// iteration — i.e. an incorrectly encoded dependence graph).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Runner::run(&mut engine::Type1Adapter(algo))` (or `engine::execute_type1`), which returns the unified `RunReport`"
+)]
 pub fn run_type1<A: Type1Algorithm>(algo: &mut A) -> RoundLog {
-    let n = algo.len();
-    let mut log = RoundLog::new();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    while !remaining.is_empty() {
-        // Check phase (parallel, read-only), then run phase (sequential
-        // within the round: the iterations are mutually independent, so any
-        // execution order gives the sequential algorithm's result).
-        let ready_flags: Vec<bool> = remaining.par_iter().map(|&k| algo.ready(k)).collect();
-        let runnable: Vec<usize> = remaining
-            .iter()
-            .zip(&ready_flags)
-            .filter(|(_, &r)| r)
-            .map(|(&k, _)| k)
-            .collect();
-        assert!(
-            !runnable.is_empty(),
-            "Type 1 executor stalled with {} iterations remaining",
-            remaining.len()
-        );
-        for &k in &runnable {
-            algo.run(k);
-        }
-        remaining = remaining
-            .iter()
-            .zip(&ready_flags)
-            .filter(|(_, &r)| !r)
-            .map(|(&k, _)| k)
-            .collect();
-        log.record(runnable.len(), runnable.len() as u64);
-    }
-    log
+    crate::engine::execute_type1(algo, &RunConfig::new().mode(ExecMode::Parallel)).rounds
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{execute_type1, RunConfig, Runner, Type1Adapter};
 
     /// Toy Type 1 algorithm: iteration k is ready once all of its listed
-    /// predecessors ran. Records the round in which each iteration ran.
+    /// predecessors ran. Records the round in which each iteration ran
+    /// (via the executor's `begin_round` hook).
     struct Toy {
         preds: Vec<Vec<usize>>,
         done: Vec<std::sync::atomic::AtomicBool>,
@@ -100,7 +87,7 @@ mod tests {
                 preds,
                 done: (0..n).map(|_| Default::default()).collect(),
                 ran_round: vec![usize::MAX; n],
-                current_round: 0,
+                current_round: usize::MAX,
             }
         }
     }
@@ -114,39 +101,59 @@ mod tests {
                 .iter()
                 .all(|&p| self.done[p].load(std::sync::atomic::Ordering::Relaxed))
         }
+        fn begin_round(&mut self, round: usize) {
+            self.current_round = round;
+        }
         fn run(&mut self, k: usize) {
             self.ran_round[k] = self.current_round;
             self.done[k].store(true, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
+    fn run_parallel(toy: &mut Toy) -> crate::engine::RunReport {
+        Runner::new(RunConfig::new()).run(&mut Type1Adapter(toy))
+    }
+
     #[test]
     fn rounds_equal_dag_depth() {
         // Chain 0 -> 1 -> 2 plus independent 3: depth 3.
         let mut toy = Toy::new(vec![vec![], vec![0], vec![1], vec![]]);
-        // The executor runs whole levels; patch current_round between rounds
-        // via a wrapper loop in run(): simplest is to bump in ready-phase —
-        // here we just check the round count.
-        let log = run_type1(&mut toy);
-        assert_eq!(log.rounds(), 3);
-        assert_eq!(log.total_items(), 4);
+        let report = run_parallel(&mut toy);
+        assert_eq!(report.rounds.rounds(), 3);
+        assert_eq!(report.depth, 3);
+        assert_eq!(report.total_items(), 4);
+        // Per-round placement: each iteration ran in the round equal to its
+        // depth in the DAG (0 and 3 immediately; 1 and 2 one level apart).
+        assert_eq!(toy.ran_round, vec![0, 1, 2, 0]);
     }
 
     #[test]
     fn diamond_runs_in_three_rounds() {
         let mut toy = Toy::new(vec![vec![], vec![0], vec![0], vec![1, 2]]);
-        let log = run_type1(&mut toy);
-        assert_eq!(log.rounds(), 3);
-        assert_eq!(log.entries()[0].0, 1);
-        assert_eq!(log.entries()[1].0, 2);
-        assert_eq!(log.entries()[2].0, 1);
+        let report = run_parallel(&mut toy);
+        assert_eq!(report.rounds.rounds(), 3);
+        assert_eq!(report.rounds.entries()[0].0, 1);
+        assert_eq!(report.rounds.entries()[1].0, 2);
+        assert_eq!(report.rounds.entries()[2].0, 1);
+        assert_eq!(toy.ran_round, vec![0, 1, 1, 2]);
     }
 
     #[test]
     fn independent_iterations_single_round() {
         let mut toy = Toy::new(vec![vec![]; 100]);
-        let log = run_type1(&mut toy);
-        assert_eq!(log.rounds(), 1);
+        let report = run_parallel(&mut toy);
+        assert_eq!(report.rounds.rounds(), 1);
+        assert!(toy.ran_round.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn sequential_mode_runs_in_insertion_order() {
+        let mut toy = Toy::new(vec![vec![], vec![0], vec![1], vec![]]);
+        let report = execute_type1(&mut toy, &RunConfig::new().sequential());
+        assert_eq!(report.depth, 4, "sequential depth is the iteration count");
+        assert_eq!(report.total_items(), 4);
+        // In sequential mode `begin_round(k)` fires per iteration.
+        assert_eq!(toy.ran_round, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -163,13 +170,26 @@ mod tests {
             }
             fn run(&mut self, _k: usize) {}
         }
-        run_type1(&mut Never);
+        run_parallel_never(&mut Never);
+        fn run_parallel_never(algo: &mut Never) {
+            Runner::new(RunConfig::new()).run(&mut Type1Adapter(algo));
+        }
     }
 
     #[test]
     fn empty_input() {
         let mut toy = Toy::new(vec![]);
+        let report = run_parallel(&mut toy);
+        assert_eq!(report.rounds.rounds(), 0);
+        assert_eq!(report.depth, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_still_returns_round_log() {
+        let mut toy = Toy::new(vec![vec![], vec![0], vec![1], vec![]]);
         let log = run_type1(&mut toy);
-        assert_eq!(log.rounds(), 0);
+        assert_eq!(log.rounds(), 3);
+        assert_eq!(log.total_items(), 4);
     }
 }

@@ -7,11 +7,13 @@
 //! The probability that iteration `j` is special is at most `c/j`, so there
 //! are `O(log n)` specials whp (Theorem 2.2).
 //!
-//! The executor processes iterations in geometrically growing prefixes. For
-//! each prefix it repeatedly: checks all outstanding iterations in parallel,
-//! finds the *earliest* special one (a min-reduction), runs the regular
-//! iterations before it (their dependences are satisfied), then runs that
-//! special iteration. The expected number of sub-rounds per prefix is O(1).
+//! The executor (now in [`crate::engine`],
+//! [`execute_type2`](crate::engine::execute_type2)) processes iterations in
+//! geometrically growing prefixes. For each prefix it repeatedly: checks all
+//! outstanding iterations in parallel, finds the *earliest* special one (a
+//! min-reduction), runs the regular iterations before it (their dependences
+//! are satisfied), then runs that special iteration. The expected number of
+//! sub-rounds per prefix is O(1).
 //!
 //! One deliberate deviation from the paper's pseudocode: after running
 //! special iteration `l` we advance `j ← l + 1` rather than `j ← l`, so
@@ -21,8 +23,12 @@
 //! but a double-insert for the closest-pair grid.) The paper's upper bound
 //! on the prefix loop (`2^{i-1}` with `i ≤ log₂ n`) is also extended to
 //! cover all `n` iterations.
+//!
+//! This module keeps the [`Type2Algorithm`] contract, the legacy
+//! [`Type2Stats`] record, and the original `run_type2_*` entry points as
+//! deprecated shims over the engine.
 
-use rayon::prelude::*;
+use crate::engine::{ExecMode, RunConfig, RunReport};
 
 /// A randomized incremental algorithm with special/regular structure.
 ///
@@ -57,7 +63,8 @@ pub trait Type2Algorithm: Sync {
     }
 }
 
-/// Execution record of a Type 2 run.
+/// Execution record of a Type 2 run (legacy; subsumed by
+/// [`RunReport`](crate::engine::RunReport)).
 #[derive(Debug, Default, Clone)]
 pub struct Type2Stats {
     /// Indices that executed as special iterations (in execution order).
@@ -74,69 +81,56 @@ impl Type2Stats {
     pub fn total_sub_rounds(&self) -> usize {
         self.sub_rounds.iter().sum()
     }
+
+    /// Extract the legacy record from a unified report.
+    pub fn from_report(report: &RunReport) -> Self {
+        Type2Stats {
+            specials: report.specials.clone(),
+            sub_rounds: report.sub_rounds.clone(),
+            checks: report.checks,
+        }
+    }
 }
 
 /// The sequential baseline: iterate in order, dispatching on specialness.
 /// This *is* the classic sequential randomized incremental algorithm
 /// (Seidel's LP, the KM closest-pair sieve, Welzl's SED).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::execute_type2` with a sequential `RunConfig` (or the algorithm crate's `*Problem::solve`), which returns the unified `RunReport`"
+)]
 pub fn run_type2_sequential<A: Type2Algorithm>(algo: &mut A) -> Type2Stats {
-    let n = algo.len();
-    let mut stats = Type2Stats::default();
-    for k in 0..n {
-        algo.begin_prefix(k, k + 1);
-        stats.checks += 1;
-        if algo.is_special(k) {
-            stats.specials.push(k);
-            algo.run_special(k);
-        } else {
-            algo.run_regular(k);
-        }
-    }
-    stats
+    Type2Stats::from_report(&crate::engine::execute_type2(
+        algo,
+        &RunConfig::new().mode(ExecMode::Sequential),
+    ))
 }
 
 /// Algorithm 1: the parallel prefix-doubling executor.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Runner::run(&mut engine::Type2Adapter(algo))` (or `engine::execute_type2`), which returns the unified `RunReport`"
+)]
 pub fn run_type2_parallel<A: Type2Algorithm>(algo: &mut A) -> Type2Stats {
-    let n = algo.len();
-    let mut stats = Type2Stats::default();
-    let mut lo = 0usize;
-    let mut width = 1usize;
-    while lo < n {
-        let hi = (lo + width).min(n);
-        algo.begin_prefix(lo, hi);
-        let mut sub_rounds = 0usize;
-        let mut j = lo;
-        while j < hi {
-            sub_rounds += 1;
-            stats.checks += (hi - j) as u64;
-            // Parallel check phase over the outstanding prefix tail; find
-            // the earliest special iteration (min-reduction).
-            let l = (j..hi)
-                .into_par_iter()
-                .find_first(|&k| algo.is_special(k))
-                .unwrap_or(hi);
-            for k in j..l {
-                algo.run_regular(k);
-            }
-            if l < hi {
-                stats.specials.push(l);
-                algo.run_special(l);
-                j = l + 1;
-            } else {
-                j = hi;
-            }
-        }
-        stats.sub_rounds.push(sub_rounds);
-        lo = hi;
-        width *= 2;
-    }
-    stats
+    Type2Stats::from_report(&crate::engine::execute_type2(
+        algo,
+        &RunConfig::new().mode(ExecMode::Parallel),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::execute_type2;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn run_par<A: Type2Algorithm>(algo: &mut A) -> RunReport {
+        execute_type2(algo, &RunConfig::new().parallel())
+    }
+
+    fn run_seq<A: Type2Algorithm>(algo: &mut A) -> RunReport {
+        execute_type2(algo, &RunConfig::new().sequential())
+    }
 
     /// Toy Type 2 problem: maintain the running maximum of a sequence.
     /// Iteration k is special iff `values[k]` exceeds the current max —
@@ -179,12 +173,14 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_specials() {
-        let values: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(2654435761) % 4096).collect();
+        let values: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 4096)
+            .collect();
         let mut seq = RunningMax::new(values.clone());
-        let seq_stats = run_type2_sequential(&mut seq);
+        let seq_report = run_seq(&mut seq);
         let mut par = RunningMax::new(values);
-        let par_stats = run_type2_parallel(&mut par);
-        assert_eq!(seq_stats.specials, par_stats.specials);
+        let par_report = run_par(&mut par);
+        assert_eq!(seq_report.specials, par_report.specials);
         assert_eq!(
             seq.current.load(Ordering::Relaxed),
             par.current.load(Ordering::Relaxed)
@@ -195,15 +191,15 @@ mod tests {
     #[test]
     fn increasing_sequence_all_special() {
         let mut algo = RunningMax::new((1..=64).collect());
-        let stats = run_type2_parallel(&mut algo);
-        assert_eq!(stats.specials.len(), 64);
+        let report = run_par(&mut algo);
+        assert_eq!(report.specials.len(), 64);
     }
 
     #[test]
     fn decreasing_sequence_one_special() {
         let mut algo = RunningMax::new((1..=64).rev().collect());
-        let stats = run_type2_parallel(&mut algo);
-        assert_eq!(stats.specials, vec![0]);
+        let report = run_par(&mut algo);
+        assert_eq!(report.specials, vec![0]);
     }
 
     #[test]
@@ -216,7 +212,7 @@ mod tests {
             let order = ri_pram::random_permutation(n, seed);
             let values: Vec<u64> = order.iter().map(|&x| x as u64 + 1).collect();
             let mut algo = RunningMax::new(values);
-            total += run_type2_parallel(&mut algo).specials.len();
+            total += run_par(&mut algo).specials.len();
         }
         let avg = total as f64 / seeds as f64;
         let hn = crate::theory::harmonic(n);
@@ -232,15 +228,30 @@ mod tests {
         let order = ri_pram::random_permutation(1 << 12, 7);
         let values: Vec<u64> = order.iter().map(|&x| x as u64 + 1).collect();
         let mut algo = RunningMax::new(values);
-        let stats = run_type2_parallel(&mut algo);
-        assert!(stats.total_sub_rounds() <= stats.specials.len() + stats.sub_rounds.len());
+        let report = run_par(&mut algo);
+        assert!(report.total_sub_rounds() <= report.specials.len() + report.sub_rounds.len());
+        assert_eq!(report.depth, report.total_sub_rounds());
     }
 
     #[test]
     fn empty_input() {
         let mut algo = RunningMax::new(vec![]);
-        let stats = run_type2_parallel(&mut algo);
-        assert!(stats.specials.is_empty());
-        assert!(stats.sub_rounds.is_empty());
+        let report = run_par(&mut algo);
+        assert!(report.specials.is_empty());
+        assert!(report.sub_rounds.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_match_engine() {
+        let values: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(40503) % 997).collect();
+        let mut a = RunningMax::new(values.clone());
+        let stats = run_type2_parallel(&mut a);
+        let mut b = RunningMax::new(values);
+        let report = run_par(&mut b);
+        assert_eq!(stats.specials, report.specials);
+        assert_eq!(stats.sub_rounds, report.sub_rounds);
+        assert_eq!(stats.checks, report.checks);
+        assert_eq!(stats.total_sub_rounds(), report.total_sub_rounds());
     }
 }

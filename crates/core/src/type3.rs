@@ -6,18 +6,23 @@
 //! concurrently — the result is still correct — but concurrency forgoes some
 //! separations and therefore does extra (expected constant-factor) work.
 //!
-//! The executor runs iterations in doubling rounds `[2^{i-1}, 2^i)`. Every
-//! iteration of a round executes **against the frozen state of the previous
-//! round** ("as if at iteration 2^{i-1}"), producing a batch result; a
-//! combine step then reconciles the batch, giving earlier iterations
-//! priority, so that the state after the round matches the sequential state
-//! after iteration `2^i − 1` (or a refinement of it, for the eager SCC
-//! variant). Theorem 2.6: `O(log n)` rounds, every iteration receives
-//! `O(log n)` incoming dependences whp.
-
-use rayon::prelude::*;
+//! The executor (now in [`crate::engine`],
+//! [`execute_type3`](crate::engine::execute_type3)) runs iterations in
+//! doubling rounds `[2^{i-1}, 2^i)`. Every iteration of a round executes
+//! **against the frozen state of the previous round** ("as if at iteration
+//! 2^{i-1}"), producing a batch result; a combine step then reconciles the
+//! batch, giving earlier iterations priority, so that the state after the
+//! round matches the sequential state after iteration `2^i − 1` (or a
+//! refinement of it, for the eager SCC variant). Theorem 2.6: `O(log n)`
+//! rounds, every iteration receives `O(log n)` incoming dependences whp.
+//!
+//! This module keeps the [`Type3Algorithm`] contract, the
+//! [`prefix_rounds`] schedule helper, and the original
+//! [`run_type3_parallel`] entry point as a deprecated shim.
 
 use ri_pram::RoundLog;
+
+use crate::engine::{ExecMode, RunConfig};
 
 /// A randomized incremental algorithm with separating dependences.
 pub trait Type3Algorithm: Sync {
@@ -62,23 +67,18 @@ pub fn prefix_rounds(n: usize) -> Vec<(usize, usize)> {
 /// measured round-depth (`⌈log₂ n⌉ + 1` by construction — the content of
 /// Theorem 2.6 is that the *work* stays near-sequential, which the caller
 /// checks via the returned work totals).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Runner::run(&mut engine::Type3Adapter(algo))` (or `engine::execute_type3`), which returns the unified `RunReport`"
+)]
 pub fn run_type3_parallel<A: Type3Algorithm>(algo: &mut A) -> RoundLog {
-    let n = algo.len();
-    let mut log = RoundLog::new();
-    for (lo, hi) in prefix_rounds(n) {
-        let outputs: Vec<A::Output> = (lo..hi)
-            .into_par_iter()
-            .map(|k| algo.run_iteration(k))
-            .collect();
-        let work = algo.combine(lo, outputs);
-        log.record(hi - lo, work);
-    }
-    log
+    crate::engine::execute_type3(algo, &RunConfig::new().mode(ExecMode::Parallel)).rounds
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::execute_type3;
 
     #[test]
     fn schedule_shape() {
@@ -115,6 +115,17 @@ mod tests {
         current: u64,
     }
 
+    impl MinSoFar {
+        fn new(values: Vec<u64>) -> Self {
+            let n = values.len();
+            MinSoFar {
+                values,
+                prefix_min: vec![0; n],
+                current: u64::MAX,
+            }
+        }
+    }
+
     impl Type3Algorithm for MinSoFar {
         type Output = u64;
         fn len(&self) -> usize {
@@ -136,18 +147,35 @@ mod tests {
     #[test]
     fn toy_matches_sequential_prefix_min() {
         let values: Vec<u64> = (0..1000u64).map(|i| (i * 7919) % 1000).collect();
-        let mut algo = MinSoFar {
-            values: values.clone(),
-            prefix_min: vec![0; values.len()],
-            current: u64::MAX,
-        };
-        let log = run_type3_parallel(&mut algo);
+        let mut algo = MinSoFar::new(values.clone());
+        let report = execute_type3(&mut algo, &RunConfig::new().parallel());
         let mut cur = u64::MAX;
         for (k, &v) in values.iter().enumerate() {
             cur = cur.min(v);
             assert_eq!(algo.prefix_min[k], cur, "prefix min at {k}");
         }
-        assert_eq!(log.rounds(), prefix_rounds(1000).len());
-        assert_eq!(log.total_items(), 1000);
+        assert_eq!(report.rounds.rounds(), prefix_rounds(1000).len());
+        assert_eq!(report.depth, prefix_rounds(1000).len());
+        assert_eq!(report.total_items(), 1000);
+    }
+
+    #[test]
+    fn sequential_mode_equals_parallel_output() {
+        let values: Vec<u64> = (0..500u64).map(|i| (i * 104729) % 500).collect();
+        let mut par = MinSoFar::new(values.clone());
+        execute_type3(&mut par, &RunConfig::new().parallel());
+        let mut seq = MinSoFar::new(values);
+        let report = execute_type3(&mut seq, &RunConfig::new().sequential());
+        assert_eq!(par.prefix_min, seq.prefix_min);
+        assert_eq!(report.depth, 500, "sequential depth is the iteration count");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_still_returns_round_log() {
+        let mut algo = MinSoFar::new((0..100u64).collect());
+        let log = run_type3_parallel(&mut algo);
+        assert_eq!(log.rounds(), prefix_rounds(100).len());
+        assert_eq!(log.total_items(), 100);
     }
 }

@@ -32,11 +32,13 @@
 
 pub mod mesh;
 pub mod par;
+pub mod problem;
 pub mod seq;
 
 pub use mesh::{Mesh, Triangle, INFINITE_VERTEX};
-pub use par::delaunay_parallel;
-pub use seq::delaunay_sequential;
+pub use problem::{DelaunayProblem, DtOutput};
+#[allow(deprecated)]
+pub use {par::delaunay_parallel, seq::delaunay_sequential};
 
 /// Work counters for the Theorem 4.5 experiment.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]

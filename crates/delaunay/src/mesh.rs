@@ -307,7 +307,13 @@ mod tests {
     #[test]
     fn conflict_finite_triangle() {
         let mesh = Mesh {
-            points: vec![p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0), p(0.5, 0.5), p(5.0, 5.0)],
+            points: vec![
+                p(0.0, 0.0),
+                p(2.0, 0.0),
+                p(0.0, 2.0),
+                p(0.5, 0.5),
+                p(5.0, 5.0),
+            ],
             triangles: vec![],
         };
         let tri = [0, 1, 2];
@@ -338,15 +344,18 @@ mod tests {
         assert_eq!(o.len(), 3);
         assert_eq!(o[0], 0);
         // CCW check on the chosen triple.
-        assert_eq!(
-            orient2d_sign(pts[o[0]], pts[o[1]], pts[o[2]]),
-            1
-        );
+        assert_eq!(orient2d_sign(pts[o[0]], pts[o[1]], pts[o[2]]), 1);
     }
 
     #[test]
     fn seed_order_skips_collinear_prefix() {
-        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(3.0, 0.0), p(1.0, 1.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(3.0, 0.0),
+            p(1.0, 1.0),
+        ];
         let o = seed_order(&pts);
         assert_eq!(&o[0..3], &[0, 1, 4]);
         assert_eq!(&o[3..], &[2, 3]);

@@ -46,7 +46,15 @@ struct NewTri {
 /// Algorithm 5: parallel incremental Delaunay triangulation of `points`
 /// taken in the given (random) order. Same preconditions as the sequential
 /// version; produces the identical triangulation and work counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `DelaunayProblem::new(points).solve(&RunConfig::new().parallel())`"
+)]
 pub fn delaunay_parallel(points: &[Point2]) -> DtResult {
+    delaunay_parallel_impl(points)
+}
+
+pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
     let order = seed_order(points);
     let points_in_order: Vec<Point2> = order.iter().map(|&i| points[i]).collect();
     let n = points_in_order.len();
@@ -82,8 +90,18 @@ pub fn delaunay_parallel(points: &[Point2]) -> DtResult {
                 let m2 = mesh.triangles[t2 as usize].min_conflict();
                 match m1.cmp(&m2) {
                     std::cmp::Ordering::Equal => None, // both done, or interior
-                    std::cmp::Ordering::Less => Some(Task { key, t: t1, to: t2, v: m1 }),
-                    std::cmp::Ordering::Greater => Some(Task { key, t: t2, to: t1, v: m2 }),
+                    std::cmp::Ordering::Less => Some(Task {
+                        key,
+                        t: t1,
+                        to: t2,
+                        v: m1,
+                    }),
+                    std::cmp::Ordering::Greater => Some(Task {
+                        key,
+                        t: t2,
+                        to: t1,
+                        v: m2,
+                    }),
                 }
             })
             .collect();
@@ -104,8 +122,14 @@ pub fn delaunay_parallel(points: &[Point2]) -> DtResult {
                     .expect("task face belongs to its triangle");
                 let verts = Mesh::canonical([u, w, task.v]);
                 let mut local = DtStats::default();
-                let conflicts =
-                    merge_conflicts(&mesh, &verts, &t.conflicts, &to.conflicts, task.v, &mut local);
+                let conflicts = merge_conflicts(
+                    &mesh,
+                    &verts,
+                    &t.conflicts,
+                    &to.conflicts,
+                    task.v,
+                    &mut local,
+                );
                 NewTri {
                     verts,
                     conflicts,
@@ -169,6 +193,7 @@ pub fn delaunay_parallel(points: &[Point2]) -> DtResult {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use crate::seq::delaunay_sequential;

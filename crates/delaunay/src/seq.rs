@@ -83,7 +83,10 @@ impl SeqState {
             v,
             &mut self.stats,
         );
-        self.push_triangle(Triangle { v: verts, conflicts })
+        self.push_triangle(Triangle {
+            v: verts,
+            conflicts,
+        })
     }
 }
 
@@ -148,7 +151,10 @@ pub(crate) fn merge_conflicts(
 /// Build the seed triangulation: the first non-collinear triple of the
 /// order as a CCW triangle plus its three hull (infinite) triangles, with
 /// conflict sets over all remaining points.
-pub(crate) fn build_seed(points_in_order: Vec<Point2>, stats: &mut DtStats) -> (Mesh, Vec<Triangle>) {
+pub(crate) fn build_seed(
+    points_in_order: Vec<Point2>,
+    stats: &mut DtStats,
+) -> (Mesh, Vec<Triangle>) {
     let mesh = Mesh {
         points: points_in_order,
         triangles: Vec::new(),
@@ -173,7 +179,10 @@ pub(crate) fn build_seed(points_in_order: Vec<Point2>, stats: &mut DtStats) -> (
                 conflicts.push(p);
             }
         }
-        tris.push(Triangle { v: verts, conflicts });
+        tris.push(Triangle {
+            v: verts,
+            conflicts,
+        });
     }
     (mesh, tris)
 }
@@ -181,7 +190,15 @@ pub(crate) fn build_seed(points_in_order: Vec<Point2>, stats: &mut DtStats) -> (
 /// Algorithm 4: sequential incremental Delaunay triangulation of `points`
 /// taken in the given (random) order. Needs ≥ 3 points, not all collinear,
 /// pairwise distinct.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `DelaunayProblem::new(points).solve(&RunConfig::new().sequential())`"
+)]
 pub fn delaunay_sequential(points: &[Point2]) -> DtResult {
+    delaunay_sequential_impl(points)
+}
+
+pub(crate) fn delaunay_sequential_impl(points: &[Point2]) -> DtResult {
     let order = seed_order(points);
     let points_in_order: Vec<Point2> = order.iter().map(|&i| points[i]).collect();
     let n = points_in_order.len();
@@ -247,6 +264,7 @@ pub fn delaunay_sequential(points: &[Point2]) -> DtResult {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_geometry::distributions::dedup_points;
@@ -306,7 +324,9 @@ mod tests {
         for seed in 0..6 {
             let pts = workload(120, seed, PointDistribution::UniformSquare);
             let r = delaunay_sequential(&pts);
-            r.mesh.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            r.mesh
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(
                 r.mesh.is_delaunay_brute_force(),
                 "not Delaunay at seed {seed}"

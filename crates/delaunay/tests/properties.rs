@@ -3,9 +3,18 @@
 //! point sets.
 
 use proptest::prelude::*;
-use ri_delaunay::{delaunay_parallel, delaunay_sequential};
+use ri_core::engine::{Problem, RunConfig};
+use ri_delaunay::DelaunayProblem;
 use ri_geometry::predicates::orient2d_sign;
 use ri_geometry::Point2;
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 /// Arbitrary distinct points on a coarse grid: plenty of collinear and
 /// cocircular degeneracies, exercising the exact predicates.
@@ -21,7 +30,11 @@ fn grid_points() -> impl Strategy<Value = Vec<Point2>> {
 fn float_points() -> impl Strategy<Value = Vec<Point2>> {
     proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..80).prop_map(|v| {
         let mut pts: Vec<Point2> = v.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
-        pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+        pts.sort_by(|a, b| {
+            a.x.partial_cmp(&b.x)
+                .unwrap()
+                .then(a.y.partial_cmp(&b.y).unwrap())
+        });
         pts.dedup_by(|a, b| a == b);
         pts
     })
@@ -70,7 +83,7 @@ proptest! {
     #[test]
     fn degenerate_grids_triangulate_validly(pts in grid_points()) {
         prop_assume!(not_all_collinear(&pts));
-        let r = delaunay_sequential(&pts);
+        let (r, _) = DelaunayProblem::new(&pts).solve(&seq_cfg());
         prop_assert!(r.mesh.validate().is_ok(), "{:?}", r.mesh.validate());
         prop_assert!(r.mesh.is_delaunay_brute_force());
     }
@@ -78,8 +91,8 @@ proptest! {
     #[test]
     fn parallel_equals_sequential_on_degenerate_grids(pts in grid_points()) {
         prop_assume!(not_all_collinear(&pts));
-        let seq = delaunay_sequential(&pts);
-        let par = delaunay_parallel(&pts);
+        let (seq, _) = DelaunayProblem::new(&pts).solve(&seq_cfg());
+        let (par, _) = DelaunayProblem::new(&pts).solve(&par_cfg());
         prop_assert_eq!(canonical(&seq.mesh), canonical(&par.mesh));
         prop_assert_eq!(&seq.stats, &par.stats);
     }
@@ -87,7 +100,7 @@ proptest! {
     #[test]
     fn continuous_points_triangulate_validly(pts in float_points()) {
         prop_assume!(pts.len() >= 3 && not_all_collinear(&pts));
-        let par = delaunay_parallel(&pts);
+        let (par, _) = DelaunayProblem::new(&pts).solve(&par_cfg());
         prop_assert!(par.mesh.validate().is_ok());
         prop_assert!(par.mesh.is_delaunay_brute_force());
     }
@@ -100,7 +113,7 @@ proptest! {
     #[test]
     fn every_point_gets_inserted(pts in float_points()) {
         prop_assume!(pts.len() >= 3 && not_all_collinear(&pts));
-        let r = delaunay_parallel(&pts);
+        let (r, _) = DelaunayProblem::new(&pts).solve(&par_cfg());
         let mut seen = vec![false; r.mesh.points.len()];
         for t in r.mesh.finite_triangles() {
             for v in t {

@@ -18,8 +18,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod problem;
 mod welzl;
 
-pub use welzl::{
-    brute_force_sed, sed_parallel, sed_sequential, SedRun,
-};
+pub use problem::EnclosingProblem;
+pub use welzl::{brute_force_sed, SedOutput, SedRun};
+#[allow(deprecated)]
+pub use welzl::{sed_parallel, sed_sequential};

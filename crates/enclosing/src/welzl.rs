@@ -3,7 +3,8 @@
 
 use rayon::prelude::*;
 
-use ri_core::{run_type2_parallel, run_type2_sequential, Type2Algorithm, Type2Stats};
+use ri_core::engine::{execute_type2, ExecMode, RunConfig, RunReport};
+use ri_core::{Type2Algorithm, Type2Stats};
 use ri_geometry::{circumcircle, diametral_disk, Disk, Point2};
 
 /// Result of a smallest-enclosing-disk run.
@@ -52,7 +53,9 @@ impl<'a> WelzlState<'a> {
                 .into_par_iter()
                 .find_first(|&j| disk.strictly_excludes(self.points[j]))
         } else {
-            range.into_iter().find(|&j| disk.strictly_excludes(self.points[j]))
+            range
+                .into_iter()
+                .find(|&j| disk.strictly_excludes(self.points[j]))
         }
     }
 
@@ -115,29 +118,62 @@ impl Type2Algorithm for WelzlState<'_> {
 
 /// Sequential Welzl SED. `points.len() >= 2`, points in general position
 /// (no four cocircular — the paper's assumption).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `EnclosingProblem::new(points).solve(&RunConfig::new().sequential())`"
+)]
 pub fn sed_sequential(points: &[Point2]) -> SedRun {
-    assert!(points.len() >= 2, "need at least two points");
-    let mut st = WelzlState::new(points, false);
-    let stats = run_type2_sequential(&mut st);
-    finish(st, stats)
+    let (out, report) = run_with(points, &RunConfig::new().sequential());
+    SedRun {
+        disk: out.disk,
+        stats: Type2Stats::from_report(&report),
+        update2_calls: out.update2_calls,
+        contains_tests: out.contains_tests,
+    }
 }
 
 /// Parallel SED through Algorithm 1, with parallel find-earliest-outside
 /// scans inside `Update1`/`Update2`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `EnclosingProblem::new(points).solve(&RunConfig::new().parallel())`"
+)]
 pub fn sed_parallel(points: &[Point2]) -> SedRun {
-    assert!(points.len() >= 2, "need at least two points");
-    let mut st = WelzlState::new(points, true);
-    let stats = run_type2_parallel(&mut st);
-    finish(st, stats)
+    let (out, report) = run_with(points, &RunConfig::new().parallel());
+    SedRun {
+        disk: out.disk,
+        stats: Type2Stats::from_report(&report),
+        update2_calls: out.update2_calls,
+        contains_tests: out.contains_tests,
+    }
 }
 
-fn finish(st: WelzlState<'_>, stats: Type2Stats) -> SedRun {
-    SedRun {
-        disk: st.disk.expect("n >= 2 guarantees a disk"),
-        stats,
-        update2_calls: st.update2_calls,
-        contains_tests: st.contains_tests.into_inner(),
-    }
+/// The answer of a smallest-enclosing-disk run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SedOutput {
+    /// The smallest enclosing disk of all points.
+    pub disk: Disk,
+    /// Number of nested `Update2` scans across the whole run.
+    pub update2_calls: usize,
+    /// Total containment tests (the work measure of §5.3).
+    pub contains_tests: u64,
+}
+
+/// Engine entry point: solve under `cfg` (parallel `Update1`/`Update2`
+/// scans in parallel mode), returning the answer and the unified report.
+pub(crate) fn run_with(points: &[Point2], cfg: &RunConfig) -> (SedOutput, RunReport) {
+    assert!(points.len() >= 2, "need at least two points");
+    let mut st = WelzlState::new(points, cfg.mode == ExecMode::Parallel);
+    let mut report = execute_type2(&mut st, cfg);
+    report.algorithm = "enclosing-disk".to_string();
+    (
+        SedOutput {
+            disk: st.disk.expect("n >= 2 guarantees a disk"),
+            update2_calls: st.update2_calls,
+            contains_tests: st.contains_tests.into_inner(),
+        },
+        report,
+    )
 }
 
 /// Brute-force reference: the best disk among all diametral pairs and all
@@ -147,9 +183,7 @@ pub fn brute_force_sed(points: &[Point2]) -> Disk {
     assert!(n >= 2);
     let mut best: Option<Disk> = None;
     let mut consider = |d: Disk| {
-        if points.iter().all(|&p| d.contains(p))
-            && best.is_none_or(|b| d.radius_sq < b.radius_sq)
-        {
+        if points.iter().all(|&p| d.contains(p)) && best.is_none_or(|b| d.radius_sq < b.radius_sq) {
             best = Some(d);
         }
     };
@@ -167,6 +201,7 @@ pub fn brute_force_sed(points: &[Point2]) -> Disk {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_geometry::distributions::dedup_points;
@@ -262,14 +297,19 @@ mod tests {
 
     #[test]
     fn work_is_linear() {
+        // Theorem 5.3 bounds the *expected* work by O(n); a single order can
+        // legitimately be several times the mean (one late special pays
+        // O(n) by itself), so test the average over seeds.
         let n = 1 << 14;
-        let pts = workload(n, 5, PointDistribution::UniformSquare);
-        let run = sed_parallel(&pts);
-        assert!(
-            run.contains_tests < 40 * n as u64,
-            "contains tests {} not O(n)",
-            run.contains_tests
-        );
+        let seeds = 6u64;
+        let total: u64 = (0..seeds)
+            .map(|seed| {
+                let pts = workload(n, seed, PointDistribution::UniformSquare);
+                sed_parallel(&pts).contains_tests
+            })
+            .sum();
+        let avg = total as f64 / seeds as f64;
+        assert!(avg < 60.0 * n as f64, "avg contains tests {avg} not O(n)");
     }
 
     #[test]

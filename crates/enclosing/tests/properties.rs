@@ -2,8 +2,17 @@
 //! O(n⁴) brute force, and sequential/parallel equivalence.
 
 use proptest::prelude::*;
-use ri_enclosing::{brute_force_sed, sed_parallel, sed_sequential};
+use ri_core::engine::{Problem, RunConfig};
+use ri_enclosing::{brute_force_sed, EnclosingProblem};
 use ri_geometry::Point2;
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
     proptest::collection::hash_set((-500i32..500, -500i32..500), 2..28).prop_map(|s| {
@@ -18,7 +27,7 @@ proptest! {
 
     #[test]
     fn disk_contains_all_points(pts in arb_points()) {
-        let run = sed_parallel(&pts);
+        let (run, _) = EnclosingProblem::new(&pts).solve(&par_cfg());
         for &p in &pts {
             prop_assert!(run.disk.contains(p), "{p} escapes disk");
         }
@@ -26,7 +35,7 @@ proptest! {
 
     #[test]
     fn radius_matches_brute_force(pts in arb_points()) {
-        let got = sed_parallel(&pts).disk.radius();
+        let got = EnclosingProblem::new(&pts).solve(&par_cfg()).0.disk.radius();
         let want = brute_force_sed(&pts).radius();
         prop_assert!(
             (got - want).abs() <= 1e-6 * (1.0 + want),
@@ -36,10 +45,10 @@ proptest! {
 
     #[test]
     fn parallel_equals_sequential(pts in arb_points()) {
-        let seq = sed_sequential(&pts);
-        let par = sed_parallel(&pts);
+        let (seq, seq_report) = EnclosingProblem::new(&pts).solve(&seq_cfg());
+        let (par, par_report) = EnclosingProblem::new(&pts).solve(&par_cfg());
         prop_assert_eq!(seq.disk, par.disk);
-        prop_assert_eq!(seq.stats.specials, par.stats.specials);
+        prop_assert_eq!(seq_report.specials, par_report.specials);
         prop_assert_eq!(seq.update2_calls, par.update2_calls);
     }
 }

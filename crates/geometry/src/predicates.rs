@@ -351,7 +351,10 @@ mod tests {
 
     #[test]
     fn degenerate_triangle_incircle_zero() {
-        assert_eq!(incircle(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(5.0, 1.0)), 0);
+        assert_eq!(
+            incircle(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(5.0, 1.0)),
+            0
+        );
     }
 
     #[test]

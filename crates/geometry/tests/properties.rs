@@ -28,8 +28,8 @@ fn incircle_ref(a: (i64, i64), b: (i64, i64), c: (i64, i64), d: (i64, i64)) -> i
     let (adx, ady, al) = col(a);
     let (bdx, bdy, bl) = col(b);
     let (cdx, cdy, cl) = col(c);
-    let det = al * (bdx * cdy - cdx * bdy) - bl * (adx * cdy - cdx * ady)
-        + cl * (adx * bdy - bdx * ady);
+    let det =
+        al * (bdx * cdy - cdx * bdy) - bl * (adx * cdy - cdx * ady) + cl * (adx * bdy - bdx * ady);
     (det.signum() as i32) * o
 }
 

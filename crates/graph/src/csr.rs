@@ -96,7 +96,10 @@ impl CsrGraph {
     pub fn transpose(&self) -> CsrGraph {
         let n = self.num_vertices();
         let mut edges = Vec::with_capacity(self.num_edges());
-        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(self.num_edges()));
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| Vec::with_capacity(self.num_edges()));
         for u in 0..n as u32 {
             for (k, &v) in self.neighbors(u).iter().enumerate() {
                 edges.push((v, u));

@@ -16,7 +16,10 @@ use crate::csr::CsrGraph;
 /// excluded, parallel edges possible). `symmetric` adds each edge in both
 /// directions (an undirected graph for LE-lists).
 pub fn gnm(n: usize, m: usize, seed: u64, symmetric: bool) -> CsrGraph {
-    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    assert!(
+        n >= 2 || m == 0,
+        "need at least two vertices to place edges"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(if symmetric { 2 * m } else { m });
     for _ in 0..m {
@@ -229,7 +232,10 @@ mod tests {
     #[test]
     fn rmat_skewed_degrees() {
         let g = rmat(10, 8192, 5);
-        let max_deg = (0..g.num_vertices() as u32).map(|u| g.degree(u)).max().unwrap();
+        let max_deg = (0..g.num_vertices() as u32)
+            .map(|u| g.degree(u))
+            .max()
+            .unwrap();
         let avg = g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(
             max_deg as f64 > 4.0 * avg,
@@ -277,10 +283,7 @@ mod tests {
         let (g, truth) = planted_sccs(&sizes, 10, 20, 9);
         assert_eq!(g.num_vertices(), 19);
         for c in 0..sizes.len() as u32 {
-            assert_eq!(
-                truth.iter().filter(|&&t| t == c).count(),
-                sizes[c as usize]
-            );
+            assert_eq!(truth.iter().filter(|&&t| t == c).count(), sizes[c as usize]);
         }
     }
 }

@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 
 mod lists;
+pub mod problem;
 
-pub use lists::{
-    le_lists_brute_force, le_lists_parallel, le_lists_sequential, LeListsResult, LeStats,
-};
+pub use lists::{le_lists_brute_force, LeListsResult, LeStats};
+#[allow(deprecated)]
+pub use lists::{le_lists_parallel, le_lists_sequential};
+pub use problem::{LeListsOutput, LeListsProblem};

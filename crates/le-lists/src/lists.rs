@@ -1,7 +1,8 @@
 //! LE-list construction: sequential (Algorithm 6), parallel (Type 3), and
 //! the all-pairs brute-force reference.
 
-use ri_core::{run_type3_parallel, Type3Algorithm};
+use ri_core::engine::{execute_type3, RunConfig};
+use ri_core::Type3Algorithm;
 use ri_graph::{dijkstra_distances, pruned_dijkstra, CsrGraph};
 use ri_pram::{semisort_by_key, RoundLog, WorkCounter};
 
@@ -51,7 +52,15 @@ fn check_order(g: &CsrGraph, order: &[usize]) {
 
 /// Algorithm 6: sequential LE-lists. `order[i]` is the vertex processed at
 /// iteration `i` (the random priority order).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LeListsProblem::new(g).with_order(order).solve(&RunConfig::new().sequential())`"
+)]
 pub fn le_lists_sequential(g: &CsrGraph, order: &[usize]) -> LeListsResult {
+    le_lists_sequential_impl(g, order)
+}
+
+pub(crate) fn le_lists_sequential_impl(g: &CsrGraph, order: &[usize]) -> LeListsResult {
     check_order(g, order);
     let n = g.num_vertices();
     let mut delta = vec![f64::INFINITY; n];
@@ -148,7 +157,15 @@ impl Type3Algorithm for ParState<'_> {
 
 /// Type 3 parallel LE-lists: identical output to
 /// [`le_lists_sequential`], `⌈log₂ n⌉ + 1` rounds.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LeListsProblem::new(g).with_order(order).solve(&RunConfig::new().parallel())`"
+)]
 pub fn le_lists_parallel(g: &CsrGraph, order: &[usize]) -> LeListsResult {
+    le_lists_parallel_impl(g, order)
+}
+
+pub(crate) fn le_lists_parallel_impl(g: &CsrGraph, order: &[usize]) -> LeListsResult {
     check_order(g, order);
     let n = g.num_vertices();
     let mut st = ParState {
@@ -161,7 +178,7 @@ pub fn le_lists_parallel(g: &CsrGraph, order: &[usize]) -> LeListsResult {
         redundant: 0,
         work_mark: 0,
     };
-    let log = run_type3_parallel(&mut st);
+    let log = execute_type3(&mut st, &RunConfig::new().parallel()).rounds;
     LeListsResult {
         lists: st.lists,
         stats: LeStats {
@@ -193,6 +210,7 @@ pub fn le_lists_brute_force(g: &CsrGraph, order: &[usize]) -> Vec<Vec<(u32, f64)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_graph::generators::{gnm, gnm_weighted, grid2d};

@@ -3,16 +3,23 @@
 //! digraphs.
 
 use proptest::prelude::*;
+use ri_core::engine::{Problem, RunConfig};
 use ri_graph::CsrGraph;
-use ri_le_lists::{le_lists_brute_force, le_lists_parallel, le_lists_sequential};
+use ri_le_lists::{le_lists_brute_force, LeListsProblem};
 use ri_pram::random_permutation;
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 fn arb_weighted_graph() -> impl Strategy<Value = (CsrGraph, u64)> {
     (2usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            ((0..n as u32), (0..n as u32), (1u32..1000)),
-            0..(3 * n),
-        );
+        let edges =
+            proptest::collection::vec(((0..n as u32), (0..n as u32), (1u32..1000)), 0..(3 * n));
         (Just(n), edges, any::<u64>()).prop_map(|(n, ews, seed)| {
             let edges: Vec<(u32, u32)> = ews.iter().map(|&(u, v, _)| (u, v)).collect();
             // Irregular weights (w/1009 + tiny per-edge offset) make exact
@@ -36,7 +43,7 @@ proptest! {
         let n = g.num_vertices();
         let order = random_permutation(n, seed);
         let want = le_lists_brute_force(&g, &order);
-        let seq = le_lists_sequential(&g, &order);
+        let (seq, _) = LeListsProblem::new(&g).with_order(order.clone()).solve(&seq_cfg());
         prop_assert_eq!(&seq.lists, &want);
     }
 
@@ -44,8 +51,8 @@ proptest! {
     fn parallel_equals_sequential((g, seed) in arb_weighted_graph()) {
         let n = g.num_vertices();
         let order = random_permutation(n, seed);
-        let seq = le_lists_sequential(&g, &order);
-        let par = le_lists_parallel(&g, &order);
+        let (seq, _) = LeListsProblem::new(&g).with_order(order.clone()).solve(&seq_cfg());
+        let (par, _) = LeListsProblem::new(&g).with_order(order.clone()).solve(&par_cfg());
         prop_assert_eq!(&seq.lists, &par.lists);
     }
 
@@ -61,7 +68,7 @@ proptest! {
             for (k, &v) in order.iter().enumerate() { r[v] = k; }
             r
         };
-        let res = le_lists_parallel(&g, &order);
+        let (res, _) = LeListsProblem::new(&g).with_order(order.clone()).solve(&par_cfg());
         for list in &res.lists {
             for w in list.windows(2) {
                 prop_assert!(rank[w[0].0 as usize] < rank[w[1].0 as usize]);

@@ -22,7 +22,8 @@
 //! the paper's full `O(d! log^{d-1} n)` depth bound, which would need the
 //! prefix-doubling executor at every recursion level.
 
-use ri_core::{run_type2_parallel, run_type2_sequential, Type2Algorithm, Type2Stats};
+use ri_core::engine::{execute_type2, ExecMode, RunConfig, RunReport};
+use ri_core::{Type2Algorithm, Type2Stats};
 
 /// Numerical tolerance (the workloads are O(1)-scaled).
 const EPS: f64 = 1e-9;
@@ -188,7 +189,10 @@ fn project_and_recurse(
             si += 1;
         }
     }
-    let partial: f64 = (0..d).filter(|&j| j != k).map(|j| tight.normal[j] * x[j]).sum();
+    let partial: f64 = (0..d)
+        .filter(|&j| j != k)
+        .map(|j| tight.normal[j] * x[j])
+        .sum();
     x[k] = (tight.bound - partial) / nk;
     Some(x)
 }
@@ -222,7 +226,9 @@ impl Type2Algorithm for SeidelD<'_> {
     }
 }
 
-fn run(inst: &LpInstanceD, parallel: bool) -> LpRunD {
+/// Engine entry point: solve `inst` under `cfg`, returning the outcome and
+/// the unified report.
+pub(crate) fn run_with_d(inst: &LpInstanceD, cfg: &RunConfig) -> (LpOutcomeD, RunReport) {
     let d = inst.objective.len();
     assert!(d >= 1, "dimension must be at least 1");
     assert!(
@@ -234,30 +240,41 @@ fn run(inst: &LpInstanceD, parallel: bool) -> LpRunD {
         optimum: box_optimum(&inst.objective),
         infeasible: false,
     };
-    let stats = if parallel {
-        run_type2_parallel(&mut st)
+    let mut report = execute_type2(&mut st, cfg);
+    report.algorithm = "lp-seidel-d".to_string();
+    let outcome = if st.infeasible {
+        LpOutcomeD::Infeasible
     } else {
-        run_type2_sequential(&mut st)
+        LpOutcomeD::Optimal(st.optimum)
     };
-    LpRunD {
-        outcome: if st.infeasible {
-            LpOutcomeD::Infeasible
-        } else {
-            LpOutcomeD::Optimal(st.optimum)
-        },
-        stats,
-    }
+    (outcome, report)
 }
 
 /// Sequential d-dimensional Seidel LP.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LpProblemD::new(inst).solve(&RunConfig::new().sequential())`"
+)]
 pub fn lp_d_sequential(inst: &LpInstanceD) -> LpRunD {
-    run(inst, false)
+    let (outcome, report) = run_with_d(inst, &RunConfig::new().mode(ExecMode::Sequential));
+    LpRunD {
+        outcome,
+        stats: Type2Stats::from_report(&report),
+    }
 }
 
 /// d-dimensional Seidel LP with the Type 2 parallel executor at the top
 /// level (parallel violation checks over prefixes).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LpProblemD::new(inst).solve(&RunConfig::new().parallel())`"
+)]
 pub fn lp_d_parallel(inst: &LpInstanceD) -> LpRunD {
-    run(inst, true)
+    let (outcome, report) = run_with_d(inst, &RunConfig::new().mode(ExecMode::Parallel));
+    LpRunD {
+        outcome,
+        stats: Type2Stats::from_report(&report),
+    }
 }
 
 /// Workload: constraints tangent to the unit d-sphere (`n̂ · x ≤ 1` for
@@ -289,6 +306,7 @@ pub fn tangent_instance_d(d: usize, n: usize, seed: u64) -> LpInstanceD {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
 
@@ -371,7 +389,11 @@ mod tests {
                 };
                 // Feasible...
                 for c in &inst.constraints {
-                    assert!(c.violation(&x) <= 1e-6, "d={d}: violated by {}", c.violation(&x));
+                    assert!(
+                        c.violation(&x) <= 1e-6,
+                        "d={d}: violated by {}",
+                        c.violation(&x)
+                    );
                 }
                 // ...and at least as good as the inscribed-sphere point in
                 // the objective direction (obj is a unit vector; n̂·x ≤ 1
@@ -413,7 +435,10 @@ mod tests {
             let mut total = 0usize;
             let trials = 6;
             for seed in 0..trials {
-                total += lp_d_parallel(&tangent_instance_d(d, n, seed)).stats.specials.len();
+                total += lp_d_parallel(&tangent_instance_d(d, n, seed))
+                    .stats
+                    .specials
+                    .len();
             }
             let avg = total as f64 / trials as f64;
             assert!(

@@ -30,13 +30,15 @@
 #![warn(missing_docs)]
 
 pub mod highdim;
+pub mod problem;
 mod seidel;
 pub mod workloads;
 
-pub use highdim::{
-    lp_d_parallel, lp_d_sequential, tangent_instance_d, ConstraintD, LpInstanceD, LpOutcomeD,
-    LpRunD,
-};
-pub use seidel::{
-    lp_parallel, lp_sequential, Constraint, LpInstance, LpOutcome, LpRun, EPS,
+pub use highdim::{tangent_instance_d, ConstraintD, LpInstanceD, LpOutcomeD, LpRunD};
+pub use problem::{LpProblem, LpProblemD};
+pub use seidel::{Constraint, LpInstance, LpOutcome, LpRun, EPS};
+#[allow(deprecated)]
+pub use {
+    highdim::{lp_d_parallel, lp_d_sequential},
+    seidel::{lp_parallel, lp_sequential},
 };

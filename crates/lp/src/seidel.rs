@@ -2,7 +2,8 @@
 
 use rayon::prelude::*;
 
-use ri_core::{run_type2_parallel, run_type2_sequential, Type2Algorithm, Type2Stats};
+use ri_core::engine::{execute_type2, ExecMode, RunConfig, RunReport};
+use ri_core::{Type2Algorithm, Type2Stats};
 use ri_geometry::Point2;
 
 /// Numerical tolerance for feasibility tests (relative to the constraint
@@ -147,16 +148,11 @@ impl<'a> SeidelState<'a> {
                 Clip::Infeasible => (lo, hi, true),
             }
         };
-        let merge = |a: (f64, f64, bool), b: (f64, f64, bool)| {
-            (a.0.max(b.0), a.1.min(b.1), a.2 || b.2)
-        };
+        let merge =
+            |a: (f64, f64, bool), b: (f64, f64, bool)| (a.0.max(b.0), a.1.min(b.1), a.2 || b.2);
         let id = (f64::NEG_INFINITY, f64::INFINITY, false);
 
-        let boxed = self
-            .boxc
-            .iter()
-            .map(clip)
-            .fold(id, fold);
+        let boxed = self.boxc.iter().map(clip).fold(id, fold);
         let (lo, hi, bad) = if self.parallel_special {
             let body = self.inst.constraints[..k]
                 .par_iter()
@@ -165,7 +161,10 @@ impl<'a> SeidelState<'a> {
                 .reduce(|| id, merge);
             merge(boxed, body)
         } else {
-            self.inst.constraints[..k].iter().map(clip).fold(boxed, fold)
+            self.inst.constraints[..k]
+                .iter()
+                .map(clip)
+                .fold(boxed, fold)
         };
 
         if bad || lo > hi + EPS {
@@ -202,32 +201,48 @@ impl Type2Algorithm for SeidelState<'_> {
 }
 
 /// Sequential Seidel LP (the classic algorithm).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LpProblem::new(inst).solve(&RunConfig::new().sequential())`"
+)]
 pub fn lp_sequential(inst: &LpInstance) -> LpRun {
-    let mut st = SeidelState::new(inst, false);
-    let stats = run_type2_sequential(&mut st);
-    finish(st, stats)
+    let (outcome, report) = run_with(inst, &RunConfig::new().mode(ExecMode::Sequential));
+    LpRun {
+        outcome,
+        stats: Type2Stats::from_report(&report),
+    }
 }
 
 /// Parallel Seidel LP through Algorithm 1 (prefix doubling, parallel
 /// checks, parallel 1-D LPs).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LpProblem::new(inst).solve(&RunConfig::new().parallel())`"
+)]
 pub fn lp_parallel(inst: &LpInstance) -> LpRun {
-    let mut st = SeidelState::new(inst, true);
-    let stats = run_type2_parallel(&mut st);
-    finish(st, stats)
-}
-
-fn finish(st: SeidelState<'_>, stats: Type2Stats) -> LpRun {
+    let (outcome, report) = run_with(inst, &RunConfig::new().mode(ExecMode::Parallel));
     LpRun {
-        outcome: if st.infeasible {
-            LpOutcome::Infeasible
-        } else {
-            LpOutcome::Optimal(st.optimum)
-        },
-        stats,
+        outcome,
+        stats: Type2Stats::from_report(&report),
     }
 }
 
+/// Engine entry point: solve `inst` under `cfg` (parallel 1-D LPs in
+/// parallel mode), returning the outcome and the unified report.
+pub(crate) fn run_with(inst: &LpInstance, cfg: &RunConfig) -> (LpOutcome, RunReport) {
+    let mut st = SeidelState::new(inst, cfg.mode == ExecMode::Parallel);
+    let mut report = execute_type2(&mut st, cfg);
+    report.algorithm = "lp-seidel".to_string();
+    let outcome = if st.infeasible {
+        LpOutcome::Infeasible
+    } else {
+        LpOutcome::Optimal(st.optimum)
+    };
+    (outcome, report)
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
 
@@ -356,10 +371,7 @@ mod tests {
         }
         let avg = total as f64 / trials as f64;
         let bound = 2.0 * ri_core::harmonic(n) + 4.0;
-        assert!(
-            avg <= bound,
-            "avg specials {avg} above 2·H_n + 4 = {bound}"
-        );
+        assert!(avg <= bound, "avg specials {avg} above 2·H_n + 4 = {bound}");
     }
 
     #[test]

@@ -2,8 +2,17 @@
 //! and a brute-force vertex enumeration on arbitrary constraint sets.
 
 use proptest::prelude::*;
+use ri_core::engine::{Problem, RunConfig};
 use ri_geometry::Point2;
-use ri_lp::{lp_parallel, lp_sequential, Constraint, LpInstance, LpOutcome};
+use ri_lp::{Constraint, LpInstance, LpOutcome, LpProblem};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 /// Random constraints with normals on a coarse angular grid and bounds in
 /// a small range: plenty of near-parallel pairs and infeasible instances.
@@ -12,17 +21,13 @@ fn arb_instance() -> impl Strategy<Value = LpInstance> {
         let th = a as f64 * std::f64::consts::TAU / 48.0;
         Constraint::new(Point2::new(th.cos(), th.sin()), b as f64)
     });
-    (
-        0usize..48,
-        proptest::collection::vec(constraint, 0..40),
-    )
-        .prop_map(|(oa, constraints)| {
-            let th = oa as f64 * std::f64::consts::TAU / 48.0 + 0.013;
-            LpInstance {
-                objective: Point2::new(th.cos(), th.sin()),
-                constraints,
-            }
-        })
+    (0usize..48, proptest::collection::vec(constraint, 0..40)).prop_map(|(oa, constraints)| {
+        let th = oa as f64 * std::f64::consts::TAU / 48.0 + 0.013;
+        LpInstance {
+            objective: Point2::new(th.cos(), th.sin()),
+            constraints,
+        }
+    })
 }
 
 /// Brute force: best feasible vertex among all constraint-pair
@@ -67,21 +72,21 @@ proptest! {
 
     #[test]
     fn parallel_equals_sequential(inst in arb_instance()) {
-        let seq = lp_sequential(&inst);
-        let par = lp_parallel(&inst);
-        match (seq.outcome, par.outcome) {
+        let (seq_outcome, seq_report) = LpProblem::new(&inst).solve(&seq_cfg());
+        let (par_outcome, par_report) = LpProblem::new(&inst).solve(&par_cfg());
+        match (seq_outcome, par_outcome) {
             (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
             (LpOutcome::Optimal(x), LpOutcome::Optimal(y)) => {
                 prop_assert!(x.dist(y) < 1e-6, "{x} vs {y}");
             }
             (a, b) => prop_assert!(false, "outcome mismatch {a:?} vs {b:?}"),
         }
-        prop_assert_eq!(seq.stats.specials, par.stats.specials);
+        prop_assert_eq!(seq_report.specials, par_report.specials);
     }
 
     #[test]
     fn objective_value_matches_brute_force(inst in arb_instance()) {
-        let got = lp_parallel(&inst).outcome;
+        let got = LpProblem::new(&inst).solve(&par_cfg()).0;
         let want = brute_force(&inst);
         match (got, want) {
             (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
@@ -100,7 +105,7 @@ proptest! {
 
     #[test]
     fn optimum_is_feasible(inst in arb_instance()) {
-        if let LpOutcome::Optimal(x) = lp_parallel(&inst).outcome {
+        if let LpOutcome::Optimal(x) = LpProblem::new(&inst).solve(&par_cfg()).0 {
             for c in &inst.constraints {
                 prop_assert!(c.violation(x) <= 1e-6, "constraint violated by {}", c.violation(x));
             }

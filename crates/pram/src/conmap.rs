@@ -65,7 +65,9 @@ impl ConcurrentPairMap {
         let mut keys = Vec::with_capacity(slots);
         keys.resize_with(slots, || AtomicU64::new(KEY_EMPTY));
         let mut vals = Vec::with_capacity(slots);
-        vals.resize_with(slots, || [AtomicU64::new(VAL_EMPTY), AtomicU64::new(VAL_EMPTY)]);
+        vals.resize_with(slots, || {
+            [AtomicU64::new(VAL_EMPTY), AtomicU64::new(VAL_EMPTY)]
+        });
         ConcurrentPairMap {
             keys,
             vals,

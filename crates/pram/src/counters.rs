@@ -47,7 +47,7 @@ impl WorkCounter {
 /// Per-round log of a parallel execution: how many items ran in each round
 /// and how much work the round did. `rounds()` is the measured *depth* in
 /// the model sense of the paper's theorems.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RoundLog {
     entries: Vec<(usize, u64)>,
 }

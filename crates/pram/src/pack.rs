@@ -24,7 +24,9 @@ pub fn pack<T: Clone + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
     }
     let mut offsets: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
     let total = exclusive_scan_inplace(&mut offsets);
-    let chunk = items.len().div_ceil(rayon::current_num_threads().max(2) * 4);
+    let chunk = items
+        .len()
+        .div_ceil(rayon::current_num_threads().max(2) * 4);
     // Per-chunk local packs, concatenated in chunk order (order preserving).
     let mut result: Vec<T> = Vec::with_capacity(total);
     let parts: Vec<Vec<T>> = items

@@ -119,9 +119,8 @@ pub fn knuth_shuffle_parallel(h: &[usize]) -> (Vec<usize>, usize) {
     use rayon::prelude::*;
 
     let n = h.len();
-    let a: Vec<std::sync::atomic::AtomicUsize> = (0..n)
-        .map(std::sync::atomic::AtomicUsize::new)
-        .collect();
+    let a: Vec<std::sync::atomic::AtomicUsize> =
+        (0..n).map(std::sync::atomic::AtomicUsize::new).collect();
     let board = MinIndex::new(n);
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut rounds = 0usize;
@@ -140,9 +139,7 @@ pub fn knuth_shuffle_parallel(h: &[usize]) -> (Vec<usize>, usize) {
         let committed: Vec<usize> = remaining
             .par_iter()
             .copied()
-            .filter(|&i| {
-                board.get(i) == Some(i as u64) && board.get(h[i]) == Some(i as u64)
-            })
+            .filter(|&i| board.get(i) == Some(i as u64) && board.get(h[i]) == Some(i as u64))
             .collect();
         committed.par_iter().for_each(|&i| {
             if i != h[i] {
@@ -160,9 +157,7 @@ pub fn knuth_shuffle_parallel(h: &[usize]) -> (Vec<usize>, usize) {
         });
         remaining = remaining
             .into_par_iter()
-            .filter(|&i| {
-                !(a_committed_contains(&committed, i))
-            })
+            .filter(|&i| !(a_committed_contains(&committed, i)))
             .collect();
     }
     (a.into_iter().map(|x| x.into_inner()).collect(), rounds)

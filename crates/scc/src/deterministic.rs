@@ -23,7 +23,8 @@
 //! state after the same prefix of iterations — verified by the tests
 //! below.
 
-use ri_core::{run_type3_parallel, Type3Algorithm};
+use ri_core::engine::{execute_type3, RunConfig};
+use ri_core::Type3Algorithm;
 use ri_graph::{reachable_in_partition, CsrGraph};
 use ri_pram::hash::{hash_combine, hash_u64, FxHashSet};
 use ri_pram::WorkCounter;
@@ -111,9 +112,8 @@ impl Type3Algorithm for DetState<'_> {
             // filter skip the second, and both membership flags are
             // evaluated per occurrence, so carving wins on first sight.
             let salt = hash_u64(0x0DE7 ^ k as u64);
-            let relabel = |flag: u64| {
-                hash_combine(hash_combine(salt, flag), hash_u64(sc)) & !(1 << 63)
-            };
+            let relabel =
+                |flag: u64| hash_combine(hash_combine(salt, flag), hash_u64(sc)) & !(1 << 63);
             for &z in fp.fwd.iter().chain(&fp.bwd) {
                 let zu = z as usize;
                 if sig[zu] != sc {
@@ -160,7 +160,7 @@ pub fn scc_parallel_deterministic(g: &CsrGraph, order: &[usize]) -> DetSccRun {
         snapshots: Vec::new(),
         work_mark: 0,
     };
-    let log = run_type3_parallel(&mut st);
+    let log = execute_type3(&mut st, &RunConfig::new().parallel()).rounds;
     debug_assert!(st.comp.iter().all(|&c| c != u32::MAX));
     DetSccRun {
         result: SccResult {
@@ -197,6 +197,7 @@ pub fn partition_classes(part: &[u64]) -> Vec<u32> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use crate::incremental::sequential_partition_after;
@@ -270,9 +271,6 @@ mod tests {
 
     #[test]
     fn partition_classes_canonicalisation() {
-        assert_eq!(
-            partition_classes(&[5, 9, 5, DONE]),
-            vec![0, 1, 0, u32::MAX]
-        );
+        assert_eq!(partition_classes(&[5, 9, 5, DONE]), vec![0, 1, 0, u32::MAX]);
     }
 }

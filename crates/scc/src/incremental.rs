@@ -1,6 +1,7 @@
 //! Algorithm 7 (sequential) and its Type 3 parallelisation.
 
-use ri_core::{run_type3_parallel, Type3Algorithm};
+use ri_core::engine::{execute_type3, RunConfig};
+use ri_core::Type3Algorithm;
 use ri_graph::{reachable_in_partition, CsrGraph};
 use ri_pram::hash::{hash_combine, hash_u64};
 use ri_pram::{semisort_by_key, RoundLog, WorkCounter};
@@ -43,7 +44,15 @@ impl SccStats {
 
 /// Algorithm 7: sequential incremental SCC. `order[i]` is the vertex
 /// processed at iteration `i`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SccProblem::new(g).with_order(order).solve(&RunConfig::new().sequential())`"
+)]
 pub fn scc_sequential(g: &CsrGraph, order: &[usize]) -> SccResult {
+    scc_sequential_impl(g, order)
+}
+
+pub(crate) fn scc_sequential_impl(g: &CsrGraph, order: &[usize]) -> SccResult {
     scc_sequential_prefix(g, order, order.len()).0
 }
 
@@ -232,7 +241,15 @@ fn first_common(a: &[u32], b: &[u32]) -> Option<u32> {
 /// Type 3 parallel SCC (Algorithm 2 applied to Algorithm 7): same
 /// components as [`scc_sequential`] / [`crate::tarjan_scc`], `O(log n)`
 /// rounds of reachability.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SccProblem::new(g).with_order(order).solve(&RunConfig::new().parallel())`"
+)]
 pub fn scc_parallel(g: &CsrGraph, order: &[usize]) -> SccResult {
+    scc_parallel_impl(g, order)
+}
+
+pub(crate) fn scc_parallel_impl(g: &CsrGraph, order: &[usize]) -> SccResult {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order must cover every vertex");
     let mut st = ParState {
@@ -247,7 +264,7 @@ pub fn scc_parallel(g: &CsrGraph, order: &[usize]) -> SccResult {
         queries: 0,
         work_mark: 0,
     };
-    let log = run_type3_parallel(&mut st);
+    let log = execute_type3(&mut st, &RunConfig::new().parallel()).rounds;
     debug_assert!(st.comp.iter().all(|&c| c != u32::MAX));
     SccResult {
         comp: st.comp,
@@ -262,6 +279,7 @@ pub fn scc_parallel(g: &CsrGraph, order: &[usize]) -> SccResult {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use crate::{canonical_labels, tarjan_scc};

@@ -25,12 +25,14 @@
 
 pub mod deterministic;
 mod incremental;
+pub mod problem;
 mod tarjan;
 
 pub use deterministic::{partition_classes, scc_parallel_deterministic, DetSccRun};
-pub use incremental::{
-    scc_parallel, scc_sequential, sequential_partition_after, SccResult, SccStats,
-};
+#[allow(deprecated)]
+pub use incremental::{scc_parallel, scc_sequential};
+pub use incremental::{sequential_partition_after, SccResult, SccStats};
+pub use problem::{SccOutput, SccProblem};
 pub use tarjan::tarjan_scc;
 
 /// Canonicalise component labels: relabel every component by its smallest

@@ -1,0 +1,143 @@
+//! The problem-level API: [`SccProblem`], solving through the unified
+//! engine to `(SccOutput, RunReport)`.
+
+use ri_core::engine::{ExecMode, Executable, Problem, RunConfig, RunReport, Runner};
+use ri_graph::CsrGraph;
+use ri_pram::random_permutation;
+
+use crate::incremental::{scc_parallel_impl, scc_sequential_impl};
+
+/// The answer of an SCC run: component labels (ids are carving-center
+/// vertex ids; [`crate::canonical_labels`] canonicalises them) plus the
+/// per-vertex visit counts Theorem 6.4 bounds.
+#[derive(Debug)]
+pub struct SccOutput {
+    /// `comp[v]` = id of `v`'s SCC.
+    pub comp: Vec<u32>,
+    /// Per-vertex visit counts (`max` is `O(log n)` whp).
+    pub visits_per_vertex: Vec<u32>,
+    /// Number of (non-skipped) reachability query pairs issued.
+    pub queries: u64,
+}
+
+/// Incremental strongly connected components (§6.2 of the paper, Type 3;
+/// the eager-combine variant).
+///
+/// The processing order is drawn from the config's seed unless fixed with
+/// [`with_order`](SccProblem::with_order).
+///
+/// ```
+/// use ri_core::engine::{Problem, RunConfig};
+/// use ri_scc::{canonical_labels, tarjan_scc, SccProblem};
+///
+/// let g = ri_graph::generators::gnm(300, 900, 1, false);
+/// let (out, _report) = SccProblem::new(&g).solve(&RunConfig::new().seed(2));
+/// assert_eq!(
+///     canonical_labels(&out.comp),
+///     canonical_labels(&tarjan_scc(&g)),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct SccProblem<'a> {
+    g: &'a CsrGraph,
+    order: Option<Vec<usize>>,
+}
+
+impl<'a> SccProblem<'a> {
+    /// An SCC problem over `g`; the processing order is drawn from the
+    /// config seed at solve time.
+    pub fn new(g: &'a CsrGraph) -> Self {
+        SccProblem { g, order: None }
+    }
+
+    /// Fix the processing order explicitly (must cover every vertex).
+    pub fn with_order(mut self, order: Vec<usize>) -> Self {
+        self.order = Some(order);
+        self
+    }
+}
+
+struct SccExec<'a> {
+    g: &'a CsrGraph,
+    order: Option<&'a [usize]>,
+    out: Option<SccOutput>,
+}
+
+impl Executable for SccExec<'_> {
+    fn name(&self) -> &str {
+        "scc"
+    }
+    fn execute(&mut self, cfg: &RunConfig) -> RunReport {
+        let drawn;
+        let order: &[usize] = match self.order {
+            Some(order) => order,
+            None => {
+                drawn = random_permutation(self.g.num_vertices(), cfg.seed);
+                &drawn
+            }
+        };
+        let mut report = RunReport::new("scc");
+        report.items = order.len();
+        let result = match cfg.mode {
+            ExecMode::Sequential => report.phase("solve", cfg.instrument, |_| {
+                scc_sequential_impl(self.g, order)
+            }),
+            ExecMode::Parallel => report.phase("solve", cfg.instrument, |_| {
+                scc_parallel_impl(self.g, order)
+            }),
+        };
+        let work = result.stats.visits + result.stats.relaxations;
+        match result.stats.rounds {
+            Some(ref log) => {
+                report.depth = log.rounds();
+                report.rounds = log.clone();
+            }
+            None => {
+                if !order.is_empty() {
+                    report.record_round(order.len(), work);
+                }
+                report.depth = order.len();
+            }
+        }
+        report.checks = work;
+        self.out = Some(SccOutput {
+            comp: result.comp,
+            visits_per_vertex: result.stats.visits_per_vertex,
+            queries: result.stats.queries,
+        });
+        report
+    }
+}
+
+impl Problem for SccProblem<'_> {
+    type Output = SccOutput;
+
+    fn solve(&self, cfg: &RunConfig) -> (SccOutput, RunReport) {
+        let mut exec = SccExec {
+            g: self.g,
+            order: self.order.as_deref(),
+            out: None,
+        };
+        let report = Runner::new(cfg.clone()).run(&mut exec);
+        (exec.out.expect("execute always produces output"), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{canonical_labels, tarjan_scc};
+
+    #[test]
+    fn modes_agree_with_tarjan() {
+        let g = ri_graph::generators::gnm(500, 2000, 6, false);
+        let problem = SccProblem::new(&g);
+        let cfg = RunConfig::new().seed(11);
+        let (seq, _) = problem.solve(&cfg.clone().sequential());
+        let (par, report) = problem.solve(&cfg.clone().parallel());
+        let want = canonical_labels(&tarjan_scc(&g));
+        assert_eq!(canonical_labels(&seq.comp), want);
+        assert_eq!(canonical_labels(&par.comp), want);
+        assert!(report.depth <= 10, "O(log n) doubling rounds");
+    }
+}

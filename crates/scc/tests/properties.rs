@@ -3,9 +3,18 @@
 //! Lemma 6.3 experiment, E12), checked literally against the definition.
 
 use proptest::prelude::*;
+use ri_core::engine::{Problem, RunConfig};
 use ri_graph::{reachable_in_partition, CsrGraph};
 use ri_pram::{random_permutation, WorkCounter};
-use ri_scc::{canonical_labels, scc_parallel, scc_sequential, tarjan_scc};
+use ri_scc::{canonical_labels, tarjan_scc, SccProblem};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 fn arb_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (3usize..28).prop_flat_map(|n| {
@@ -22,8 +31,9 @@ proptest! {
         let g = CsrGraph::from_edges(n, &edges);
         let order = random_permutation(n, seed);
         let want = canonical_labels(&tarjan_scc(&g));
-        prop_assert_eq!(canonical_labels(&scc_sequential(&g, &order).comp), want.clone());
-        prop_assert_eq!(canonical_labels(&scc_parallel(&g, &order).comp), want);
+        let problem = SccProblem::new(&g).with_order(order.clone());
+        prop_assert_eq!(canonical_labels(&problem.solve(&seq_cfg()).0.comp), want.clone());
+        prop_assert_eq!(canonical_labels(&problem.solve(&par_cfg()).0.comp), want);
     }
 
     #[test]
@@ -36,7 +46,8 @@ proptest! {
         let g = CsrGraph::from_edges(n, &edges);
         let order = random_permutation(n, seed);
         let want = canonical_labels(&tarjan_scc(&g));
-        prop_assert_eq!(canonical_labels(&scc_parallel(&g, &order).comp), want);
+        let (par, _) = SccProblem::new(&g).with_order(order.clone()).solve(&par_cfg());
+        prop_assert_eq!(canonical_labels(&par.comp), want);
     }
 
     /// Lemma 6.3 / Definition 2 (the Figure 2 experiment, E12), tested via

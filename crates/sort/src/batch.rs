@@ -21,7 +21,8 @@
 
 use std::collections::HashMap;
 
-use ri_core::{prefix_rounds, run_type3_parallel, Type3Algorithm};
+use ri_core::engine::{execute_type3, RunConfig};
+use ri_core::{prefix_rounds, Type3Algorithm};
 use ri_pram::{RoundLog, WorkCounter};
 
 use crate::tree::{Bst, NONE};
@@ -169,7 +170,15 @@ impl<T: Ord + Sync> Type3Algorithm for BatchState<'_, T> {
 }
 
 /// Sort by batched (Type 3) BST insertion. Keys must be distinct.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BatchSortProblem::new(keys).solve(&RunConfig::new().parallel())`"
+)]
 pub fn batch_bst_sort<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
+    batch_bst_sort_impl(keys)
+}
+
+pub(crate) fn batch_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
     let n = keys.len();
     let rounds = prefix_rounds(n);
     let mut round_of = vec![0u16; n];
@@ -187,7 +196,7 @@ pub fn batch_bst_sort<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
         resolve_comparisons: 0,
         histogram: Vec::new(),
     };
-    let log = run_type3_parallel(&mut state);
+    let log = execute_type3(&mut state, &RunConfig::new().parallel()).rounds;
     let sorted_indices = state.tree.in_order();
     BatchSortResult {
         tree: state.tree,
@@ -199,6 +208,7 @@ pub fn batch_bst_sort<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use crate::sequential::sequential_bst_sort;

@@ -27,10 +27,14 @@
 
 pub mod batch;
 pub mod parallel;
+pub mod problem;
 pub mod sequential;
 pub mod tree;
 
-pub use batch::{batch_bst_sort, BatchSortResult};
-pub use parallel::{parallel_bst_sort, ParSortResult};
-pub use sequential::{sequential_bst_sort, SeqSortResult};
+pub use batch::BatchSortResult;
+pub use parallel::ParSortResult;
+pub use problem::{BatchSortProblem, SortOutput, SortProblem};
+pub use sequential::SeqSortResult;
 pub use tree::Bst;
+#[allow(deprecated)]
+pub use {batch::batch_bst_sort, parallel::parallel_bst_sort, sequential::sequential_bst_sort};

@@ -45,7 +45,15 @@ enum Cursor {
 }
 
 /// Sort by parallel BST insertion (Algorithm 3). Keys must be distinct.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SortProblem::new(keys).solve(&RunConfig::new().parallel())`"
+)]
 pub fn parallel_bst_sort<T: Ord + Sync>(keys: &[T]) -> ParSortResult {
+    parallel_bst_sort_impl(keys)
+}
+
+pub(crate) fn parallel_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> ParSortResult {
     let n = keys.len();
     let root = AtomicU64::new(NONE);
     let left: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
@@ -119,6 +127,7 @@ pub fn parallel_bst_sort<T: Ord + Sync>(keys: &[T]) -> ParSortResult {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use crate::sequential::sequential_bst_sort;

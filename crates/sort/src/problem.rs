@@ -1,0 +1,222 @@
+//! The problem-level API: [`SortProblem`] (Algorithm 3, Type 1) and
+//! [`BatchSortProblem`] (the §2.3 Type 3 batch variant), both solving
+//! through the unified engine to `(SortOutput, RunReport)`.
+
+use ri_core::engine::{ExecMode, Executable, Problem, RunConfig, RunReport, Runner};
+
+use crate::batch::batch_bst_sort_impl;
+use crate::parallel::parallel_bst_sort_impl;
+use crate::sequential::sequential_bst_sort_impl;
+use crate::tree::Bst;
+
+/// The answer of a sort run (any variant): the BST — identical across
+/// variants and modes by Theorem 3.2 — plus the sorted order and the
+/// comparison count.
+#[derive(Debug)]
+pub struct SortOutput {
+    /// The constructed search tree (node = iteration index).
+    pub tree: Bst,
+    /// Iteration indices in key-sorted order.
+    pub sorted_indices: Vec<usize>,
+    /// Total key comparisons.
+    pub comparisons: u64,
+}
+
+impl SortOutput {
+    /// The keys in sorted order (resolving indices against the input).
+    pub fn sorted<'a, T>(&self, keys: &'a [T]) -> Vec<&'a T> {
+        self.sorted_indices.iter().map(|&i| &keys[i]).collect()
+    }
+}
+
+/// Sorting by incremental BST insertion (§3 of the paper, Type 1).
+///
+/// `Parallel` mode runs Algorithm 3 (priority-write rounds, depth = the
+/// iteration dependence depth); `Sequential` mode runs the classic
+/// insertion loop. Both construct the identical tree.
+///
+/// ```
+/// use ri_core::engine::{Problem, RunConfig};
+/// use ri_sort::SortProblem;
+///
+/// let keys = ri_pram::random_permutation(512, 1);
+/// let (out, report) = SortProblem::new(&keys).solve(&RunConfig::new());
+/// assert_eq!(out.sorted_indices.len(), 512);
+/// assert!(report.depth < 100); // O(log n) whp
+/// ```
+#[derive(Debug)]
+pub struct SortProblem<'a, T> {
+    keys: &'a [T],
+}
+
+impl<'a, T: Ord + Sync> SortProblem<'a, T> {
+    /// A sort problem over `keys` (must be pairwise distinct).
+    pub fn new(keys: &'a [T]) -> Self {
+        SortProblem { keys }
+    }
+}
+
+struct SortExec<'a, T> {
+    keys: &'a [T],
+    out: Option<SortOutput>,
+}
+
+impl<T: Ord + Sync> Executable for SortExec<'_, T> {
+    fn name(&self) -> &str {
+        "bst-sort"
+    }
+    fn execute(&mut self, cfg: &RunConfig) -> RunReport {
+        let mut report = RunReport::new("bst-sort");
+        report.items = self.keys.len();
+        match cfg.mode {
+            ExecMode::Sequential => {
+                let r = report.phase("solve", cfg.instrument, |_| {
+                    sequential_bst_sort_impl(self.keys)
+                });
+                if !self.keys.is_empty() {
+                    report.record_round(self.keys.len(), r.comparisons);
+                }
+                report.depth = self.keys.len();
+                self.out = Some(SortOutput {
+                    tree: r.tree,
+                    sorted_indices: r.sorted_indices,
+                    comparisons: r.comparisons,
+                });
+            }
+            ExecMode::Parallel => {
+                let r = report.phase("solve", cfg.instrument, |_| {
+                    parallel_bst_sort_impl(self.keys)
+                });
+                report.depth = r.log.rounds();
+                report.rounds = r.log;
+                self.out = Some(SortOutput {
+                    tree: r.tree,
+                    sorted_indices: r.sorted_indices,
+                    comparisons: r.comparisons,
+                });
+            }
+        }
+        report
+    }
+}
+
+impl<T: Ord + Sync> Problem for SortProblem<'_, T> {
+    type Output = SortOutput;
+
+    fn solve(&self, cfg: &RunConfig) -> (SortOutput, RunReport) {
+        let mut exec = SortExec {
+            keys: self.keys,
+            out: None,
+        };
+        let report = Runner::new(cfg.clone()).run(&mut exec);
+        (exec.out.expect("execute always produces output"), report)
+    }
+}
+
+/// The Type 3 (batch doubling-round) execution of the same BST sort —
+/// the paper's §2.3 worked example. `Sequential` mode falls back to the
+/// classic insertion loop (the batch schedule with width-1 rounds *is*
+/// the sequential algorithm).
+#[derive(Debug)]
+pub struct BatchSortProblem<'a, T> {
+    keys: &'a [T],
+}
+
+impl<'a, T: Ord + Sync> BatchSortProblem<'a, T> {
+    /// A batch-sort problem over `keys` (must be pairwise distinct).
+    pub fn new(keys: &'a [T]) -> Self {
+        BatchSortProblem { keys }
+    }
+}
+
+struct BatchSortExec<'a, T> {
+    keys: &'a [T],
+    out: Option<SortOutput>,
+}
+
+impl<T: Ord + Sync> Executable for BatchSortExec<'_, T> {
+    fn name(&self) -> &str {
+        "bst-sort-batch"
+    }
+    fn execute(&mut self, cfg: &RunConfig) -> RunReport {
+        let mut report = RunReport::new("bst-sort-batch");
+        report.items = self.keys.len();
+        match cfg.mode {
+            ExecMode::Sequential => {
+                let r = report.phase("solve", cfg.instrument, |_| {
+                    sequential_bst_sort_impl(self.keys)
+                });
+                if !self.keys.is_empty() {
+                    report.record_round(self.keys.len(), r.comparisons);
+                }
+                report.depth = self.keys.len();
+                self.out = Some(SortOutput {
+                    tree: r.tree,
+                    sorted_indices: r.sorted_indices,
+                    comparisons: r.comparisons,
+                });
+            }
+            ExecMode::Parallel => {
+                let r = report.phase("solve", cfg.instrument, |_| batch_bst_sort_impl(self.keys));
+                report.depth = r.log.rounds();
+                report.rounds = r.log;
+                self.out = Some(SortOutput {
+                    tree: r.tree,
+                    sorted_indices: r.sorted_indices,
+                    comparisons: r.comparisons,
+                });
+            }
+        }
+        report
+    }
+}
+
+impl<T: Ord + Sync> Problem for BatchSortProblem<'_, T> {
+    type Output = SortOutput;
+
+    fn solve(&self, cfg: &RunConfig) -> (SortOutput, RunReport) {
+        let mut exec = BatchSortExec {
+            keys: self.keys,
+            out: None,
+        };
+        let report = Runner::new(cfg.clone()).run(&mut exec);
+        (exec.out.expect("execute always produces output"), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_pram::random_permutation;
+
+    #[test]
+    fn sequential_and_parallel_modes_build_identical_trees() {
+        let keys = random_permutation(3000, 11);
+        let problem = SortProblem::new(&keys);
+        let (seq, seq_report) = problem.solve(&RunConfig::new().sequential());
+        let (par, par_report) = problem.solve(&RunConfig::new().parallel());
+        assert_eq!(seq.tree, par.tree, "Theorem 3.2");
+        assert_eq!(seq.sorted_indices, par.sorted_indices);
+        assert_eq!(seq.comparisons, par.comparisons);
+        assert_eq!(seq_report.depth, 3000);
+        assert!(par_report.depth < 200, "parallel depth is O(log n)");
+    }
+
+    #[test]
+    fn batch_variant_agrees_with_direct() {
+        let keys = random_permutation(2000, 5);
+        let (a, report) = BatchSortProblem::new(&keys).solve(&RunConfig::new());
+        let (b, _) = SortProblem::new(&keys).solve(&RunConfig::new());
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(report.depth, report.rounds.rounds());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let keys = random_permutation(256, 3);
+        let (_, report) = SortProblem::new(&keys).solve(&RunConfig::new());
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.depth, report.depth);
+        assert_eq!(back.algorithm, "bst-sort");
+    }
+}

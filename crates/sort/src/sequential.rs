@@ -29,7 +29,15 @@ impl SeqSortResult {
 
 /// Insert `keys` into a BST in the given (iteration) order; keys must be
 /// pairwise distinct (the paper's simplifying assumption).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SortProblem::new(keys).solve(&RunConfig::new().sequential())`"
+)]
 pub fn sequential_bst_sort<T: Ord>(keys: &[T]) -> SeqSortResult {
+    sequential_bst_sort_impl(keys)
+}
+
+pub(crate) fn sequential_bst_sort_impl<T: Ord>(keys: &[T]) -> SeqSortResult {
     let n = keys.len();
     let mut tree = Bst::new(n);
     let mut comparisons = 0u64;
@@ -67,6 +75,7 @@ pub fn sequential_bst_sort<T: Ord>(keys: &[T]) -> SeqSortResult {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_pram::random_permutation;

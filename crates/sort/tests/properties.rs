@@ -3,7 +3,16 @@
 //! key sets and arbitrary insertion orders.
 
 use proptest::prelude::*;
-use ri_sort::{batch_bst_sort, parallel_bst_sort, sequential_bst_sort};
+use ri_core::engine::{Problem, RunConfig};
+use ri_sort::{BatchSortProblem, SortProblem};
+
+fn seq_cfg() -> RunConfig {
+    RunConfig::new().sequential().instrument(false)
+}
+
+fn par_cfg() -> RunConfig {
+    RunConfig::new().parallel().instrument(false)
+}
 
 fn distinct_keys() -> impl Strategy<Value = Vec<i64>> {
     proptest::collection::hash_set(any::<i64>(), 0..500)
@@ -13,7 +22,7 @@ fn distinct_keys() -> impl Strategy<Value = Vec<i64>> {
 proptest! {
     #[test]
     fn sequential_sorts(keys in distinct_keys()) {
-        let r = sequential_bst_sort(&keys);
+        let (r, _) = SortProblem::new(&keys).solve(&seq_cfg());
         let got: Vec<i64> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
         let mut want = keys.clone();
         want.sort_unstable();
@@ -23,8 +32,8 @@ proptest! {
 
     #[test]
     fn parallel_equals_sequential(keys in distinct_keys()) {
-        let seq = sequential_bst_sort(&keys);
-        let par = parallel_bst_sort(&keys);
+        let (seq, _) = SortProblem::new(&keys).solve(&seq_cfg());
+        let (par, _) = SortProblem::new(&keys).solve(&par_cfg());
         prop_assert_eq!(&par.tree, &seq.tree);
         prop_assert_eq!(par.comparisons, seq.comparisons);
         prop_assert_eq!(par.sorted_indices, seq.sorted_indices);
@@ -32,8 +41,8 @@ proptest! {
 
     #[test]
     fn batch_equals_sequential(keys in distinct_keys()) {
-        let seq = sequential_bst_sort(&keys);
-        let batch = batch_bst_sort(&keys);
+        let (seq, _) = SortProblem::new(&keys).solve(&seq_cfg());
+        let (batch, _) = BatchSortProblem::new(&keys).solve(&par_cfg());
         prop_assert_eq!(&batch.tree, &seq.tree);
         prop_assert_eq!(batch.sorted_indices, seq.sorted_indices);
         // Batch never does fewer comparisons than sequential.
@@ -42,7 +51,7 @@ proptest! {
 
     #[test]
     fn parallel_rounds_equal_tree_height(keys in distinct_keys()) {
-        let par = parallel_bst_sort(&keys);
-        prop_assert_eq!(par.log.rounds(), par.tree.dependence_depth());
+        let (par, report) = SortProblem::new(&keys).solve(&par_cfg());
+        prop_assert_eq!(report.depth, par.tree.dependence_depth());
     }
 }

@@ -30,8 +30,11 @@ fn main() {
     };
     println!("facility placement over {} demand points\n", pts.len());
 
+    // One engine configuration for all three solvers.
+    let cfg = RunConfig::new();
+
     // 1. Minimax hub: smallest enclosing disk.
-    let sed = sed_parallel(&pts);
+    let (sed, sed_report) = EnclosingProblem::new(&pts).solve(&cfg);
     println!(
         "hub (minimax center) : {}  worst-case distance {:.4}",
         sed.disk.center,
@@ -39,7 +42,7 @@ fn main() {
     );
     println!(
         "                       {} boundary updates, {} containment tests (O(n) expected)",
-        sed.stats.specials.len(),
+        sed_report.specials.len(),
         sed.contains_tests
     );
 
@@ -65,10 +68,13 @@ fn main() {
         objective: toward_hub,
         constraints: zoning,
     };
-    let lp = lp_parallel(&inst);
-    match lp.outcome {
+    let (lp_outcome, lp_report) = LpProblem::new(&inst).solve(&cfg);
+    match lp_outcome {
         LpOutcome::Optimal(x) => {
-            println!("zoned hub            : {x}  ({} tight constraints)", lp.stats.specials.len());
+            println!(
+                "zoned hub            : {x}  ({} tight constraints)",
+                lp_report.specials.len()
+            );
             let shift = x.dist(sed.disk.center);
             println!("                       moved {shift:.4} from the minimax center");
         }
@@ -76,13 +82,13 @@ fn main() {
     }
 
     // 3. Duplicate-request detection: closest pair of demand points.
-    let cp = closest_pair_parallel(&pts);
+    let (cp, cp_report) = ClosestPairProblem::new(&pts).solve(&cfg);
     println!(
         "closest demand pair  : #{} and #{} at distance {:.3e} ({} grid rebuilds)",
         cp.pair.0,
         cp.pair.1,
         cp.dist,
-        cp.stats.specials.len()
+        cp_report.specials.len()
     );
 
     println!(

@@ -30,13 +30,14 @@ fn main() {
             order.iter().map(|&i| raw[i]).collect::<Vec<_>>()
         };
         let m = pts.len() as f64;
+        let problem = DelaunayProblem::new(&pts);
 
         let t0 = Instant::now();
-        let seq = delaunay_sequential(&pts);
+        let (seq, _) = problem.solve(&RunConfig::new().sequential());
         let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();
-        let par = delaunay_parallel(&pts);
+        let (par, par_report) = problem.solve(&RunConfig::new().parallel());
         let par_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         par.mesh
@@ -51,7 +52,7 @@ fn main() {
             "{:<16} {:>9} {:>7} {:>12} {:>9.2} {:>9} {:>8.1} {:>8.1}",
             dist.name(),
             par.mesh.finite_triangles().len(),
-            par.rounds.as_ref().unwrap().rounds(),
+            par_report.depth,
             par.stats.incircle_tests,
             par.stats.incircle_tests as f64 / (m * m.ln()),
             par.stats.skipped_tests,

@@ -46,7 +46,9 @@ fn main() {
         r
     };
     let t0 = std::time::Instant::now();
-    let le = le_lists_parallel(&g, &order);
+    let (le, _) = LeListsProblem::new(&g)
+        .with_order(order.clone())
+        .solve(&RunConfig::new());
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(
         "LE-lists built: n = {nn}, m = {}, avg list len {:.2} (H_n = {:.2}), {:.1} ms\n",
@@ -81,7 +83,10 @@ fn main() {
             };
             let err = (estimate - exact as f64).abs() / exact.max(1) as f64;
             rel_errors.push(err);
-            println!("{u:>8} {r:>4} {exact:>10} {estimate:>10.0} {:>7.0}%", err * 100.0);
+            println!(
+                "{u:>8} {r:>4} {exact:>10} {estimate:>10.0} {:>7.0}%",
+                err * 100.0
+            );
         }
     }
     let mean_err = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;

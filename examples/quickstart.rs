@@ -9,12 +9,18 @@ fn main() {
     let n = 1 << 14;
     println!("parallel-ri quickstart (n = {n})\n");
 
+    // One engine configuration drives every algorithm below.
+    let cfg = RunConfig::new();
+
     // ---- §3: comparison sorting by parallel BST insertion (Type 1) ----
     let keys = random_permutation(n, 42);
-    let seq = sequential_bst_sort(&keys);
-    let par = parallel_bst_sort(&keys);
+    let (seq, _) = SortProblem::new(&keys).solve(&cfg.clone().sequential());
+    let (par, report) = SortProblem::new(&keys).solve(&cfg);
     assert_eq!(seq.tree, par.tree, "Theorem 3.2: identical trees");
-    println!("sort       : {n} keys sorted in {} parallel rounds", par.log.rounds());
+    println!(
+        "sort       : {n} keys sorted in {} parallel rounds",
+        report.depth
+    );
     println!(
         "             dependence depth {} vs e·ln n ≈ {:.1} (Lemma 3.1)",
         par.tree.dependence_depth(),
@@ -23,9 +29,9 @@ fn main() {
 
     // ---- §4: Delaunay triangulation (Type 1, nested) ----
     let pts = PointDistribution::UniformSquare.generate(n, 7);
-    let dt = delaunay_parallel(&pts);
+    let (dt, dt_report) = DelaunayProblem::new(&pts).solve(&cfg);
     dt.mesh.validate().expect("valid Delaunay triangulation");
-    let rounds = dt.rounds.as_ref().unwrap().rounds();
+    let rounds = dt_report.depth;
     let bound = 24.0 * (n as f64) * (n as f64).ln();
     println!(
         "delaunay   : {} triangles in {rounds} rounds; {} InCircle tests (24 n ln n = {:.0})",
@@ -36,51 +42,49 @@ fn main() {
 
     // ---- §5.1: 2-D linear programming (Type 2) ----
     let inst = ri_lp::workloads::tangent_instance(n, 3);
-    let run = lp_parallel(&inst);
-    match run.outcome {
+    let (outcome, lp_report) = LpProblem::new(&inst).solve(&cfg);
+    match outcome {
         LpOutcome::Optimal(x) => println!(
             "lp         : optimum {x} after {} tight constraints (≈ 2 ln n = {:.1})",
-            run.stats.specials.len(),
+            lp_report.specials.len(),
             2.0 * (n as f64).ln()
         ),
         LpOutcome::Infeasible => unreachable!("tangent instances are feasible"),
     }
 
     // ---- §5.2: closest pair (Type 2) ----
-    let cp = closest_pair_parallel(&pts);
+    let (cp, cp_report) = ClosestPairProblem::new(&pts).solve(&cfg);
     println!(
         "closestpair: distance {:.2e} between points {:?} ({} grid rebuilds)",
         cp.dist,
         cp.pair,
-        cp.stats.specials.len()
+        cp_report.specials.len()
     );
 
     // ---- §5.3: smallest enclosing disk (Type 2) ----
-    let sed = sed_parallel(&pts);
+    let (sed, sed_report) = EnclosingProblem::new(&pts).solve(&cfg);
     println!(
         "enclosing  : radius {:.4} after {} boundary updates",
         sed.disk.radius(),
-        sed.stats.specials.len()
+        sed_report.specials.len()
     );
 
     // ---- §6.1: least-element lists (Type 3) ----
     // Weighted graph: distinct distances, so list lengths follow H_n
     // (unweighted graphs truncate lists at diameter+1 entries).
     let g = parallel_ri::graph::generators::gnm_weighted(n, 8 * n, 5, true);
-    let order = random_permutation(n, 6);
-    let le = le_lists_parallel(&g, &order);
+    let (le, le_report) = LeListsProblem::new(&g).solve(&cfg.clone().seed(6));
     println!(
         "le-lists   : avg list length {:.2} (H_n = {:.2}), max {} over {} rounds",
         le.total_entries() as f64 / n as f64,
         harmonic(n),
         le.max_list_len(),
-        le.stats.rounds.as_ref().unwrap().rounds()
+        le_report.depth
     );
 
     // ---- §6.2: strongly connected components (Type 3) ----
     let dg = parallel_ri::graph::generators::gnm(n, 2 * n, 8, false);
-    let order = random_permutation(n, 9);
-    let scc = scc_parallel(&dg, &order);
+    let (scc, scc_report) = SccProblem::new(&dg).solve(&cfg.clone().seed(9));
     let tarjan = tarjan_scc(&dg);
     assert_eq!(canonical_labels(&scc.comp), canonical_labels(&tarjan));
     let num_comps = {
@@ -91,9 +95,10 @@ fn main() {
     };
     println!(
         "scc        : {num_comps} components (== Tarjan), {} reachability query pairs, max {} visits/vertex",
-        scc.stats.queries,
-        scc.stats.max_visits_per_vertex()
+        scc.queries,
+        scc.visits_per_vertex.iter().copied().max().unwrap_or(0)
     );
+    let _ = scc_report;
 
     println!("\nAll parallel runs reproduced their sequential counterparts exactly.");
 }

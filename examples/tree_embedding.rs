@@ -33,7 +33,9 @@ fn main() {
     };
 
     let t0 = std::time::Instant::now();
-    let le = le_lists_parallel(&g, &order);
+    let (le, _) = LeListsProblem::new(&g)
+        .with_order(order.clone())
+        .solve(&RunConfig::new());
     let le_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Distance scales: weights are in [1,2), so shortest paths are ≲ 2·diam
@@ -87,8 +89,11 @@ fn main() {
 
     println!("FRT-style tree embedding via parallel LE-lists");
     println!("  n = {n}, m = {}, levels = {}", g.num_edges(), levels + 1);
-    println!("  LE-lists: {le_ms:.1} ms  (avg len {:.2}, H_n = {:.2})",
-        le.total_entries() as f64 / n as f64, harmonic(n));
+    println!(
+        "  LE-lists: {le_ms:.1} ms  (avg len {:.2}, H_n = {:.2})",
+        le.total_entries() as f64 / n as f64,
+        harmonic(n)
+    );
     println!("  chains  : {build_ms:.1} ms");
     println!(
         "  stretch over {} pairs: mean {:.2}, median {:.2}, p95 {:.2}, max {:.2}",
@@ -113,8 +118,8 @@ fn main() {
     );
     // Verify rank monotonicity of chains: centers' ranks never increase
     // with level (larger balls can only find lower-rank centers).
-    for u in 0..n {
-        for w in chains[u].windows(2) {
+    for chain in chains.iter().take(n) {
+        for w in chain.windows(2) {
             assert!(
                 rank_of[w[1] as usize] <= rank_of[w[0] as usize],
                 "rank must be monotone along the chain"

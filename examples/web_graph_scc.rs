@@ -33,19 +33,25 @@ fn main() {
     );
 
     let graphs: Vec<(&str, CsrGraph)> = vec![
-        ("web (rmat)", parallel_ri::graph::generators::rmat(scale, 8 * n, 1)),
-        ("gnm sparse", parallel_ri::graph::generators::gnm(n, 2 * n, 2, false)),
-        ("gnm dense", parallel_ri::graph::generators::gnm(n, 8 * n, 3, false)),
-        ("dag", parallel_ri::graph::generators::random_dag(n, 4 * n, 4)),
+        (
+            "web (rmat)",
+            parallel_ri::graph::generators::rmat(scale, 8 * n, 1),
+        ),
+        (
+            "gnm sparse",
+            parallel_ri::graph::generators::gnm(n, 2 * n, 2, false),
+        ),
+        (
+            "gnm dense",
+            parallel_ri::graph::generators::gnm(n, 8 * n, 3, false),
+        ),
+        (
+            "dag",
+            parallel_ri::graph::generators::random_dag(n, 4 * n, 4),
+        ),
         (
             "planted",
-            parallel_ri::graph::generators::planted_sccs(
-                &vec![n / 64; 64],
-                4 * n,
-                2 * n,
-                5,
-            )
-            .0,
+            parallel_ri::graph::generators::planted_sccs(&vec![n / 64; 64], 4 * n, 2 * n, 5).0,
         ),
     ];
 
@@ -58,7 +64,9 @@ fn main() {
         let tarjan_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();
-        let par = scc_parallel(&g, &order);
+        let (par, par_report) = SccProblem::new(&g)
+            .with_order(order.clone())
+            .solve(&RunConfig::new());
         let par_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         assert_eq!(
@@ -72,9 +80,9 @@ fn main() {
             name,
             g.num_edges(),
             count_components(&base),
-            par.stats.queries,
-            par.stats.max_visits_per_vertex(),
-            par.stats.rounds.as_ref().unwrap().rounds(),
+            par.queries,
+            par.visits_per_vertex.iter().copied().max().unwrap_or(0),
+            par_report.depth,
             tarjan_ms,
             par_ms,
         );

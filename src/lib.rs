@@ -13,7 +13,7 @@
 //!
 //! | Module | Contents | Paper |
 //! |---|---|---|
-//! | [`framework`] | iteration dependence graphs, Type 1/2/3 executors | §2 |
+//! | [`framework`] | dependence graphs, Type 1/2/3 executors, the `Runner` engine | §2 |
 //! | [`pram`] | parallel primitives (priority writes, scans, semisort, ...) | Prelims |
 //! | [`geometry`] | exact predicates, shapes, point distributions | §4–5 |
 //! | [`graph`] | CSR digraphs, generators, searches | §6 |
@@ -27,27 +27,40 @@
 //!
 //! ## Quickstart
 //!
+//! Every algorithm solves through one engine: build a [`RunConfig`]
+//! (seed, `Sequential`/`Parallel` mode, worker threads, instrumentation),
+//! call `solve`, get the answer plus a unified [`RunReport`] (rounds,
+//! work, measured dependence depth, JSON serialization).
+//!
 //! ```
 //! use parallel_ri::prelude::*;
 //!
+//! let cfg = RunConfig::new().seed(42);
+//!
 //! // Sort by parallel BST insertion (§3): same tree as the sequential run.
 //! let keys = random_permutation(1000, 42);
-//! let sorted = parallel_bst_sort(&keys);
+//! let (sorted, report) = SortProblem::new(&keys).solve(&cfg);
 //! assert_eq!(sorted.sorted_indices.len(), 1000);
+//! assert!(report.depth < 70); // O(log n) whp (Lemma 3.1)
 //!
 //! // Delaunay-triangulate random points (§4).
 //! let pts = PointDistribution::UniformSquare.generate(200, 7);
-//! let dt = delaunay_parallel(&pts);
+//! let (dt, _) = DelaunayProblem::new(&pts).solve(&cfg);
 //! dt.mesh.validate().unwrap();
 //!
 //! // Strongly connected components (§6.2), validated against Tarjan.
 //! let g = parallel_ri::graph::generators::gnm(300, 900, 1, false);
-//! let order = random_permutation(300, 2);
-//! let comps = scc_parallel(&g, &order);
+//! let (comps, report) = SccProblem::new(&g).solve(&cfg.clone().seed(2));
 //! assert_eq!(
 //!     canonical_labels(&comps.comp),
 //!     canonical_labels(&tarjan_scc(&g)),
 //! );
+//!
+//! // Sequential mode reproduces the same components, and every run
+//! // serializes to one JSON line for the bench harness.
+//! let (seq, seq_report) = SccProblem::new(&g).solve(&cfg.clone().seed(2).sequential());
+//! assert_eq!(canonical_labels(&seq.comp), canonical_labels(&comps.comp));
+//! assert_eq!(RunReport::from_json(&report.to_json()).unwrap(), report);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -113,21 +126,26 @@ pub mod scc {
 }
 
 /// One-stop imports for examples and applications.
+///
+/// The engine API (`RunConfig` + per-algorithm `*Problem` types) is the
+/// supported surface; the pre-engine free functions remain importable from
+/// the algorithm modules but are deprecated.
 pub mod prelude {
-    pub use ri_closest_pair::{closest_pair_parallel, closest_pair_sequential};
+    pub use ri_closest_pair::{ClosestPairOutput, ClosestPairProblem};
+    pub use ri_core::engine::{
+        ExecMode, Executable, Phase, Problem, RunConfig, RunReport, Runner, Type1Adapter,
+        Type2Adapter, Type3Adapter,
+    };
     pub use ri_core::{harmonic, DependenceGraph, Permutation};
-    pub use ri_delaunay::{delaunay_parallel, delaunay_sequential};
-    pub use ri_enclosing::{sed_parallel, sed_sequential};
+    pub use ri_delaunay::{DelaunayProblem, DtOutput};
+    pub use ri_enclosing::{EnclosingProblem, SedOutput};
     pub use ri_geometry::{Point2, PointDistribution};
     pub use ri_graph::CsrGraph;
-    pub use ri_le_lists::{le_lists_parallel, le_lists_sequential};
-    pub use ri_lp::{
-        lp_d_parallel, lp_d_sequential, lp_parallel, lp_sequential, LpInstance, LpInstanceD,
-        LpOutcome, LpOutcomeD,
-    };
+    pub use ri_le_lists::{LeListsOutput, LeListsProblem};
+    pub use ri_lp::{LpInstance, LpInstanceD, LpOutcome, LpOutcomeD, LpProblem, LpProblemD};
     pub use ri_pram::{knuth_shuffle_parallel, knuth_shuffle_sequential, random_permutation};
     pub use ri_scc::{
-        canonical_labels, scc_parallel, scc_parallel_deterministic, scc_sequential, tarjan_scc,
+        canonical_labels, scc_parallel_deterministic, tarjan_scc, SccOutput, SccProblem,
     };
-    pub use ri_sort::{batch_bst_sort, parallel_bst_sort, sequential_bst_sort};
+    pub use ri_sort::{BatchSortProblem, SortOutput, SortProblem};
 }

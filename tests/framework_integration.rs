@@ -1,7 +1,7 @@
 //! Integration tests: the §2 framework executors driving the real
 //! algorithms across crate boundaries.
 
-use parallel_ri::framework::{run_type1, Type1Algorithm};
+use parallel_ri::framework::Type1Algorithm;
 use parallel_ri::prelude::*;
 
 /// Plug the BST sort into the *generic* Type 1 round scheduler and check
@@ -20,7 +20,7 @@ impl<'a> GenericBstSort<'a> {
         // The dependence of iteration i is its parent in the final tree
         // (§3: the transitive reduction of the dependence graph is the BST
         // itself) — compute it once via the sequential algorithm.
-        let seq = sequential_bst_sort(keys);
+        let (seq, _) = SortProblem::new(keys).solve(&RunConfig::new().sequential());
         let n = keys.len();
         let mut parent = vec![None; n];
         for v in 0..n {
@@ -56,14 +56,15 @@ impl Type1Algorithm for GenericBstSort<'_> {
 
 #[test]
 fn generic_type1_scheduler_matches_specialised_sort_depth() {
+    let runner = Runner::new(RunConfig::new());
     for seed in 0..5 {
         let keys = random_permutation(4000, seed);
         let mut generic = GenericBstSort::new(&keys);
         let depth_tree = generic.seq_tree.dependence_depth();
-        let log = run_type1(&mut generic);
-        let par = parallel_bst_sort(&keys);
-        assert_eq!(log.rounds(), depth_tree, "generic scheduler rounds");
-        assert_eq!(par.log.rounds(), depth_tree, "specialised sort rounds");
+        let report = runner.run(&mut Type1Adapter(&mut generic));
+        let (_, par_report) = SortProblem::new(&keys).solve(&RunConfig::new());
+        assert_eq!(report.depth, depth_tree, "generic scheduler rounds");
+        assert_eq!(par_report.depth, depth_tree, "specialised sort rounds");
     }
 }
 
@@ -73,18 +74,17 @@ fn dependence_depth_scales_logarithmically_across_algorithms() {
     for &n in &[1usize << 10, 1 << 12, 1 << 14] {
         let log2n = (n as f64).log2();
 
+        let cfg = RunConfig::new();
         let keys = random_permutation(n, 1);
-        let sort_rounds = parallel_bst_sort(&keys).log.rounds() as f64;
+        let sort_rounds = SortProblem::new(&keys).solve(&cfg).1.depth as f64;
         assert!(sort_rounds < 6.0 * log2n, "sort depth at n={n}");
 
         let pts = PointDistribution::UniformSquare.generate(n, 2);
-        let dt = delaunay_parallel(&pts);
-        let dt_rounds = dt.rounds.unwrap().rounds() as f64;
+        let dt_rounds = DelaunayProblem::new(&pts).solve(&cfg).1.depth as f64;
         assert!(dt_rounds < 12.0 * log2n, "delaunay depth at n={n}");
 
         let g = parallel_ri::graph::generators::gnm(n, 4 * n, 3, false);
-        let order = random_permutation(n, 4);
-        let scc_rounds = scc_parallel(&g, &order).stats.rounds.unwrap().rounds() as f64;
+        let scc_rounds = SccProblem::new(&g).solve(&cfg.clone().seed(4)).1.depth as f64;
         assert!(scc_rounds <= log2n + 2.0, "scc rounds at n={n}");
     }
 }
@@ -95,13 +95,14 @@ fn specials_track_harmonic_series_across_type2_algorithms() {
     let trials = 6;
     let hn = harmonic(n);
     let (mut lp_total, mut cp_total, mut sed_total) = (0usize, 0usize, 0usize);
+    let cfg = RunConfig::new();
     for seed in 0..trials {
         let inst = ri_lp::workloads::tangent_instance(n, seed);
-        lp_total += lp_parallel(&inst).stats.specials.len();
+        lp_total += LpProblem::new(&inst).solve(&cfg).1.specials.len();
 
         let pts = PointDistribution::UniformSquare.generate(n, seed);
-        cp_total += closest_pair_parallel(&pts).stats.specials.len();
-        sed_total += sed_parallel(&pts).stats.specials.len();
+        cp_total += ClosestPairProblem::new(&pts).solve(&cfg).1.specials.len();
+        sed_total += EnclosingProblem::new(&pts).solve(&cfg).1.specials.len();
     }
     let (lp_avg, cp_avg, sed_avg) = (
         lp_total as f64 / trials as f64,
@@ -124,10 +125,16 @@ fn corollary_2_4_dependence_counts() {
     let trials = 5;
     for seed in 0..trials {
         let keys = random_permutation(n, seed);
-        total += sequential_bst_sort(&keys).comparisons;
+        total += SortProblem::new(&keys)
+            .solve(&RunConfig::new().sequential())
+            .0
+            .comparisons;
     }
     let avg = total as f64 / trials as f64;
-    assert!(avg < bound, "avg comparisons {avg} above 2 n ln n = {bound}");
+    assert!(
+        avg < bound,
+        "avg comparisons {avg} above 2 n ln n = {bound}"
+    );
     // And it is within 2x of the bound (the true constant is ~1.39 n log₂ n
     // = 2 n ln n exactly, minus lower-order terms).
     assert!(avg > 0.5 * bound, "avg comparisons {avg} implausibly small");

@@ -1,6 +1,8 @@
 //! End-to-end pipelines across crates: realistic compositions a downstream
 //! user would build, checked for internal consistency.
 
+use std::collections::HashMap;
+
 use parallel_ri::prelude::*;
 
 /// Geometry pipeline: points → Delaunay → closest pair must be an edge of
@@ -17,18 +19,26 @@ fn delaunay_closest_pair_enclosing_consistency() {
             order.iter().map(|&i| raw[i]).collect::<Vec<_>>()
         };
 
-        let dt = delaunay_parallel(&pts);
+        let cfg = RunConfig::new();
+        let (dt, _) = DelaunayProblem::new(&pts).solve(&cfg);
         dt.mesh.validate().unwrap();
 
         // The closest pair (computed independently) must be a Delaunay edge.
-        let cp = closest_pair_parallel(&pts);
-        // Map from the caller's order to the mesh's (seed-reordered) points.
+        let (cp, _) = ClosestPairProblem::new(&pts).solve(&cfg);
+        // Map from the caller's order to the mesh's (seed-reordered) points:
+        // one hash map keyed on coordinate bits, built once (points are
+        // exact copies, so bit equality is point equality).
+        let index: HashMap<(u64, u64), u32> = dt
+            .mesh
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((p.x.to_bits(), p.y.to_bits()), i as u32))
+            .collect();
         let locate = |p: Point2| -> u32 {
-            dt.mesh
-                .points
-                .iter()
-                .position(|&q| q == p)
-                .expect("point survives reordering") as u32
+            *index
+                .get(&(p.x.to_bits(), p.y.to_bits()))
+                .expect("point survives reordering")
         };
         let (a, b) = (
             locate(pts[cp.pair.0 as usize]),
@@ -41,7 +51,7 @@ fn delaunay_closest_pair_enclosing_consistency() {
         assert!(is_edge, "closest pair not a Delaunay edge at seed {seed}");
 
         // The smallest enclosing disk contains every mesh point.
-        let sed = sed_parallel(&pts);
+        let (sed, _) = EnclosingProblem::new(&pts).solve(&cfg);
         for &p in &dt.mesh.points {
             assert!(sed.disk.contains(p));
         }
@@ -59,9 +69,12 @@ fn scc_and_le_lists_agree_on_reachability() {
         let g = parallel_ri::graph::generators::gnm(n, 3 * n, seed, false);
         let order = random_permutation(n, seed ^ 0x77);
 
-        let scc = scc_parallel(&g, &order);
+        let cfg = RunConfig::new();
+        let (scc, _) = SccProblem::new(&g).with_order(order.clone()).solve(&cfg);
         let labels = canonical_labels(&scc.comp);
-        let le = le_lists_parallel(&g, &order);
+        let (le, _) = LeListsProblem::new(&g)
+            .with_order(order.clone())
+            .solve(&cfg);
 
         // An LE-list entry (src, d) at u certifies a path src → u. If both
         // endpoints are in the same SCC that is consistent by definition;
@@ -90,7 +103,7 @@ fn permutation_roundtrip_through_algorithms() {
     let n = 1000;
     let perm = Permutation::uniform(n, 99);
     // Sort the order array: the result must be the identity ranking.
-    let sorted = parallel_bst_sort(&perm.order);
+    let (sorted, _) = SortProblem::new(&perm.order).solve(&RunConfig::new());
     let recovered: Vec<usize> = sorted
         .sorted_indices
         .iter()
@@ -107,16 +120,16 @@ fn permutation_roundtrip_through_algorithms() {
 #[test]
 fn end_to_end_determinism() {
     let run = || {
+        let cfg = RunConfig::new().seed(5);
         let pts = PointDistribution::Clusters(5).generate(500, 3);
-        let dt = delaunay_parallel(&pts);
+        let (dt, _) = DelaunayProblem::new(&pts).solve(&cfg);
         let g = parallel_ri::graph::generators::gnm_weighted(300, 1200, 4, false);
-        let order = random_permutation(300, 5);
-        let le = le_lists_parallel(&g, &order);
+        let (le, le_report) = LeListsProblem::new(&g).solve(&cfg);
         (
             dt.stats.clone(),
             dt.mesh.finite_triangles().len(),
             le.total_entries(),
-            le.stats.visits,
+            le_report.checks,
         )
     };
     assert_eq!(run(), run(), "pipeline must be deterministic given seeds");

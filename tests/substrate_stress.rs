@@ -17,7 +17,7 @@ fn knuth_shuffle_scales_and_matches() {
     );
     // And the result is the uniform permutation family the algorithms
     // consume: feed it through the sorter as a round-trip.
-    let sorted = parallel_bst_sort(&par);
+    let (sorted, _) = SortProblem::new(&par).solve(&RunConfig::new());
     let recovered: Vec<usize> = sorted.sorted_indices.iter().map(|&i| par[i]).collect();
     assert_eq!(recovered, (0..n).collect::<Vec<_>>());
 }
@@ -26,15 +26,17 @@ fn knuth_shuffle_scales_and_matches() {
 fn deterministic_scc_agrees_with_eager_on_all_families() {
     use parallel_ri::graph::generators as gen;
     let n = 1 << 10;
-    let graphs = vec![
+    let graphs = [
         gen::gnm(n, 3 * n, 1, false),
         gen::random_dag(n, 3 * n, 2),
         gen::rmat(10, 4 * n, 3),
-        gen::planted_sccs(&vec![n / 16; 16], n, n, 4).0,
+        gen::planted_sccs(&[n / 16; 16], n, n, 4).0,
     ];
     for (gi, g) in graphs.iter().enumerate() {
         let order = random_permutation(g.num_vertices(), 7 + gi as u64);
-        let eager = scc_parallel(g, &order);
+        let (eager, _) = SccProblem::new(g)
+            .with_order(order.clone())
+            .solve(&RunConfig::new());
         let det = parallel_ri::scc::scc_parallel_deterministic(g, &order);
         let want = canonical_labels(&tarjan_scc(g));
         assert_eq!(canonical_labels(&eager.comp), want, "eager, graph {gi}");
@@ -65,8 +67,9 @@ fn delaunay_survives_adversarial_mixtures() {
     let order = random_permutation(pts.len(), 10);
     let shuffled: Vec<Point2> = order.iter().map(|&i| pts[i]).collect();
 
-    let seq = delaunay_sequential(&shuffled);
-    let par = delaunay_parallel(&shuffled);
+    let problem = DelaunayProblem::new(&shuffled);
+    let (seq, _) = problem.solve(&RunConfig::new().sequential());
+    let (par, _) = problem.solve(&RunConfig::new().parallel());
     seq.mesh.validate().expect("sequential mesh valid");
     par.mesh.validate().expect("parallel mesh valid");
     assert_eq!(seq.stats, par.stats, "identical ReplaceBoundary calls");
@@ -89,8 +92,12 @@ fn le_lists_weighted_vs_unweighted_consistency() {
     }
     let gw = CsrGraph::from_weighted_edges(n, &edges, &weights);
     let order = random_permutation(n, 12);
-    let a = le_lists_parallel(&g, &order);
-    let b = le_lists_parallel(&gw, &order);
+    let (a, _) = LeListsProblem::new(&g)
+        .with_order(order.clone())
+        .solve(&RunConfig::new());
+    let (b, _) = LeListsProblem::new(&gw)
+        .with_order(order)
+        .solve(&RunConfig::new());
     assert_eq!(a.lists, b.lists);
 }
 
@@ -102,7 +109,13 @@ fn sort_handles_pathological_key_patterns() {
     let patterns: Vec<Vec<i64>> = vec![
         (0..n).map(|i| ((i % 97) * 1000 + i / 97) as i64).collect(), // sawtooth
         (0..n)
-            .map(|i| if i % 2 == 0 { i as i64 } else { (2 * n - i) as i64 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    i as i64
+                } else {
+                    (2 * n - i) as i64
+                }
+            })
             .collect(), // organ pipe
         (0..n)
             .map(|i| i as i64 + if i % 100 == 0 { 150 } else { 0 })
@@ -111,8 +124,9 @@ fn sort_handles_pathological_key_patterns() {
             .collect(), // nearly sorted with spikes, deduped
     ];
     for (pi, keys) in patterns.iter().enumerate() {
-        let seq = sequential_bst_sort(keys);
-        let par = parallel_bst_sort(keys);
+        let problem = SortProblem::new(keys);
+        let (seq, _) = problem.solve(&RunConfig::new().sequential());
+        let (par, _) = problem.solve(&RunConfig::new().parallel());
         assert_eq!(seq.tree, par.tree, "pattern {pi}");
         let got: Vec<&i64> = seq.sorted(keys);
         let mut want: Vec<&i64> = keys.iter().collect();

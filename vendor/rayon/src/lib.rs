@@ -1,0 +1,571 @@
+//! Offline stand-in for the subset of the `rayon` crate API this workspace
+//! uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! minimal, API-compatible re-implementations of its external dependencies.
+//! This one provides genuinely parallel data-parallel combinators on top of
+//! `std::thread::scope`:
+//!
+//! * sources: `par_iter` / `par_chunks` on slices, `par_chunks_mut` on
+//!   mutable slices, `into_par_iter` on ranges and vectors;
+//! * combinators: `map`, `filter`, `filter_map`, `flat_map_iter`,
+//!   `for_each`, `zip`, `enumerate`, `copied`/`cloned`, `find_first`,
+//!   `fold`, `reduce`, `reduce_with`, `sum`, `max`, `min`, `collect`;
+//! * `current_num_threads`, `ThreadPoolBuilder` / `ThreadPool::install`
+//!   (a scoped worker-count override, which is how the engine's
+//!   [`RunConfig`](https://docs.rs) thread knob is realised).
+//!
+//! Design differences from real rayon, none of which change results:
+//!
+//! * Combinators are **eager**: each one runs its closure over all items in
+//!   parallel immediately and materialises the output, instead of building
+//!   a lazy fused pipeline. Order is always preserved, so `collect` equals
+//!   the sequential result exactly — the property every test in this
+//!   workspace asserts.
+//! * Work is split into one contiguous chunk per worker (no work stealing).
+//!   Small inputs (below [`MIN_PAR_LEN`]) run inline on the calling thread,
+//!   so tiny rounds of the executors pay no spawn cost.
+//! * `ThreadPool::install` scopes a thread-count override on the calling
+//!   thread rather than moving work to dedicated pool threads. Nested
+//!   parallel calls from worker threads fall back to the global default.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs shorter than this run sequentially on the calling thread: below
+/// it, `std::thread` spawn overhead dominates any parallel win.
+pub const MIN_PAR_LEN: usize = 2048;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Builder for a scoped thread-count override, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (building cannot actually
+/// fail here; the `Result` mirrors rayon's signature).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker-thread count (`0` means the global default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// A scoped worker-count override (stand-in for `rayon::ThreadPool`).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker threads this pool uses.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Split a vector into `n` nearly equal contiguous parts, preserving order.
+fn split_vec<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut parts = Vec::with_capacity(n);
+    // Split off from the back so each split is O(part).
+    for i in (0..n).rev() {
+        let part_len = base + usize::from(i < extra);
+        let tail = items.split_off(items.len() - part_len);
+        parts.push(tail);
+    }
+    parts.reverse();
+    parts
+}
+
+/// How many workers to use for `len` items under the current setting.
+fn workers_for(len: usize) -> usize {
+    if len < MIN_PAR_LEN {
+        return 1;
+    }
+    current_num_threads().clamp(1, len.div_ceil(MIN_PAR_LEN / 2))
+}
+
+/// Run `per_chunk` over order-preserving contiguous chunks of `items`,
+/// one scoped thread per chunk, and return the per-chunk results in order.
+/// Panics in workers propagate to the caller with their original payload.
+fn run_chunked<T, R, F>(items: Vec<T>, per_chunk: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, Vec<T>) -> R + Sync,
+{
+    let n = workers_for(items.len());
+    if n <= 1 {
+        return vec![per_chunk(0, items)];
+    }
+    // Record each chunk's starting offset before moving the chunks out.
+    let chunks = split_vec(items, n);
+    let mut offsets = Vec::with_capacity(n);
+    let mut acc = 0usize;
+    for c in &chunks {
+        offsets.push(acc);
+        acc += c.len();
+    }
+    let f = &per_chunk;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .zip(offsets)
+            .map(|(chunk, base)| s.spawn(move || f(base, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// An eagerly materialised parallel iterator: a vector of items plus
+/// parallel combinators.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Wrap already materialised items.
+    pub fn from_vec(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Emptiness test.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parallel map, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let parts = run_chunked(self.items, |_, chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        });
+        ParIter {
+            items: parts.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter, preserving order.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let parts = run_chunked(self.items, |_, chunk| {
+            chunk.into_iter().filter(&pred).collect::<Vec<T>>()
+        });
+        ParIter {
+            items: parts.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter-map, preserving order.
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        let parts = run_chunked(self.items, |_, chunk| {
+            chunk.into_iter().filter_map(&f).collect::<Vec<R>>()
+        });
+        ParIter {
+            items: parts.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel flat-map over a sequential inner iterator, preserving order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let parts = run_chunked(self.items, |_, chunk| {
+            chunk.into_iter().flat_map(&f).collect::<Vec<I::Item>>()
+        });
+        ParIter {
+            items: parts.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, |_, chunk| chunk.into_iter().for_each(&f));
+    }
+
+    /// Pairwise zip (glue only; downstream combinators parallelise).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Index each item (glue only).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// First item matching `pred`, in original order, searched in parallel
+    /// with early exit once an earlier chunk has matched.
+    pub fn find_first<F>(self, pred: F) -> Option<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let best = AtomicUsize::new(usize::MAX);
+        let mut hits: Vec<Option<(usize, T)>> = run_chunked(self.items, |base, chunk| {
+            for (i, x) in chunk.into_iter().enumerate() {
+                if best.load(Ordering::Relaxed) < base {
+                    return None; // an earlier chunk already matched
+                }
+                if pred(&x) {
+                    best.fetch_min(base + i, Ordering::Relaxed);
+                    return Some((base + i, x));
+                }
+            }
+            None
+        });
+        hits.iter_mut()
+            .filter_map(Option::take)
+            .min_by_key(|&(i, _)| i)
+            .map(|(_, x)| x)
+    }
+
+    /// Parallel fold: each chunk folds from a fresh `identity()`, yielding
+    /// one accumulator per chunk (rayon's `fold` contract).
+    pub fn fold<B, ID, F>(self, identity: ID, fold_op: F) -> ParIter<B>
+    where
+        B: Send,
+        ID: Fn() -> B + Sync,
+        F: Fn(B, T) -> B + Sync,
+    {
+        let parts = run_chunked(self.items, |_, chunk| {
+            chunk.into_iter().fold(identity(), &fold_op)
+        });
+        ParIter { items: parts }
+    }
+
+    /// Parallel reduce against an identity.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let parts = run_chunked(self.items, |_, chunk| {
+            chunk.into_iter().fold(identity(), &op)
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    /// Parallel reduce of a possibly empty iterator.
+    pub fn reduce_with<F>(self, op: F) -> Option<T>
+    where
+        F: Fn(T, T) -> T + Sync,
+    {
+        let parts = run_chunked(self.items, |_, chunk| chunk.into_iter().reduce(&op));
+        parts.into_iter().flatten().reduce(&op)
+    }
+
+    /// Sum (the heavy work upstream is already parallel).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Number of items (consuming, to mirror rayon).
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Gather into any `FromIterator` collection, in order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    /// Copy out of references (glue only).
+    pub fn copied(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> ParIter<&T> {
+    /// Clone out of references (glue only).
+    pub fn cloned(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().cloned().collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator (owned sources: vectors, ranges).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Borrowing parallel iteration over slices (and anything derefing to one).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over contiguous `&[T]` chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over contiguous `&mut [T]` chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// One-stop imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_large() {
+        let v: Vec<usize> = (0..100_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..100_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_and_flat_map_preserve_order() {
+        let out: Vec<usize> = (0..50_000usize)
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .collect();
+        assert_eq!(out, (0..50_000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+        let out: Vec<usize> = (0..10_000usize)
+            .into_par_iter()
+            .flat_map_iter(|x| [x, x + 1])
+            .collect();
+        assert_eq!(out.len(), 20_000);
+        assert_eq!(out[0..4], [0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn find_first_is_first() {
+        let v: Vec<usize> = (0..200_000).collect();
+        assert_eq!(v.par_iter().find_first(|&&x| x >= 12_345), Some(&12_345));
+        assert_eq!(v.par_iter().find_first(|&&x| x > 1_000_000), None);
+    }
+
+    #[test]
+    fn reduce_and_sum_agree() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let s: u64 = v.par_iter().copied().sum();
+        let r = v.par_iter().copied().reduce(|| 0, u64::wrapping_add);
+        assert_eq!(s, r);
+        assert_eq!(s, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let total = v
+            .par_iter()
+            .map(|&x| x)
+            .fold(|| 0u64, |a, b| a + b)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn chunks_mut_writes_visible() {
+        let mut v = vec![0u32; 100_000];
+        v.par_chunks_mut(1000)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i as u32));
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99_999], 99);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn split_vec_covers_everything() {
+        for n in [1, 2, 3, 7] {
+            for len in [0usize, 1, 5, 100] {
+                let parts = split_vec((0..len).collect::<Vec<_>>(), n);
+                assert_eq!(parts.len(), n);
+                let flat: Vec<usize> = parts.into_iter().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>());
+            }
+        }
+    }
+}
