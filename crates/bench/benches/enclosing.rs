@@ -13,7 +13,7 @@ fn par_cfg() -> RunConfig {
     RunConfig::new().parallel().instrument(false)
 }
 
-use ri_bench::point_workload;
+use ri_geometry::point_workload;
 use ri_geometry::PointDistribution;
 
 fn bench_enclosing(c: &mut Criterion) {

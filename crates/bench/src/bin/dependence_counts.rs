@@ -5,11 +5,8 @@
 //!
 //! `cargo run -p ri-bench --release --bin dependence_counts [seeds]`
 
-// Still on the pre-engine entry points; migration to the `Runner` API is
-// tracked in ROADMAP.md ("remaining shim removals").
-#![allow(deprecated)]
-
 use ri_bench::{mean, sizes};
+use ri_core::engine::{Problem, RunConfig};
 use ri_pram::random_permutation;
 
 fn main() {
@@ -26,18 +23,23 @@ fn main() {
     println!("{header}");
     ri_bench::rule(&header);
 
+    let seq_cfg = RunConfig::new().sequential().instrument(false);
     for n in sizes(10, 16) {
         let bound = 2.0 * n as f64 * (n as f64).ln();
         let mut comps = Vec::new();
         let mut visits = Vec::new();
         for seed in 0..trials {
             let keys = random_permutation(n, seed);
-            comps.push(ri_sort::sequential_bst_sort(&keys).comparisons as f64);
+            let (sorted, _) = ri_sort::SortProblem::new(&keys).solve(&seq_cfg);
+            comps.push(sorted.comparisons as f64);
 
             if n <= 1 << 14 {
                 let g = ri_graph::generators::gnm_weighted(n, 8 * n, seed, true);
                 let order = random_permutation(n, seed ^ 3);
-                visits.push(ri_le_lists::le_lists_sequential(&g, &order).stats.visits as f64);
+                let (lists, _) = ri_le_lists::LeListsProblem::new(&g)
+                    .with_order(order)
+                    .solve(&seq_cfg);
+                visits.push(lists.visits as f64);
             }
         }
         println!(

@@ -6,11 +6,9 @@
 //!
 //! `cargo run -p ri-bench --release --bin dependence_histogram [log2_n]`
 
-// Still on the pre-engine entry points; migration to the `Runner` API is
-// tracked in ROADMAP.md ("remaining shim removals").
-#![allow(deprecated)]
-
+use ri_core::engine::{Problem, RunConfig};
 use ri_pram::random_permutation;
+use ri_sort::BatchSortProblem;
 
 fn main() {
     let log2n: u32 = std::env::args()
@@ -20,11 +18,12 @@ fn main() {
     let n = 1usize << log2n;
     let seeds = 5u64;
 
+    let par = RunConfig::new().parallel().instrument(false);
     let mut hist: Vec<u64> = Vec::new();
     for seed in 0..seeds {
         let keys = random_permutation(n, seed);
-        let r = ri_sort::batch_bst_sort(&keys);
-        for (l, &c) in r.left_dep_histogram.iter().enumerate() {
+        let (out, _) = BatchSortProblem::new(&keys).solve(&par);
+        for (l, &c) in out.left_dep_histogram.iter().enumerate() {
             if hist.len() <= l {
                 hist.resize(l + 1, 0);
             }

@@ -7,12 +7,9 @@
 //!
 //! `cargo run -p ri-bench --release --bin depth_scaling [seeds]`
 
-// Still on the pre-engine entry points; migration to the `Runner` API is
-// tracked in ROADMAP.md ("remaining shim removals").
-#![allow(deprecated)]
-
-use ri_bench::{mean, point_workload, sizes};
-use ri_geometry::PointDistribution;
+use ri_bench::{mean, sizes};
+use ri_core::engine::{Problem, RunConfig};
+use ri_geometry::{point_workload, PointDistribution};
 use ri_pram::random_permutation;
 
 fn main() {
@@ -29,6 +26,7 @@ fn main() {
     println!("{header}");
     ri_bench::rule(&header);
 
+    let par = RunConfig::new().parallel().instrument(false);
     for n in sizes(10, 16) {
         let log2n = (n as f64).log2();
         let mut sort_depths = Vec::new();
@@ -37,16 +35,17 @@ fn main() {
         let mut rounds_equal_height = true;
         for seed in 0..trials {
             let keys = random_permutation(n, seed);
-            let par = ri_sort::parallel_bst_sort(&keys);
-            rounds_equal_height &= par.log.rounds() == par.tree.dependence_depth();
-            sort_depths.push(par.log.rounds() as f64);
-            batch_rounds.push(ri_sort::batch_bst_sort(&keys).log.rounds() as f64);
+            let (out, report) = ri_sort::SortProblem::new(&keys).solve(&par);
+            rounds_equal_height &= report.depth == out.tree.dependence_depth();
+            sort_depths.push(report.depth as f64);
+            let (_, batch_report) = ri_sort::BatchSortProblem::new(&keys).solve(&par);
+            batch_rounds.push(batch_report.depth as f64);
 
             // Delaunay is costlier: sample fewer sizes at the top end.
             if n <= 1 << 14 {
                 let pts = point_workload(n, seed, PointDistribution::UniformSquare);
-                let dt = ri_delaunay::delaunay_parallel(&pts);
-                dt_rounds.push(dt.rounds.unwrap().rounds() as f64);
+                let (_, dt_report) = ri_delaunay::DelaunayProblem::new(&pts).solve(&par);
+                dt_rounds.push(dt_report.depth as f64);
             }
         }
         let sd = mean(&sort_depths);

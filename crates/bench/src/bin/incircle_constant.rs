@@ -6,12 +6,9 @@
 //!
 //! `cargo run -p ri-bench --release --bin incircle_constant [seeds]`
 
-// Still on the pre-engine entry points; migration to the `Runner` API is
-// tracked in ROADMAP.md ("remaining shim removals").
-#![allow(deprecated)]
-
-use ri_bench::{mean, point_workload, sizes};
-use ri_geometry::PointDistribution;
+use ri_bench::{mean, sizes};
+use ri_core::engine::{Problem, RunConfig};
+use ri_geometry::{point_workload, PointDistribution};
 
 fn main() {
     let trials: u64 = std::env::args()
@@ -27,6 +24,7 @@ fn main() {
     println!("{header}");
     ri_bench::rule(&header);
 
+    let seq = RunConfig::new().sequential().instrument(false);
     for dist in [
         PointDistribution::UniformSquare,
         PointDistribution::UniformDisk,
@@ -38,13 +36,13 @@ fn main() {
             let mut without = Vec::new();
             for seed in 0..trials {
                 let pts = point_workload(n, seed, dist);
-                let r = ri_delaunay::delaunay_sequential(&pts);
+                let (out, _) = ri_delaunay::DelaunayProblem::new(&pts).solve(&seq);
                 let m = pts.len() as f64;
                 let denom = m * m.ln();
                 // `skipped_tests` are the tests Fact 4.1 avoided: the naive
                 // merge (no intersection shortcut) would perform them.
-                with.push(r.stats.incircle_tests as f64 / denom);
-                without.push((r.stats.incircle_tests + r.stats.skipped_tests) as f64 / denom);
+                with.push(out.stats.incircle_tests as f64 / denom);
+                without.push((out.stats.incircle_tests + out.stats.skipped_tests) as f64 / denom);
             }
             let (w, wo) = (mean(&with), mean(&without));
             println!(

@@ -5,12 +5,10 @@
 //!
 //! `cargo run -p ri-bench --release --bin lelist_lengths [seeds]`
 
-// Still on the pre-engine entry points; migration to the `Runner` API is
-// tracked in ROADMAP.md ("remaining shim removals").
-#![allow(deprecated)]
-
 use ri_bench::{mean, sizes};
+use ri_core::engine::{Problem, RunConfig};
 use ri_core::harmonic;
+use ri_le_lists::LeListsProblem;
 use ri_pram::random_permutation;
 
 fn main() {
@@ -27,6 +25,8 @@ fn main() {
     println!("{header}");
     ri_bench::rule(&header);
 
+    let seq_cfg = RunConfig::new().sequential().instrument(false);
+    let par_cfg = RunConfig::new().parallel().instrument(false);
     for n in sizes(11, 14) {
         let hn = harmonic(n);
         for (name, degree) in [("gnm-w deg4", 4usize), ("gnm-w deg16", 16)] {
@@ -37,13 +37,14 @@ fn main() {
             for seed in 0..trials {
                 let g = ri_graph::generators::gnm_weighted(n, degree * n, seed, true);
                 let order = random_permutation(n, seed ^ 0x1e);
-                let seq = ri_le_lists::le_lists_sequential(&g, &order);
-                let par = ri_le_lists::le_lists_parallel(&g, &order);
+                let problem = LeListsProblem::new(&g).with_order(order);
+                let (seq, _) = problem.solve(&seq_cfg);
+                let (par, _) = problem.solve(&par_cfg);
                 assert_eq!(seq.lists, par.lists, "parallel must equal sequential");
                 avg_len.push(par.total_entries() as f64 / n as f64);
                 max_len.push(par.max_list_len() as f64);
-                pv.push(par.stats.visits as f64);
-                sv.push(seq.stats.visits as f64);
+                pv.push(par.visits as f64);
+                sv.push(seq.visits as f64);
             }
             println!(
                 "{:<14} {:>9} {:>9.2} {:>7.2} {:>7.0} {:>12.0} {:>10.0} {:>8.2}",
@@ -63,8 +64,9 @@ fn main() {
             let g = ri_graph::generators::grid2d(side);
             let nn = g.num_vertices();
             let order = random_permutation(nn, 5);
-            let seq = ri_le_lists::le_lists_sequential(&g, &order);
-            let par = ri_le_lists::le_lists_parallel(&g, &order);
+            let problem = LeListsProblem::new(&g).with_order(order);
+            let (seq, _) = problem.solve(&seq_cfg);
+            let (par, _) = problem.solve(&par_cfg);
             assert_eq!(seq.lists, par.lists);
             println!(
                 "{:<14} {:>9} {:>9.2} {:>7.2} {:>7} {:>12} {:>10} {:>8.2}",
@@ -73,9 +75,9 @@ fn main() {
                 par.total_entries() as f64 / nn as f64,
                 harmonic(nn),
                 par.max_list_len(),
-                par.stats.visits,
-                seq.stats.visits,
-                par.stats.visits as f64 / seq.stats.visits.max(1) as f64,
+                par.visits,
+                seq.visits,
+                par.visits as f64 / seq.visits.max(1) as f64,
             );
         }
     }

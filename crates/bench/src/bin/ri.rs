@@ -1,0 +1,226 @@
+//! `ri` — the registry-driven CLI: run any registered problem by name and
+//! print `{summary, report}` JSON on one line. This is the foundation of
+//! the ROADMAP serving layer: the same request/response shapes work over
+//! any transport.
+//!
+//! Request forms (all equivalent):
+//!
+//! ```text
+//! ri '{"problem":"delaunay","workload":{"n":1000,"seed":7,"shape":"uniform-disk"},"config":{"mode":"parallel","threads":4}}'
+//! ri --request-file req.json        # same JSON from a file ("-" = stdin)
+//! ri --problem delaunay --n 1000 --seed 7 --shape uniform-disk --mode parallel --threads 4
+//! ri --list                         # registered problem names + descriptions
+//! ```
+//!
+//! `workload.seed` seeds the input generator; `config.seed` seeds run-time
+//! randomness (processing orders). Omitted fields take their defaults
+//! (`n` 1024, seeds 0, parallel mode, machine threads). The response is
+//! `{"problem":...,"workload":...,"config":...,"summary":...,"report":...}`
+//! — problem + workload + config replay exactly the documented run;
+//! errors print one line to stderr and exit nonzero.
+
+use std::io::Read;
+
+use parallel_ri::registry;
+use ri_core::engine::json::{self, Value};
+use ri_core::engine::{RunConfig, WorkloadSpec};
+
+/// Seeds must stay strictly below 2^53 (the JSON layer is f64): any
+/// larger integer in a request either is unrepresentable or rounds to at
+/// least 2^53, so rejecting `seed >= 2^53` catches every over-limit
+/// input regardless of rounding direction, and a response's echoed
+/// request always replays to the run it documents.
+const SEED_LIMIT: u64 = 1 << 53;
+
+fn check_seed(name: &str, seed: u64) -> Result<u64, String> {
+    if seed >= SEED_LIMIT {
+        return Err(format!(
+            "{name} {seed} is not below 2^53 and cannot round-trip through the JSON response"
+        ));
+    }
+    Ok(seed)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ri: {msg}");
+    std::process::exit(2);
+}
+
+fn usage_text() -> &'static str {
+    "usage: ri '<request-json>'\n\
+     \x20      ri --request-file <path|->\n\
+     \x20      ri --problem <name> [--n N] [--seed S] [--shape NAME] [--param X]\n\
+     \x20         [--mode sequential|parallel] [--run-seed S] [--threads K] [--no-instrument]\n\
+     \x20      ri --list\n\
+     \n\
+     The request JSON shape is {\"problem\": <name>, \"workload\": {n, seed, shape?, param?},\n\
+     \"config\": {seed, mode, threads?, instrument?}}; the response echoes\n\
+     problem/workload/config and adds summary + report JSON."
+}
+
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+struct Request {
+    problem: String,
+    spec: WorkloadSpec,
+    cfg: RunConfig,
+}
+
+/// Parse the top-level `{problem, workload, config}` request object.
+fn parse_request(text: &str) -> Result<Request, String> {
+    let v = json::parse(text).map_err(|e| format!("bad request JSON: {e}"))?;
+    let problem = v
+        .get("problem")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string `problem` field")?
+        .to_string();
+    let workload = v.get("workload");
+    let mut spec = match workload {
+        Some(w) => WorkloadSpec::from_value(w).map_err(|e| e.to_string())?,
+        None => WorkloadSpec::new(0, 0),
+    };
+    // Default the size only when the field is genuinely absent — an
+    // explicit "n": 0 must reach the constructor and fail there, exactly
+    // like `--n 0` does on the flags path.
+    if workload.and_then(|w| w.get("n")).is_none() {
+        spec.n = 1024; // a sensible default instance size
+    }
+    spec.seed = check_seed("workload.seed", spec.seed)?;
+    let mut cfg = match v.get("config") {
+        Some(c) => RunConfig::from_value(c).map_err(|e| e.to_string())?,
+        None => RunConfig::default(),
+    };
+    cfg.seed = check_seed("config.seed", cfg.seed)?;
+    Ok(Request { problem, spec, cfg })
+}
+
+/// Parse `--flag value` style arguments into a request.
+fn parse_flags(args: &[String]) -> Result<Request, String> {
+    let mut problem: Option<String> = None;
+    let mut spec = WorkloadSpec::new(1024, 0);
+    let mut cfg = RunConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--problem" => problem = Some(value("--problem")?),
+            "--n" => spec.n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--seed" => {
+                spec.seed = check_seed(
+                    "--seed",
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )?
+            }
+            "--shape" => spec.shape = Some(value("--shape")?),
+            "--param" => {
+                spec.param = Some(
+                    value("--param")?
+                        .parse()
+                        .map_err(|e| format!("bad --param: {e}"))?,
+                )
+            }
+            "--mode" => {
+                cfg.mode = value("--mode")?
+                    .parse()
+                    .map_err(|e| format!("bad --mode: {e}"))?
+            }
+            "--run-seed" => {
+                cfg.seed = check_seed(
+                    "--run-seed",
+                    value("--run-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --run-seed: {e}"))?,
+                )?
+            }
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                cfg.threads = (t > 0).then_some(t);
+            }
+            "--no-instrument" => cfg.instrument = false,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Request {
+        problem: problem.ok_or("--problem is required")?,
+        spec,
+        cfg,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage_text());
+        return;
+    }
+    if args.is_empty() {
+        usage();
+    }
+
+    let reg = registry();
+    if args[0] == "--list" {
+        for (name, description) in reg.descriptions() {
+            println!("{name:<14} {description}");
+        }
+        return;
+    }
+
+    let request = if args[0] == "--request-file" {
+        if args.len() > 2 {
+            fail(format!(
+                "unexpected arguments after --request-file: {}",
+                args[2..].join(" ")
+            ));
+        }
+        let path = args.get(1).unwrap_or_else(|| usage());
+        let text = if path == "-" {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| fail(format!("reading stdin: {e}")));
+            buf
+        } else {
+            std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")))
+        };
+        parse_request(&text)
+    } else if args[0].trim_start().starts_with('{') {
+        if args.len() > 1 {
+            fail(format!(
+                "unexpected arguments after the JSON request: {}",
+                args[1..].join(" ")
+            ));
+        }
+        parse_request(&args[0])
+    } else {
+        parse_flags(&args)
+    }
+    .unwrap_or_else(|e| fail(e));
+
+    let (summary, report) = reg
+        .solve(&request.problem, &request.spec, &request.cfg)
+        .unwrap_or_else(|e| fail(e));
+
+    // Response: echo the resolved problem/workload/config — together they
+    // replay exactly this run — then summary + report. Assembled from
+    // already-serialized parts so the shapes stay exactly the library's
+    // own JSON forms.
+    println!(
+        "{{\"problem\":{},\"workload\":{},\"config\":{},\"summary\":{},\"report\":{}}}",
+        Value::Str(request.problem.clone()).write(),
+        request.spec.to_json(),
+        request.cfg.to_json(),
+        summary.to_json(),
+        report.to_json()
+    );
+}

@@ -4,12 +4,10 @@
 //!
 //! `cargo run -p ri-bench --release --bin scc_visits [seeds]`
 
-// Still on the pre-engine entry points; migration to the `Runner` API is
-// tracked in ROADMAP.md ("remaining shim removals").
-#![allow(deprecated)]
-
 use ri_bench::{fmax, mean, sizes};
+use ri_core::engine::{Problem, RunConfig};
 use ri_pram::random_permutation;
+use ri_scc::SccProblem;
 
 fn main() {
     let trials: u64 = std::env::args()
@@ -25,6 +23,8 @@ fn main() {
     println!("{header}");
     ri_bench::rule(&header);
 
+    let seq_cfg = RunConfig::new().sequential().instrument(false);
+    let par_cfg = RunConfig::new().parallel().instrument(false);
     for n in sizes(11, 14) {
         let log2n = (n as f64).log2();
         for (name, make) in graph_families(n) {
@@ -42,27 +42,20 @@ fn main() {
                 // order process each planted SCC as a contiguous block —
                 // the Type 3 worst case, not a random order).
                 let order = random_permutation(nn, seed.wrapping_mul(0x9e37_79b9).wrapping_add(71));
-                let seq = ri_scc::scc_sequential(&g, &order);
-                let par = ri_scc::scc_parallel(&g, &order);
+                let problem = SccProblem::new(&g).with_order(order);
+                let (seq, seq_report) = problem.solve(&seq_cfg);
+                let (par, par_report) = problem.solve(&par_cfg);
                 assert_eq!(
                     ri_scc::canonical_labels(&seq.comp),
                     ri_scc::canonical_labels(&par.comp)
                 );
-                avg_vv.push(
-                    par.stats
-                        .visits_per_vertex
-                        .iter()
-                        .map(|&x| x as f64)
-                        .sum::<f64>()
-                        / nn as f64,
-                );
-                max_vv.push(par.stats.max_visits_per_vertex() as f64);
-                queries.push(par.stats.queries as f64);
-                ratio.push(
-                    (par.stats.visits + par.stats.relaxations) as f64
-                        / (seq.stats.visits + seq.stats.relaxations).max(1) as f64,
-                );
-                rounds = par.stats.rounds.as_ref().unwrap().rounds();
+                avg_vv
+                    .push(par.visits_per_vertex.iter().map(|&x| x as f64).sum::<f64>() / nn as f64);
+                max_vv.push(par.max_visits_per_vertex() as f64);
+                queries.push(par.queries as f64);
+                // `checks` is the run's visits + relaxations work measure.
+                ratio.push(par_report.checks as f64 / seq_report.checks.max(1) as f64);
+                rounds = par_report.depth;
             }
             println!(
                 "{:<12} {:>9} {:>8.0} {:>10.2} {:>10.0} {:>10.0} {:>11.2} {:>9}",

@@ -5,13 +5,10 @@
 //!
 //! `cargo run -p ri-bench --release --bin special_iterations [seeds]`
 
-// Still on the pre-engine entry points; migration to the `Runner` API is
-// tracked in ROADMAP.md ("remaining shim removals").
-#![allow(deprecated)]
-
-use ri_bench::{fmax, mean, point_workload, sizes};
+use ri_bench::{fmax, mean, sizes};
+use ri_core::engine::{Problem, RunConfig, RunReport};
 use ri_core::harmonic;
-use ri_geometry::PointDistribution;
+use ri_geometry::{point_workload, PointDistribution};
 
 fn main() {
     let trials: u64 = std::env::args()
@@ -27,8 +24,18 @@ fn main() {
     println!("{header}");
     ri_bench::rule(&header);
 
+    let par = RunConfig::new().parallel().instrument(false);
     for n in sizes(10, 15) {
         let hn = harmonic(n);
+
+        // Each Type 2 run's structure lives entirely in the unified
+        // report: the specials trace, per-prefix sub-rounds, check work.
+        let tally =
+            |report: &RunReport, sp: &mut Vec<f64>, sub: &mut Vec<f64>, checks: &mut Vec<f64>| {
+                sp.push(report.specials.len() as f64);
+                sub.push(report.total_sub_rounds() as f64 / report.sub_rounds.len() as f64);
+                checks.push(report.checks as f64 / n as f64);
+            };
 
         // LP: P[special] ≤ 2/j.
         let mut sp = Vec::new();
@@ -36,10 +43,8 @@ fn main() {
         let mut checks = Vec::new();
         for seed in 0..trials {
             let inst = ri_lp::workloads::tangent_instance(n, seed);
-            let run = ri_lp::lp_parallel(&inst);
-            sp.push(run.stats.specials.len() as f64);
-            sub.push(run.stats.total_sub_rounds() as f64 / run.stats.sub_rounds.len() as f64);
-            checks.push(run.stats.checks as f64 / n as f64);
+            let (_, report) = ri_lp::LpProblem::new(&inst).solve(&par);
+            tally(&report, &mut sp, &mut sub, &mut checks);
         }
         print_row("lp", n, &sp, 2.0 * hn, &sub, &checks);
 
@@ -49,10 +54,8 @@ fn main() {
         let mut checks = Vec::new();
         for seed in 0..trials {
             let pts = point_workload(n, seed, PointDistribution::UniformSquare);
-            let run = ri_closest_pair::closest_pair_parallel(&pts);
-            sp.push(run.stats.specials.len() as f64);
-            sub.push(run.stats.total_sub_rounds() as f64 / run.stats.sub_rounds.len() as f64);
-            checks.push(run.stats.checks as f64 / n as f64);
+            let (_, report) = ri_closest_pair::ClosestPairProblem::new(&pts).solve(&par);
+            tally(&report, &mut sp, &mut sub, &mut checks);
         }
         print_row("closest-pair", n, &sp, 2.0 * hn, &sub, &checks);
 
@@ -62,10 +65,8 @@ fn main() {
         let mut checks = Vec::new();
         for seed in 0..trials {
             let pts = point_workload(n, seed, PointDistribution::UniformDisk);
-            let run = ri_enclosing::sed_parallel(&pts);
-            sp.push(run.stats.specials.len() as f64);
-            sub.push(run.stats.total_sub_rounds() as f64 / run.stats.sub_rounds.len() as f64);
-            checks.push(run.stats.checks as f64 / n as f64);
+            let (_, report) = ri_enclosing::EnclosingProblem::new(&pts).solve(&par);
+            tally(&report, &mut sp, &mut sub, &mut checks);
         }
         print_row("enclosing", n, &sp, 3.0 * hn, &sub, &checks);
     }

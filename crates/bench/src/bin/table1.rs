@@ -10,9 +10,9 @@
 //!
 //! `cargo run -p ri-bench --release --bin table1 [log2_n] [--json]`
 
-use ri_bench::point_workload;
 use ri_core::engine::{Problem, RunConfig, RunReport};
 use ri_core::harmonic;
+use ri_geometry::point_workload;
 use ri_geometry::PointDistribution;
 use ri_pram::random_permutation;
 

@@ -1,4 +1,4 @@
-//! # `ri-bench` — the experiment harness
+//! # `ri-bench` — the experiment harness and the `ri` CLI driver
 //!
 //! Regenerates every table, figure, and quantitative theorem claim of the
 //! paper (the experiment index lives in `DESIGN.md` §4; results are
@@ -8,6 +8,7 @@
 //!
 //! | Binary | Experiment | Paper artifact |
 //! |---|---|---|
+//! | `ri` | — | the registry-driven CLI: any problem by name, JSON in/out |
 //! | `table1` | E1–E8 | Table 1 (all seven rows) |
 //! | `depth_scaling` | E1, E2, E14 | Thm 2.1/4.3, Lemma 3.1 depth growth |
 //! | `incircle_constant` | E3 | Thm 4.5 (`24 n ln n`, 36 ablation) |
@@ -17,21 +18,14 @@
 //! | `dependence_counts` | E9 | Corollary 2.4 (`2 n ln n`) |
 //! | `dependence_histogram` | E10 | Lemma 2.5 geometric tail |
 //!
+//! Every binary drives the algorithms through the unified engine
+//! (`*Problem::solve(&RunConfig)` or the [`parallel_ri::registry`]);
+//! the pre-engine entry points are gone. Point workload generation lives
+//! in [`ri_geometry::point_workload`].
+//!
 //! Criterion wall-clock benches (`cargo bench -p ri-bench`) compare the
 //! sequential and parallel implementations of each Table 1 row on this
 //! machine.
-
-use ri_geometry::distributions::dedup_points;
-use ri_geometry::{Point2, PointDistribution};
-use ri_pram::random_permutation;
-
-/// A deduplicated, randomly ordered point workload (points shuffled into
-/// their insertion order).
-pub fn point_workload(n: usize, seed: u64, dist: PointDistribution) -> Vec<Point2> {
-    let raw = dedup_points(dist.generate(n, seed));
-    let order = random_permutation(raw.len(), seed ^ 0xbead);
-    order.iter().map(|&i| raw[i]).collect()
-}
 
 /// Geometric size sweep `2^lo ..= 2^hi`.
 pub fn sizes(lo: u32, hi: u32) -> Vec<usize> {
@@ -60,21 +54,6 @@ pub fn fmax(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn workload_is_seeded_and_deduped() {
-        let a = point_workload(500, 1, PointDistribution::UniformSquare);
-        let b = point_workload(500, 1, PointDistribution::UniformSquare);
-        assert_eq!(a, b);
-        let mut sorted = a.clone();
-        sorted.sort_by(|p, q| {
-            p.x.partial_cmp(&q.x)
-                .unwrap()
-                .then(p.y.partial_cmp(&q.y).unwrap())
-        });
-        sorted.dedup_by(|p, q| p == q);
-        assert_eq!(sorted.len(), a.len());
-    }
 
     #[test]
     fn sizes_sweep() {

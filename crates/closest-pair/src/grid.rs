@@ -1,21 +1,9 @@
 //! The grid sieve and its Type 2 plumbing.
 
 use ri_core::engine::{execute_type2, RunConfig, RunReport};
-use ri_core::{Type2Algorithm, Type2Stats};
+use ri_core::Type2Algorithm;
 use ri_geometry::Point2;
 use ri_pram::hash::FxHashMap;
-
-/// Result of a closest-pair run.
-#[derive(Debug)]
-pub struct ClosestPairRun {
-    /// Indices (into the insertion order) of the closest pair, `(i, j)`
-    /// with `i < j`.
-    pub pair: (u32, u32),
-    /// Their distance.
-    pub dist: f64,
-    /// Executor statistics: `specials` are the grid rebuilds.
-    pub stats: Type2Stats,
-}
 
 struct GridState<'a> {
     points: &'a [Point2],
@@ -130,35 +118,6 @@ impl Type2Algorithm for GridState<'_> {
     }
 }
 
-/// Sequential incremental closest pair (the classic sieve).
-/// Points must be pairwise distinct; `points.len() >= 2`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ClosestPairProblem::new(points).solve(&RunConfig::new().sequential())`"
-)]
-pub fn closest_pair_sequential(points: &[Point2]) -> ClosestPairRun {
-    let (out, report) = run_with(points, &RunConfig::new().sequential());
-    ClosestPairRun {
-        pair: out.pair,
-        dist: out.dist,
-        stats: Type2Stats::from_report(&report),
-    }
-}
-
-/// Parallel closest pair through Algorithm 1 (prefix doubling).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ClosestPairProblem::new(points).solve(&RunConfig::new().parallel())`"
-)]
-pub fn closest_pair_parallel(points: &[Point2]) -> ClosestPairRun {
-    let (out, report) = run_with(points, &RunConfig::new().parallel());
-    ClosestPairRun {
-        pair: out.pair,
-        dist: out.dist,
-        stats: Type2Stats::from_report(&report),
-    }
-}
-
 /// The answer of a closest-pair run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClosestPairOutput {
@@ -201,9 +160,32 @@ pub fn brute_force_closest_pair(points: &[Point2]) -> ((u32, u32), f64) {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
+
+    /// Test-local stand-in for the retired `ClosestPairRun` shape.
+    struct Run {
+        pair: (u32, u32),
+        dist: f64,
+        stats: RunReport,
+    }
+
+    fn run_mode(points: &[Point2], cfg: &RunConfig) -> Run {
+        let (out, stats) = run_with(points, cfg);
+        Run {
+            pair: out.pair,
+            dist: out.dist,
+            stats,
+        }
+    }
+
+    fn closest_pair_sequential(points: &[Point2]) -> Run {
+        run_mode(points, &RunConfig::new().sequential())
+    }
+
+    fn closest_pair_parallel(points: &[Point2]) -> Run {
+        run_mode(points, &RunConfig::new().parallel())
+    }
     use ri_geometry::distributions::dedup_points;
     use ri_geometry::PointDistribution;
     use ri_pram::random_permutation;

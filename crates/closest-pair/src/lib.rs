@@ -22,8 +22,7 @@
 
 mod grid;
 pub mod problem;
+pub mod registry;
 
-pub use grid::{brute_force_closest_pair, ClosestPairOutput, ClosestPairRun};
-#[allow(deprecated)]
-pub use grid::{closest_pair_parallel, closest_pair_sequential};
+pub use grid::{brute_force_closest_pair, ClosestPairOutput};
 pub use problem::ClosestPairProblem;

@@ -1,0 +1,71 @@
+//! Registry entry: `"closest-pair"` — the grid-sieve closest pair over a
+//! seeded point workload (§5.2, Type 2). The workload shape is a
+//! point-distribution name (default `"uniform-square"`).
+
+use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::{Problem, RunConfig, RunReport};
+use ri_geometry::{named_point_workload, Point2};
+
+use crate::ClosestPairProblem;
+
+/// Register this crate's problem.
+pub fn register(reg: &mut Registry) {
+    reg.register(
+        "closest-pair",
+        "grid-sieve incremental closest pair of a point workload (§5.2, Type 2)",
+        |spec| {
+            let points = named_point_workload(
+                "closest-pair",
+                spec.n,
+                spec.seed,
+                spec.shape_or("uniform-square"),
+                2,
+            )?;
+            Ok(Box::new(ClosestPairWorkload { points }))
+        },
+    );
+}
+
+struct ClosestPairWorkload {
+    points: Vec<Point2>,
+}
+
+impl ErasedProblem for ClosestPairWorkload {
+    fn name(&self) -> &str {
+        "closest-pair"
+    }
+
+    fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
+        let (out, report) = ClosestPairProblem::new(&self.points).solve(cfg);
+        let mut s = OutputSummary::new();
+        s.answer_num("points", self.points.len() as f64)
+            .answer_num("pair_i", out.pair.0 as f64)
+            .answer_num("pair_j", out.pair.1 as f64)
+            .answer_num("dist", out.dist);
+        (s, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_core::engine::registry::WorkloadSpec;
+
+    #[test]
+    fn registered_name_solves() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        let (summary, report) = reg
+            .solve(
+                "closest-pair",
+                &WorkloadSpec::new(300, 4),
+                &RunConfig::new(),
+            )
+            .unwrap();
+        assert!(summary.to_json().contains("\"dist\":"));
+        assert!(!report.specials.is_empty());
+        assert!(reg
+            .construct("closest-pair", &WorkloadSpec::new(1, 4))
+            .is_err());
+    }
+}

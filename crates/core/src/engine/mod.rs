@@ -14,7 +14,11 @@
 //! * [`Problem`] — the uniform problem-level trait the algorithm crates
 //!   implement (`SortProblem`, `DelaunayProblem`, `LpProblem`,
 //!   `ClosestPairProblem`, `EnclosingProblem`, `LeListsProblem`,
-//!   `SccProblem`, ...), each solving to `(Output, RunReport)`.
+//!   `SccProblem`, ...), each solving to `(Output, RunReport)`;
+//! * [`registry`] — the object-safe layer over all of it: a [`Registry`]
+//!   of named [`ErasedProblem`] constructors taking a [`WorkloadSpec`]
+//!   and solving to `(OutputSummary, RunReport)` — what the `ri` CLI
+//!   driver and any serving layer program against.
 //!
 //! ```
 //! use ri_core::engine::{ExecMode, RunConfig, Runner, Type1Adapter};
@@ -44,11 +48,13 @@
 //! ```
 
 pub mod json;
+pub mod registry;
 mod report;
 mod runner;
 
+pub use registry::{ErasedProblem, OutputSummary, Registry, RegistryError, WorkloadSpec};
 pub use report::{Phase, RunReport};
 pub use runner::{
-    execute_type1, execute_type2, execute_type3, ExecMode, Executable, Problem, RunConfig, Runner,
-    Type1Adapter, Type2Adapter, Type3Adapter,
+    execute_type1, execute_type2, execute_type3, ExecMode, Executable, ParseExecModeError, Problem,
+    RunConfig, Runner, Type1Adapter, Type2Adapter, Type3Adapter,
 };

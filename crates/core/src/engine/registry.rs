@@ -1,0 +1,478 @@
+//! The object-safe problem registry.
+//!
+//! The typed [`Problem`](super::Problem) trait is the right API *inside* an
+//! algorithm crate — each problem has its own output type — but every
+//! cross-algorithm consumer (the `ri` CLI driver, the bench report
+//! binaries, a serving endpoint) needs the opposite: pick a problem **by
+//! name at runtime**, build a workload for it, solve it under a
+//! [`RunConfig`], and get back something uniform. This module provides that
+//! layer:
+//!
+//! * [`WorkloadSpec`] — generator parameters (size, seed, shape, numeric
+//!   parameter) each algorithm crate knows how to turn into an instance;
+//! * [`ErasedProblem`] — the object-safe problem trait: `solve_erased`
+//!   returns an [`OutputSummary`] (a small JSON-able digest of the
+//!   algorithm's answer) plus the unified [`RunReport`];
+//! * [`Registry`] — an ordered name → constructor map. Each algorithm
+//!   crate contributes a `register(&mut Registry)` function; the root
+//!   `parallel-ri` crate assembles them all into `parallel_ri::registry()`
+//!   (a crate that cannot depend on the algorithm crates cannot construct
+//!   their problems, so the fully-populated registry lives one layer up).
+//!
+//! ```
+//! use ri_core::engine::registry::{
+//!     ErasedProblem, OutputSummary, Registry, WorkloadSpec,
+//! };
+//! use ri_core::engine::{RunConfig, RunReport};
+//!
+//! struct CountUp(usize);
+//! impl ErasedProblem for CountUp {
+//!     fn name(&self) -> &str {
+//!         "count-up"
+//!     }
+//!     fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
+//!         let mut report = RunReport::new("count-up");
+//!         report.items = self.0;
+//!         let mut summary = OutputSummary::new();
+//!         summary.answer_num("sum", (0..self.0).sum::<usize>() as f64);
+//!         (summary, report)
+//!     }
+//! }
+//!
+//! let mut reg = Registry::new();
+//! reg.register("count-up", "sums 0..n", |spec| Ok(Box::new(CountUp(spec.n))));
+//! let spec = WorkloadSpec::new(10, 1);
+//! let (summary, report) = reg.solve("count-up", &spec, &RunConfig::new()).unwrap();
+//! assert_eq!(report.items, 10);
+//! assert!(summary.to_json().contains("\"sum\":45"));
+//! ```
+
+use super::json::{self, Value};
+use super::report::RunReport;
+use super::runner::RunConfig;
+
+/// Generator parameters for one workload instance: everything an algorithm
+/// crate needs to construct a problem of its kind. The same spec given to
+/// the same constructor always builds the same instance (all generators
+/// are seeded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Instance size (keys, points, constraints, vertices — the problem's
+    /// natural item count).
+    pub n: usize,
+    /// Workload seed: drives the input generator (distinct from
+    /// [`RunConfig::seed`], which drives run-time randomness such as
+    /// insertion orders drawn at solve time).
+    pub seed: u64,
+    /// Input shape: a point-distribution name (`"uniform-square"`,
+    /// `"near-circle"`, ...), an LP workload (`"tangent"`, `"shrinking"`,
+    /// `"infeasible"`) or a graph family (`"gnm"`, `"gnm-weighted"`,
+    /// `"dag"`, `"rmat"`, `"grid"`). `None` picks the problem's default.
+    pub shape: Option<String>,
+    /// Shape-specific numeric parameter: average degree for graph
+    /// workloads, dimension for `lp-d`. `None` picks the default.
+    pub param: Option<f64>,
+}
+
+impl WorkloadSpec {
+    /// A spec of size `n` with workload seed `seed` and default shape.
+    pub fn new(n: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            n,
+            seed,
+            shape: None,
+            param: None,
+        }
+    }
+
+    /// Set the input shape name.
+    pub fn shape(mut self, shape: impl Into<String>) -> Self {
+        self.shape = Some(shape.into());
+        self
+    }
+
+    /// Set the shape-specific numeric parameter.
+    pub fn param(mut self, param: f64) -> Self {
+        self.param = Some(param);
+        self
+    }
+
+    /// The shape name, or `default` when unset.
+    pub fn shape_or<'a>(&'a self, default: &'a str) -> &'a str {
+        self.shape.as_deref().unwrap_or(default)
+    }
+
+    /// The numeric parameter, or `default` when unset.
+    pub fn param_or(&self, default: f64) -> f64 {
+        self.param.unwrap_or(default)
+    }
+
+    /// Serialize to a single-line JSON object (unset fields are omitted).
+    ///
+    /// JSON numbers are f64, so seeds at or above 2⁵³ may not round-trip
+    /// exactly; the `ri` driver rejects them at the door.
+    pub fn to_json(&self) -> String {
+        let mut members = vec![
+            ("n".to_string(), Value::Num(self.n as f64)),
+            ("seed".to_string(), Value::Num(self.seed as f64)),
+        ];
+        if let Some(shape) = &self.shape {
+            members.push(("shape".into(), Value::Str(shape.clone())));
+        }
+        if let Some(param) = self.param {
+            members.push(("param".into(), Value::Num(param)));
+        }
+        Value::Obj(members).write()
+    }
+
+    /// Parse a spec from JSON; missing fields fall back to
+    /// `WorkloadSpec::new(default_n, default_seed)` defaults, mirroring
+    /// [`RunConfig::from_json`]'s tolerance.
+    pub fn from_json(text: &str) -> Result<WorkloadSpec, json::ParseError> {
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parse a spec from an already-parsed JSON object.
+    pub fn from_value(v: &Value) -> Result<WorkloadSpec, json::ParseError> {
+        let bad = |key: &str| json::ParseError {
+            message: format!("malformed workload field `{key}`"),
+            at: 0,
+        };
+        let mut spec = WorkloadSpec::new(0, 0);
+        if let Some(n) = v.get("n") {
+            spec.n = n.as_usize().ok_or_else(|| bad("n"))?;
+        }
+        if let Some(seed) = v.get("seed") {
+            spec.seed = seed.as_u64().ok_or_else(|| bad("seed"))?;
+        }
+        match v.get("shape") {
+            None | Some(Value::Null) => {}
+            Some(shape) => {
+                spec.shape = Some(shape.as_str().ok_or_else(|| bad("shape"))?.to_string());
+            }
+        }
+        match v.get("param") {
+            None | Some(Value::Null) => {}
+            Some(param) => {
+                spec.param = Some(param.as_f64().ok_or_else(|| bad("param"))?);
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// A small JSON-able digest of an algorithm's answer, split into two
+/// sections:
+///
+/// * **answer** fields digest the output itself (triangle count, SCC
+///   count, optimum value, a checksum of the sorted order, ...). The
+///   paper's executors reproduce the sequential output exactly, so answer
+///   fields are **mode-invariant**: a sequential and a parallel run of the
+///   same instance must produce equal answer sections — the registry
+///   equivalence tests assert exactly this.
+/// * **metric** fields carry work measures that legitimately vary between
+///   modes (e.g. the Type 3 redundant work).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OutputSummary {
+    answer: Vec<(String, Value)>,
+    metrics: Vec<(String, Value)>,
+}
+
+impl OutputSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a numeric answer field (mode-invariant).
+    pub fn answer_num(&mut self, key: &str, x: f64) -> &mut Self {
+        self.answer.push((key.to_string(), Value::Num(x)));
+        self
+    }
+
+    /// Add a boolean answer field (mode-invariant).
+    pub fn answer_bool(&mut self, key: &str, b: bool) -> &mut Self {
+        self.answer.push((key.to_string(), Value::Bool(b)));
+        self
+    }
+
+    /// Add a string answer field (mode-invariant).
+    pub fn answer_str(&mut self, key: &str, s: impl Into<String>) -> &mut Self {
+        self.answer.push((key.to_string(), Value::Str(s.into())));
+        self
+    }
+
+    /// Add a numeric metric field (may vary between modes).
+    pub fn metric_num(&mut self, key: &str, x: f64) -> &mut Self {
+        self.metrics.push((key.to_string(), Value::Num(x)));
+        self
+    }
+
+    /// The answer section (mode-invariant digest fields).
+    pub fn answer(&self) -> &[(String, Value)] {
+        &self.answer
+    }
+
+    /// The metrics section (mode-dependent work measures).
+    pub fn metrics(&self) -> &[(String, Value)] {
+        &self.metrics
+    }
+
+    /// The summary as a JSON [`Value`]:
+    /// `{"answer": {...}, "metrics": {...}}`.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("answer".into(), Value::Obj(self.answer.clone())),
+            ("metrics".into(), Value::Obj(self.metrics.clone())),
+        ])
+    }
+
+    /// Serialize to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_value().write()
+    }
+}
+
+/// The object-safe problem trait: what the registry, the `ri` CLI driver,
+/// and any serving layer program against. Implementations own their input
+/// (they are constructed from a [`WorkloadSpec`]) and typically delegate
+/// `solve_erased` to the crate's typed [`Problem`](super::Problem),
+/// digesting its output into an [`OutputSummary`].
+pub trait ErasedProblem: Send + Sync {
+    /// The registered problem name (`"sort"`, `"delaunay"`, ...).
+    fn name(&self) -> &str;
+
+    /// Solve under `cfg`, returning the output digest and the unified
+    /// report.
+    fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport);
+}
+
+/// Why a registry lookup or construction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No problem registered under the requested name; carries the known
+    /// names for the error message.
+    UnknownProblem {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered name, in registration order.
+        known: Vec<String>,
+    },
+    /// The constructor rejected the workload spec (bad shape name, size
+    /// below the problem's minimum, ...).
+    BadWorkload {
+        /// The problem whose constructor rejected the spec.
+        name: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownProblem { name, known } => {
+                write!(f, "unknown problem `{name}`; known: {}", known.join(", "))
+            }
+            RegistryError::BadWorkload { name, message } => {
+                write!(f, "bad workload for `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Shorthand for a constructor's result.
+pub type ConstructResult = Result<Box<dyn ErasedProblem>, String>;
+
+type Constructor = Box<dyn Fn(&WorkloadSpec) -> ConstructResult + Send + Sync>;
+
+struct RegistryEntry {
+    name: &'static str,
+    description: &'static str,
+    ctor: Constructor,
+}
+
+/// An ordered problem-name → constructor map. Names are unique;
+/// registration order is preserved (it is the order `names()` lists and
+/// the CLI's `--list` prints).
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` with a workload constructor.
+    ///
+    /// Panics on a duplicate name — registrations are static per-crate
+    /// lists, so a clash is a programming error, not an input error.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        description: &'static str,
+        ctor: impl Fn(&WorkloadSpec) -> ConstructResult + Send + Sync + 'static,
+    ) {
+        assert!(
+            self.entries.iter().all(|e| e.name != name),
+            "problem `{name}` registered twice"
+        );
+        self.entries.push(RegistryEntry {
+            name,
+            description,
+            ctor: Box::new(ctor),
+        });
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// `(name, description)` pairs, in registration order.
+    pub fn descriptions(&self) -> Vec<(&'static str, &'static str)> {
+        self.entries
+            .iter()
+            .map(|e| (e.name, e.description))
+            .collect()
+    }
+
+    /// Number of registered problems.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no problems are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Construct `name`'s problem instance from `spec`.
+    pub fn construct(
+        &self,
+        name: &str,
+        spec: &WorkloadSpec,
+    ) -> Result<Box<dyn ErasedProblem>, RegistryError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| RegistryError::UnknownProblem {
+                name: name.to_string(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            })?;
+        (entry.ctor)(spec).map_err(|message| RegistryError::BadWorkload {
+            name: name.to_string(),
+            message,
+        })
+    }
+
+    /// Construct and solve in one step.
+    pub fn solve(
+        &self,
+        name: &str,
+        spec: &WorkloadSpec,
+        cfg: &RunConfig,
+    ) -> Result<(OutputSummary, RunReport), RegistryError> {
+        Ok(self.construct(name, spec)?.solve_erased(cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl ErasedProblem for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn solve_erased(&self, _cfg: &RunConfig) -> (OutputSummary, RunReport) {
+            let mut s = OutputSummary::new();
+            s.answer_num("x", 1.0).metric_num("work", 9.0);
+            (s, RunReport::new("fixed"))
+        }
+    }
+
+    fn reg() -> Registry {
+        let mut r = Registry::new();
+        r.register("fixed", "a fixed answer", |spec| {
+            if spec.n == 0 {
+                Err("n must be positive".into())
+            } else {
+                Ok(Box::new(Fixed))
+            }
+        });
+        r
+    }
+
+    #[test]
+    fn lookup_and_solve() {
+        let r = reg();
+        assert_eq!(r.names(), vec!["fixed"]);
+        let (summary, report) = r
+            .solve("fixed", &WorkloadSpec::new(4, 0), &RunConfig::new())
+            .unwrap();
+        assert_eq!(report.algorithm, "fixed");
+        assert_eq!(summary.answer().len(), 1);
+        assert_eq!(
+            summary.to_json(),
+            "{\"answer\":{\"x\":1},\"metrics\":{\"work\":9}}"
+        );
+    }
+
+    #[test]
+    fn unknown_name_lists_known() {
+        let r = reg();
+        let err = r
+            .solve("nope", &WorkloadSpec::new(4, 0), &RunConfig::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown problem `nope`"));
+        assert!(err.to_string().contains("fixed"));
+    }
+
+    #[test]
+    fn constructor_errors_surface() {
+        let r = reg();
+        let err = r
+            .construct("fixed", &WorkloadSpec::new(0, 0))
+            .err()
+            .unwrap();
+        assert_eq!(
+            err.to_string(),
+            "bad workload for `fixed`: n must be positive"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut r = reg();
+        r.register("fixed", "again", |_| Ok(Box::new(Fixed)));
+    }
+
+    #[test]
+    fn workload_spec_json_round_trip() {
+        let spec = WorkloadSpec::new(1000, 7).shape("near-circle").param(4.0);
+        let back = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        let sparse = WorkloadSpec::from_json("{\"n\":32}").unwrap();
+        assert_eq!(sparse, WorkloadSpec::new(32, 0));
+        assert!(WorkloadSpec::from_json("{\"n\":-3}").is_err());
+        assert!(WorkloadSpec::from_json("{\"shape\":7}").is_err());
+    }
+}

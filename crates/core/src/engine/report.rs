@@ -1,8 +1,8 @@
 //! The unified execution record every engine run produces.
 //!
-//! [`RunReport`] subsumes the two incompatible stats types the executors
-//! used to return — [`RoundLog`] (Types 1 and 3) and
-//! [`Type2Stats`](crate::Type2Stats) (Type 2) — so the bench harness, the
+//! [`RunReport`] subsumes the two incompatible stats types the pre-engine
+//! executors used to return — [`RoundLog`] (Types 1 and 3) and a
+//! Type-2-specific specials record — so the bench harness, the
 //! integration tests, and downstream tooling read *one* shape for all
 //! eight algorithms: per-round items/work, the special-iteration trace,
 //! the measured dependence depth, per-phase wall times, and a JSON form.

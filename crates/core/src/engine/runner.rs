@@ -46,6 +46,36 @@ impl std::fmt::Display for ExecMode {
     }
 }
 
+/// Error parsing an [`ExecMode`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExecModeError(String);
+
+impl std::fmt::Display for ParseExecModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown exec mode `{}` (expected `sequential` or `parallel`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseExecModeError {}
+
+impl std::str::FromStr for ExecMode {
+    type Err = ParseExecModeError;
+
+    /// Accepts exactly the [`ExecMode::as_str`] names (the stable JSON
+    /// vocabulary), plus their common short forms `seq` / `par`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sequential" | "seq" => Ok(ExecMode::Sequential),
+            "parallel" | "par" => Ok(ExecMode::Parallel),
+            other => Err(ParseExecModeError(other.to_string())),
+        }
+    }
+}
+
 /// Run configuration: seed, mode, worker threads, instrumentation.
 ///
 /// Built fluently; field and builder method share names (fields are public
@@ -120,6 +150,75 @@ impl RunConfig {
     pub fn instrument(mut self, on: bool) -> Self {
         self.instrument = on;
         self
+    }
+
+    /// Serialize to a single-line JSON object mirroring
+    /// [`RunReport::to_json`]'s hand-rolled format (`threads` is `null`
+    /// when the machine default applies).
+    ///
+    /// JSON numbers are f64, so seeds at or above 2⁵³ may not round-trip
+    /// exactly; the `ri` driver rejects them at the door.
+    pub fn to_json(&self) -> String {
+        use super::json::Value;
+        Value::Obj(vec![
+            ("seed".into(), Value::Num(self.seed as f64)),
+            ("mode".into(), Value::Str(self.mode.as_str().into())),
+            (
+                "threads".into(),
+                match self.threads {
+                    Some(t) => Value::Num(t as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("instrument".into(), Value::Bool(self.instrument)),
+        ])
+        .write()
+    }
+
+    /// Parse a config back from JSON. Unlike [`RunReport::from_json`],
+    /// missing fields take their [`RunConfig::default`] values — a config
+    /// is a request, not a record, so partial requests are welcome —
+    /// but present fields must be well-formed.
+    pub fn from_json(text: &str) -> Result<RunConfig, super::json::ParseError> {
+        Self::from_value(&super::json::parse(text)?)
+    }
+
+    /// Parse a config from an already-parsed JSON value.
+    pub fn from_value(v: &super::json::Value) -> Result<RunConfig, super::json::ParseError> {
+        use super::json::{ParseError, Value};
+        let bad = |key: &str| ParseError {
+            message: format!("malformed config field `{key}`"),
+            at: 0,
+        };
+        let mut cfg = RunConfig::default();
+        if let Some(seed) = v.get("seed") {
+            cfg.seed = seed.as_u64().ok_or_else(|| bad("seed"))?;
+        }
+        if let Some(mode) = v.get("mode") {
+            cfg.mode = mode
+                .as_str()
+                .ok_or_else(|| bad("mode"))?
+                .parse()
+                .map_err(|e| ParseError {
+                    message: format!("malformed config field `mode`: {e}"),
+                    at: 0,
+                })?;
+        }
+        match v.get("threads") {
+            None | Some(Value::Null) => {}
+            // 0 means machine default, exactly as in the `threads` builder.
+            Some(t) => {
+                let t = t.as_usize().ok_or_else(|| bad("threads"))?;
+                cfg.threads = (t > 0).then_some(t);
+            }
+        }
+        if let Some(i) = v.get("instrument") {
+            cfg.instrument = match i {
+                Value::Bool(b) => *b,
+                _ => return Err(bad("instrument")),
+            };
+        }
+        Ok(cfg)
     }
 
     /// Worker threads a run under this config uses: 1 in sequential mode,
@@ -407,4 +506,47 @@ pub fn execute_type3<A: Type3Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
         }
     }
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_round_trips_through_from_str() {
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            assert_eq!(mode.as_str().parse::<ExecMode>().unwrap(), mode);
+        }
+        assert_eq!("seq".parse::<ExecMode>().unwrap(), ExecMode::Sequential);
+        assert_eq!("par".parse::<ExecMode>().unwrap(), ExecMode::Parallel);
+        let err = "sideways".parse::<ExecMode>().unwrap_err();
+        assert!(err.to_string().contains("sideways"));
+    }
+
+    #[test]
+    fn run_config_json_round_trips() {
+        let cfg = RunConfig::new().seed(42).sequential().threads(3);
+        assert_eq!(RunConfig::from_json(&cfg.to_json()).unwrap(), cfg);
+        let dflt = RunConfig::default();
+        assert_eq!(RunConfig::from_json(&dflt.to_json()).unwrap(), dflt);
+    }
+
+    #[test]
+    fn run_config_partial_json_takes_defaults() {
+        let cfg = RunConfig::from_json("{\"mode\":\"sequential\"}").unwrap();
+        assert_eq!(cfg, RunConfig::default().sequential());
+        assert_eq!(RunConfig::from_json("{}").unwrap(), RunConfig::default());
+        // `threads: null` means machine default, same as absent.
+        let cfg = RunConfig::from_json("{\"threads\":null,\"seed\":9}").unwrap();
+        assert_eq!(cfg, RunConfig::default().seed(9));
+    }
+
+    #[test]
+    fn run_config_rejects_malformed_fields() {
+        assert!(RunConfig::from_json("{\"mode\":\"sideways\"}").is_err());
+        assert!(RunConfig::from_json("{\"seed\":-1}").is_err());
+        assert!(RunConfig::from_json("{\"threads\":1.5}").is_err());
+        assert!(RunConfig::from_json("{\"instrument\":1}").is_err());
+        assert!(RunConfig::from_json("not json").is_err());
+    }
 }

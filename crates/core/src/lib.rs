@@ -31,8 +31,9 @@
 //! The algorithm crates (`ri-sort`, `ri-lp`, `ri-le-lists`, ...) plug into
 //! the engine; each exposes a `*Problem` type implementing
 //! [`engine::Problem`], whose `solve(&RunConfig)` returns the answer plus
-//! the unified report. The pre-engine entry points (`run_type1`,
-//! `run_type2_*`, `run_type3_parallel`) remain as deprecated shims.
+//! the unified report, and registers an object-safe constructor in the
+//! [`engine::registry`] layer so cross-algorithm drivers (the `ri` CLI,
+//! serving layers) can pick problems by name at runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,15 +46,12 @@ pub mod type2;
 pub mod type3;
 
 pub use depgraph::DependenceGraph;
-pub use engine::{ExecMode, Problem, RunConfig, RunReport, Runner};
+pub use engine::{
+    ErasedProblem, ExecMode, OutputSummary, Problem, Registry, RunConfig, RunReport, Runner,
+    WorkloadSpec,
+};
 pub use ri_pram::{Permutation, RoundLog, WorkCounter};
 pub use theory::{harmonic, log2_ceil};
 pub use type1::Type1Algorithm;
-pub use type2::{Type2Algorithm, Type2Stats};
+pub use type2::Type2Algorithm;
 pub use type3::{prefix_rounds, Type3Algorithm};
-#[allow(deprecated)]
-pub use {
-    type1::run_type1,
-    type2::{run_type2_parallel, run_type2_sequential},
-    type3::run_type3_parallel,
-};

@@ -6,17 +6,12 @@
 //!
 //! The executor itself lives in [`crate::engine`]
 //! ([`execute_type1`](crate::engine::execute_type1)); this module defines
-//! the [`Type1Algorithm`] contract and keeps the original [`run_type1`]
-//! entry point as a deprecated shim. The generic executor is the reference
+//! the [`Type1Algorithm`] contract. The generic executor is the reference
 //! scheduler: it measures the iteration dependence depth of *any* plugged
 //! incremental algorithm (the number of rounds equals `D(G)` when `ready`
 //! faithfully encodes the dependences). The production algorithms
 //! (`ri-sort`, `ri-delaunay`) ship specialised lock-free versions of the
 //! same schedule; their tests check equivalence against this one.
-
-use ri_pram::RoundLog;
-
-use crate::engine::{ExecMode, RunConfig};
 
 /// An incremental algorithm exposing its per-iteration readiness.
 ///
@@ -49,20 +44,6 @@ pub trait Type1Algorithm: Sync {
 
     /// Execute iteration `k`.
     fn run(&mut self, k: usize);
-}
-
-/// Run a Type 1 algorithm in rounds; returns the per-round log.
-///
-/// The returned [`RoundLog::rounds`] equals the iteration dependence depth
-/// of the computation (each round peels one level of the dependence DAG).
-/// Panics if no progress is possible (a `ready` that never enables some
-/// iteration — i.e. an incorrectly encoded dependence graph).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::Runner::run(&mut engine::Type1Adapter(algo))` (or `engine::execute_type1`), which returns the unified `RunReport`"
-)]
-pub fn run_type1<A: Type1Algorithm>(algo: &mut A) -> RoundLog {
-    crate::engine::execute_type1(algo, &RunConfig::new().mode(ExecMode::Parallel)).rounds
 }
 
 #[cfg(test)]
@@ -182,14 +163,5 @@ mod tests {
         let report = run_parallel(&mut toy);
         assert_eq!(report.rounds.rounds(), 0);
         assert_eq!(report.depth, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_still_returns_round_log() {
-        let mut toy = Toy::new(vec![vec![], vec![0], vec![1], vec![]]);
-        let log = run_type1(&mut toy);
-        assert_eq!(log.rounds(), 3);
-        assert_eq!(log.total_items(), 4);
     }
 }

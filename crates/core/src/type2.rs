@@ -24,11 +24,10 @@
 //! on the prefix loop (`2^{i-1}` with `i ≤ log₂ n`) is also extended to
 //! cover all `n` iterations.
 //!
-//! This module keeps the [`Type2Algorithm`] contract, the legacy
-//! [`Type2Stats`] record, and the original `run_type2_*` entry points as
-//! deprecated shims over the engine.
-
-use crate::engine::{ExecMode, RunConfig, RunReport};
+//! This module keeps the [`Type2Algorithm`] contract; runs execute
+//! through the engine ([`execute_type2`](crate::engine::execute_type2) or
+//! an algorithm crate's `*Problem::solve`) and record into the unified
+//! [`RunReport`](crate::engine::RunReport).
 
 /// A randomized incremental algorithm with special/regular structure.
 ///
@@ -63,65 +62,10 @@ pub trait Type2Algorithm: Sync {
     }
 }
 
-/// Execution record of a Type 2 run (legacy; subsumed by
-/// [`RunReport`](crate::engine::RunReport)).
-#[derive(Debug, Default, Clone)]
-pub struct Type2Stats {
-    /// Indices that executed as special iterations (in execution order).
-    pub specials: Vec<usize>,
-    /// Sub-rounds used by each prefix (parallel executor only).
-    pub sub_rounds: Vec<usize>,
-    /// Total `is_special` evaluations (the check work).
-    pub checks: u64,
-}
-
-impl Type2Stats {
-    /// Measured dependence depth proxy: one per special plus one per prefix
-    /// (the paper's depth bound is `O(d(n) log n)` — sub-rounds dominate).
-    pub fn total_sub_rounds(&self) -> usize {
-        self.sub_rounds.iter().sum()
-    }
-
-    /// Extract the legacy record from a unified report.
-    pub fn from_report(report: &RunReport) -> Self {
-        Type2Stats {
-            specials: report.specials.clone(),
-            sub_rounds: report.sub_rounds.clone(),
-            checks: report.checks,
-        }
-    }
-}
-
-/// The sequential baseline: iterate in order, dispatching on specialness.
-/// This *is* the classic sequential randomized incremental algorithm
-/// (Seidel's LP, the KM closest-pair sieve, Welzl's SED).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::execute_type2` with a sequential `RunConfig` (or the algorithm crate's `*Problem::solve`), which returns the unified `RunReport`"
-)]
-pub fn run_type2_sequential<A: Type2Algorithm>(algo: &mut A) -> Type2Stats {
-    Type2Stats::from_report(&crate::engine::execute_type2(
-        algo,
-        &RunConfig::new().mode(ExecMode::Sequential),
-    ))
-}
-
-/// Algorithm 1: the parallel prefix-doubling executor.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::Runner::run(&mut engine::Type2Adapter(algo))` (or `engine::execute_type2`), which returns the unified `RunReport`"
-)]
-pub fn run_type2_parallel<A: Type2Algorithm>(algo: &mut A) -> Type2Stats {
-    Type2Stats::from_report(&crate::engine::execute_type2(
-        algo,
-        &RunConfig::new().mode(ExecMode::Parallel),
-    ))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::execute_type2;
+    use crate::engine::{execute_type2, RunConfig, RunReport};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn run_par<A: Type2Algorithm>(algo: &mut A) -> RunReport {
@@ -239,19 +183,5 @@ mod tests {
         let report = run_par(&mut algo);
         assert!(report.specials.is_empty());
         assert!(report.sub_rounds.is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_match_engine() {
-        let values: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(40503) % 997).collect();
-        let mut a = RunningMax::new(values.clone());
-        let stats = run_type2_parallel(&mut a);
-        let mut b = RunningMax::new(values);
-        let report = run_par(&mut b);
-        assert_eq!(stats.specials, report.specials);
-        assert_eq!(stats.sub_rounds, report.sub_rounds);
-        assert_eq!(stats.checks, report.checks);
-        assert_eq!(stats.total_sub_rounds(), report.total_sub_rounds());
     }
 }

@@ -16,13 +16,10 @@
 //! refinement of it, for the eager SCC variant). Theorem 2.6: `O(log n)`
 //! rounds, every iteration receives `O(log n)` incoming dependences whp.
 //!
-//! This module keeps the [`Type3Algorithm`] contract, the
-//! [`prefix_rounds`] schedule helper, and the original
-//! [`run_type3_parallel`] entry point as a deprecated shim.
-
-use ri_pram::RoundLog;
-
-use crate::engine::{ExecMode, RunConfig};
+//! This module keeps the [`Type3Algorithm`] contract and the
+//! [`prefix_rounds`] schedule helper; runs execute through the engine
+//! ([`execute_type3`](crate::engine::execute_type3) or an algorithm
+//! crate's `*Problem::solve`).
 
 /// A randomized incremental algorithm with separating dependences.
 pub trait Type3Algorithm: Sync {
@@ -63,22 +60,10 @@ pub fn prefix_rounds(n: usize) -> Vec<(usize, usize)> {
     rounds
 }
 
-/// Run a Type 3 algorithm in doubling rounds. `log.rounds()` is the
-/// measured round-depth (`⌈log₂ n⌉ + 1` by construction — the content of
-/// Theorem 2.6 is that the *work* stays near-sequential, which the caller
-/// checks via the returned work totals).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `engine::Runner::run(&mut engine::Type3Adapter(algo))` (or `engine::execute_type3`), which returns the unified `RunReport`"
-)]
-pub fn run_type3_parallel<A: Type3Algorithm>(algo: &mut A) -> RoundLog {
-    crate::engine::execute_type3(algo, &RunConfig::new().mode(ExecMode::Parallel)).rounds
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::execute_type3;
+    use crate::engine::{execute_type3, RunConfig};
 
     #[test]
     fn schedule_shape() {
@@ -168,14 +153,5 @@ mod tests {
         let report = execute_type3(&mut seq, &RunConfig::new().sequential());
         assert_eq!(par.prefix_min, seq.prefix_min);
         assert_eq!(report.depth, 500, "sequential depth is the iteration count");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_still_returns_round_log() {
-        let mut algo = MinSoFar::new((0..100u64).collect());
-        let log = run_type3_parallel(&mut algo);
-        assert_eq!(log.rounds(), prefix_rounds(100).len());
-        assert_eq!(log.total_items(), 100);
     }
 }

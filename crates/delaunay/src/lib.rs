@@ -4,14 +4,15 @@
 //! This crate implements the Boissonnat–Teillaud *conflict-set* variant of
 //! incremental Delaunay triangulation analysed by the paper:
 //!
-//! * **Algorithm 4** ([`delaunay_sequential`]) — for each point in random
-//!   order, the set of triangles it encroaches (`R`) is located directly
-//!   through the maintained conflict sets `E(t)`; every boundary face of
-//!   `R` is replaced by a new triangle through the point
+//! * **Algorithm 4** (sequential mode of [`DelaunayProblem`]) — for each
+//!   point in random order, the set of triangles it encroaches (`R`) is
+//!   located directly through the maintained conflict sets `E(t)`; every
+//!   boundary face of `R` is replaced by a new triangle through the point
 //!   (`ReplaceBoundary`), whose conflict set is filtered from
 //!   `E(t) ∪ E(t_o)` using **Fact 4.1** (points in *both* sets need no
 //!   InCircle test — the source of the 24 vs 36 constant in Theorem 4.5).
-//! * **Algorithm 5** ([`delaunay_parallel`]) — the same `ReplaceBoundary`
+//! * **Algorithm 5** (parallel mode of [`DelaunayProblem`]) — the same
+//!   `ReplaceBoundary`
 //!   calls, discovered face-by-face: a face whose two triangles `t, t_o`
 //!   satisfy `min(E(t)) < min(E(t_o))` can fire immediately (Lemma 4.2),
 //!   so each round processes all such *active faces* in parallel. The
@@ -31,14 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod mesh;
-pub mod par;
+mod par;
 pub mod problem;
-pub mod seq;
+pub mod registry;
+mod seq;
 
 pub use mesh::{Mesh, Triangle, INFINITE_VERTEX};
 pub use problem::{DelaunayProblem, DtOutput};
-#[allow(deprecated)]
-pub use {par::delaunay_parallel, seq::delaunay_sequential};
 
 /// Work counters for the Theorem 4.5 experiment.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]

@@ -46,14 +46,6 @@ struct NewTri {
 /// Algorithm 5: parallel incremental Delaunay triangulation of `points`
 /// taken in the given (random) order. Same preconditions as the sequential
 /// version; produces the identical triangulation and work counters.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `DelaunayProblem::new(points).solve(&RunConfig::new().parallel())`"
-)]
-pub fn delaunay_parallel(points: &[Point2]) -> DtResult {
-    delaunay_parallel_impl(points)
-}
-
 pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
     let order = seed_order(points);
     let points_in_order: Vec<Point2> = order.iter().map(|&i| points[i]).collect();
@@ -193,10 +185,9 @@ pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
-    use crate::seq::delaunay_sequential;
+    use crate::seq::delaunay_sequential_impl;
     use ri_geometry::distributions::dedup_points;
     use ri_geometry::PointDistribution;
     use ri_pram::random_permutation;
@@ -226,8 +217,8 @@ mod tests {
     fn matches_sequential_exactly() {
         for seed in 0..6 {
             let pts = workload(200, seed, PointDistribution::UniformSquare);
-            let seq = delaunay_sequential(&pts);
-            let par = delaunay_parallel(&pts);
+            let seq = delaunay_sequential_impl(&pts);
+            let par = delaunay_parallel_impl(&pts);
             assert_eq!(
                 sorted_tris(&seq.mesh),
                 sorted_tris(&par.mesh),
@@ -247,7 +238,7 @@ mod tests {
             PointDistribution::JitteredGrid,
         ] {
             let pts = workload(300, 7, dist);
-            let r = delaunay_parallel(&pts);
+            let r = delaunay_parallel_impl(&pts);
             r.mesh
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", dist.name()));
@@ -258,7 +249,7 @@ mod tests {
     fn brute_force_delaunay_small() {
         for seed in 0..4 {
             let pts = workload(80, seed, PointDistribution::UniformSquare);
-            let r = delaunay_parallel(&pts);
+            let r = delaunay_parallel_impl(&pts);
             assert!(r.mesh.is_delaunay_brute_force(), "seed {seed}");
         }
     }
@@ -266,7 +257,7 @@ mod tests {
     #[test]
     fn rounds_are_logarithmic() {
         let pts = workload(1 << 12, 3, PointDistribution::UniformSquare);
-        let r = delaunay_parallel(&pts);
+        let r = delaunay_parallel_impl(&pts);
         let rounds = r.rounds.unwrap().rounds();
         // Theorem 4.3: O(d log n) whp; generous constant.
         assert!(
@@ -279,7 +270,7 @@ mod tests {
     #[test]
     fn larger_mesh_valid() {
         let pts = workload(5000, 1, PointDistribution::UniformSquare);
-        let r = delaunay_parallel(&pts);
+        let r = delaunay_parallel_impl(&pts);
         r.mesh.validate().unwrap();
     }
 
@@ -287,7 +278,7 @@ mod tests {
     fn collinear_run_parallel() {
         let mut pts: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64, 0.0)).collect();
         pts.push(Point2::new(3.5, 7.0));
-        let r = delaunay_parallel(&pts);
+        let r = delaunay_parallel_impl(&pts);
         r.mesh.validate().unwrap();
         assert_eq!(r.mesh.finite_triangles().len(), 19); // 19 segments fanned to the apex
     }

@@ -1,0 +1,82 @@
+//! Registry entry: `"delaunay"` — incremental Delaunay triangulation of a
+//! seeded point workload (§4, Type 1 with nested dependences). The
+//! workload shape is a point-distribution name (default
+//! `"uniform-square"`).
+
+use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::{Problem, RunConfig, RunReport};
+use ri_geometry::{named_point_workload, Point2};
+
+use crate::problem::DelaunayProblem;
+
+/// Register this crate's problem.
+pub fn register(reg: &mut Registry) {
+    reg.register(
+        "delaunay",
+        "incremental Delaunay triangulation of a point workload (§4, Type 1 nested)",
+        |spec| {
+            let points = named_point_workload(
+                "delaunay",
+                spec.n,
+                spec.seed,
+                spec.shape_or("uniform-square"),
+                3,
+            )?;
+            Ok(Box::new(DelaunayWorkload { points }))
+        },
+    );
+}
+
+struct DelaunayWorkload {
+    points: Vec<Point2>,
+}
+
+impl ErasedProblem for DelaunayWorkload {
+    fn name(&self) -> &str {
+        "delaunay"
+    }
+
+    fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
+        let (out, report) = DelaunayProblem::new(&self.points).solve(cfg);
+        let mut s = OutputSummary::new();
+        s.answer_num("points", self.points.len() as f64)
+            .answer_num("triangles", out.mesh.finite_triangles().len() as f64)
+            .answer_bool("valid", out.mesh.validate().is_ok())
+            .metric_num("incircle_tests", out.stats.incircle_tests as f64)
+            .metric_num("orient_tests", out.stats.orient_tests as f64)
+            .metric_num("skipped_tests", out.stats.skipped_tests as f64);
+        (s, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_core::engine::registry::WorkloadSpec;
+
+    #[test]
+    fn registered_name_solves_and_validates() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        let spec = WorkloadSpec::new(120, 5).shape("uniform-disk");
+        let (summary, report) = reg.solve("delaunay", &spec, &RunConfig::new()).unwrap();
+        assert!(summary.to_json().contains("\"valid\":true"));
+        assert!(report.depth > 0);
+    }
+
+    #[test]
+    fn bad_shape_and_tiny_size_are_rejected() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        let err = reg
+            .construct("delaunay", &WorkloadSpec::new(100, 1).shape("sideways"))
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("unknown point distribution"));
+        let err = reg
+            .construct("delaunay", &WorkloadSpec::new(2, 1))
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("at least 3"));
+    }
+}

@@ -190,14 +190,6 @@ pub(crate) fn build_seed(
 /// Algorithm 4: sequential incremental Delaunay triangulation of `points`
 /// taken in the given (random) order. Needs ≥ 3 points, not all collinear,
 /// pairwise distinct.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `DelaunayProblem::new(points).solve(&RunConfig::new().sequential())`"
-)]
-pub fn delaunay_sequential(points: &[Point2]) -> DtResult {
-    delaunay_sequential_impl(points)
-}
-
 pub(crate) fn delaunay_sequential_impl(points: &[Point2]) -> DtResult {
     let order = seed_order(points);
     let points_in_order: Vec<Point2> = order.iter().map(|&i| points[i]).collect();
@@ -264,7 +256,6 @@ pub(crate) fn delaunay_sequential_impl(points: &[Point2]) -> DtResult {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_geometry::distributions::dedup_points;
@@ -284,7 +275,7 @@ mod tests {
             Point2::new(1.0, 0.0),
             Point2::new(0.0, 1.0),
         ];
-        let r = delaunay_sequential(&pts);
+        let r = delaunay_sequential_impl(&pts);
         assert_eq!(r.mesh.finite_triangles().len(), 1);
         assert_eq!(r.mesh.hull_edges().len(), 3);
         r.mesh.validate().unwrap();
@@ -298,7 +289,7 @@ mod tests {
             Point2::new(0.0, 1.0),
             Point2::new(1.0, 1.0),
         ];
-        let r = delaunay_sequential(&pts);
+        let r = delaunay_sequential_impl(&pts);
         assert_eq!(r.mesh.finite_triangles().len(), 2);
         r.mesh.validate().unwrap();
         assert!(r.mesh.is_delaunay_brute_force());
@@ -313,7 +304,7 @@ mod tests {
             Point2::new(0.0, 4.0),
             Point2::new(1.0, 1.0),
         ];
-        let r = delaunay_sequential(&pts);
+        let r = delaunay_sequential_impl(&pts);
         assert_eq!(r.mesh.finite_triangles().len(), 3);
         r.mesh.validate().unwrap();
         assert!(r.mesh.is_delaunay_brute_force());
@@ -323,7 +314,7 @@ mod tests {
     fn random_points_valid_delaunay() {
         for seed in 0..6 {
             let pts = workload(120, seed, PointDistribution::UniformSquare);
-            let r = delaunay_sequential(&pts);
+            let r = delaunay_sequential_impl(&pts);
             r.mesh
                 .validate()
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -342,7 +333,7 @@ mod tests {
             PointDistribution::UniformDisk,
         ] {
             let pts = workload(150, 3, dist);
-            let r = delaunay_sequential(&pts);
+            let r = delaunay_sequential_impl(&pts);
             r.mesh
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", dist.name()));
@@ -353,7 +344,7 @@ mod tests {
     #[test]
     fn near_degenerate_grid() {
         let pts = workload(100, 5, PointDistribution::JitteredGrid);
-        let r = delaunay_sequential(&pts);
+        let r = delaunay_sequential_impl(&pts);
         r.mesh.validate().unwrap();
         assert!(r.mesh.is_delaunay_brute_force());
     }
@@ -364,7 +355,7 @@ mod tests {
         // closed half-plane conflict rule.
         let mut pts: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64, 0.0)).collect();
         pts.push(Point2::new(3.5, 7.0));
-        let r = delaunay_sequential(&pts);
+        let r = delaunay_sequential_impl(&pts);
         r.mesh.validate().unwrap();
         assert_eq!(r.mesh.finite_triangles().len(), 19); // 19 segments fanned to the apex
     }
@@ -373,7 +364,7 @@ mod tests {
     fn incircle_count_within_theorem_bound() {
         let n = 2000;
         let pts = workload(n, 11, PointDistribution::UniformSquare);
-        let r = delaunay_sequential(&pts);
+        let r = delaunay_sequential_impl(&pts);
         let n = pts.len() as f64;
         let bound = 24.0 * n * n.ln() + 50.0 * n;
         assert!(

@@ -19,9 +19,8 @@
 #![warn(missing_docs)]
 
 pub mod problem;
+pub mod registry;
 mod welzl;
 
 pub use problem::EnclosingProblem;
-pub use welzl::{brute_force_sed, SedOutput, SedRun};
-#[allow(deprecated)]
-pub use welzl::{sed_parallel, sed_sequential};
+pub use welzl::{brute_force_sed, SedOutput};

@@ -4,21 +4,8 @@
 use rayon::prelude::*;
 
 use ri_core::engine::{execute_type2, ExecMode, RunConfig, RunReport};
-use ri_core::{Type2Algorithm, Type2Stats};
+use ri_core::Type2Algorithm;
 use ri_geometry::{circumcircle, diametral_disk, Disk, Point2};
-
-/// Result of a smallest-enclosing-disk run.
-#[derive(Debug)]
-pub struct SedRun {
-    /// The smallest enclosing disk of all points.
-    pub disk: Disk,
-    /// Executor statistics: `specials` are the `Update1` calls.
-    pub stats: Type2Stats,
-    /// Number of nested `Update2` scans across the whole run.
-    pub update2_calls: usize,
-    /// Total containment tests (the work measure of §5.3).
-    pub contains_tests: u64,
-}
 
 struct WelzlState<'a> {
     points: &'a [Point2],
@@ -116,38 +103,6 @@ impl Type2Algorithm for WelzlState<'_> {
     }
 }
 
-/// Sequential Welzl SED. `points.len() >= 2`, points in general position
-/// (no four cocircular — the paper's assumption).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `EnclosingProblem::new(points).solve(&RunConfig::new().sequential())`"
-)]
-pub fn sed_sequential(points: &[Point2]) -> SedRun {
-    let (out, report) = run_with(points, &RunConfig::new().sequential());
-    SedRun {
-        disk: out.disk,
-        stats: Type2Stats::from_report(&report),
-        update2_calls: out.update2_calls,
-        contains_tests: out.contains_tests,
-    }
-}
-
-/// Parallel SED through Algorithm 1, with parallel find-earliest-outside
-/// scans inside `Update1`/`Update2`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `EnclosingProblem::new(points).solve(&RunConfig::new().parallel())`"
-)]
-pub fn sed_parallel(points: &[Point2]) -> SedRun {
-    let (out, report) = run_with(points, &RunConfig::new().parallel());
-    SedRun {
-        disk: out.disk,
-        stats: Type2Stats::from_report(&report),
-        update2_calls: out.update2_calls,
-        contains_tests: out.contains_tests,
-    }
-}
-
 /// The answer of a smallest-enclosing-disk run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SedOutput {
@@ -201,9 +156,34 @@ pub fn brute_force_sed(points: &[Point2]) -> Disk {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
+
+    /// Test-local stand-in for the retired `SedRun` shape.
+    struct Run {
+        disk: Disk,
+        stats: RunReport,
+        update2_calls: usize,
+        contains_tests: u64,
+    }
+
+    fn run_mode(points: &[Point2], cfg: &RunConfig) -> Run {
+        let (out, stats) = run_with(points, cfg);
+        Run {
+            disk: out.disk,
+            stats,
+            update2_calls: out.update2_calls,
+            contains_tests: out.contains_tests,
+        }
+    }
+
+    fn sed_sequential(points: &[Point2]) -> Run {
+        run_mode(points, &RunConfig::new().sequential())
+    }
+
+    fn sed_parallel(points: &[Point2]) -> Run {
+        run_mode(points, &RunConfig::new().parallel())
+    }
     use ri_geometry::distributions::dedup_points;
     use ri_geometry::PointDistribution;
     use ri_pram::random_permutation;

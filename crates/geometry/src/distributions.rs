@@ -111,6 +111,41 @@ impl PointDistribution {
     }
 }
 
+/// Error parsing a [`PointDistribution`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDistributionError(String);
+
+impl std::fmt::Display for ParseDistributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let known: Vec<&str> = PointDistribution::all().iter().map(|d| d.name()).collect();
+        write!(
+            f,
+            "unknown point distribution `{}` (known: {})",
+            self.0,
+            known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseDistributionError {}
+
+impl std::str::FromStr for PointDistribution {
+    type Err = ParseDistributionError;
+
+    /// Accepts the [`PointDistribution::name`] vocabulary (`clusters`
+    /// parses to the 8-cluster default the experiments sweep).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "uniform-square" => Ok(PointDistribution::UniformSquare),
+            "uniform-disk" => Ok(PointDistribution::UniformDisk),
+            "clusters" => Ok(PointDistribution::Clusters(8)),
+            "near-circle" => Ok(PointDistribution::NearCircle),
+            "jittered-grid" => Ok(PointDistribution::JitteredGrid),
+            other => Err(ParseDistributionError(other.to_string())),
+        }
+    }
+}
+
 /// Deduplicate exactly-equal points (the algorithms assume distinct
 /// points; generators can collide at tiny probability).
 pub fn dedup_points(mut pts: Vec<Point2>) -> Vec<Point2> {
@@ -123,9 +158,67 @@ pub fn dedup_points(mut pts: Vec<Point2>) -> Vec<Point2> {
     pts
 }
 
+/// A deduplicated, randomly ordered point workload: `n` points drawn from
+/// `dist`, exact duplicates removed, then shuffled into their (random)
+/// insertion order. This is the standard input of every point-based
+/// experiment and of the point-problem `WorkloadSpec` constructors; the
+/// paper's expectation bounds are over exactly this insertion order.
+pub fn point_workload(n: usize, seed: u64, dist: PointDistribution) -> Vec<Point2> {
+    let raw = dedup_points(dist.generate(n, seed));
+    let order = ri_pram::random_permutation(raw.len(), seed ^ 0xbead);
+    order.iter().map(|&i| raw[i]).collect()
+}
+
+/// [`point_workload`] behind a *named* shape, for the registry
+/// constructors of the point-based problems (`delaunay`, `closest-pair`,
+/// `enclosing`): parses `shape` as a [`PointDistribution`] and enforces
+/// the problem's minimum distinct-point count, with uniform error text.
+pub fn named_point_workload(
+    problem: &str,
+    n: usize,
+    seed: u64,
+    shape: &str,
+    min_points: usize,
+) -> Result<Vec<Point2>, String> {
+    let dist: PointDistribution = shape.parse().map_err(|e| format!("{e}"))?;
+    let points = point_workload(n, seed, dist);
+    if points.len() < min_points {
+        return Err(format!(
+            "{problem} needs at least {min_points} distinct points, got {}",
+            points.len()
+        ));
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for d in PointDistribution::all() {
+            assert_eq!(d.name().parse::<PointDistribution>().unwrap(), d);
+        }
+        assert!("sideways".parse::<PointDistribution>().is_err());
+    }
+
+    #[test]
+    fn point_workload_is_seeded_and_deduped() {
+        let a = point_workload(500, 1, PointDistribution::UniformSquare);
+        let b = point_workload(500, 1, PointDistribution::UniformSquare);
+        assert_eq!(a, b, "workload not reproducible");
+        let mut unique = a.clone();
+        unique.sort_by(|p, q| {
+            p.x.partial_cmp(&q.x)
+                .unwrap()
+                .then(p.y.partial_cmp(&q.y).unwrap())
+        });
+        unique.dedup_by(|p, q| p == q);
+        assert_eq!(unique.len(), a.len(), "workload contains duplicates");
+        let c = point_workload(500, 2, PointDistribution::UniformSquare);
+        assert_ne!(a, c, "workload ignores seed");
+    }
 
     #[test]
     fn seeded_reproducibility() {

@@ -29,6 +29,6 @@ pub mod point;
 pub mod predicates;
 
 pub use circle::{circumcircle, diametral_disk, Disk};
-pub use distributions::PointDistribution;
+pub use distributions::{dedup_points, named_point_workload, point_workload, PointDistribution};
 pub use point::Point2;
 pub use predicates::{incircle, orient2d, Orientation};

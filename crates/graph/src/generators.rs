@@ -12,6 +12,16 @@ use rand::{Rng, SeedableRng};
 
 use crate::csr::CsrGraph;
 
+/// Validated edge count for an average-out-degree parameter: the shared
+/// vocabulary of the graph-backed workload constructors (`le-lists`,
+/// `scc`). Accepts degrees in `(0, 64]`.
+pub fn degree_edges(n: usize, degree: f64) -> Result<usize, String> {
+    if !degree.is_finite() || degree <= 0.0 || degree > 64.0 {
+        return Err(format!("average degree must be in (0, 64], got {degree}"));
+    }
+    Ok((n as f64 * degree) as usize)
+}
+
 /// Uniform random digraph with `n` vertices and `m` edges (self-loops
 /// excluded, parallel edges possible). `symmetric` adds each edge in both
 /// directions (an undirected graph for LE-lists).

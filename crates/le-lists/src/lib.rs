@@ -7,13 +7,13 @@
 //! entries whp and power neighborhood-size estimation and probabilistic
 //! tree embeddings.
 //!
-//! * [`le_lists_sequential`] — Algorithm 6: iterate sources in priority
-//!   order, running a **δ-pruned** shortest-path search that only visits
-//!   vertices the source improves.
-//! * [`le_lists_parallel`] — the Type 3 execution: doubling rounds of
-//!   sources search *in parallel against the previous round's δ array*,
-//!   and a combine step (semisort by target, then a running-minimum filter
-//!   in source order) discards the redundant entries, reproducing the
+//! * Sequential mode of [`LeListsProblem`] — Algorithm 6: iterate sources
+//!   in priority order, running a **δ-pruned** shortest-path search that
+//!   only visits vertices the source improves.
+//! * Parallel mode — the Type 3 execution: doubling rounds of sources
+//!   search *in parallel against the previous round's δ array*, and a
+//!   combine step (semisort by target, then a running-minimum filter in
+//!   source order) discards the redundant entries, reproducing the
 //!   sequential lists exactly.
 //!
 //! Theorem 6.2: the parallel version does `O(W_SP(n,m) log n)` expected
@@ -26,8 +26,7 @@
 
 mod lists;
 pub mod problem;
+pub mod registry;
 
-pub use lists::{le_lists_brute_force, LeListsResult, LeStats};
-#[allow(deprecated)]
-pub use lists::{le_lists_parallel, le_lists_sequential};
+pub use lists::le_lists_brute_force;
 pub use problem::{LeListsOutput, LeListsProblem};

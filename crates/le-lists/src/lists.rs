@@ -30,6 +30,7 @@ pub struct LeStats {
     pub redundant_entries: u64,
 }
 
+#[cfg_attr(not(test), allow(dead_code))] // exercised by the length tests
 impl LeListsResult {
     /// Longest list (Cohen: `O(log n)` whp).
     pub fn max_list_len(&self) -> usize {
@@ -52,14 +53,6 @@ fn check_order(g: &CsrGraph, order: &[usize]) {
 
 /// Algorithm 6: sequential LE-lists. `order[i]` is the vertex processed at
 /// iteration `i` (the random priority order).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `LeListsProblem::new(g).with_order(order).solve(&RunConfig::new().sequential())`"
-)]
-pub fn le_lists_sequential(g: &CsrGraph, order: &[usize]) -> LeListsResult {
-    le_lists_sequential_impl(g, order)
-}
-
 pub(crate) fn le_lists_sequential_impl(g: &CsrGraph, order: &[usize]) -> LeListsResult {
     check_order(g, order);
     let n = g.num_vertices();
@@ -155,16 +148,8 @@ impl Type3Algorithm for ParState<'_> {
     }
 }
 
-/// Type 3 parallel LE-lists: identical output to
-/// [`le_lists_sequential`], `⌈log₂ n⌉ + 1` rounds.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `LeListsProblem::new(g).with_order(order).solve(&RunConfig::new().parallel())`"
-)]
-pub fn le_lists_parallel(g: &CsrGraph, order: &[usize]) -> LeListsResult {
-    le_lists_parallel_impl(g, order)
-}
-
+/// Type 3 parallel LE-lists: identical output to the sequential run,
+/// `⌈log₂ n⌉ + 1` rounds.
 pub(crate) fn le_lists_parallel_impl(g: &CsrGraph, order: &[usize]) -> LeListsResult {
     check_order(g, order);
     let n = g.num_vertices();
@@ -210,7 +195,6 @@ pub fn le_lists_brute_force(g: &CsrGraph, order: &[usize]) -> Vec<Vec<(u32, f64)
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_graph::generators::{gnm, gnm_weighted, grid2d};
@@ -228,7 +212,7 @@ mod tests {
         for seed in 0..5 {
             let g = gnm(120, 500, seed, false);
             let order = random_permutation(120, seed ^ 1);
-            let got = le_lists_sequential(&g, &order);
+            let got = le_lists_sequential_impl(&g, &order);
             let want = le_lists_brute_force(&g, &order);
             assert_lists_equal(&got.lists, &want, "seq-vs-brute");
         }
@@ -239,7 +223,7 @@ mod tests {
         for seed in 0..5 {
             let g = gnm_weighted(100, 400, seed, true);
             let order = random_permutation(100, seed ^ 2);
-            let got = le_lists_sequential(&g, &order);
+            let got = le_lists_sequential_impl(&g, &order);
             let want = le_lists_brute_force(&g, &order);
             assert_lists_equal(&got.lists, &want, "seq-vs-brute-weighted");
         }
@@ -250,8 +234,8 @@ mod tests {
         for seed in 0..5 {
             let g = gnm_weighted(200, 900, seed, false);
             let order = random_permutation(200, seed ^ 3);
-            let seq = le_lists_sequential(&g, &order);
-            let par = le_lists_parallel(&g, &order);
+            let seq = le_lists_sequential_impl(&g, &order);
+            let par = le_lists_parallel_impl(&g, &order);
             assert_lists_equal(&seq.lists, &par.lists, "par-vs-seq");
         }
     }
@@ -260,8 +244,8 @@ mod tests {
     fn parallel_on_grid() {
         let g = grid2d(20);
         let order = random_permutation(400, 9);
-        let seq = le_lists_sequential(&g, &order);
-        let par = le_lists_parallel(&g, &order);
+        let seq = le_lists_sequential_impl(&g, &order);
+        let par = le_lists_parallel_impl(&g, &order);
         assert_lists_equal(&seq.lists, &par.lists, "grid");
         assert_eq!(par.stats.rounds.as_ref().unwrap().rounds(), 10);
     }
@@ -270,7 +254,7 @@ mod tests {
     fn own_vertex_heads_every_list() {
         let g = gnm(150, 600, 4, true);
         let order = random_permutation(150, 5);
-        let r = le_lists_sequential(&g, &order);
+        let r = le_lists_sequential_impl(&g, &order);
         for (u, list) in r.lists.iter().enumerate() {
             let last = list.last().expect("every vertex reaches itself");
             assert_eq!(last.0 as usize, u, "own vertex is the final (0-dist) entry");
@@ -282,7 +266,7 @@ mod tests {
     fn entries_strictly_decreasing() {
         let g = gnm_weighted(150, 700, 6, false);
         let order = random_permutation(150, 7);
-        let r = le_lists_parallel(&g, &order);
+        let r = le_lists_parallel_impl(&g, &order);
         for list in &r.lists {
             for w in list.windows(2) {
                 assert!(w[0].1 > w[1].1, "distances must strictly decrease");
@@ -296,7 +280,7 @@ mod tests {
         let n = 1 << 12;
         let g = gnm(n, 10 * n, 8, true);
         let order = random_permutation(n, 9);
-        let r = le_lists_parallel(&g, &order);
+        let r = le_lists_parallel_impl(&g, &order);
         let hn = ri_core::harmonic(n);
         let avg = r.total_entries() as f64 / n as f64;
         // E[|L(u)|] = H_n for vertices that reach everything; disconnected
@@ -314,8 +298,8 @@ mod tests {
         let n = 1 << 11;
         let g = gnm_weighted(n, 8 * n, 10, false);
         let order = random_permutation(n, 11);
-        let seq = le_lists_sequential(&g, &order);
-        let par = le_lists_parallel(&g, &order);
+        let seq = le_lists_sequential_impl(&g, &order);
+        let par = le_lists_parallel_impl(&g, &order);
         let ratio = par.stats.visits as f64 / seq.stats.visits.max(1) as f64;
         assert!(
             ratio < 4.0,
@@ -331,21 +315,21 @@ mod tests {
         edges.extend([(2u32, 3u32), (3, 2)]);
         let g = CsrGraph::from_edges(4, &edges);
         let order = vec![0, 2, 1, 3];
-        let r = le_lists_sequential(&g, &order);
+        let r = le_lists_sequential_impl(&g, &order);
         for (src, _) in &r.lists[0] {
             assert!(*src < 2);
         }
         for (src, _) in &r.lists[3] {
             assert!(*src >= 2);
         }
-        let par = le_lists_parallel(&g, &order);
+        let par = le_lists_parallel_impl(&g, &order);
         assert_lists_equal(&r.lists, &par.lists, "disconnected");
     }
 
     #[test]
     fn empty_and_singleton() {
         let g = CsrGraph::from_edges(1, &[]);
-        let r = le_lists_parallel(&g, &[0]);
+        let r = le_lists_parallel_impl(&g, &[0]);
         assert_eq!(r.lists[0], vec![(0, 0.0)]);
     }
 }

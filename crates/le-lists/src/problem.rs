@@ -17,6 +17,12 @@ pub struct LeListsOutput {
     /// Entries discarded by the parallel combine step (the Type 3 "extra
     /// work"; 0 in sequential mode).
     pub redundant_entries: u64,
+    /// Settled vertices across all searches (the visit work of §6.1;
+    /// mode-dependent — the parallel/sequential ratio is Theorem 6.2's
+    /// constant-factor overhead).
+    pub visits: u64,
+    /// Scanned edges across all searches (mode-dependent, like `visits`).
+    pub relaxations: u64,
 }
 
 impl LeListsOutput {
@@ -111,6 +117,8 @@ impl Executable for LeExec<'_> {
         self.out = Some(LeListsOutput {
             lists: result.lists,
             redundant_entries: result.stats.redundant_entries,
+            visits: result.stats.visits,
+            relaxations: result.stats.relaxations,
         });
         report
     }

@@ -1,0 +1,97 @@
+//! Registry entry: `"le-lists"` — Cohen's least-element lists over a
+//! seeded random graph (§6.1, Type 3). Shapes: `"gnm-weighted"` (default)
+//! and `"gnm"` with `param` as average out-degree (default 4), or
+//! `"grid"` (an unweighted 2-D grid of about `n` vertices; `param`
+//! ignored). The priority order is drawn from the *run* config's seed.
+
+use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::{Problem, RunConfig, RunReport};
+use ri_graph::generators::degree_edges;
+use ri_graph::CsrGraph;
+
+use crate::LeListsProblem;
+
+/// Register this crate's problem.
+pub fn register(reg: &mut Registry) {
+    reg.register(
+        "le-lists",
+        "Cohen's least-element lists on a random graph (§6.1, Type 3)",
+        |spec| {
+            if spec.n == 0 {
+                return Err("le-lists needs at least 1 vertex".into());
+            }
+            let g = match spec.shape_or("gnm-weighted") {
+                "gnm-weighted" => ri_graph::generators::gnm_weighted(
+                    spec.n,
+                    degree_edges(spec.n, spec.param_or(4.0))?,
+                    spec.seed,
+                    true,
+                ),
+                "gnm" => ri_graph::generators::gnm(
+                    spec.n,
+                    degree_edges(spec.n, spec.param_or(4.0))?,
+                    spec.seed,
+                    true,
+                ),
+                "grid" => {
+                    let side = (spec.n as f64).sqrt().ceil().max(1.0) as usize;
+                    ri_graph::generators::grid2d(side)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown le-lists graph shape `{other}` (known: gnm-weighted, gnm, grid)"
+                    ))
+                }
+            };
+            Ok(Box::new(LeListsWorkload { g }))
+        },
+    );
+}
+
+struct LeListsWorkload {
+    g: CsrGraph,
+}
+
+impl ErasedProblem for LeListsWorkload {
+    fn name(&self) -> &str {
+        "le-lists"
+    }
+
+    fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
+        let (out, report) = LeListsProblem::new(&self.g).solve(cfg);
+        let mut s = OutputSummary::new();
+        s.answer_num("vertices", self.g.num_vertices() as f64)
+            .answer_num("total_entries", out.total_entries() as f64)
+            .answer_num("max_list_len", out.max_list_len() as f64)
+            .metric_num("visits", out.visits as f64)
+            .metric_num("relaxations", out.relaxations as f64)
+            .metric_num("redundant_entries", out.redundant_entries as f64);
+        (s, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_core::engine::registry::WorkloadSpec;
+
+    #[test]
+    fn registered_name_solves_all_shapes() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        for shape in ["gnm-weighted", "gnm", "grid"] {
+            let spec = WorkloadSpec::new(100, 3).shape(shape);
+            let (summary, report) = reg
+                .solve("le-lists", &spec, &RunConfig::new().seed(1))
+                .unwrap();
+            assert!(summary.to_json().contains("total_entries"), "{shape}");
+            assert!(report.items > 0, "{shape}");
+        }
+        assert!(reg
+            .construct("le-lists", &WorkloadSpec::new(100, 3).shape("sideways"))
+            .is_err());
+        assert!(reg
+            .construct("le-lists", &WorkloadSpec::new(100, 3).param(-1.0))
+            .is_err());
+    }
+}

@@ -22,8 +22,8 @@
 //! the paper's full `O(d! log^{d-1} n)` depth bound, which would need the
 //! prefix-doubling executor at every recursion level.
 
-use ri_core::engine::{execute_type2, ExecMode, RunConfig, RunReport};
-use ri_core::{Type2Algorithm, Type2Stats};
+use ri_core::engine::{execute_type2, RunConfig, RunReport};
+use ri_core::Type2Algorithm;
 
 /// Numerical tolerance (the workloads are O(1)-scaled).
 const EPS: f64 = 1e-9;
@@ -66,15 +66,6 @@ pub enum LpOutcomeD {
     Optimal(Vec<f64>),
     /// No feasible point.
     Infeasible,
-}
-
-/// Outcome plus top-level executor statistics.
-#[derive(Debug)]
-pub struct LpRunD {
-    /// The result.
-    pub outcome: LpOutcomeD,
-    /// Top-level Type 2 statistics (specials = tight constraints).
-    pub stats: Type2Stats,
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -250,33 +241,6 @@ pub(crate) fn run_with_d(inst: &LpInstanceD, cfg: &RunConfig) -> (LpOutcomeD, Ru
     (outcome, report)
 }
 
-/// Sequential d-dimensional Seidel LP.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `LpProblemD::new(inst).solve(&RunConfig::new().sequential())`"
-)]
-pub fn lp_d_sequential(inst: &LpInstanceD) -> LpRunD {
-    let (outcome, report) = run_with_d(inst, &RunConfig::new().mode(ExecMode::Sequential));
-    LpRunD {
-        outcome,
-        stats: Type2Stats::from_report(&report),
-    }
-}
-
-/// d-dimensional Seidel LP with the Type 2 parallel executor at the top
-/// level (parallel violation checks over prefixes).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `LpProblemD::new(inst).solve(&RunConfig::new().parallel())`"
-)]
-pub fn lp_d_parallel(inst: &LpInstanceD) -> LpRunD {
-    let (outcome, report) = run_with_d(inst, &RunConfig::new().mode(ExecMode::Parallel));
-    LpRunD {
-        outcome,
-        stats: Type2Stats::from_report(&report),
-    }
-}
-
 /// Workload: constraints tangent to the unit d-sphere (`n̂ · x ≤ 1` for
 /// random unit normals) — always feasible, optimum on the polytope
 /// boundary.
@@ -306,9 +270,24 @@ pub fn tangent_instance_d(d: usize, n: usize, seed: u64) -> LpInstanceD {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
+
+    /// Test-local stand-in for the retired `LpRunD` shape.
+    struct Run {
+        outcome: LpOutcomeD,
+        stats: RunReport,
+    }
+
+    fn lp_d_sequential(inst: &LpInstanceD) -> Run {
+        let (outcome, stats) = run_with_d(inst, &RunConfig::new().sequential());
+        Run { outcome, stats }
+    }
+
+    fn lp_d_parallel(inst: &LpInstanceD) -> Run {
+        let (outcome, stats) = run_with_d(inst, &RunConfig::new().parallel());
+        Run { outcome, stats }
+    }
 
     #[test]
     fn one_dimensional() {
@@ -328,7 +307,8 @@ mod tests {
 
     #[test]
     fn matches_2d_solver() {
-        use crate::seidel::{lp_parallel as lp2, LpOutcome};
+        use crate::seidel::LpOutcome;
+        use ri_core::engine::Problem;
         use ri_geometry::Point2;
         for seed in 0..8 {
             let inst2 = crate::workloads::tangent_instance(200, seed);
@@ -341,7 +321,7 @@ mod tests {
                     .collect(),
             };
             let got = lp_d_parallel(&instd).outcome;
-            let want = lp2(&inst2).outcome;
+            let want = crate::LpProblem::new(&inst2).solve(&RunConfig::new()).0;
             match (got, want) {
                 (LpOutcomeD::Optimal(x), LpOutcome::Optimal(y)) => {
                     let p = Point2::new(x[0], x[1]);

@@ -31,14 +31,10 @@
 
 pub mod highdim;
 pub mod problem;
+pub mod registry;
 mod seidel;
 pub mod workloads;
 
-pub use highdim::{tangent_instance_d, ConstraintD, LpInstanceD, LpOutcomeD, LpRunD};
+pub use highdim::{tangent_instance_d, ConstraintD, LpInstanceD, LpOutcomeD};
 pub use problem::{LpProblem, LpProblemD};
-pub use seidel::{Constraint, LpInstance, LpOutcome, LpRun, EPS};
-#[allow(deprecated)]
-pub use {
-    highdim::{lp_d_parallel, lp_d_sequential},
-    seidel::{lp_parallel, lp_sequential},
-};
+pub use seidel::{Constraint, LpInstance, LpOutcome, EPS};

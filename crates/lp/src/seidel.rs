@@ -3,7 +3,7 @@
 use rayon::prelude::*;
 
 use ri_core::engine::{execute_type2, ExecMode, RunConfig, RunReport};
-use ri_core::{Type2Algorithm, Type2Stats};
+use ri_core::Type2Algorithm;
 use ri_geometry::Point2;
 
 /// Numerical tolerance for feasibility tests (relative to the constraint
@@ -55,16 +55,6 @@ pub enum LpOutcome {
     Optimal(Point2),
     /// No feasible point.
     Infeasible,
-}
-
-/// Outcome plus execution statistics.
-#[derive(Debug)]
-pub struct LpRun {
-    /// The result.
-    pub outcome: LpOutcome,
-    /// Executor statistics: `specials` are the tight constraints, in
-    /// execution order; `checks` is the total feasibility-test work.
-    pub stats: Type2Stats,
 }
 
 /// Magnitude of the synthetic bounding box (far outside every workload).
@@ -200,33 +190,6 @@ impl Type2Algorithm for SeidelState<'_> {
     }
 }
 
-/// Sequential Seidel LP (the classic algorithm).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `LpProblem::new(inst).solve(&RunConfig::new().sequential())`"
-)]
-pub fn lp_sequential(inst: &LpInstance) -> LpRun {
-    let (outcome, report) = run_with(inst, &RunConfig::new().mode(ExecMode::Sequential));
-    LpRun {
-        outcome,
-        stats: Type2Stats::from_report(&report),
-    }
-}
-
-/// Parallel Seidel LP through Algorithm 1 (prefix doubling, parallel
-/// checks, parallel 1-D LPs).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `LpProblem::new(inst).solve(&RunConfig::new().parallel())`"
-)]
-pub fn lp_parallel(inst: &LpInstance) -> LpRun {
-    let (outcome, report) = run_with(inst, &RunConfig::new().mode(ExecMode::Parallel));
-    LpRun {
-        outcome,
-        stats: Type2Stats::from_report(&report),
-    }
-}
-
 /// Engine entry point: solve `inst` under `cfg` (parallel 1-D LPs in
 /// parallel mode), returning the outcome and the unified report.
 pub(crate) fn run_with(inst: &LpInstance, cfg: &RunConfig) -> (LpOutcome, RunReport) {
@@ -242,9 +205,26 @@ pub(crate) fn run_with(inst: &LpInstance, cfg: &RunConfig) -> (LpOutcome, RunRep
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
+
+    /// Test-local stand-in for the retired `LpRun` shape: the outcome
+    /// plus the unified report (whose `specials`/`checks` fields the
+    /// assertions read).
+    struct Run {
+        outcome: LpOutcome,
+        stats: RunReport,
+    }
+
+    fn lp_sequential(inst: &LpInstance) -> Run {
+        let (outcome, stats) = run_with(inst, &RunConfig::new().sequential());
+        Run { outcome, stats }
+    }
+
+    fn lp_parallel(inst: &LpInstance) -> Run {
+        let (outcome, stats) = run_with(inst, &RunConfig::new().parallel());
+        Run { outcome, stats }
+    }
 
     fn pt(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)

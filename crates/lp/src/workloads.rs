@@ -64,10 +64,14 @@ pub fn infeasible_instance(n: usize, seed: u64) -> LpInstance {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
-    use crate::seidel::{lp_parallel, LpOutcome};
+    use crate::seidel::LpOutcome;
+    use ri_core::engine::{Problem, RunConfig};
+
+    fn solve_parallel(inst: &LpInstance) -> LpOutcome {
+        crate::LpProblem::new(inst).solve(&RunConfig::new()).0
+    }
 
     #[test]
     fn tangent_is_reproducible() {
@@ -95,14 +99,14 @@ mod tests {
     fn infeasible_instance_is_infeasible() {
         for seed in 0..5 {
             let inst = infeasible_instance(64, seed);
-            assert_eq!(lp_parallel(&inst).outcome, LpOutcome::Infeasible);
+            assert_eq!(solve_parallel(&inst), LpOutcome::Infeasible);
         }
     }
 
     #[test]
     fn shrinking_instance_feasible() {
         let inst = shrinking_instance(200, 3);
-        match lp_parallel(&inst).outcome {
+        match solve_parallel(&inst) {
             LpOutcome::Optimal(_) => {}
             o => panic!("expected optimal, got {o:?}"),
         }

@@ -1,7 +1,8 @@
 //! The deterministic SCC combine — §6.2's *"Acquiring the same
 //! intermediate states as the sequential algorithm"*.
 //!
-//! The default parallel combine ([`crate::scc_parallel`]) is the paper's
+//! The default parallel combine (parallel mode of
+//! [`SccProblem`](crate::SccProblem)) is the paper's
 //! eager variant: it cuts the partition by *every* search of a round,
 //! which is "more aggressive than the sequential algorithm, but this will
 //! only help". When determinism of intermediate states matters, the paper
@@ -141,9 +142,9 @@ impl Type3Algorithm for DetState<'_> {
 
 /// Parallel SCC with the deterministic (sequential-faithful) combine.
 ///
-/// Produces not only the same final components as
-/// [`crate::scc_sequential`] but the same *partition state* at every round
-/// boundary — at the cost of per-vertex membership filtering in the
+/// Produces not only the same final components as the sequential run
+/// ([`SccProblem`](crate::SccProblem) in sequential mode) but the same
+/// *partition state* at every round boundary — at the cost of per-vertex membership filtering in the
 /// combine (same asymptotic work).
 pub fn scc_parallel_deterministic(g: &CsrGraph, order: &[usize]) -> DetSccRun {
     let n = g.num_vertices();
@@ -197,11 +198,10 @@ pub fn partition_classes(part: &[u64]) -> Vec<u32> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
-    use crate::incremental::sequential_partition_after;
-    use crate::{canonical_labels, scc_sequential, tarjan_scc};
+    use crate::incremental::{scc_sequential_impl, sequential_partition_after};
+    use crate::{canonical_labels, tarjan_scc};
     use ri_core::prefix_rounds;
     use ri_graph::generators::{gnm, planted_sccs, random_dag};
     use ri_pram::random_permutation;
@@ -260,7 +260,7 @@ mod tests {
         for seed in 0..5 {
             let g = gnm(120, 400, seed, false);
             let order = random_permutation(120, seed ^ 0xD4);
-            let seq = scc_sequential(&g, &order);
+            let seq = scc_sequential_impl(&g, &order);
             let det = scc_parallel_deterministic(&g, &order);
             assert_eq!(
                 seq.stats.queries, det.result.stats.queries,

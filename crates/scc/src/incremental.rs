@@ -44,14 +44,6 @@ impl SccStats {
 
 /// Algorithm 7: sequential incremental SCC. `order[i]` is the vertex
 /// processed at iteration `i`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SccProblem::new(g).with_order(order).solve(&RunConfig::new().sequential())`"
-)]
-pub fn scc_sequential(g: &CsrGraph, order: &[usize]) -> SccResult {
-    scc_sequential_impl(g, order)
-}
-
 pub(crate) fn scc_sequential_impl(g: &CsrGraph, order: &[usize]) -> SccResult {
     scc_sequential_prefix(g, order, order.len()).0
 }
@@ -239,16 +231,8 @@ fn first_common(a: &[u32], b: &[u32]) -> Option<u32> {
 }
 
 /// Type 3 parallel SCC (Algorithm 2 applied to Algorithm 7): same
-/// components as [`scc_sequential`] / [`crate::tarjan_scc`], `O(log n)`
+/// components as the sequential run / [`crate::tarjan_scc`], `O(log n)`
 /// rounds of reachability.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SccProblem::new(g).with_order(order).solve(&RunConfig::new().parallel())`"
-)]
-pub fn scc_parallel(g: &CsrGraph, order: &[usize]) -> SccResult {
-    scc_parallel_impl(g, order)
-}
-
 pub(crate) fn scc_parallel_impl(g: &CsrGraph, order: &[usize]) -> SccResult {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order must cover every vertex");
@@ -279,7 +263,6 @@ pub(crate) fn scc_parallel_impl(g: &CsrGraph, order: &[usize]) -> SccResult {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use crate::{canonical_labels, tarjan_scc};
@@ -290,8 +273,8 @@ mod tests {
         let n = g.num_vertices();
         let order = random_permutation(n, seed);
         let want = canonical_labels(&tarjan_scc(g));
-        let seq = scc_sequential(g, &order);
-        let par = scc_parallel(g, &order);
+        let seq = scc_sequential_impl(g, &order);
+        let par = scc_parallel_impl(g, &order);
         assert_eq!(canonical_labels(&seq.comp), want, "{tag}: sequential");
         assert_eq!(canonical_labels(&par.comp), want, "{tag}: parallel");
     }
@@ -319,7 +302,7 @@ mod tests {
         for seed in 0..4 {
             let (g, truth) = planted_sccs(&[20, 1, 7, 33, 2, 13], 60, 90, seed);
             let order = random_permutation(g.num_vertices(), seed ^ 0x444);
-            let par = scc_parallel(&g, &order);
+            let par = scc_parallel_impl(&g, &order);
             assert_eq!(
                 canonical_labels(&par.comp),
                 canonical_labels(&truth),
@@ -343,7 +326,7 @@ mod tests {
         check_against_tarjan(&g, 0x666, "cycle");
         // One query suffices sequentially: the first center carves all.
         let order = random_permutation(n, 1);
-        let seq = scc_sequential(&g, &order);
+        let seq = scc_sequential_impl(&g, &order);
         assert_eq!(seq.stats.queries, 1);
     }
 
@@ -358,7 +341,7 @@ mod tests {
         let n = 1 << 12;
         let g = random_dag(n, 8 * n, 5); // DAG: adversarial (no carving shortcuts)
         let order = random_permutation(n, 6);
-        let par = scc_parallel(&g, &order);
+        let par = scc_parallel_impl(&g, &order);
         let max = par.stats.max_visits_per_vertex();
         assert!(
             (max as usize) < 10 * 12,
@@ -371,7 +354,7 @@ mod tests {
         let n = 1 << 10;
         let g = gnm(n, 4 * n, 7, false);
         let order = random_permutation(n, 8);
-        let par = scc_parallel(&g, &order);
+        let par = scc_parallel_impl(&g, &order);
         assert_eq!(par.stats.rounds.unwrap().rounds(), 11);
     }
 
@@ -380,8 +363,8 @@ mod tests {
         let n = 1 << 11;
         let g = gnm(n, 6 * n, 9, false);
         let order = random_permutation(n, 10);
-        let seq = scc_sequential(&g, &order);
-        let par = scc_parallel(&g, &order);
+        let seq = scc_sequential_impl(&g, &order);
+        let par = scc_parallel_impl(&g, &order);
         let ratio = par.stats.visits as f64 / seq.stats.visits.max(1) as f64;
         assert!(
             ratio < 5.0,

@@ -26,11 +26,10 @@
 pub mod deterministic;
 mod incremental;
 pub mod problem;
+pub mod registry;
 mod tarjan;
 
 pub use deterministic::{partition_classes, scc_parallel_deterministic, DetSccRun};
-#[allow(deprecated)]
-pub use incremental::{scc_parallel, scc_sequential};
 pub use incremental::{sequential_partition_after, SccResult, SccStats};
 pub use problem::{SccOutput, SccProblem};
 pub use tarjan::tarjan_scc;

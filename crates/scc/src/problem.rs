@@ -20,6 +20,21 @@ pub struct SccOutput {
     pub queries: u64,
 }
 
+impl SccOutput {
+    /// Largest per-vertex visit count (the Theorem 6.4 quantity).
+    pub fn max_visits_per_vertex(&self) -> u32 {
+        self.visits_per_vertex.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct strongly connected components.
+    pub fn num_components(&self) -> usize {
+        let mut labels = self.comp.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
 /// Incremental strongly connected components (§6.2 of the paper, Type 3;
 /// the eager-combine variant).
 ///

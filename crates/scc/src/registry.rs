@@ -1,0 +1,105 @@
+//! Registry entry: `"scc"` — incremental strongly connected components
+//! over a seeded random digraph (§6.2, Type 3). Shapes: `"gnm"`
+//! (default), `"dag"`, `"rmat"`, `"planted"` (planted SCCs of >= 8
+//! vertices each, up to 64 of them, sizes summing to n), with
+//! `param` as average out-degree (default 4). The processing order is
+//! drawn from the *run* config's seed.
+
+use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::{Problem, RunConfig, RunReport};
+use ri_graph::generators::degree_edges;
+use ri_graph::CsrGraph;
+
+use crate::SccProblem;
+
+/// Register this crate's problem.
+pub fn register(reg: &mut Registry) {
+    reg.register(
+        "scc",
+        "incremental strongly connected components of a random digraph (§6.2, Type 3)",
+        |spec| {
+            if spec.n == 0 {
+                return Err("scc needs at least 1 vertex".into());
+            }
+            let m = degree_edges(spec.n, spec.param_or(4.0))?;
+            let g = match spec.shape_or("gnm") {
+                "gnm" => ri_graph::generators::gnm(spec.n, m, spec.seed, false),
+                "dag" => ri_graph::generators::random_dag(spec.n, m, spec.seed),
+                "rmat" => {
+                    let scale = (spec.n as f64).log2().ceil().max(1.0) as u32;
+                    ri_graph::generators::rmat(scale, m, spec.seed)
+                }
+                "planted" => {
+                    // Plant SCCs of >= 8 vertices (up to 64 of them) and
+                    // spread the remainder so the sizes sum to exactly n —
+                    // a planted shape must actually contain cycles.
+                    let parts = (spec.n / 8).clamp(1, 64);
+                    let (base, extra) = (spec.n / parts, spec.n % parts);
+                    let sizes: Vec<usize> =
+                        (0..parts).map(|i| base + usize::from(i < extra)).collect();
+                    ri_graph::generators::planted_sccs(&sizes, m / 2, m / 2, spec.seed).0
+                }
+                other => {
+                    return Err(format!(
+                        "unknown scc graph shape `{other}` (known: gnm, dag, rmat, planted)"
+                    ))
+                }
+            };
+            Ok(Box::new(SccWorkload { g }))
+        },
+    );
+}
+
+struct SccWorkload {
+    g: CsrGraph,
+}
+
+impl ErasedProblem for SccWorkload {
+    fn name(&self) -> &str {
+        "scc"
+    }
+
+    fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
+        let (out, report) = SccProblem::new(&self.g).solve(cfg);
+        let mut s = OutputSummary::new();
+        s.answer_num("vertices", self.g.num_vertices() as f64)
+            .answer_num("components", out.num_components() as f64)
+            .metric_num("queries", out.queries as f64)
+            .metric_num("max_visits_per_vertex", out.max_visits_per_vertex() as f64);
+        (s, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_core::engine::registry::WorkloadSpec;
+
+    #[test]
+    fn registered_name_solves_all_shapes() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        for shape in ["gnm", "dag", "rmat", "planted"] {
+            let spec = WorkloadSpec::new(128, 2).shape(shape);
+            let (summary, report) = reg.solve("scc", &spec, &RunConfig::new().seed(3)).unwrap();
+            assert!(summary.to_json().contains("components"), "{shape}");
+            assert!(report.items > 0, "{shape}");
+        }
+        assert!(reg
+            .construct("scc", &WorkloadSpec::new(128, 2).shape("sideways"))
+            .is_err());
+    }
+
+    #[test]
+    fn components_match_tarjan_through_registry() {
+        let g = ri_graph::generators::gnm(200, 800, 9, false);
+        let (out, _) = SccProblem::new(&g).solve(&RunConfig::new().seed(4));
+        let want = {
+            let mut t = crate::canonical_labels(&crate::tarjan_scc(&g));
+            t.sort_unstable();
+            t.dedup();
+            t.len()
+        };
+        assert_eq!(out.num_components(), want);
+    }
+}

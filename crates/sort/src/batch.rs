@@ -170,14 +170,6 @@ impl<T: Ord + Sync> Type3Algorithm for BatchState<'_, T> {
 }
 
 /// Sort by batched (Type 3) BST insertion. Keys must be distinct.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `BatchSortProblem::new(keys).solve(&RunConfig::new().parallel())`"
-)]
-pub fn batch_bst_sort<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
-    batch_bst_sort_impl(keys)
-}
-
 pub(crate) fn batch_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
     let n = keys.len();
     let rounds = prefix_rounds(n);
@@ -208,16 +200,15 @@ pub(crate) fn batch_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> BatchSortResult 
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
-    use crate::sequential::sequential_bst_sort;
+    use crate::sequential::sequential_bst_sort_impl;
     use ri_pram::random_permutation;
 
     #[test]
     fn sorts_correctly() {
         let keys = random_permutation(10_000, 21);
-        let r = batch_bst_sort(&keys);
+        let r = batch_bst_sort_impl(&keys);
         let got: Vec<usize> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
         assert_eq!(got, (0..10_000).collect::<Vec<_>>());
     }
@@ -226,8 +217,8 @@ mod tests {
     fn tree_matches_sequential() {
         for seed in 0..5 {
             let keys = random_permutation(3000, seed);
-            let batch = batch_bst_sort(&keys);
-            let seq = sequential_bst_sort(&keys);
+            let batch = batch_bst_sort_impl(&keys);
+            let seq = sequential_bst_sort_impl(&keys);
             assert_eq!(batch.tree, seq.tree, "batch tree differs at seed {seed}");
         }
     }
@@ -235,7 +226,7 @@ mod tests {
     #[test]
     fn round_count_is_logarithmic_by_construction() {
         let keys = random_permutation(1 << 12, 8);
-        let r = batch_bst_sort(&keys);
+        let r = batch_bst_sort_impl(&keys);
         assert_eq!(r.log.rounds(), 13);
     }
 
@@ -244,8 +235,8 @@ mod tests {
         // Type 3 does more comparisons than sequential, but only by a
         // constant factor in expectation (Theorem 2.6 discussion).
         let keys = random_permutation(1 << 14, 8);
-        let batch = batch_bst_sort(&keys);
-        let seq = sequential_bst_sort(&keys);
+        let batch = batch_bst_sort_impl(&keys);
+        let seq = sequential_bst_sort_impl(&keys);
         let ratio = batch.comparisons as f64 / seq.comparisons as f64;
         assert!(
             (1.0..2.5).contains(&ratio),
@@ -258,7 +249,7 @@ mod tests {
         // Lemma 2.5: P[l left deps from one round] ≤ 2^{-l}; check the
         // measured histogram decays at least geometrically past l = 2.
         let keys = random_permutation(1 << 14, 13);
-        let r = batch_bst_sort(&keys);
+        let r = batch_bst_sort_impl(&keys);
         let h = &r.left_dep_histogram;
         let total: u64 = h.iter().sum();
         assert!(total > 0);
@@ -280,9 +271,9 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        let r = batch_bst_sort::<u32>(&[]);
+        let r = batch_bst_sort_impl::<u32>(&[]);
         assert!(r.sorted_indices.is_empty());
-        let r = batch_bst_sort(&[9u32]);
+        let r = batch_bst_sort_impl(&[9u32]);
         assert_eq!(r.sorted_indices, vec![0]);
     }
 }

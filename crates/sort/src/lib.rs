@@ -13,28 +13,28 @@
 //!   index, and the resulting tree is *identical* to the sequential tree
 //!   (Theorem 3.2).
 //!
-//! Three implementations:
-//! * [`sequential::sequential_bst_sort`] — the classic sequential loop;
-//! * [`parallel::parallel_bst_sort`] — Algorithm 3 with synchronous rounds
-//!   (snapshot / priority-write / descend phases), measured rounds = the
-//!   iteration dependence depth;
-//! * [`batch::batch_bst_sort`] — the §2.3 worked example of a **Type 3**
+//! Three implementations behind two problem types:
+//! * [`SortProblem`] — sequential mode runs the classic insertion loop;
+//!   parallel mode runs Algorithm 3 with synchronous rounds (snapshot /
+//!   priority-write / descend phases), measured rounds = the iteration
+//!   dependence depth;
+//! * [`BatchSortProblem`] — the §2.3 worked example of a **Type 3**
 //!   execution of the same algorithm (doubling rounds + conflict
 //!   resolution), used by the Lemma 2.5 tail experiment.
+//!
+//! Both solve through the unified engine (`solve(&RunConfig)` →
+//! `(SortOutput, RunReport)`) and register in the problem registry as
+//! `"sort"` and `"sort-batch"` ([`registry::register`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod batch;
-pub mod parallel;
+mod batch;
+mod parallel;
 pub mod problem;
-pub mod sequential;
+pub mod registry;
+mod sequential;
 pub mod tree;
 
-pub use batch::BatchSortResult;
-pub use parallel::ParSortResult;
 pub use problem::{BatchSortProblem, SortOutput, SortProblem};
-pub use sequential::SeqSortResult;
 pub use tree::Bst;
-#[allow(deprecated)]
-pub use {batch::batch_bst_sort, parallel::parallel_bst_sort, sequential::sequential_bst_sort};

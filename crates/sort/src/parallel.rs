@@ -45,14 +45,6 @@ enum Cursor {
 }
 
 /// Sort by parallel BST insertion (Algorithm 3). Keys must be distinct.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SortProblem::new(keys).solve(&RunConfig::new().parallel())`"
-)]
-pub fn parallel_bst_sort<T: Ord + Sync>(keys: &[T]) -> ParSortResult {
-    parallel_bst_sort_impl(keys)
-}
-
 pub(crate) fn parallel_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> ParSortResult {
     let n = keys.len();
     let root = AtomicU64::new(NONE);
@@ -127,16 +119,15 @@ pub(crate) fn parallel_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> ParSortResult
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
-    use crate::sequential::sequential_bst_sort;
+    use crate::sequential::sequential_bst_sort_impl;
     use ri_pram::random_permutation;
 
     #[test]
     fn sorts_correctly() {
         let keys: Vec<usize> = random_permutation(10_000, 1);
-        let r = parallel_bst_sort(&keys);
+        let r = parallel_bst_sort_impl(&keys);
         let got: Vec<usize> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
         assert_eq!(got, (0..10_000).collect::<Vec<_>>());
     }
@@ -145,8 +136,8 @@ mod tests {
     fn tree_identical_to_sequential() {
         for seed in 0..5 {
             let keys = random_permutation(2000, seed);
-            let par = parallel_bst_sort(&keys);
-            let seq = sequential_bst_sort(&keys);
+            let par = parallel_bst_sort_impl(&keys);
+            let seq = sequential_bst_sort_impl(&keys);
             assert_eq!(par.tree, seq.tree, "Theorem 3.2 violated at seed {seed}");
         }
     }
@@ -154,15 +145,15 @@ mod tests {
     #[test]
     fn comparisons_match_sequential() {
         let keys = random_permutation(5000, 9);
-        let par = parallel_bst_sort(&keys);
-        let seq = sequential_bst_sort(&keys);
+        let par = parallel_bst_sort_impl(&keys);
+        let seq = sequential_bst_sort_impl(&keys);
         assert_eq!(par.comparisons, seq.comparisons);
     }
 
     #[test]
     fn rounds_equal_dependence_depth() {
         let keys = random_permutation(5000, 4);
-        let r = parallel_bst_sort(&keys);
+        let r = parallel_bst_sort_impl(&keys);
         assert_eq!(r.log.rounds(), r.tree.dependence_depth());
     }
 
@@ -170,7 +161,7 @@ mod tests {
     fn rounds_logarithmic_for_random_order() {
         let n = 1 << 15;
         let keys = random_permutation(n, 2);
-        let r = parallel_bst_sort(&keys);
+        let r = parallel_bst_sort_impl(&keys);
         assert!(
             r.log.rounds() < 6 * 15,
             "rounds {} not O(log n)",
@@ -180,10 +171,10 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        let r = parallel_bst_sort::<u32>(&[]);
+        let r = parallel_bst_sort_impl::<u32>(&[]);
         assert!(r.sorted_indices.is_empty());
         assert_eq!(r.log.rounds(), 0);
-        let r = parallel_bst_sort(&[42u32]);
+        let r = parallel_bst_sort_impl(&[42u32]);
         assert_eq!(r.sorted_indices, vec![0]);
         assert_eq!(r.log.rounds(), 1);
     }
@@ -193,7 +184,7 @@ mod tests {
         // Sorted input: the tree is a path; rounds = n. Correctness (not
         // performance) must hold.
         let keys: Vec<u32> = (0..200).collect();
-        let r = parallel_bst_sort(&keys);
+        let r = parallel_bst_sort_impl(&keys);
         assert_eq!(r.log.rounds(), 200);
         let got: Vec<u32> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
         assert_eq!(got, keys);

@@ -20,6 +20,11 @@ pub struct SortOutput {
     pub sorted_indices: Vec<usize>,
     /// Total key comparisons.
     pub comparisons: u64,
+    /// Lemma 2.5 instrumentation, filled only by the batch (Type 3)
+    /// variant's parallel runs: `left_dep_histogram[l]` = number of
+    /// (key, earlier-round) pairs with exactly `l` left dependences from
+    /// that round. Empty for every other run.
+    pub left_dep_histogram: Vec<u64>,
 }
 
 impl SortOutput {
@@ -81,6 +86,7 @@ impl<T: Ord + Sync> Executable for SortExec<'_, T> {
                     tree: r.tree,
                     sorted_indices: r.sorted_indices,
                     comparisons: r.comparisons,
+                    left_dep_histogram: Vec::new(),
                 });
             }
             ExecMode::Parallel => {
@@ -93,6 +99,7 @@ impl<T: Ord + Sync> Executable for SortExec<'_, T> {
                     tree: r.tree,
                     sorted_indices: r.sorted_indices,
                     comparisons: r.comparisons,
+                    left_dep_histogram: Vec::new(),
                 });
             }
         }
@@ -154,6 +161,7 @@ impl<T: Ord + Sync> Executable for BatchSortExec<'_, T> {
                     tree: r.tree,
                     sorted_indices: r.sorted_indices,
                     comparisons: r.comparisons,
+                    left_dep_histogram: Vec::new(),
                 });
             }
             ExecMode::Parallel => {
@@ -164,6 +172,7 @@ impl<T: Ord + Sync> Executable for BatchSortExec<'_, T> {
                     tree: r.tree,
                     sorted_indices: r.sorted_indices,
                     comparisons: r.comparisons,
+                    left_dep_histogram: r.left_dep_histogram,
                 });
             }
         }

@@ -1,0 +1,88 @@
+//! Registry entries: `"sort"` (Algorithm 3, Type 1) and `"sort-batch"`
+//! (the §2.3 Type 3 batch execution), both over a seeded random
+//! permutation of `0..n`.
+
+use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::{Problem, RunConfig, RunReport};
+use ri_pram::random_permutation;
+
+use crate::problem::{BatchSortProblem, SortOutput, SortProblem};
+
+/// Register this crate's problems.
+pub fn register(reg: &mut Registry) {
+    reg.register(
+        "sort",
+        "incremental BST sort of a random permutation (§3, Type 1)",
+        |spec| {
+            Ok(Box::new(SortWorkload {
+                name: "sort",
+                keys: random_permutation(spec.n, spec.seed),
+            }))
+        },
+    );
+    reg.register(
+        "sort-batch",
+        "Type 3 batch execution of BST sort (§2.3 worked example)",
+        |spec| {
+            Ok(Box::new(SortWorkload {
+                name: "sort-batch",
+                keys: random_permutation(spec.n, spec.seed),
+            }))
+        },
+    );
+}
+
+struct SortWorkload {
+    name: &'static str,
+    keys: Vec<usize>,
+}
+
+impl SortWorkload {
+    fn summarize(&self, out: &SortOutput) -> OutputSummary {
+        let sorted = out
+            .sorted_indices
+            .windows(2)
+            .all(|w| self.keys[w[0]] < self.keys[w[1]])
+            && out.sorted_indices.len() == self.keys.len();
+        let mut s = OutputSummary::new();
+        s.answer_num("items", self.keys.len() as f64)
+            .answer_bool("sorted", sorted)
+            .answer_num("tree_depth", out.tree.dependence_depth() as f64)
+            .metric_num("comparisons", out.comparisons as f64);
+        s
+    }
+}
+
+impl ErasedProblem for SortWorkload {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
+        let (out, report) = if self.name == "sort-batch" {
+            BatchSortProblem::new(&self.keys).solve(cfg)
+        } else {
+            SortProblem::new(&self.keys).solve(cfg)
+        };
+        (self.summarize(&out), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_core::engine::registry::WorkloadSpec;
+
+    #[test]
+    fn registered_names_solve() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        for name in ["sort", "sort-batch"] {
+            let (summary, report) = reg
+                .solve(name, &WorkloadSpec::new(256, 3), &RunConfig::new())
+                .unwrap();
+            assert_eq!(report.items, 256);
+            assert!(summary.to_json().contains("\"sorted\":true"), "{name}");
+        }
+    }
+}

@@ -17,26 +17,12 @@ pub struct SeqSortResult {
     /// dependence is its tree parent (the last — subsuming — dependence on
     /// its search path, as §3 observes the transitive reduction is the tree
     /// itself).
+    #[cfg_attr(not(test), allow(dead_code))] // checked by the depth tests
     pub depgraph: DependenceGraph,
-}
-
-impl SeqSortResult {
-    /// The keys in sorted order (resolving indices against the input).
-    pub fn sorted<'a, T>(&self, keys: &'a [T]) -> Vec<&'a T> {
-        self.sorted_indices.iter().map(|&i| &keys[i]).collect()
-    }
 }
 
 /// Insert `keys` into a BST in the given (iteration) order; keys must be
 /// pairwise distinct (the paper's simplifying assumption).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SortProblem::new(keys).solve(&RunConfig::new().sequential())`"
-)]
-pub fn sequential_bst_sort<T: Ord>(keys: &[T]) -> SeqSortResult {
-    sequential_bst_sort_impl(keys)
-}
-
 pub(crate) fn sequential_bst_sort_impl<T: Ord>(keys: &[T]) -> SeqSortResult {
     let n = keys.len();
     let mut tree = Bst::new(n);
@@ -75,7 +61,6 @@ pub(crate) fn sequential_bst_sort_impl<T: Ord>(keys: &[T]) -> SeqSortResult {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
     use ri_pram::random_permutation;
@@ -83,8 +68,9 @@ mod tests {
     #[test]
     fn sorts_small() {
         let keys = vec![5, 1, 4, 2, 3];
-        let r = sequential_bst_sort(&keys);
-        assert_eq!(r.sorted(&keys), vec![&1, &2, &3, &4, &5]);
+        let r = sequential_bst_sort_impl(&keys);
+        let got: Vec<i32> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
         assert!(r.tree.is_search_tree(&keys));
     }
 
@@ -92,7 +78,7 @@ mod tests {
     fn sorts_random_order() {
         let n = 10_000;
         let keys: Vec<usize> = random_permutation(n, 99);
-        let r = sequential_bst_sort(&keys);
+        let r = sequential_bst_sort_impl(&keys);
         let got: Vec<usize> = r.sorted_indices.iter().map(|&i| keys[i]).collect();
         let want: Vec<usize> = (0..n).collect();
         assert_eq!(got, want);
@@ -104,7 +90,7 @@ mod tests {
         // is 2 n ln n; the exact expectation is 2(n+1)H_n − 4n ≈ 1.39 n log₂ n).
         let n = 1 << 14;
         let keys = random_permutation(n, 5);
-        let r = sequential_bst_sort(&keys);
+        let r = sequential_bst_sort_impl(&keys);
         let bound = 2.0 * n as f64 * (n as f64).ln();
         assert!(
             (r.comparisons as f64) < bound,
@@ -119,7 +105,7 @@ mod tests {
     fn dependence_depth_logarithmic_on_random_order() {
         let n = 1 << 14;
         let keys = random_permutation(n, 3);
-        let r = sequential_bst_sort(&keys);
+        let r = sequential_bst_sort_impl(&keys);
         let d = r.tree.dependence_depth();
         // whp bound: ~4.3 log₂ n for random BSTs; assert a generous 6x.
         assert!(
@@ -133,7 +119,7 @@ mod tests {
     #[test]
     fn worst_case_order_is_linear_depth() {
         let keys: Vec<u32> = (0..100).collect(); // sorted order: a path
-        let r = sequential_bst_sort(&keys);
+        let r = sequential_bst_sort_impl(&keys);
         assert_eq!(r.tree.dependence_depth(), 100);
         assert_eq!(r.comparisons, 99 * 100 / 2);
     }
@@ -141,14 +127,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate key")]
     fn duplicate_keys_rejected() {
-        sequential_bst_sort(&[1, 2, 1]);
+        sequential_bst_sort_impl(&[1, 2, 1]);
     }
 
     #[test]
     fn empty_and_single() {
-        let r = sequential_bst_sort::<u32>(&[]);
+        let r = sequential_bst_sort_impl::<u32>(&[]);
         assert!(r.sorted_indices.is_empty());
-        let r = sequential_bst_sort(&[7]);
+        let r = sequential_bst_sort_impl(&[7]);
         assert_eq!(r.sorted_indices, vec![0]);
         assert_eq!(r.comparisons, 0);
     }

@@ -98,7 +98,6 @@ impl Bst {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy entry points stay under test until removal
 mod tests {
     use super::*;
 

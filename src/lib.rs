@@ -66,6 +66,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod registry;
+
+pub use registry::registry;
+
 /// The §2 framework: dependence graphs and the three executors.
 pub mod framework {
     pub use ri_core::*;
@@ -127,14 +131,16 @@ pub mod scc {
 
 /// One-stop imports for examples and applications.
 ///
-/// The engine API (`RunConfig` + per-algorithm `*Problem` types) is the
-/// supported surface; the pre-engine free functions remain importable from
-/// the algorithm modules but are deprecated.
+/// The engine API (`RunConfig` + per-algorithm `*Problem` types, plus the
+/// object-safe [`registry()`](crate::registry) layer for name-driven
+/// dispatch) is the supported surface; the pre-engine free functions are
+/// gone.
 pub mod prelude {
+    pub use crate::registry;
     pub use ri_closest_pair::{ClosestPairOutput, ClosestPairProblem};
     pub use ri_core::engine::{
-        ExecMode, Executable, Phase, Problem, RunConfig, RunReport, Runner, Type1Adapter,
-        Type2Adapter, Type3Adapter,
+        ErasedProblem, ExecMode, Executable, OutputSummary, Phase, Problem, Registry, RunConfig,
+        RunReport, Runner, Type1Adapter, Type2Adapter, Type3Adapter, WorkloadSpec,
     };
     pub use ri_core::{harmonic, DependenceGraph, Permutation};
     pub use ri_delaunay::{DelaunayProblem, DtOutput};

@@ -1,0 +1,48 @@
+//! The fully-populated problem registry.
+//!
+//! `ri_core::engine::registry` defines the object-safe layer
+//! ([`Registry`], [`ErasedProblem`](ri_core::ErasedProblem),
+//! [`WorkloadSpec`], [`OutputSummary`](ri_core::OutputSummary)); each
+//! algorithm crate contributes its constructors through a
+//! `registry::register` function. This module is where they all meet —
+//! the only crate that depends on every algorithm crate can build the
+//! complete map. [`registry()`] is what the `ri` CLI driver, the bench
+//! harness, and any serving layer call.
+
+use ri_core::Registry;
+
+/// The registry of every problem in the workspace:
+///
+/// | name | problem | class |
+/// |---|---|---|
+/// | `sort` | incremental BST sort (§3) | Type 1 |
+/// | `sort-batch` | batched BST sort (§2.3) | Type 3 |
+/// | `delaunay` | Delaunay triangulation (§4) | Type 1 (nested) |
+/// | `lp` | Seidel 2-D linear programming (§5.1) | Type 2 |
+/// | `lp-d` | d-dimensional Seidel LP | Type 2 |
+/// | `closest-pair` | grid-sieve closest pair (§5.2) | Type 2 |
+/// | `enclosing` | Welzl smallest enclosing disk (§5.3) | Type 2 |
+/// | `le-lists` | Cohen least-element lists (§6.1) | Type 3 |
+/// | `scc` | strongly connected components (§6.2) | Type 3 |
+///
+/// ```
+/// use parallel_ri::registry;
+/// use ri_core::{RunConfig, WorkloadSpec};
+///
+/// let reg = registry();
+/// let spec = WorkloadSpec::new(128, 7);
+/// let (summary, report) = reg.solve("sort", &spec, &RunConfig::new()).unwrap();
+/// assert_eq!(report.items, 128);
+/// assert!(summary.to_json().contains("\"sorted\":true"));
+/// ```
+pub fn registry() -> Registry {
+    let mut reg = Registry::new();
+    ri_sort::registry::register(&mut reg);
+    ri_delaunay::registry::register(&mut reg);
+    ri_lp::registry::register(&mut reg);
+    ri_closest_pair::registry::register(&mut reg);
+    ri_enclosing::registry::register(&mut reg);
+    ri_le_lists::registry::register(&mut reg);
+    ri_scc::registry::register(&mut reg);
+    reg
+}
