@@ -1,0 +1,247 @@
+//! `speedup` — the PR 3 performance gate: run every registered problem
+//! sequentially and in parallel at several thread counts through the
+//! registry, verify the parallel answers match the sequential ones, and
+//! write `BENCH_PR3.json` (per-problem wall times + speedups). Future PRs
+//! regress against this trajectory.
+//!
+//! ```text
+//! speedup [--quick] [--out PATH] [--threads 1,2,4,8] [--repeat N] [--scale X]
+//! ```
+//!
+//! `--quick` shrinks instances for CI smoke runs; `--scale` divides the
+//! default sizes by an arbitrary factor. Exits nonzero if any parallel
+//! answer diverges from the sequential answer — that check, not the wall
+//! times (which depend on the host's core count, recorded in the output),
+//! is the hard CI gate.
+
+use std::time::Instant;
+
+use parallel_ri::registry;
+use ri_core::engine::json::Value;
+use ri_core::engine::{OutputSummary, Registry, RunConfig, WorkloadSpec};
+
+/// Default instance sizes, chosen so each sequential run is substantial
+/// enough to time meaningfully but the full matrix stays in CI budget.
+const SIZES: &[(&str, usize)] = &[
+    ("sort", 200_000),
+    ("sort-batch", 200_000),
+    ("delaunay", 20_000),
+    ("lp", 300_000),
+    ("lp-d", 60_000),
+    ("closest-pair", 200_000),
+    ("enclosing", 300_000),
+    ("le-lists", 15_000),
+    ("scc", 60_000),
+];
+
+struct Args {
+    out: String,
+    threads: Vec<usize>,
+    repeat: usize,
+    scale: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_PR3.json".to_string(),
+        threads: vec![1, 2, 4, 8],
+        repeat: 3,
+        scale: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--quick" => {
+                args.scale = 16;
+                args.threads = vec![1, 2, 4];
+                args.repeat = 1;
+            }
+            "--out" => args.out = value("--out")?,
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat: {e}"))?
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("bad --threads: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.repeat == 0 || args.scale == 0 || args.threads.is_empty() {
+        return Err("--repeat, --scale and --threads must be nonzero/nonempty".into());
+    }
+    Ok(args)
+}
+
+/// The mode-invariant answer as a canonical JSON string (the divergence
+/// fingerprint: equal strings = equal answers).
+fn answer_fingerprint(summary: &OutputSummary) -> String {
+    Value::Obj(summary.answer().to_vec()).write()
+}
+
+/// Best-of-`repeat` wall time and the last summary for one configuration.
+fn time_solve(
+    reg: &Registry,
+    name: &str,
+    spec: &WorkloadSpec,
+    cfg: &RunConfig,
+    repeat: usize,
+) -> Result<(f64, OutputSummary), String> {
+    let problem = reg
+        .construct(name, spec)
+        .map_err(|e| format!("{name}: {e}"))?;
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        let (summary, _report) = problem.solve_erased(cfg);
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(summary);
+    }
+    Ok((best, last.expect("repeat >= 1")))
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("speedup: {e}");
+        std::process::exit(2);
+    });
+    let reg = registry();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut problems: Vec<(String, Value)> = Vec::new();
+    let mut divergent: Vec<String> = Vec::new();
+    let mut winners_at_4plus: Vec<String> = Vec::new();
+
+    for &(name, full_n) in SIZES {
+        let n = (full_n / args.scale).max(64);
+        let spec = WorkloadSpec::new(n, 1);
+        let seq_cfg = RunConfig::new().seed(7).sequential().instrument(false);
+        eprintln!("speedup: {name} n={n} sequential...");
+        let (seq_secs, seq_summary) = time_solve(&reg, name, &spec, &seq_cfg, args.repeat)
+            .unwrap_or_else(|e| {
+                eprintln!("speedup: {e}");
+                std::process::exit(2);
+            });
+        let seq_answer = answer_fingerprint(&seq_summary);
+
+        let mut par_entries: Vec<(String, Value)> = Vec::new();
+        let mut speedup_entries: Vec<(String, Value)> = Vec::new();
+        let mut matches = true;
+        let mut best_speedup_at_4plus = 0.0f64;
+        for &t in &args.threads {
+            let par_cfg = RunConfig::new()
+                .seed(7)
+                .parallel()
+                .threads(t)
+                .instrument(false);
+            eprintln!("speedup: {name} n={n} parallel t={t}...");
+            let (par_secs, par_summary) = time_solve(&reg, name, &spec, &par_cfg, args.repeat)
+                .unwrap_or_else(|e| {
+                    eprintln!("speedup: {e}");
+                    std::process::exit(2);
+                });
+            if answer_fingerprint(&par_summary) != seq_answer {
+                matches = false;
+                eprintln!("speedup: DIVERGENCE on {name} at {t} threads");
+            }
+            let speedup = seq_secs / par_secs;
+            if t >= 4 {
+                best_speedup_at_4plus = best_speedup_at_4plus.max(speedup);
+            }
+            par_entries.push((t.to_string(), Value::Num(par_secs)));
+            speedup_entries.push((
+                t.to_string(),
+                Value::Num((speedup * 1000.0).round() / 1000.0),
+            ));
+        }
+        if !matches {
+            divergent.push(name.to_string());
+        }
+        if best_speedup_at_4plus > 1.0 {
+            winners_at_4plus.push(name.to_string());
+        }
+        problems.push((
+            name.to_string(),
+            Value::Obj(vec![
+                ("n".into(), Value::Num(n as f64)),
+                ("seq_seconds".into(), Value::Num(seq_secs)),
+                ("par_seconds".into(), Value::Obj(par_entries)),
+                ("speedup".into(), Value::Obj(speedup_entries)),
+                ("answers_match".into(), Value::Bool(matches)),
+            ]),
+        ));
+    }
+
+    let doc = Value::Obj(vec![
+        (
+            "machine".into(),
+            Value::Obj(vec![
+                ("cores".into(), Value::Num(cores as f64)),
+                (
+                    "note".into(),
+                    Value::Str(
+                        "speedups are bounded by the host's core count; \
+                         single-core hosts cannot show parallel wall-time wins"
+                            .into(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "threads".into(),
+            Value::Arr(args.threads.iter().map(|&t| Value::Num(t as f64)).collect()),
+        ),
+        ("repeat".into(), Value::Num(args.repeat as f64)),
+        ("scale".into(), Value::Num(args.scale as f64)),
+        ("problems".into(), Value::Obj(problems)),
+        (
+            "summary".into(),
+            Value::Obj(vec![
+                (
+                    "problems_with_speedup_at_4plus_threads".into(),
+                    Value::Arr(
+                        winners_at_4plus
+                            .iter()
+                            .map(|s| Value::Str(s.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "all_answers_match".into(),
+                    Value::Bool(divergent.is_empty()),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&args.out, format!("{}\n", doc.write())).unwrap_or_else(|e| {
+        eprintln!("speedup: writing {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    eprintln!("speedup: wrote {}", args.out);
+
+    if !divergent.is_empty() {
+        eprintln!(
+            "speedup: parallel answers diverged from sequential for: {}",
+            divergent.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,15 +2,19 @@
 //!
 //! [`RunConfig`] fixes everything that varies between runs — RNG seed,
 //! [`ExecMode`], worker-thread count, instrumentation — and
-//! [`Runner::run`] executes any [`Executable`] under it inside a scoped
-//! thread pool, returning a [`RunReport`]. The three per-class adapters
+//! [`Runner::run`] executes any [`Executable`] under it inside a
+//! **persistent, process-wide cached thread pool** keyed by the resolved
+//! thread count: the first run at a given width spawns the pool's workers,
+//! every later run (and every round inside a run) reuses them, so a batch
+//! of `ri` requests pays for thread creation once. Sequential-mode runs
+//! and `threads == 1` configs bypass the pool entirely and execute inline
+//! on the caller with ambient parallelism pinned to 1 — their reports
+//! carry zero scheduler overhead. The three per-class adapters
 //! ([`Type1Adapter`], [`Type2Adapter`], [`Type3Adapter`]) make every
 //! algorithm written against the paper's `Type1Algorithm` /
 //! `Type2Algorithm` / `Type3Algorithm` traits executable through this one
 //! path; the algorithm crates' `*Problem` types build on the same engine
 //! for their specialised (non-trait) implementations.
-
-use rayon::ThreadPoolBuilder;
 
 use rayon::prelude::*;
 
@@ -279,14 +283,17 @@ impl Runner {
         &self.cfg
     }
 
-    /// Run `op` inside this runner's scoped thread pool (for specialised
-    /// algorithms that drive their own parallelism).
+    /// Run `op` under this runner's parallelism (for specialised
+    /// algorithms that drive their own parallelism): inside the cached
+    /// persistent pool for its thread count, or strictly inline when the
+    /// config resolves to one worker (sequential mode or `threads == 1`),
+    /// so sequential reports carry zero scheduler overhead.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        let pool = ThreadPoolBuilder::new()
-            .num_threads(self.cfg.resolved_threads())
-            .build()
-            .expect("thread pool construction cannot fail");
-        pool.install(op)
+        let threads = self.cfg.resolved_threads();
+        if threads <= 1 {
+            return rayon::run_sequential(op);
+        }
+        rayon::cached_pool(threads).install(op)
     }
 
     /// Execute `algo` under this runner's config: scope the thread pool,

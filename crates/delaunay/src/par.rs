@@ -43,6 +43,54 @@ struct NewTri {
     stats: DtStats,
 }
 
+/// Below this many tasks a divide step stops recursing and fires
+/// sequentially (merge work per task is substantial, so the grain can be
+/// much finer than the combinator cutoff).
+const FIRE_GRAIN: usize = 128;
+
+/// Fire `tasks` (pure reads of the arena, private outputs) by parallel
+/// divide-and-conquer: [`rayon::join`] splits the slice in half until the
+/// grain, and concatenation preserves task order. `join`'s thread budget
+/// halves per fork, so the whole divide tree spawns at most `threads − 1`
+/// helpers regardless of task count.
+fn fire_tasks(mesh: &Mesh, tasks: &[Task]) -> Vec<NewTri> {
+    if tasks.len() <= FIRE_GRAIN {
+        return tasks.iter().map(|task| fire_one(mesh, task)).collect();
+    }
+    let (lo, hi) = tasks.split_at(tasks.len() / 2);
+    let (mut left, right) = rayon::join(|| fire_tasks(mesh, lo), || fire_tasks(mesh, hi));
+    left.extend(right);
+    left
+}
+
+/// One `ReplaceBoundary` call: build the replacement triangle for `task`.
+fn fire_one(mesh: &Mesh, task: &Task) -> NewTri {
+    let t = &mesh.triangles[task.t as usize];
+    let to = &mesh.triangles[task.to as usize];
+    let (u, w) = t
+        .directed_faces()
+        .into_iter()
+        .find(|&(u, w)| face_key(u, w) == task.key)
+        .expect("task face belongs to its triangle");
+    let verts = Mesh::canonical([u, w, task.v]);
+    let mut local = DtStats::default();
+    let conflicts = merge_conflicts(
+        mesh,
+        &verts,
+        &t.conflicts,
+        &to.conflicts,
+        task.v,
+        &mut local,
+    );
+    NewTri {
+        verts,
+        conflicts,
+        key: task.key,
+        dead: task.t,
+        stats: local,
+    }
+}
+
 /// Algorithm 5: parallel incremental Delaunay triangulation of `points`
 /// taken in the given (random) order. Same preconditions as the sequential
 /// version; produces the identical triangulation and work counters.
@@ -101,36 +149,8 @@ pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
             break;
         }
 
-        // Fire all active faces: pure reads of the arena, private outputs.
-        let new_tris: Vec<NewTri> = tasks
-            .par_iter()
-            .map(|task| {
-                let t = &mesh.triangles[task.t as usize];
-                let to = &mesh.triangles[task.to as usize];
-                let (u, w) = t
-                    .directed_faces()
-                    .into_iter()
-                    .find(|&(u, w)| face_key(u, w) == task.key)
-                    .expect("task face belongs to its triangle");
-                let verts = Mesh::canonical([u, w, task.v]);
-                let mut local = DtStats::default();
-                let conflicts = merge_conflicts(
-                    &mesh,
-                    &verts,
-                    &t.conflicts,
-                    &to.conflicts,
-                    task.v,
-                    &mut local,
-                );
-                NewTri {
-                    verts,
-                    conflicts,
-                    key: task.key,
-                    dead: task.t,
-                    stats: local,
-                }
-            })
-            .collect();
+        // Fire all active faces by join recursion over the task slice.
+        let new_tris: Vec<NewTri> = fire_tasks(&mesh, &tasks);
 
         // Commit phase: append to the arena, rewire the face map, and
         // gather the touched faces as the next round's candidates.

@@ -54,7 +54,9 @@ pub use semisort::{semisort_by_key, Grouped};
 
 /// Grain size below which primitives fall back to sequential loops.
 ///
-/// Rayon's scheduler has per-task overhead; all primitives in this crate stop
-/// spawning below this many elements. The value is deliberately conservative
-/// (favouring correctness-of-measurement over micro-tuning).
+/// The scheduler has per-region overhead; all primitives in this crate stop
+/// going parallel below this many elements. Block counts *within* a
+/// parallel primitive come from [`rayon::recommended_splits`], which
+/// adapts to the installed pool's width (a few blocks per worker so the
+/// crew's dynamic cursor can balance uneven blocks).
 pub const SEQ_THRESHOLD: usize = 4096;

@@ -24,9 +24,7 @@ pub fn pack<T: Clone + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
     }
     let mut offsets: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
     let total = exclusive_scan_inplace(&mut offsets);
-    let chunk = items
-        .len()
-        .div_ceil(rayon::current_num_threads().max(2) * 4);
+    let chunk = items.len().div_ceil(rayon::recommended_splits());
     // Per-chunk local packs, concatenated in chunk order (order preserving).
     let mut result: Vec<T> = Vec::with_capacity(total);
     let parts: Vec<Vec<T>> = items
@@ -61,7 +59,7 @@ where
     if n <= SEQ_THRESHOLD {
         return (0..n).filter(|&i| pred(i)).collect();
     }
-    let nchunks = rayon::current_num_threads().max(2) * 4;
+    let nchunks = rayon::recommended_splits();
     let chunk = n.div_ceil(nchunks);
     let parts: Vec<Vec<usize>> = (0..nchunks)
         .into_par_iter()

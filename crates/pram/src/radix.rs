@@ -43,7 +43,7 @@ where
         (64 - max_key.leading_zeros() as usize).div_ceil(DIGIT_BITS)
     };
 
-    let nblocks = rayon::current_num_threads().max(2) * 4;
+    let nblocks = rayon::recommended_splits();
     let block = n.div_ceil(nblocks);
     let mut src: Vec<T> = std::mem::take(items);
 

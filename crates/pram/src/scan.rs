@@ -35,7 +35,7 @@ pub fn exclusive_scan_inplace(values: &mut [usize]) -> usize {
     if n <= SEQ_THRESHOLD {
         return scan_seq(values);
     }
-    let nblocks = rayon::current_num_threads().max(2) * 4;
+    let nblocks = rayon::recommended_splits();
     let block = n.div_ceil(nblocks);
     // Pass 1: independent sums per block.
     let mut block_sums: Vec<usize> = values

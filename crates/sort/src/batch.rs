@@ -189,7 +189,7 @@ pub(crate) fn batch_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> BatchSortResult 
         histogram: Vec::new(),
     };
     let log = execute_type3(&mut state, &RunConfig::new().parallel()).rounds;
-    let sorted_indices = state.tree.in_order();
+    let sorted_indices = state.tree.in_order_par();
     BatchSortResult {
         tree: state.tree,
         sorted_indices,

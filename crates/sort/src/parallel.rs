@@ -109,7 +109,7 @@ pub(crate) fn parallel_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> ParSortResult
         left: left.into_iter().map(|a| a.into_inner()).collect(),
         right: right.into_iter().map(|a| a.into_inner()).collect(),
     };
-    let sorted_indices = tree.in_order();
+    let sorted_indices = tree.in_order_par();
     ParSortResult {
         tree,
         sorted_indices,

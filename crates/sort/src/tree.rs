@@ -47,9 +47,15 @@ impl Bst {
     /// Iterative (explicit stack) so adversarially deep trees cannot
     /// overflow the call stack.
     pub fn in_order(&self) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.len());
+        self.in_order_from(self.root, self.len())
+    }
+
+    /// Iterative in-order walk of the subtree rooted at `node`;
+    /// `capacity` is the caller's output-size hint.
+    fn in_order_from(&self, node: u64, capacity: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(capacity);
         let mut stack: Vec<u64> = Vec::new();
-        let mut cur = self.root;
+        let mut cur = node;
         while cur != NONE || !stack.is_empty() {
             while cur != NONE {
                 stack.push(cur);
@@ -60,6 +66,39 @@ impl Bst {
             cur = self.right[node as usize];
         }
         out
+    }
+
+    /// In-order traversal assembled by parallel divide-and-conquer:
+    /// [`rayon::join`] recurses on the two subtrees (its thread budget
+    /// halves per fork, so at most `threads − 1` helpers are spawned for
+    /// the whole tree) and concatenates `left ++ node ++ right`. The
+    /// recursion depth is capped — a path-shaped tree degrades to the
+    /// iterative walk instead of overflowing the stack. Output is
+    /// identical to [`Bst::in_order`].
+    pub fn in_order_par(&self) -> Vec<usize> {
+        // Random insertion orders give O(log n) expected height; 4× that
+        // comfortably covers the whp bound while bounding stack depth.
+        let depth_cap = 4 * (usize::BITS - self.len().leading_zeros()) as usize + 4;
+        self.in_order_rec(self.root, depth_cap)
+    }
+
+    fn in_order_rec(&self, node: u64, depth: usize) -> Vec<usize> {
+        if node == NONE {
+            return Vec::new();
+        }
+        if depth == 0 {
+            // Subtree size is unknown; deep fallbacks grow as they walk.
+            return self.in_order_from(node, 0);
+        }
+        let (l, r) = (self.left[node as usize], self.right[node as usize]);
+        let (mut left, right) = rayon::join(
+            || self.in_order_rec(l, depth - 1),
+            || self.in_order_rec(r, depth - 1),
+        );
+        left.reserve(right.len() + 1);
+        left.push(node as usize);
+        left.extend(right);
+        left
     }
 
     /// Depth (in nodes, root = 1) of every node; 0 for detached slots.
@@ -115,6 +154,21 @@ mod tests {
     #[test]
     fn in_order_tiny() {
         assert_eq!(tiny().in_order(), vec![2, 1, 0]);
+        assert_eq!(tiny().in_order_par(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn in_order_par_matches_iterative_on_path_tree() {
+        // A right-path tree deeper than the recursion cap must fall back
+        // to the iterative walk and still produce the identical order.
+        let n = 5000;
+        let mut t = Bst::new(n);
+        t.root = 0;
+        for i in 0..n - 1 {
+            t.right[i] = (i + 1) as u64;
+        }
+        assert_eq!(t.in_order_par(), t.in_order());
+        assert_eq!(t.in_order().len(), n);
     }
 
     #[test]

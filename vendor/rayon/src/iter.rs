@@ -1,0 +1,729 @@
+//! Parallel iterators: a lazy, index-fused pipeline layer plus an eager
+//! owned fallback.
+//!
+//! The central trait is [`ParallelIterator`]: a random-access description
+//! of `len()` items, each produced on demand by `at(i)`. Adapters that
+//! preserve one-to-one indexing — [`map`](ParallelIterator::map),
+//! [`zip`](ParallelIterator::zip), [`enumerate`](ParallelIterator::enumerate),
+//! [`copied`](ParallelIterator::copied) / [`cloned`](ParallelIterator::cloned)
+//! — merely *wrap* the source; nothing is materialised. A terminal
+//! operation (`collect`, `for_each`, `reduce`, `find_first`, ...) then
+//! executes the whole fused chain as **one** crew region that walks index
+//! sub-ranges of the original borrowed storage: a chain like
+//! `xs.par_iter().zip(ys.par_iter()).map(f).for_each(g)` touches `xs`/`ys`
+//! in place, allocates nothing, and pays for one region, not four.
+//!
+//! Length-changing combinators (`filter`, `filter_map`, `flat_map_iter`,
+//! `fold`) cannot stay indexed; they evaluate the fused upstream in one
+//! region and return an eager [`ParIter`] of the survivors. [`ParIter`]
+//! (also the owned source behind `Vec::into_par_iter`) carries a plain
+//! `Vec` and runs its own combinators by moving order-preserving chunks
+//! through the crew executor.
+//!
+//! Order is always preserved, so every `collect` equals the sequential
+//! result exactly — the property every test in this workspace asserts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool::{crew_run, parallelism_for, CHUNKS_PER_WORKER, MIN_CHUNK};
+
+/// Split `0..n` into `k` near-equal contiguous ranges, in order.
+fn split_ranges(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let k = k.max(1);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// Number of cursor-scheduled chunks for a region of `n` items run by a
+/// crew of `width`.
+fn chunk_count(n: usize, width: usize) -> usize {
+    (width * CHUNKS_PER_WORKER)
+        .min(n.div_ceil(MIN_CHUNK))
+        .max(width)
+}
+
+/// Execute `f` over contiguous sub-ranges of `0..n` (one crew region) and
+/// return the per-range results in range order.
+pub(crate) fn run_indexed<R: Send>(n: usize, f: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let width = parallelism_for(n);
+    if width <= 1 {
+        return vec![f(0, n)];
+    }
+    let ranges = split_ranges(n, chunk_count(n, width));
+    crew_run(ranges, width, |(lo, hi)| f(lo, hi))
+}
+
+/// Concatenate per-chunk outputs, reusing the single part when possible.
+pub(crate) fn concat<T>(mut parts: Vec<Vec<T>>) -> Vec<T> {
+    if parts.len() == 1 {
+        return parts.pop().expect("len checked");
+    }
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// A random-access parallel pipeline: `len()` items, produced on demand by
+/// `at(i)`. See the module docs for the fusion model.
+///
+/// `at` must be safe to call once per index from any thread (the usual
+/// closure purity the data-parallel model already assumes).
+pub trait ParallelIterator: Sync + Sized {
+    /// Item produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Produce item `i` (`i < len()`).
+    fn at(&self, i: usize) -> Self::Item;
+
+    /// Emptiness test.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lazy parallel map: fused, nothing materialised until a terminal op.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Lazy index-based zip: pairs are formed per index at execution time,
+    /// so downstream combinators still chunk the original storage.
+    fn zip<P: ParallelIterator>(self, other: P) -> Zip<Self, P> {
+        Zip { a: self, b: other }
+    }
+
+    /// Lazy index-based enumerate (indices are the pipeline's own).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Copy out of references, lazily.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Clone out of references, lazily.
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Clone + Send + Sync + 'a,
+    {
+        Cloned { base: self }
+    }
+
+    /// Parallel filter, preserving order (evaluates the fused upstream in
+    /// one region; the survivors are owned by the returned [`ParIter`]).
+    fn filter<F>(self, pred: F) -> ParIter<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| {
+            (lo..hi)
+                .map(|i| self.at(i))
+                .filter(|x| pred(x))
+                .collect::<Vec<_>>()
+        });
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Parallel filter-map, preserving order.
+    fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| {
+            (lo..hi).filter_map(|i| f(self.at(i))).collect::<Vec<_>>()
+        });
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Parallel flat-map over a sequential inner iterator, preserving order.
+    fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| {
+            (lo..hi).flat_map(|i| f(self.at(i))).collect::<Vec<_>>()
+        });
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Parallel fold: each execution chunk folds from a fresh `identity()`,
+    /// yielding one accumulator per chunk (rayon's `fold` contract).
+    fn fold<B, ID, F>(self, identity: ID, fold_op: F) -> ParIter<B>
+    where
+        B: Send,
+        ID: Fn() -> B + Sync,
+        F: Fn(B, Self::Item) -> B + Sync,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| {
+            (lo..hi).map(|i| self.at(i)).fold(identity(), &fold_op)
+        });
+        ParIter::from_vec(parts)
+    }
+
+    /// Parallel side-effecting visit (one region, nothing allocated).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_indexed(self.len(), |lo, hi| {
+            for i in lo..hi {
+                f(self.at(i));
+            }
+        });
+    }
+
+    /// Parallel reduce against an identity.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| {
+            (lo..hi).map(|i| self.at(i)).fold(identity(), &op)
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    /// Parallel reduce of a possibly empty pipeline.
+    fn reduce_with<OP>(self, op: OP) -> Option<Self::Item>
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| {
+            (lo..hi).map(|i| self.at(i)).reduce(&op)
+        });
+        parts.into_iter().flatten().reduce(&op)
+    }
+
+    /// Parallel sum: per-chunk partial sums, then a sum of partials.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| (lo..hi).map(|i| self.at(i)).sum::<S>());
+        parts.into_iter().sum()
+    }
+
+    /// Maximum item.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.reduce_with(Ord::max)
+    }
+
+    /// Minimum item.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.reduce_with(Ord::min)
+    }
+
+    /// Number of items (consuming, to mirror rayon).
+    fn count(self) -> usize {
+        self.len()
+    }
+
+    /// First item matching `pred`, in pipeline order, searched in parallel
+    /// with early exit once an earlier index has matched. Allocation-free
+    /// on indexed sources (ranges are *not* materialised first).
+    fn find_first<F>(self, pred: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        let best = AtomicUsize::new(usize::MAX);
+        let hits = run_indexed(self.len(), |lo, hi| {
+            for i in lo..hi {
+                if best.load(Ordering::Relaxed) < lo {
+                    return None; // an earlier chunk already matched
+                }
+                let x = self.at(i);
+                if pred(&x) {
+                    best.fetch_min(i, Ordering::Relaxed);
+                    return Some((i, x));
+                }
+            }
+            None
+        });
+        hits.into_iter()
+            .flatten()
+            .min_by_key(|&(i, _)| i)
+            .map(|(_, x)| x)
+    }
+
+    /// Gather into any `FromIterator` collection, in order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let parts = run_indexed(self.len(), |lo, hi| {
+            let mut v = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                v.push(self.at(i));
+            }
+            v
+        });
+        concat(parts).into_iter().collect()
+    }
+}
+
+/// Lazy map adapter (see [`ParallelIterator::map`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Map<A, F> {
+    base: A,
+    f: F,
+}
+
+impl<A, R, F> ParallelIterator for Map<A, F>
+where
+    A: ParallelIterator,
+    R: Send,
+    F: Fn(A::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn at(&self, i: usize) -> R {
+        (self.f)(self.base.at(i))
+    }
+}
+
+/// Lazy zip adapter (see [`ParallelIterator::zip`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn at(&self, i: usize) -> Self::Item {
+        (self.a.at(i), self.b.at(i))
+    }
+}
+
+/// Lazy enumerate adapter (see [`ParallelIterator::enumerate`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Enumerate<A> {
+    base: A,
+}
+
+impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
+    type Item = (usize, A::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn at(&self, i: usize) -> Self::Item {
+        (i, self.base.at(i))
+    }
+}
+
+/// Lazy copy-out-of-references adapter.
+#[derive(Debug, Clone, Copy)]
+pub struct Copied<A> {
+    base: A,
+}
+
+impl<'a, A, T> ParallelIterator for Copied<A>
+where
+    A: ParallelIterator<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn at(&self, i: usize) -> T {
+        *self.base.at(i)
+    }
+}
+
+/// Lazy clone-out-of-references adapter.
+#[derive(Debug, Clone, Copy)]
+pub struct Cloned<A> {
+    base: A,
+}
+
+impl<'a, A, T> ParallelIterator for Cloned<A>
+where
+    A: ParallelIterator<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn at(&self, i: usize) -> T {
+        self.base.at(i).clone()
+    }
+}
+
+/// Integer types usable as parallel range endpoints.
+pub trait RangeItem: Copy + Send + Sync {
+    /// `self + i`, assuming it stays in range (guaranteed by `len`).
+    fn offset(self, i: usize) -> Self;
+    /// `max(0, end - self)` as a usize.
+    fn distance(self, end: Self) -> usize;
+}
+
+macro_rules! range_item {
+    ($($t:ty),*) => {$(
+        impl RangeItem for $t {
+            fn offset(self, i: usize) -> Self {
+                self + i as $t
+            }
+            fn distance(self, end: Self) -> usize {
+                if end > self { (end - self) as usize } else { 0 }
+            }
+        }
+    )*};
+}
+
+range_item!(usize, u32, u64);
+
+/// A lazy parallel iterator over an integer range (never materialised).
+#[derive(Debug, Clone, Copy)]
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+impl<T: RangeItem> ParallelIterator for RangeIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn at(&self, i: usize) -> T {
+        self.start.offset(i)
+    }
+}
+
+/// Conversion into a parallel iterator (owned sources: vectors, ranges).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: RangeItem + Send> IntoParallelIterator for std::ops::Range<T> {
+    type Item = T;
+    type Iter = RangeIter<T>;
+    fn into_par_iter(self) -> RangeIter<T> {
+        RangeIter {
+            start: self.start,
+            len: self.start.distance(self.end),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Split a vector into `n` nearly equal contiguous parts, preserving order.
+fn split_vec<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut parts = Vec::with_capacity(n);
+    // Split off from the back so each split is O(part).
+    for i in (0..n).rev() {
+        let part_len = base + usize::from(i < extra);
+        let tail = items.split_off(items.len() - part_len);
+        parts.push(tail);
+    }
+    parts.reverse();
+    parts
+}
+
+/// An eager parallel iterator owning its items: the source for
+/// `Vec::into_par_iter` and the output of length-changing combinators.
+///
+/// Its combinators move order-preserving chunks of the owned vector
+/// through the crew executor; each call is one region. For borrowed data
+/// prefer the lazy slice pipelines, which allocate nothing.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Wrap already materialised items.
+    pub fn from_vec(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Emptiness test.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// One crew region over order-preserving chunks of the owned items;
+    /// `per_chunk` sees each chunk with its starting offset.
+    fn run_owned<R: Send>(self, per_chunk: impl Fn(usize, Vec<T>) -> R + Sync) -> Vec<R> {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let width = parallelism_for(n);
+        if width <= 1 {
+            return vec![per_chunk(0, self.items)];
+        }
+        let chunks = split_vec(self.items, chunk_count(n, width));
+        let mut offset = 0usize;
+        let inputs: Vec<(usize, Vec<T>)> = chunks
+            .into_iter()
+            .map(|c| {
+                let base = offset;
+                offset += c.len();
+                (base, c)
+            })
+            .collect();
+        crew_run(inputs, width, |(base, chunk)| per_chunk(base, chunk))
+    }
+
+    /// Parallel map, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().map(&f).collect::<Vec<R>>());
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Parallel filter, preserving order.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().filter(&pred).collect::<Vec<T>>());
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Parallel filter-map, preserving order.
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().filter_map(&f).collect::<Vec<R>>());
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Parallel flat-map over a sequential inner iterator, preserving order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let parts =
+            self.run_owned(|_, chunk| chunk.into_iter().flat_map(&f).collect::<Vec<I::Item>>());
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.run_owned(|_, chunk| chunk.into_iter().for_each(&f));
+    }
+
+    /// Index-based zip with any lazy pipeline: the right-hand side is read
+    /// per index while this side's chunks move, so neither side is
+    /// materialised as a whole before pairing.
+    pub fn zip<P: ParallelIterator>(mut self, other: P) -> ParIter<(T, P::Item)> {
+        let n = self.items.len().min(other.len());
+        self.items.truncate(n);
+        let parts = self.run_owned(|base, chunk| {
+            chunk
+                .into_iter()
+                .enumerate()
+                .map(|(j, x)| (x, other.at(base + j)))
+                .collect::<Vec<_>>()
+        });
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// Index each item, in parallel (offsets are carried per chunk).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        let parts = self.run_owned(|base, chunk| {
+            chunk
+                .into_iter()
+                .enumerate()
+                .map(|(j, x)| (base + j, x))
+                .collect::<Vec<_>>()
+        });
+        ParIter::from_vec(concat(parts))
+    }
+
+    /// First item matching `pred`, in original order, searched in parallel
+    /// with early exit once an earlier chunk has matched.
+    pub fn find_first<F>(self, pred: F) -> Option<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let best = AtomicUsize::new(usize::MAX);
+        let hits = self.run_owned(|base, chunk| {
+            for (j, x) in chunk.into_iter().enumerate() {
+                if best.load(Ordering::Relaxed) < base {
+                    return None; // an earlier chunk already matched
+                }
+                if pred(&x) {
+                    best.fetch_min(base + j, Ordering::Relaxed);
+                    return Some((base + j, x));
+                }
+            }
+            None
+        });
+        hits.into_iter()
+            .flatten()
+            .min_by_key(|&(i, _)| i)
+            .map(|(_, x)| x)
+    }
+
+    /// Parallel fold: each chunk folds from a fresh `identity()`, yielding
+    /// one accumulator per chunk (rayon's `fold` contract).
+    pub fn fold<B, ID, F>(self, identity: ID, fold_op: F) -> ParIter<B>
+    where
+        B: Send,
+        ID: Fn() -> B + Sync,
+        F: Fn(B, T) -> B + Sync,
+    {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().fold(identity(), &fold_op));
+        ParIter::from_vec(parts)
+    }
+
+    /// Parallel reduce against an identity.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().fold(identity(), &op));
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    /// Parallel reduce of a possibly empty iterator.
+    pub fn reduce_with<F>(self, op: F) -> Option<T>
+    where
+        F: Fn(T, T) -> T + Sync,
+    {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().reduce(&op));
+        parts.into_iter().flatten().reduce(&op)
+    }
+
+    /// Parallel sum: per-chunk partial sums, then a sum of partials.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().sum::<S>());
+        parts.into_iter().sum()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.reduce_with(Ord::max)
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.reduce_with(Ord::min)
+    }
+
+    /// Number of items (consuming, to mirror rayon).
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Gather into any `FromIterator` collection, in order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    /// Copy out of references, in parallel.
+    pub fn copied(self) -> ParIter<T> {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().copied().collect::<Vec<T>>());
+        ParIter::from_vec(concat(parts))
+    }
+}
+
+impl<T: Clone + Send + Sync> ParIter<&T> {
+    /// Clone out of references, in parallel.
+    pub fn cloned(self) -> ParIter<T> {
+        let parts = self.run_owned(|_, chunk| chunk.into_iter().cloned().collect::<Vec<T>>());
+        ParIter::from_vec(concat(parts))
+    }
+}

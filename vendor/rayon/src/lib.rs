@@ -4,509 +4,109 @@
 //! The build container has no access to crates.io, so the workspace vendors
 //! minimal, API-compatible re-implementations of its external dependencies.
 //! This one provides genuinely parallel data-parallel combinators on top of
-//! `std::thread::scope`:
+//! a persistent thread pool and a fused pipeline layer:
 //!
-//! * sources: `par_iter` / `par_chunks` on slices, `par_chunks_mut` on
-//!   mutable slices, `into_par_iter` on ranges and vectors;
-//! * combinators: `map`, `filter`, `filter_map`, `flat_map_iter`,
-//!   `for_each`, `zip`, `enumerate`, `copied`/`cloned`, `find_first`,
-//!   `fold`, `reduce`, `reduce_with`, `sum`, `max`, `min`, `collect`;
-//! * `current_num_threads`, `ThreadPoolBuilder` / `ThreadPool::install`
-//!   (a scoped worker-count override, which is how the engine's
-//!   [`RunConfig`](https://docs.rs) thread knob is realised).
+//! * [`pool`] — the scheduling substrate: a **persistent work-stealing
+//!   [`ThreadPool`]** (workers created once, per-worker mutex-backed deques
+//!   with randomized stealing, a condvar-parked FIFO injector, `'static`
+//!   [`ThreadPool::spawn`]), a process-wide **pool cache** keyed by thread
+//!   count ([`cached_pool`]), fork–join primitives ([`join`], [`scope`])
+//!   with an auto-halving thread budget, and the *crew executor* that runs
+//!   borrowed-data regions with scoped helpers self-scheduling over an
+//!   atomic cursor;
+//! * [`iter`] — lazy, index-fused [`ParallelIterator`] pipelines (`map`,
+//!   `zip`, `enumerate`, `copied`/`cloned` fuse; `filter`, `filter_map`,
+//!   `flat_map_iter`, `fold` and the terminals execute the whole chain as
+//!   one region), range sources, and the eager owned [`ParIter`];
+//! * [`slice`] — `par_iter` / `par_chunks` as lazy views over borrowed
+//!   slices (no `Vec<&T>` materialisation), `par_chunks_mut` /
+//!   `par_iter_mut` over pre-split disjoint borrows.
 //!
 //! Design differences from real rayon, none of which change results:
 //!
-//! * Combinators are **eager**: each one runs its closure over all items in
-//!   parallel immediately and materialises the output, instead of building
-//!   a lazy fused pipeline. Order is always preserved, so `collect` equals
-//!   the sequential result exactly — the property every test in this
-//!   workspace asserts.
-//! * Work is split into one contiguous chunk per worker (no work stealing).
-//!   Small inputs (below [`MIN_PAR_LEN`]) run inline on the calling thread,
-//!   so tiny rounds of the executors pay no spawn cost.
-//! * `ThreadPool::install` scopes a thread-count override on the calling
-//!   thread rather than moving work to dedicated pool threads. Nested
-//!   parallel calls from worker threads fall back to the global default.
+//! * Order is always preserved, so `collect` equals the sequential result
+//!   exactly — the property every test in this workspace asserts.
+//! * Pool workers execute `'static` spawned jobs. Combinators over
+//!   *borrowed* data run on scoped **crews** (the caller plus helpers from
+//!   `std::thread::scope`) sized by the installed pool: under
+//!   `#![forbid(unsafe_code)]`, `std::thread::scope` is the only way a
+//!   thread may touch another stack's borrows, and it can only lend to
+//!   threads it creates. The crews preserve the pool's *scheduling*
+//!   semantics — dynamic chunk self-scheduling, inherited thread counts
+//!   for nested parallelism — and a fused chain pays for one crew, not one
+//!   per combinator; inputs below [`MIN_PAR_LEN`] run inline with zero
+//!   spawns.
+//! * [`ThreadPool::install`] pins the ambient parallelism of the closure
+//!   (and every crew/join under it, including from helper threads) to the
+//!   pool's width rather than migrating the closure onto a worker thread.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod iter;
+pub mod pool;
+pub mod slice;
 
-/// Inputs shorter than this run sequentially on the calling thread: below
-/// it, `std::thread` spawn overhead dominates any parallel win.
-pub const MIN_PAR_LEN: usize = 2048;
+pub use iter::{
+    Cloned, Copied, Enumerate, IntoParallelIterator, Map, ParIter, ParallelIterator, RangeItem,
+    RangeIter, Zip,
+};
+pub use pool::{
+    cached_pool, current_num_threads, global_pool, helper_threads_spawned, join, run_sequential,
+    scope, spawn, worker_threads_spawned, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder, MIN_PAR_LEN,
+};
+pub use slice::{ChunksIter, ParallelSlice, ParallelSliceMut, SliceIter};
 
-thread_local! {
-    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Number of worker threads parallel operations on this thread will use.
-pub fn current_num_threads() -> usize {
-    CURRENT_THREADS
-        .with(|c| c.get())
-        .unwrap_or_else(default_threads)
-}
-
-/// Builder for a scoped thread-count override, mirroring
-/// `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: Option<usize>,
-}
-
-/// Error type of [`ThreadPoolBuilder::build`] (building cannot actually
-/// fail here; the `Result` mirrors rayon's signature).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "failed to build thread pool")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-impl ThreadPoolBuilder {
-    /// A builder with default settings.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Fix the worker-thread count (`0` means the global default).
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = if n == 0 { None } else { Some(n) };
-        self
-    }
-
-    /// Build the pool.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self.num_threads.unwrap_or_else(default_threads),
-        })
-    }
-}
-
-/// A scoped worker-count override (stand-in for `rayon::ThreadPool`).
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Worker threads this pool uses.
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
-
-    /// Run `op` with this pool's thread count as the ambient parallelism.
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                CURRENT_THREADS.with(|c| c.set(self.0));
-            }
-        }
-        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.num_threads)));
-        let _restore = Restore(prev);
-        op()
-    }
-}
-
-/// Split a vector into `n` nearly equal contiguous parts, preserving order.
-fn split_vec<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
-    let len = items.len();
-    let base = len / n;
-    let extra = len % n;
-    let mut parts = Vec::with_capacity(n);
-    // Split off from the back so each split is O(part).
-    for i in (0..n).rev() {
-        let part_len = base + usize::from(i < extra);
-        let tail = items.split_off(items.len() - part_len);
-        parts.push(tail);
-    }
-    parts.reverse();
-    parts
-}
-
-/// How many workers to use for `len` items under the current setting.
-fn workers_for(len: usize) -> usize {
-    if len < MIN_PAR_LEN {
-        return 1;
-    }
-    current_num_threads().clamp(1, len.div_ceil(MIN_PAR_LEN / 2))
-}
-
-/// Run `per_chunk` over order-preserving contiguous chunks of `items`,
-/// one scoped thread per chunk, and return the per-chunk results in order.
-/// Panics in workers propagate to the caller with their original payload.
-fn run_chunked<T, R, F>(items: Vec<T>, per_chunk: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, Vec<T>) -> R + Sync,
-{
-    let n = workers_for(items.len());
-    if n <= 1 {
-        return vec![per_chunk(0, items)];
-    }
-    // Record each chunk's starting offset before moving the chunks out.
-    let chunks = split_vec(items, n);
-    let mut offsets = Vec::with_capacity(n);
-    let mut acc = 0usize;
-    for c in &chunks {
-        offsets.push(acc);
-        acc += c.len();
-    }
-    let f = &per_chunk;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .zip(offsets)
-            .map(|(chunk, base)| s.spawn(move || f(base, chunk)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    })
-}
-
-/// An eagerly materialised parallel iterator: a vector of items plus
-/// parallel combinators.
-#[derive(Debug)]
-pub struct ParIter<T> {
-    items: Vec<T>,
-}
-
-impl<T: Send> ParIter<T> {
-    /// Wrap already materialised items.
-    pub fn from_vec(items: Vec<T>) -> Self {
-        ParIter { items }
-    }
-
-    /// Number of items.
-    pub fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    /// Emptiness test.
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-
-    /// Parallel map, preserving order.
-    pub fn map<R, F>(self, f: F) -> ParIter<R>
-    where
-        R: Send,
-        F: Fn(T) -> R + Sync,
-    {
-        let parts = run_chunked(self.items, |_, chunk| {
-            chunk.into_iter().map(&f).collect::<Vec<R>>()
-        });
-        ParIter {
-            items: parts.into_iter().flatten().collect(),
-        }
-    }
-
-    /// Parallel filter, preserving order.
-    pub fn filter<F>(self, pred: F) -> ParIter<T>
-    where
-        F: Fn(&T) -> bool + Sync,
-    {
-        let parts = run_chunked(self.items, |_, chunk| {
-            chunk.into_iter().filter(&pred).collect::<Vec<T>>()
-        });
-        ParIter {
-            items: parts.into_iter().flatten().collect(),
-        }
-    }
-
-    /// Parallel filter-map, preserving order.
-    pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
-    where
-        R: Send,
-        F: Fn(T) -> Option<R> + Sync,
-    {
-        let parts = run_chunked(self.items, |_, chunk| {
-            chunk.into_iter().filter_map(&f).collect::<Vec<R>>()
-        });
-        ParIter {
-            items: parts.into_iter().flatten().collect(),
-        }
-    }
-
-    /// Parallel flat-map over a sequential inner iterator, preserving order.
-    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
-    where
-        I: IntoIterator,
-        I::Item: Send,
-        F: Fn(T) -> I + Sync,
-    {
-        let parts = run_chunked(self.items, |_, chunk| {
-            chunk.into_iter().flat_map(&f).collect::<Vec<I::Item>>()
-        });
-        ParIter {
-            items: parts.into_iter().flatten().collect(),
-        }
-    }
-
-    /// Parallel side-effecting visit.
-    pub fn for_each<F>(self, f: F)
-    where
-        F: Fn(T) + Sync,
-    {
-        run_chunked(self.items, |_, chunk| chunk.into_iter().for_each(&f));
-    }
-
-    /// Pairwise zip (glue only; downstream combinators parallelise).
-    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
-        ParIter {
-            items: self.items.into_iter().zip(other.items).collect(),
-        }
-    }
-
-    /// Index each item (glue only).
-    pub fn enumerate(self) -> ParIter<(usize, T)> {
-        ParIter {
-            items: self.items.into_iter().enumerate().collect(),
-        }
-    }
-
-    /// First item matching `pred`, in original order, searched in parallel
-    /// with early exit once an earlier chunk has matched.
-    pub fn find_first<F>(self, pred: F) -> Option<T>
-    where
-        F: Fn(&T) -> bool + Sync,
-    {
-        let best = AtomicUsize::new(usize::MAX);
-        let mut hits: Vec<Option<(usize, T)>> = run_chunked(self.items, |base, chunk| {
-            for (i, x) in chunk.into_iter().enumerate() {
-                if best.load(Ordering::Relaxed) < base {
-                    return None; // an earlier chunk already matched
-                }
-                if pred(&x) {
-                    best.fetch_min(base + i, Ordering::Relaxed);
-                    return Some((base + i, x));
-                }
-            }
-            None
-        });
-        hits.iter_mut()
-            .filter_map(Option::take)
-            .min_by_key(|&(i, _)| i)
-            .map(|(_, x)| x)
-    }
-
-    /// Parallel fold: each chunk folds from a fresh `identity()`, yielding
-    /// one accumulator per chunk (rayon's `fold` contract).
-    pub fn fold<B, ID, F>(self, identity: ID, fold_op: F) -> ParIter<B>
-    where
-        B: Send,
-        ID: Fn() -> B + Sync,
-        F: Fn(B, T) -> B + Sync,
-    {
-        let parts = run_chunked(self.items, |_, chunk| {
-            chunk.into_iter().fold(identity(), &fold_op)
-        });
-        ParIter { items: parts }
-    }
-
-    /// Parallel reduce against an identity.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
-    where
-        ID: Fn() -> T + Sync,
-        F: Fn(T, T) -> T + Sync,
-    {
-        let parts = run_chunked(self.items, |_, chunk| {
-            chunk.into_iter().fold(identity(), &op)
-        });
-        parts.into_iter().fold(identity(), &op)
-    }
-
-    /// Parallel reduce of a possibly empty iterator.
-    pub fn reduce_with<F>(self, op: F) -> Option<T>
-    where
-        F: Fn(T, T) -> T + Sync,
-    {
-        let parts = run_chunked(self.items, |_, chunk| chunk.into_iter().reduce(&op));
-        parts.into_iter().flatten().reduce(&op)
-    }
-
-    /// Sum (the heavy work upstream is already parallel).
-    pub fn sum<S>(self) -> S
-    where
-        S: std::iter::Sum<T>,
-    {
-        self.items.into_iter().sum()
-    }
-
-    /// Maximum item.
-    pub fn max(self) -> Option<T>
-    where
-        T: Ord,
-    {
-        self.items.into_iter().max()
-    }
-
-    /// Minimum item.
-    pub fn min(self) -> Option<T>
-    where
-        T: Ord,
-    {
-        self.items.into_iter().min()
-    }
-
-    /// Number of items (consuming, to mirror rayon).
-    pub fn count(self) -> usize {
-        self.items.len()
-    }
-
-    /// Gather into any `FromIterator` collection, in order.
-    pub fn collect<C>(self) -> C
-    where
-        C: FromIterator<T>,
-    {
-        self.items.into_iter().collect()
-    }
-}
-
-impl<T: Copy + Send + Sync> ParIter<&T> {
-    /// Copy out of references (glue only).
-    pub fn copied(self) -> ParIter<T> {
-        ParIter {
-            items: self.items.into_iter().copied().collect(),
-        }
-    }
-}
-
-impl<T: Clone + Send + Sync> ParIter<&T> {
-    /// Clone out of references (glue only).
-    pub fn cloned(self) -> ParIter<T> {
-        ParIter {
-            items: self.items.into_iter().cloned().collect(),
-        }
-    }
-}
-
-/// Conversion into a parallel iterator (owned sources: vectors, ranges).
-pub trait IntoParallelIterator {
-    /// Item type produced.
-    type Item: Send;
-    /// Convert.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
-}
-
-impl<T: Send> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
-    }
-}
-
-impl<T: Send> IntoParallelIterator for std::ops::Range<T>
-where
-    std::ops::Range<T>: Iterator<Item = T>,
-{
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter {
-            items: self.collect(),
-        }
-    }
-}
-
-impl<T: Send> IntoParallelIterator for ParIter<T> {
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        self
-    }
-}
-
-/// Borrowing parallel iteration over slices (and anything derefing to one).
-pub trait ParallelSlice<T: Sync> {
-    /// Parallel iterator over `&T`.
-    fn par_iter(&self) -> ParIter<&T>;
-    /// Parallel iterator over contiguous `&[T]` chunks of length
-    /// `chunk_size` (last chunk may be shorter).
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
-}
-
-impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<&T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
-    }
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
-        assert!(chunk_size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks(chunk_size).collect(),
-        }
-    }
-}
-
-/// Borrowing parallel iteration over mutable slices.
-pub trait ParallelSliceMut<T: Send> {
-    /// Parallel iterator over contiguous `&mut [T]` chunks.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
-    /// Parallel iterator over `&mut T`.
-    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
-}
-
-impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
-        assert!(chunk_size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks_mut(chunk_size).collect(),
-        }
-    }
-    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
-        ParIter {
-            items: self.iter_mut().collect(),
-        }
-    }
+/// How many order-preserving splits a blocked primitive (scan, pack,
+/// radix) should cut its input into: a few chunks per worker so the crew's
+/// dynamic cursor can balance uneven blocks.
+pub fn recommended_splits() -> usize {
+    current_num_threads().max(2) * 4
 }
 
 /// One-stop imports, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+    pub use crate::{
+        IntoParallelIterator, ParIter, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    /// Run `op` under an installed 4-worker pool so combinator paths go
+    /// parallel even on single-core machines.
+    fn with_pool<R>(op: impl FnOnce() -> R) -> R {
+        cached_pool(4).install(op)
+    }
 
     #[test]
     fn map_preserves_order_large() {
         let v: Vec<usize> = (0..100_000).collect();
-        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        let out: Vec<usize> = with_pool(|| v.par_iter().map(|&x| x * 2).collect());
         assert_eq!(out, (0..100_000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn filter_and_flat_map_preserve_order() {
-        let out: Vec<usize> = (0..50_000usize)
-            .into_par_iter()
-            .filter(|&x| x % 3 == 0)
-            .collect();
+        let out: Vec<usize> = with_pool(|| {
+            (0..50_000usize)
+                .into_par_iter()
+                .filter(|&x| x % 3 == 0)
+                .collect()
+        });
         assert_eq!(out, (0..50_000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
-        let out: Vec<usize> = (0..10_000usize)
-            .into_par_iter()
-            .flat_map_iter(|x| [x, x + 1])
-            .collect();
+        let out: Vec<usize> = with_pool(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .flat_map_iter(|x| [x, x + 1])
+                .collect()
+        });
         assert_eq!(out.len(), 20_000);
         assert_eq!(out[0..4], [0, 1, 1, 2]);
     }
@@ -514,15 +114,20 @@ mod tests {
     #[test]
     fn find_first_is_first() {
         let v: Vec<usize> = (0..200_000).collect();
-        assert_eq!(v.par_iter().find_first(|&&x| x >= 12_345), Some(&12_345));
-        assert_eq!(v.par_iter().find_first(|&&x| x > 1_000_000), None);
+        with_pool(|| {
+            assert_eq!(v.par_iter().find_first(|&&x| x >= 12_345), Some(&12_345));
+            assert_eq!(v.par_iter().find_first(|&&x| x > 1_000_000), None);
+        });
     }
 
     #[test]
     fn reduce_and_sum_agree() {
         let v: Vec<u64> = (0..100_000).collect();
-        let s: u64 = v.par_iter().copied().sum();
-        let r = v.par_iter().copied().reduce(|| 0, u64::wrapping_add);
+        let (s, r) = with_pool(|| {
+            let s: u64 = v.par_iter().copied().sum();
+            let r = v.par_iter().copied().reduce(|| 0, u64::wrapping_add);
+            (s, r)
+        });
         assert_eq!(s, r);
         assert_eq!(s, 100_000 * 99_999 / 2);
     }
@@ -530,20 +135,47 @@ mod tests {
     #[test]
     fn fold_then_reduce_matches_sequential() {
         let v: Vec<u64> = (0..100_000).collect();
-        let total = v
-            .par_iter()
-            .map(|&x| x)
-            .fold(|| 0u64, |a, b| a + b)
-            .reduce(|| 0, |a, b| a + b);
+        let total = with_pool(|| {
+            v.par_iter()
+                .map(|&x| x)
+                .fold(|| 0u64, |a, b| a + b)
+                .reduce(|| 0, |a, b| a + b)
+        });
         assert_eq!(total, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zip_and_enumerate_are_index_fused() {
+        // zip + map + collect over two borrowed slices: one fused chain.
+        let a: Vec<u64> = (0..50_000).collect();
+        let b: Vec<u64> = (0..50_000).map(|x| x * 3).collect();
+        let out: Vec<u64> = with_pool(|| {
+            a.par_iter()
+                .zip(b.par_iter())
+                .map(|(&x, &y)| x + y)
+                .collect()
+        });
+        assert_eq!(out, (0..50_000).map(|x| x * 4).collect::<Vec<_>>());
+        // enumerate carries pipeline indices.
+        let idx: Vec<usize> = with_pool(|| {
+            a.par_iter()
+                .enumerate()
+                .map(|(i, &x)| i + (x == 0) as usize)
+                .collect()
+        });
+        assert_eq!(idx[0], 1);
+        assert_eq!(idx[1], 1);
+        assert_eq!(idx[49_999], 49_999);
     }
 
     #[test]
     fn chunks_mut_writes_visible() {
         let mut v = vec![0u32; 100_000];
-        v.par_chunks_mut(1000)
-            .enumerate()
-            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i as u32));
+        with_pool(|| {
+            v.par_chunks_mut(1000)
+                .enumerate()
+                .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i as u32));
+        });
         assert_eq!(v[0], 0);
         assert_eq!(v[99_999], 99);
     }
@@ -558,14 +190,189 @@ mod tests {
     }
 
     #[test]
-    fn split_vec_covers_everything() {
-        for n in [1, 2, 3, 7] {
-            for len in [0usize, 1, 5, 100] {
-                let parts = split_vec((0..len).collect::<Vec<_>>(), n);
-                assert_eq!(parts.len(), n);
-                let flat: Vec<usize> = parts.into_iter().flatten().collect();
-                assert_eq!(flat, (0..len).collect::<Vec<_>>());
-            }
+    fn workers_spawn_once_and_serve_many_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let ids_at_build = pool.worker_ids();
+        assert_eq!(ids_at_build.len(), 3, "all workers registered at build");
+        let hits = std::sync::Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let hits = std::sync::Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
         }
+        pool.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+        // The same three workers served everything: no thread was created
+        // (or replaced) after the pool was built.
+        assert_eq!(pool.worker_ids(), ids_at_build);
+        assert_eq!(pool.jobs_executed(), 200);
+    }
+
+    #[test]
+    fn jobs_spawned_from_workers_are_stolen() {
+        // One seed job fans out 64 more from inside a worker: those land
+        // on that worker's local deque and can only reach its siblings by
+        // stealing. The per-worker execution counts must show more than
+        // one participant.
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(4).build().unwrap());
+        let (tx, rx) = mpsc::channel::<std::thread::ThreadId>();
+        let fan_pool = std::sync::Arc::clone(&pool);
+        pool.spawn(move || {
+            for _ in 0..64 {
+                let tx = tx.clone();
+                fan_pool.spawn(move || {
+                    tx.send(std::thread::current().id()).unwrap();
+                    // A busy payload so siblings have time to steal.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                });
+            }
+        });
+        let executors: std::collections::HashSet<_> = rx.iter().take(64).collect();
+        pool.wait_idle();
+        assert!(
+            executors.len() > 1,
+            "locally queued jobs were never stolen: {executors:?}"
+        );
+        let per_worker = pool.jobs_executed_per_worker();
+        assert_eq!(per_worker.iter().sum::<usize>(), 65);
+        assert!(per_worker.iter().filter(|&&c| c > 0).count() > 1);
+    }
+
+    #[test]
+    fn panicking_spawned_job_does_not_kill_worker() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.spawn(|| panic!("boom in a stolen job"));
+        pool.wait_idle();
+        assert_eq!(pool.panic_count(), 1);
+        let payload = pool.take_panic().expect("payload kept");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom"));
+        // The pool still works.
+        let ok = std::sync::Arc::new(AtomicUsize::new(0));
+        let ok2 = std::sync::Arc::clone(&ok);
+        pool.spawn(move || {
+            ok2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn crew_panic_propagates_with_payload() {
+        let v: Vec<usize> = (0..100_000).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_pool(|| {
+                v.par_iter().for_each(|&x| {
+                    if x == 77_777 {
+                        panic!("crew member panicked at {x}");
+                    }
+                });
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("77777") || msg.contains("77_777"), "{msg}");
+    }
+
+    #[test]
+    fn join_splits_and_respects_sequential_installs() {
+        fn sum_rec(xs: &[u64]) -> u64 {
+            if xs.len() <= 1024 {
+                return xs.iter().sum();
+            }
+            let (a, b) = xs.split_at(xs.len() / 2);
+            let (sa, sb) = join(|| sum_rec(a), || sum_rec(b));
+            sa + sb
+        }
+        let v: Vec<u64> = (0..200_000).collect();
+        let want: u64 = v.iter().sum();
+        assert_eq!(with_pool(|| sum_rec(&v)), want);
+        assert_eq!(run_sequential(|| sum_rec(&v)), want);
+        // Sequential installs spawn no helpers at all.
+        let before = helper_threads_spawned();
+        let _ = run_sequential(|| sum_rec(&v));
+        assert_eq!(helper_threads_spawned(), before);
+    }
+
+    #[test]
+    fn scope_spawns_borrowing_tasks() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let partials: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        scope(|s| {
+            for (i, part) in data.chunks(2500).enumerate() {
+                let partials = &partials;
+                s.spawn(move |_| {
+                    let sum: u64 = part.iter().sum();
+                    partials[i].store(sum as usize, Ordering::Relaxed);
+                });
+            }
+        });
+        let total: usize = partials.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total as u64, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn fused_chain_costs_one_crew() {
+        let v: Vec<u64> = (0..200_000).collect();
+        let pool = cached_pool(4);
+        pool.install(|| {
+            // Warm up lazy statics so the measurement below is clean.
+            let _: u64 = v.par_iter().copied().sum();
+            let before = helper_threads_spawned();
+            let out: Vec<u64> = v
+                .par_iter()
+                .zip(v.par_iter())
+                .enumerate()
+                .map(|(i, (&a, &b))| a + b + i as u64)
+                .collect();
+            let spawned = helper_threads_spawned() - before;
+            assert_eq!(out[10], 30);
+            // Four chained combinators, at most one crew of helpers.
+            assert!(
+                spawned < pool.current_num_threads(),
+                "fused chain spawned {spawned} helpers"
+            );
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_inherits_pool_width() {
+        let pool = cached_pool(4);
+        let widths: Vec<usize> = pool.install(|| {
+            (0..8192usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            widths.iter().all(|&w| w == 4),
+            "crew members saw {widths:?}"
+        );
+    }
+
+    #[test]
+    fn cached_pool_is_shared_and_stable() {
+        let a = cached_pool(3);
+        let b = cached_pool(3);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.worker_ids(), b.worker_ids());
+        assert_eq!(a.worker_ids().len(), 3);
+    }
+
+    #[test]
+    fn range_sources_are_not_materialised() {
+        // u64 and usize ranges, including find_first early exit.
+        let hit = with_pool(|| {
+            (0..1_000_000usize)
+                .into_par_iter()
+                .find_first(|&x| x >= 123_456)
+        });
+        assert_eq!(hit, Some(123_456));
+        let s: u64 = with_pool(|| (0..100_000u64).into_par_iter().map(|x| x % 7).sum());
+        assert_eq!(s, (0..100_000u64).map(|x| x % 7).sum::<u64>());
     }
 }

@@ -1,0 +1,618 @@
+//! The persistent thread pool and the executors behind every combinator.
+//!
+//! Three layers live here, from most to least persistent:
+//!
+//! 1. **The work-stealing pool** ([`ThreadPool`]): worker OS threads are
+//!    created **once** when the pool is built and live until the pool is
+//!    dropped. Each worker owns a `Mutex<VecDeque<Job>>` local deque
+//!    (jobs a worker spawns go to its own deque and are popped LIFO);
+//!    external [`ThreadPool::spawn`] calls land in a shared FIFO injector;
+//!    idle workers pop the injector or steal from a *randomly chosen*
+//!    victim's deque, and park on a condvar when the whole pool is empty.
+//!    Jobs are `'static` closures — the only kind safe Rust allows a
+//!    pre-existing thread to run.
+//! 2. **The crew executor** ([`crew_run`]): data-parallel combinators
+//!    borrow caller data, which `#![forbid(unsafe_code)]` only permits via
+//!    `std::thread::scope`. A *crew* is the caller plus scoped helper
+//!    threads self-scheduling over a shared atomic cursor (stealing-style
+//!    dynamic load balancing), sized by the installed pool. One crew
+//!    serves an entire fused combinator chain — not one per combinator —
+//!    and inputs below [`MIN_PAR_LEN`] run inline with zero spawns.
+//! 3. **Fork–join** ([`join`], [`scope`]): binary recursion with a
+//!    thread-budget that halves per fork, so a whole divide-and-conquer
+//!    tree spawns at most `threads − 1` helpers.
+//!
+//! Pools are cached process-wide by thread count ([`cached_pool`]), so a
+//! batch of engine runs with the same configuration reuses one pool (and
+//! its ambient-parallelism setting) instead of rebuilding anything.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex, OnceLock};
+use std::thread::{JoinHandle, ThreadId};
+
+/// Inputs shorter than this run sequentially on the calling thread: below
+/// it, per-region coordination overhead dominates any parallel win.
+pub const MIN_PAR_LEN: usize = 2048;
+
+/// How many cursor-scheduled chunks each crew member gets on average
+/// (over-partitioning is what makes the dynamic cursor balance load).
+pub(crate) const CHUNKS_PER_WORKER: usize = 4;
+
+/// Smallest chunk the splitter will produce for a parallel region.
+pub(crate) const MIN_CHUNK: usize = MIN_PAR_LEN / 4;
+
+/// A unit of pool work (pool jobs must be `'static`; borrowed work goes
+/// through the crew executor instead).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Ambient worker-thread count, set by [`ThreadPool::install`] and
+    /// inherited by crew helpers and join branches.
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Nesting level of crew regions (0 = top level). Nested regions get
+    /// geometrically fewer helpers to bound oversubscription.
+    static CREW_DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Remaining fork budget for [`join`] recursion on this thread.
+    static JOIN_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+    /// `(pool address, worker index)` when this thread is a pool worker.
+    static WORKER_POOL: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// Scoped helper threads this thread has spawned (crew members, join
+    /// branches, `scope` spawns all spawn from the calling thread, so the
+    /// count is naturally per-thread — which keeps assertions about it
+    /// immune to concurrently running tests in the same process).
+    static HELPER_SPAWNS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Lifetime count of pool worker threads spawned by this process
+/// (incremented once per worker at pool construction — never per job).
+static WORKER_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pool worker threads spawned so far, process-wide.
+pub fn worker_threads_spawned() -> usize {
+    WORKER_SPAWNS.load(Ordering::Relaxed)
+}
+
+/// Scoped helper threads spawned *by the calling thread* so far. Tests
+/// use deltas of this to assert a fused combinator chain pays for one
+/// crew (not one per combinator) and that sequential runs spawn nothing.
+pub fn helper_threads_spawned() -> usize {
+    HELPER_SPAWNS.with(Cell::get)
+}
+
+fn count_helper_spawn() {
+    HELPER_SPAWNS.with(|c| c.set(c.get() + 1));
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+}
+
+/// Restores a thread-local `Cell` on drop (panic-safe scoping).
+struct CellGuard<T: Copy + 'static> {
+    key: &'static std::thread::LocalKey<Cell<T>>,
+    prev: T,
+}
+
+impl<T: Copy + 'static> CellGuard<T> {
+    fn set(key: &'static std::thread::LocalKey<Cell<T>>, value: T) -> Self {
+        let prev = key.with(|c| c.replace(value));
+        CellGuard { key, prev }
+    }
+}
+
+impl<T: Copy + 'static> Drop for CellGuard<T> {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        self.key.with(|c| c.set(prev));
+    }
+}
+
+/// Run `op` with the ambient parallelism pinned to `threads`.
+fn with_thread_count<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    let _guard = CellGuard::set(&CURRENT_THREADS, Some(threads));
+    op()
+}
+
+/// Run `op` strictly inline: ambient parallelism 1, so every combinator
+/// and `join` below it executes sequentially on the calling thread with
+/// zero scheduler involvement. This is how sequential-mode engine runs
+/// (and `threads == 1` configs) bypass the pool entirely.
+pub fn run_sequential<R>(op: impl FnOnce() -> R) -> R {
+    with_thread_count(1, op)
+}
+
+/// State shared between a pool's workers and its handle.
+struct PoolShared {
+    /// FIFO queue for jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker deques: owners push/pop the back (LIFO), thieves pop the
+    /// front (FIFO) — the classic work-stealing discipline, mutex-backed.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Parking lot for idle workers.
+    park: Mutex<()>,
+    work_signal: Condvar,
+    /// Jobs queued anywhere (injector + locals) but not yet taken.
+    pending: AtomicUsize,
+    /// Jobs currently executing.
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Jobs executed per worker (stealing observability).
+    executed: Vec<AtomicUsize>,
+    /// Thread ids, registered once per worker at startup.
+    ids: Mutex<Vec<ThreadId>>,
+    /// Panics caught from spawned jobs (a panicking job never kills its
+    /// worker; the payload is kept for [`ThreadPool::take_panic`]).
+    panics: AtomicUsize,
+    last_panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize, threads: usize, ready: Arc<Barrier>) {
+    // Workers carry the pool's parallelism so nested parallel calls from
+    // inside a spawned job size their crews by this pool, not the machine
+    // default.
+    CURRENT_THREADS.with(|c| c.set(Some(threads)));
+    WORKER_POOL.with(|c| c.set(Some((Arc::as_ptr(&shared) as usize, index))));
+    lock(&shared.ids).push(std::thread::current().id());
+    ready.wait();
+    let mut seed = 0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1) | 1;
+    loop {
+        if let Some(job) = find_job(&shared, index, &mut seed) {
+            // `find_job` already marked the job active.
+            shared.executed[index].fetch_add(1, Ordering::Relaxed);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                *lock(&shared.last_panic) = Some(payload);
+            }
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        } else if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        } else {
+            // Park until something is queued. `pending` is re-checked
+            // under the park mutex, and every push notifies under the same
+            // mutex, so wakeups cannot be lost.
+            let mut guard = lock(&shared.park);
+            while shared.pending.load(Ordering::Acquire) == 0
+                && !shared.shutdown.load(Ordering::Acquire)
+            {
+                guard = shared
+                    .work_signal
+                    .wait(guard)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+/// Worker `index`'s scheduling policy: own deque back (LIFO), then the
+/// injector front (FIFO), then steal from a random victim's front. Each
+/// deque's lock is released before the next is taken (the pops are
+/// separate statements), so two thieves can never hold each other's locks.
+fn find_job(shared: &PoolShared, index: usize, seed: &mut u64) -> Option<Job> {
+    let mut job = lock(&shared.locals[index]).pop_back();
+    if job.is_none() {
+        job = lock(&shared.injector).pop_front();
+    }
+    if job.is_none() {
+        let k = shared.locals.len();
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        let start = (*seed as usize) % k;
+        for off in 0..k {
+            let victim = (start + off) % k;
+            if victim == index {
+                continue;
+            }
+            job = lock(&shared.locals[victim]).pop_front();
+            if job.is_some() {
+                break;
+            }
+        }
+    }
+    if job.is_some() {
+        // Mark the job in flight *before* releasing its pending slot, so
+        // `wait_idle` can never observe pending == 0 && active == 0 while
+        // a taken job has yet to run.
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+    job
+}
+
+/// A persistent pool of work-stealing worker threads.
+///
+/// Workers are spawned once, in [`ThreadPoolBuilder::build`], and live
+/// until the pool is dropped; [`ThreadPool::spawn`] hands them `'static`
+/// jobs with no further thread creation. [`ThreadPool::install`] pins the
+/// *ambient parallelism* of a closure (and every crew/join it starts) to
+/// this pool's width. See the module docs for why borrowed-data
+/// combinators execute on scoped crews rather than on these workers.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn build_pool(threads: usize) -> ThreadPool {
+    let threads = threads.max(1);
+    let shared = Arc::new(PoolShared {
+        injector: Mutex::new(VecDeque::new()),
+        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        park: Mutex::new(()),
+        work_signal: Condvar::new(),
+        pending: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        executed: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
+        ids: Mutex::new(Vec::with_capacity(threads)),
+        panics: AtomicUsize::new(0),
+        last_panic: Mutex::new(None),
+    });
+    let ready = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for index in 0..threads {
+        let shared = Arc::clone(&shared);
+        let ready = Arc::clone(&ready);
+        WORKER_SPAWNS.fetch_add(1, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name(format!("ri-pool-worker-{index}"))
+            .spawn(move || worker_loop(shared, index, threads, ready))
+            .expect("spawning a pool worker thread");
+        handles.push(handle);
+    }
+    ready.wait(); // every worker is up and registered before build returns
+    ThreadPool {
+        shared,
+        threads,
+        handles: Mutex::new(handles),
+    }
+}
+
+impl ThreadPool {
+    /// Worker threads this pool owns.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's width as the ambient parallelism: crews,
+    /// joins and nested combinators inside `op` (on this thread *and* on
+    /// every helper they start) size themselves by this pool.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        with_thread_count(self.threads, op)
+    }
+
+    /// Queue a `'static` job on the pool. Called from a worker of this
+    /// pool, the job goes to that worker's local deque (LIFO, stealable);
+    /// otherwise it goes to the shared injector. Never spawns a thread.
+    ///
+    /// A panicking job is caught by its worker (the worker survives);
+    /// see [`ThreadPool::panic_count`] / [`ThreadPool::take_panic`].
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        let job: Job = Box::new(f);
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        let own = WORKER_POOL
+            .with(Cell::get)
+            .and_then(|(addr, idx)| (addr == Arc::as_ptr(&self.shared) as usize).then_some(idx));
+        match own {
+            Some(idx) => lock(&self.shared.locals[idx]).push_back(job),
+            None => lock(&self.shared.injector).push_back(job),
+        }
+        // One job, one wakeup: workers re-check `pending` under the park
+        // mutex before sleeping, so a notification can never be lost, and
+        // each queued job sends its own.
+        let _guard = lock(&self.shared.park);
+        self.shared.work_signal.notify_one();
+    }
+
+    /// Block until no job is queued or executing.
+    pub fn wait_idle(&self) {
+        while self.shared.pending.load(Ordering::SeqCst) > 0
+            || self.shared.active.load(Ordering::SeqCst) > 0
+        {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    /// Thread ids of the workers, in worker-index order of registration.
+    /// Stable for the pool's whole life — the pool-reuse tests compare
+    /// these across engine runs.
+    pub fn worker_ids(&self) -> Vec<ThreadId> {
+        lock(&self.shared.ids).clone()
+    }
+
+    /// Total jobs executed by the pool so far.
+    pub fn jobs_executed(&self) -> usize {
+        self.shared
+            .executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Jobs executed per worker (shows how stealing spread the load).
+    pub fn jobs_executed_per_worker(&self) -> Vec<usize> {
+        self.shared
+            .executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of spawned jobs that panicked (their workers survived).
+    pub fn panic_count(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Take the most recent caught panic payload, if any.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        lock(&self.shared.last_panic).take()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = lock(&self.shared.park);
+            self.shared.work_signal.notify_all();
+        }
+        for handle in lock(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (building cannot actually
+/// fail here; the `Result` mirrors rayon's signature).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker-thread count (`0` means the machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool, spawning its workers immediately.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(build_pool(self.num_threads.unwrap_or_else(default_threads)))
+    }
+}
+
+fn pool_cache() -> &'static Mutex<HashMap<usize, Arc<ThreadPool>>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The process-wide pool for `threads` workers, built on first request and
+/// reused forever after. This is what lets a batch of engine runs with the
+/// same thread count amortise worker creation down to zero.
+pub fn cached_pool(threads: usize) -> Arc<ThreadPool> {
+    let threads = threads.max(1);
+    Arc::clone(
+        lock(pool_cache())
+            .entry(threads)
+            .or_insert_with(|| Arc::new(build_pool(threads))),
+    )
+}
+
+/// The lazily-built machine-default pool.
+pub fn global_pool() -> Arc<ThreadPool> {
+    cached_pool(default_threads())
+}
+
+/// Queue a `'static` job on the global pool.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) {
+    global_pool().spawn(f);
+}
+
+pub(crate) fn crew_depth() -> usize {
+    CREW_DEPTH.with(Cell::get)
+}
+
+/// How many crew members (caller included) a region over `len` items may
+/// use under the current install. Below [`MIN_PAR_LEN`] everything is
+/// inline; nested regions get geometrically fewer members so a region
+/// inside a crew helper cannot multiply threads unboundedly; and the count
+/// adapts so every member has at least `MIN_PAR_LEN / 2` items.
+pub(crate) fn parallelism_for(len: usize) -> usize {
+    if len < MIN_PAR_LEN {
+        return 1;
+    }
+    let base = match crew_depth() {
+        0 => current_num_threads(),
+        1 => (current_num_threads() / 4).max(1),
+        _ => 1,
+    };
+    base.clamp(1, len.div_ceil(MIN_PAR_LEN / 2))
+}
+
+/// Execute `f` over `inputs` with a crew of `width` threads (the caller
+/// plus `width − 1` scoped helpers) self-scheduling over a shared cursor,
+/// returning outputs in input order. Panics in any member propagate to the
+/// caller with their original payload.
+///
+/// The crew is one *region*: a fused combinator chain makes exactly one
+/// `crew_run` call, so the cost is per chain, not per combinator.
+pub(crate) fn crew_run<T, R, F>(inputs: Vec<T>, width: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = inputs.len();
+    let crew = width.min(n);
+    if crew <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let ambient = current_num_threads();
+    let depth = crew_depth() + 1;
+    let work = |_member: usize| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let input = lock(&slots[i]).take().expect("each slot is taken once");
+        let output = f(input);
+        *lock(&outs[i]) = Some(output);
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..crew)
+            .map(|member| {
+                count_helper_spawn();
+                let work = &work;
+                s.spawn(move || {
+                    // Helpers inherit the caller's ambient parallelism so
+                    // nested parallel calls stay sized by the installed
+                    // pool instead of the machine default.
+                    CURRENT_THREADS.with(|c| c.set(Some(ambient)));
+                    CREW_DEPTH.with(|c| c.set(depth));
+                    work(member)
+                })
+            })
+            .collect();
+        {
+            let _depth = CellGuard::set(&CREW_DEPTH, depth);
+            work(0);
+        }
+        let mut payload: Option<Box<dyn Any + Send>> = None;
+        for handle in handles {
+            if let Err(p) = handle.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    });
+    outs.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("crew filled every slot")
+        })
+        .collect()
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results.
+///
+/// The fork budget starts at the ambient thread count and halves at every
+/// parallel fork, so a full recursion tree spawns at most `threads − 1`
+/// scoped helpers and then continues sequentially — divide-and-conquer
+/// callers need no explicit cutoff for thread explosion (though they
+/// should still stop recursing when subproblems get small). With a budget
+/// of 1 (sequential installs, exhausted budgets) both closures run inline.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = JOIN_BUDGET
+        .with(Cell::get)
+        .unwrap_or_else(current_num_threads);
+    if budget <= 1 {
+        return (oper_a(), oper_b());
+    }
+    let budget_a = budget - budget / 2;
+    let budget_b = budget / 2;
+    let ambient = current_num_threads();
+    count_helper_spawn();
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(move || {
+            CURRENT_THREADS.with(|c| c.set(Some(ambient)));
+            JOIN_BUDGET.with(|c| c.set(Some(budget_b)));
+            oper_b()
+        });
+        let result_a = {
+            let _budget = CellGuard::set(&JOIN_BUDGET, Some(budget_a));
+            oper_a()
+        };
+        match handle_b.join() {
+            Ok(result_b) => (result_a, result_b),
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// A fork scope for borrowed tasks, mirroring `rayon::scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    ambient: usize,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow anything outliving the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let ambient = self.ambient;
+        let scope = self.scope;
+        count_helper_spawn();
+        scope.spawn(move || {
+            CURRENT_THREADS.with(|c| c.set(Some(ambient)));
+            f(&Scope { scope, ambient });
+        });
+    }
+}
+
+/// Create a fork scope: tasks spawned on it may borrow from the caller and
+/// are all joined before `scope` returns (a panic in any task propagates).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let ambient = current_num_threads();
+    std::thread::scope(|s| f(&Scope { scope: s, ambient }))
+}

@@ -1,0 +1,92 @@
+//! Borrowing parallel iteration over slices.
+//!
+//! [`ParallelSlice::par_iter`] and [`ParallelSlice::par_chunks`] return
+//! *lazy index-based views* ([`SliceIter`], [`ChunksIter`]) of the
+//! borrowed slice: no `Vec<&T>` is materialised, ever. Combinators fuse on
+//! top of them (see the [`iter`](crate::iter) module) and the eventual
+//! terminal operation walks index sub-ranges of the original storage.
+//!
+//! The mutable side cannot be a shared random-access view (handing out
+//! `&mut` items through `&self` is aliasing), so
+//! [`ParallelSliceMut::par_chunks_mut`] / [`par_iter_mut`](ParallelSliceMut::par_iter_mut)
+//! pre-split the borrow into disjoint pieces and move those through the
+//! eager [`ParIter`] — an allocation of one pointer per chunk, which for
+//! the block-sized chunks the workspace uses is negligible.
+
+use crate::iter::{ParIter, ParallelIterator};
+
+/// Lazy parallel iterator over `&T` items of a borrowed slice.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn at(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Lazy parallel iterator over contiguous `&[T]` chunks of a borrowed
+/// slice (the last chunk may be shorter).
+#[derive(Debug)]
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn at(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Borrowing parallel iteration over slices (and anything derefing to one).
+pub trait ParallelSlice<T: Sync> {
+    /// Lazy parallel iterator over `&T` (no materialisation).
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    /// Lazy parallel iterator over contiguous `&[T]` chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksIter {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Borrowing parallel iteration over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over contiguous `&mut [T]` chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter::from_vec(self.chunks_mut(chunk_size).collect())
+    }
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter::from_vec(self.iter_mut().collect())
+    }
+}
