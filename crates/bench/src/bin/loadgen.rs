@@ -1,0 +1,349 @@
+//! `loadgen` — the serving-layer load generator: fire N concurrent
+//! `/solve` requests at an `ri-serve` instance and record latency
+//! percentiles to `BENCH_PR4.json`. The PR 4 performance artifact: CI
+//! runs it briefly against an in-process server and fails on any
+//! non-2xx response or unparseable body.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--n SIZE]
+//!         [--problems a,b,c] [--threads K] [--executors E] [--out PATH]
+//! ```
+//!
+//! Without `--addr`, an in-process server is booted on an ephemeral port
+//! (sized by `--threads`/`--executors`) and shut down gracefully at the
+//! end — the one-command CI path. With `--addr`, an already-running
+//! server is targeted and `--threads`/`--executors` are ignored.
+//!
+//! Requests round-robin over the problem list (default: every registered
+//! problem), all with workload size `--n`. Each client thread opens one
+//! connection per request (the server's one-request-per-connection
+//! protocol), so concurrency C exercises C simultaneous solves end to
+//! end: admission, queueing, the shared pool, response serialization.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parallel_ri::registry;
+use ri_core::engine::json::Value;
+use ri_core::engine::{ServeRequest, ServeResponse, WorkloadSpec};
+use ri_serve::{http, ServeConfig, Server};
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    n: usize,
+    problems: Option<Vec<String>>,
+    threads: usize,
+    executors: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        requests: 64,
+        concurrency: 8,
+        n: 512,
+        problems: None,
+        threads: 0,
+        executors: 2,
+        out: "BENCH_PR4.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?
+            }
+            "--concurrency" => {
+                args.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("bad --concurrency: {e}"))?
+            }
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--problems" => {
+                args.problems = Some(
+                    value("--problems")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--executors" => {
+                args.executors = value("--executors")?
+                    .parse()
+                    .map_err(|e| format!("bad --executors: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.requests == 0 || args.concurrency == 0 || args.executors == 0 {
+        return Err("--requests, --concurrency and --executors must be positive".into());
+    }
+    Ok(args)
+}
+
+/// One completed request's record.
+struct Sample {
+    problem: String,
+    latency: Duration,
+    ok: bool,
+    detail: Option<String>,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| fail(e));
+
+    // Target: an external server, or an in-process one on an ephemeral
+    // port (shut down gracefully after the run).
+    let mut in_process: Option<Server> = None;
+    let addr: SocketAddr = match &args.addr {
+        // Resolve through ToSocketAddrs so hostnames (`localhost:8077`)
+        // work exactly as they do for `ri-serve --addr`.
+        Some(addr) => std::net::ToSocketAddrs::to_socket_addrs(addr.as_str())
+            .unwrap_or_else(|e| fail(format!("bad --addr: {e}")))
+            .next()
+            .unwrap_or_else(|| fail(format!("--addr `{addr}` resolved to nothing"))),
+        None => {
+            let server = Server::start(
+                registry(),
+                ServeConfig {
+                    threads: args.threads,
+                    executors: args.executors,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| fail(format!("starting in-process server: {e}")));
+            let addr = server.local_addr();
+            eprintln!(
+                "loadgen: in-process server on {addr} (pool width {}, {} executors)",
+                server.pool_width(),
+                args.executors
+            );
+            in_process = Some(server);
+            addr
+        }
+    };
+
+    let problems: Vec<String> = match &args.problems {
+        Some(list) => list.clone(),
+        None => registry().names().iter().map(|s| s.to_string()).collect(),
+    };
+    if problems.is_empty() {
+        fail("no problems to request");
+    }
+
+    // Pre-render the request bodies (one per problem; requests round-robin
+    // over them).
+    let bodies: Vec<(String, String)> = problems
+        .iter()
+        .map(|p| {
+            let mut req = ServeRequest::new(p.clone());
+            req.workload = WorkloadSpec::new(args.n, 1);
+            req.config.seed = 7;
+            (p.clone(), req.to_json())
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let bodies = Arc::new(bodies);
+    let total = args.requests;
+    let t0 = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.concurrency)
+            .map(|_| {
+                let bodies = Arc::clone(&bodies);
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let (problem, body) = &bodies[i % bodies.len()];
+                        let t = Instant::now();
+                        let outcome = http::request(
+                            addr,
+                            "POST",
+                            "/solve",
+                            Some(body),
+                            Duration::from_secs(120),
+                        );
+                        let latency = t.elapsed();
+                        let (ok, detail) = match outcome {
+                            Ok(resp) if resp.status == 200 => {
+                                match ServeResponse::from_json(&resp.body) {
+                                    Ok(r) if r.problem == *problem => (true, None),
+                                    Ok(r) => {
+                                        (false, Some(format!("echoed problem `{}`", r.problem)))
+                                    }
+                                    Err(e) => (false, Some(format!("unparseable response: {e}"))),
+                                }
+                            }
+                            Ok(resp) => (
+                                false,
+                                Some(format!("status {}: {}", resp.status, resp.body)),
+                            ),
+                            Err(e) => (false, Some(format!("transport: {e}"))),
+                        };
+                        local.push(Sample {
+                            problem: problem.clone(),
+                            latency,
+                            ok,
+                            detail,
+                        });
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    if let Some(server) = in_process.take() {
+        server.shutdown();
+    }
+
+    let failures: Vec<&Sample> = samples.iter().filter(|s| !s.ok).collect();
+    for f in &failures {
+        eprintln!(
+            "loadgen: FAILED {} ({})",
+            f.problem,
+            f.detail.as_deref().unwrap_or("unknown")
+        );
+    }
+
+    let mut all_ms: Vec<f64> = samples
+        .iter()
+        .map(|s| s.latency.as_secs_f64() * 1000.0)
+        .collect();
+    all_ms.sort_by(|a, b| a.total_cmp(b));
+    let mean_ms = all_ms.iter().sum::<f64>() / all_ms.len().max(1) as f64;
+
+    let mut per_problem: Vec<(String, Value)> = Vec::new();
+    for problem in &problems {
+        let mut ms: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.problem == *problem)
+            .map(|s| s.latency.as_secs_f64() * 1000.0)
+            .collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        per_problem.push((
+            problem.clone(),
+            Value::Obj(vec![
+                ("count".into(), Value::Num(ms.len() as f64)),
+                ("p50_ms".into(), Value::Num(round3(percentile(&ms, 0.50)))),
+                (
+                    "max_ms".into(),
+                    Value::Num(round3(ms.last().copied().unwrap_or(0.0))),
+                ),
+            ]),
+        ));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = Value::Obj(vec![
+        (
+            "machine".into(),
+            Value::Obj(vec![("cores".into(), Value::Num(cores as f64))]),
+        ),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("requests".into(), Value::Num(args.requests as f64)),
+                ("concurrency".into(), Value::Num(args.concurrency as f64)),
+                ("n".into(), Value::Num(args.n as f64)),
+                ("executors".into(), Value::Num(args.executors as f64)),
+                ("in_process_server".into(), Value::Bool(args.addr.is_none())),
+            ]),
+        ),
+        (
+            "totals".into(),
+            Value::Obj(vec![
+                ("requests".into(), Value::Num(samples.len() as f64)),
+                (
+                    "ok".into(),
+                    Value::Num((samples.len() - failures.len()) as f64),
+                ),
+                ("failed".into(), Value::Num(failures.len() as f64)),
+                ("wall_seconds".into(), Value::Num(round3(wall))),
+                (
+                    "throughput_rps".into(),
+                    Value::Num(round3(samples.len() as f64 / wall.max(1e-9))),
+                ),
+            ]),
+        ),
+        (
+            "latency_ms".into(),
+            Value::Obj(vec![
+                ("mean".into(), Value::Num(round3(mean_ms))),
+                ("p50".into(), Value::Num(round3(percentile(&all_ms, 0.50)))),
+                ("p90".into(), Value::Num(round3(percentile(&all_ms, 0.90)))),
+                ("p99".into(), Value::Num(round3(percentile(&all_ms, 0.99)))),
+                (
+                    "max".into(),
+                    Value::Num(round3(all_ms.last().copied().unwrap_or(0.0))),
+                ),
+            ]),
+        ),
+        ("per_problem".into(), Value::Obj(per_problem)),
+    ]);
+
+    std::fs::write(&args.out, format!("{}\n", doc.write()))
+        .unwrap_or_else(|e| fail(format!("writing {}: {e}", args.out)));
+    eprintln!(
+        "loadgen: {} requests, {} ok, p50 {:.1}ms p99 {:.1}ms, wrote {}",
+        samples.len(),
+        samples.len() - failures.len(),
+        percentile(&all_ms, 0.50),
+        percentile(&all_ms, 0.99),
+        args.out
+    );
+
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

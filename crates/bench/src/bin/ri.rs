@@ -1,7 +1,8 @@
 //! `ri` — the registry-driven CLI: run any registered problem by name and
-//! print `{summary, report}` JSON on one line. This is the foundation of
-//! the ROADMAP serving layer: the same request/response shapes work over
-//! any transport.
+//! print `{summary, report}` JSON on one line. The CLI and the `ri-serve`
+//! HTTP server speak the same [`ServeRequest`]/[`ServeResponse`] envelope
+//! from `ri_core::engine::envelope` — one parse path, identical defaults,
+//! so a request body works verbatim over either transport.
 //!
 //! Request forms (all equivalent):
 //!
@@ -22,24 +23,8 @@
 use std::io::Read;
 
 use parallel_ri::registry;
-use ri_core::engine::json::{self, Value};
-use ri_core::engine::{RunConfig, WorkloadSpec};
-
-/// Seeds must stay strictly below 2^53 (the JSON layer is f64): any
-/// larger integer in a request either is unrepresentable or rounds to at
-/// least 2^53, so rejecting `seed >= 2^53` catches every over-limit
-/// input regardless of rounding direction, and a response's echoed
-/// request always replays to the run it documents.
-const SEED_LIMIT: u64 = 1 << 53;
-
-fn check_seed(name: &str, seed: u64) -> Result<u64, String> {
-    if seed >= SEED_LIMIT {
-        return Err(format!(
-            "{name} {seed} is not below 2^53 and cannot round-trip through the JSON response"
-        ));
-    }
-    Ok(seed)
-}
+use ri_core::engine::envelope::check_seed;
+use ri_core::engine::{ServeRequest, ServeResponse};
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("ri: {msg}");
@@ -55,7 +40,8 @@ fn usage_text() -> &'static str {
      \n\
      The request JSON shape is {\"problem\": <name>, \"workload\": {n, seed, shape?, param?},\n\
      \"config\": {seed, mode, threads?, instrument?}}; the response echoes\n\
-     problem/workload/config and adds summary + report JSON."
+     problem/workload/config and adds summary + report JSON. The same\n\
+     request body works verbatim against ri-serve's POST /solve."
 }
 
 fn usage() -> ! {
@@ -63,45 +49,11 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-struct Request {
-    problem: String,
-    spec: WorkloadSpec,
-    cfg: RunConfig,
-}
-
-/// Parse the top-level `{problem, workload, config}` request object.
-fn parse_request(text: &str) -> Result<Request, String> {
-    let v = json::parse(text).map_err(|e| format!("bad request JSON: {e}"))?;
-    let problem = v
-        .get("problem")
-        .and_then(Value::as_str)
-        .ok_or("request needs a string `problem` field")?
-        .to_string();
-    let workload = v.get("workload");
-    let mut spec = match workload {
-        Some(w) => WorkloadSpec::from_value(w).map_err(|e| e.to_string())?,
-        None => WorkloadSpec::new(0, 0),
-    };
-    // Default the size only when the field is genuinely absent — an
-    // explicit "n": 0 must reach the constructor and fail there, exactly
-    // like `--n 0` does on the flags path.
-    if workload.and_then(|w| w.get("n")).is_none() {
-        spec.n = 1024; // a sensible default instance size
-    }
-    spec.seed = check_seed("workload.seed", spec.seed)?;
-    let mut cfg = match v.get("config") {
-        Some(c) => RunConfig::from_value(c).map_err(|e| e.to_string())?,
-        None => RunConfig::default(),
-    };
-    cfg.seed = check_seed("config.seed", cfg.seed)?;
-    Ok(Request { problem, spec, cfg })
-}
-
-/// Parse `--flag value` style arguments into a request.
-fn parse_flags(args: &[String]) -> Result<Request, String> {
+/// Parse `--flag value` style arguments into the shared request envelope.
+fn parse_flags(args: &[String]) -> Result<ServeRequest, String> {
     let mut problem: Option<String> = None;
-    let mut spec = WorkloadSpec::new(1024, 0);
-    let mut cfg = RunConfig::default();
+    let mut request = ServeRequest::new("");
+    let check = |name: &str, seed: u64| check_seed(name, seed).map_err(|e| e.message);
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -111,30 +63,32 @@ fn parse_flags(args: &[String]) -> Result<Request, String> {
         };
         match flag.as_str() {
             "--problem" => problem = Some(value("--problem")?),
-            "--n" => spec.n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--n" => {
+                request.workload.n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?
+            }
             "--seed" => {
-                spec.seed = check_seed(
+                request.workload.seed = check(
                     "--seed",
                     value("--seed")?
                         .parse()
                         .map_err(|e| format!("bad --seed: {e}"))?,
                 )?
             }
-            "--shape" => spec.shape = Some(value("--shape")?),
+            "--shape" => request.workload.shape = Some(value("--shape")?),
             "--param" => {
-                spec.param = Some(
+                request.workload.param = Some(
                     value("--param")?
                         .parse()
                         .map_err(|e| format!("bad --param: {e}"))?,
                 )
             }
             "--mode" => {
-                cfg.mode = value("--mode")?
+                request.config.mode = value("--mode")?
                     .parse()
                     .map_err(|e| format!("bad --mode: {e}"))?
             }
             "--run-seed" => {
-                cfg.seed = check_seed(
+                request.config.seed = check(
                     "--run-seed",
                     value("--run-seed")?
                         .parse()
@@ -145,17 +99,14 @@ fn parse_flags(args: &[String]) -> Result<Request, String> {
                 let t: usize = value("--threads")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
-                cfg.threads = (t > 0).then_some(t);
+                request.config.threads = (t > 0).then_some(t);
             }
-            "--no-instrument" => cfg.instrument = false,
+            "--no-instrument" => request.config.instrument = false,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    Ok(Request {
-        problem: problem.ok_or("--problem is required")?,
-        spec,
-        cfg,
-    })
+    request.problem = problem.ok_or("--problem is required")?;
+    Ok(request)
 }
 
 fn main() {
@@ -193,7 +144,7 @@ fn main() {
         } else {
             std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")))
         };
-        parse_request(&text)
+        ServeRequest::from_json(&text).map_err(|e| e.to_string())
     } else if args[0].trim_start().starts_with('{') {
         if args.len() > 1 {
             fail(format!(
@@ -201,26 +152,25 @@ fn main() {
                 args[1..].join(" ")
             ));
         }
-        parse_request(&args[0])
+        ServeRequest::from_json(&args[0]).map_err(|e| e.to_string())
     } else {
         parse_flags(&args)
     }
     .unwrap_or_else(|e| fail(e));
 
     let (summary, report) = reg
-        .solve(&request.problem, &request.spec, &request.cfg)
+        .solve(&request.problem, &request.workload, &request.config)
         .unwrap_or_else(|e| fail(e));
 
     // Response: echo the resolved problem/workload/config — together they
-    // replay exactly this run — then summary + report. Assembled from
-    // already-serialized parts so the shapes stay exactly the library's
-    // own JSON forms.
-    println!(
-        "{{\"problem\":{},\"workload\":{},\"config\":{},\"summary\":{},\"report\":{}}}",
-        Value::Str(request.problem.clone()).write(),
-        request.spec.to_json(),
-        request.cfg.to_json(),
-        summary.to_json(),
-        report.to_json()
-    );
+    // replay exactly this run — then summary + report. The shape is the
+    // shared envelope's, byte-identical to an ri-serve /solve response.
+    let response = ServeResponse {
+        problem: request.problem,
+        workload: request.workload,
+        config: request.config,
+        summary,
+        report,
+    };
+    println!("{}", response.to_json());
 }

@@ -18,7 +18,11 @@
 //! * [`registry`] — the object-safe layer over all of it: a [`Registry`]
 //!   of named [`ErasedProblem`] constructors taking a [`WorkloadSpec`]
 //!   and solving to `(OutputSummary, RunReport)` — what the `ri` CLI
-//!   driver and any serving layer program against.
+//!   driver and any serving layer program against;
+//! * [`envelope`] — the transport-agnostic serving envelope:
+//!   [`ServeRequest`] / [`ServeResponse`] / [`ServeError`] with JSON
+//!   round-trips, shared by the `ri` CLI and the `ri-serve` HTTP server
+//!   so both speak exactly one parse path.
 //!
 //! ```
 //! use ri_core::engine::{ExecMode, RunConfig, Runner, Type1Adapter};
@@ -47,11 +51,13 @@
 //! assert_eq!(report.total_items(), 4);
 //! ```
 
+pub mod envelope;
 pub mod json;
 pub mod registry;
 mod report;
 mod runner;
 
+pub use envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
 pub use registry::{ErasedProblem, OutputSummary, Registry, RegistryError, WorkloadSpec};
 pub use report::{Phase, RunReport};
 pub use runner::{

@@ -110,8 +110,13 @@ impl WorkloadSpec {
     /// Serialize to a single-line JSON object (unset fields are omitted).
     ///
     /// JSON numbers are f64, so seeds at or above 2⁵³ may not round-trip
-    /// exactly; the `ri` driver rejects them at the door.
+    /// exactly; the envelope layer rejects them at the door.
     pub fn to_json(&self) -> String {
+        self.to_value().write()
+    }
+
+    /// The spec as a JSON [`Value`] (unset fields are omitted).
+    pub fn to_value(&self) -> Value {
         let mut members = vec![
             ("n".to_string(), Value::Num(self.n as f64)),
             ("seed".to_string(), Value::Num(self.seed as f64)),
@@ -122,7 +127,7 @@ impl WorkloadSpec {
         if let Some(param) = self.param {
             members.push(("param".into(), Value::Num(param)));
         }
-        Value::Obj(members).write()
+        Value::Obj(members)
     }
 
     /// Parse a spec from JSON; missing fields fall back to
@@ -230,6 +235,23 @@ impl OutputSummary {
     /// Serialize to a single-line JSON object.
     pub fn to_json(&self) -> String {
         self.to_value().write()
+    }
+
+    /// Parse a summary back from its [`OutputSummary::to_value`] shape
+    /// (`{"answer": {...}, "metrics": {...}}`) — what lets a serve client
+    /// reconstruct a typed response from the wire.
+    pub fn from_value(v: &Value) -> Result<OutputSummary, json::ParseError> {
+        let section = |key: &str| match v.get(key) {
+            Some(Value::Obj(members)) => Ok(members.clone()),
+            _ => Err(json::ParseError {
+                message: format!("summary needs an object `{key}` section"),
+                at: 0,
+            }),
+        };
+        Ok(OutputSummary {
+            answer: section("answer")?,
+            metrics: section("metrics")?,
+        })
     }
 }
 

@@ -130,6 +130,12 @@ impl RunReport {
 
     /// Serialize to a single-line JSON object.
     pub fn to_json(&self) -> String {
+        self.to_value().write()
+    }
+
+    /// The report as a JSON [`Value`] (for embedding in larger documents
+    /// such as the serve envelope's response).
+    pub fn to_value(&self) -> Value {
         let rounds = Value::Arr(
             self.rounds
                 .entries()
@@ -170,7 +176,6 @@ impl RunReport {
             ("phases".into(), phases),
             ("wall_seconds".into(), Value::Num(self.wall_seconds)),
         ])
-        .write()
     }
 
     /// Parse a report back from [`RunReport::to_json`] output.
@@ -178,7 +183,11 @@ impl RunReport {
     /// Counters above 2⁵³ would lose precision through the JSON number
     /// representation; no realistic run reaches that.
     pub fn from_json(text: &str) -> Result<RunReport, json::ParseError> {
-        let v = json::parse(text)?;
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parse a report from an already-parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<RunReport, json::ParseError> {
         let field = |key: &str| {
             v.get(key).ok_or_else(|| json::ParseError {
                 message: format!("missing field `{key}`"),

@@ -161,8 +161,14 @@ impl RunConfig {
     /// when the machine default applies).
     ///
     /// JSON numbers are f64, so seeds at or above 2⁵³ may not round-trip
-    /// exactly; the `ri` driver rejects them at the door.
+    /// exactly; the envelope layer rejects them at the door.
     pub fn to_json(&self) -> String {
+        self.to_value().write()
+    }
+
+    /// The config as a JSON [`Value`] (`threads` is `null` when the
+    /// machine default applies).
+    pub fn to_value(&self) -> super::json::Value {
         use super::json::Value;
         Value::Obj(vec![
             ("seed".into(), Value::Num(self.seed as f64)),
@@ -176,7 +182,6 @@ impl RunConfig {
             ),
             ("instrument".into(), Value::Bool(self.instrument)),
         ])
-        .write()
     }
 
     /// Parse a config back from JSON. Unlike [`RunReport::from_json`],
@@ -226,12 +231,15 @@ impl RunConfig {
     }
 
     /// Worker threads a run under this config uses: 1 in sequential mode,
-    /// otherwise the configured or machine-default count.
+    /// otherwise the configured count, falling back to the process-wide
+    /// [`Runner::install_global`] width when one is installed, and to the
+    /// ambient/machine default otherwise.
     pub fn resolved_threads(&self) -> usize {
         match self.mode {
             ExecMode::Sequential => 1,
             ExecMode::Parallel => self
                 .threads
+                .or_else(Runner::global_threads)
                 .unwrap_or_else(rayon::current_num_threads)
                 .max(1),
         }
@@ -272,10 +280,38 @@ pub struct Runner {
     cfg: RunConfig,
 }
 
+/// The width fixed by [`Runner::install_global`], if any (first call
+/// wins for the process's lifetime).
+static GLOBAL_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
 impl Runner {
     /// A runner for `cfg`.
     pub fn new(cfg: RunConfig) -> Self {
         Runner { cfg }
+    }
+
+    /// Install the process-wide serving pool: eagerly build the cached
+    /// pool for `threads` workers (`0` means the machine default) and
+    /// record its width as the fallback for every config that does not
+    /// pin `threads` itself. Call this **once at startup** in a serving
+    /// process so a batch of solves shares one pool instead of each
+    /// paying pool setup; the first call fixes the width for the
+    /// process's lifetime and later calls return the already-installed
+    /// pool regardless of their argument.
+    pub fn install_global(threads: usize) -> std::sync::Arc<rayon::ThreadPool> {
+        let requested = if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        };
+        let width = *GLOBAL_THREADS.get_or_init(|| requested.max(1));
+        rayon::cached_pool(width)
+    }
+
+    /// The width fixed by [`Runner::install_global`], if it has been
+    /// called.
+    pub fn global_threads() -> Option<usize> {
+        GLOBAL_THREADS.get().copied()
     }
 
     /// The configuration this runner applies.

@@ -48,7 +48,7 @@ pub mod type3;
 pub use depgraph::DependenceGraph;
 pub use engine::{
     ErasedProblem, ExecMode, OutputSummary, Problem, Registry, RunConfig, RunReport, Runner,
-    WorkloadSpec,
+    ServeError, ServeErrorKind, ServeRequest, ServeResponse, WorkloadSpec,
 };
 pub use ri_pram::{Permutation, RoundLog, WorkCounter};
 pub use theory::{harmonic, log2_ceil};

@@ -1,0 +1,109 @@
+//! `ri-serve` — serve the problem registry over HTTP/1.1.
+//!
+//! ```text
+//! ri-serve [--addr HOST:PORT] [--threads K] [--executors E]
+//!          [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]
+//!          [--max-connections C]
+//! ```
+//!
+//! Prints `listening on ADDR` once the listener is up (scripts wait on
+//! that line), then serves until killed. Endpoints: `POST /solve`,
+//! `GET /problems`, `GET /healthz` — see the `ri_serve` crate docs for
+//! the batching/admission model.
+
+use parallel_ri::registry;
+use ri_serve::{ServeConfig, Server};
+
+fn usage_text() -> &'static str {
+    "usage: ri-serve [--addr HOST:PORT] [--threads K] [--executors E]\n\
+     \x20              [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]\n\
+     \x20              [--max-connections C]\n\
+     \n\
+     Serves POST /solve ({problem, workload, config} JSON -> {summary, report}),\n\
+     GET /problems and GET /healthz. --addr defaults to 127.0.0.1:8077; port 0\n\
+     binds an ephemeral port (printed on the `listening on` line). --threads\n\
+     sizes the one shared solve pool (0 = machine default); --executors bounds\n\
+     concurrent solves; --max-inflight is the admission gate; --deadline-ms\n\
+     bounds queue wait; --max-body-bytes bounds request bodies;\n\
+     --max-connections bounds simultaneous connection handlers."
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ri-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_config(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:8077".into(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--executors" => {
+                cfg.executors = value("--executors")?
+                    .parse()
+                    .map_err(|e| format!("bad --executors: {e}"))?
+            }
+            "--max-inflight" => {
+                cfg.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight: {e}"))?
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-ms: {e}"))?
+            }
+            "--max-body-bytes" => {
+                cfg.max_body_bytes = value("--max-body-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-body-bytes: {e}"))?
+            }
+            "--max-connections" => {
+                cfg.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-connections: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.executors == 0 || cfg.max_inflight == 0 || cfg.max_connections == 0 {
+        return Err("--executors, --max-inflight and --max-connections must be positive".into());
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage_text());
+        return;
+    }
+    let cfg = parse_config(&args).unwrap_or_else(|e| fail(e));
+    let server = Server::start(registry(), cfg).unwrap_or_else(|e| fail(format!("bind: {e}")));
+    println!("listening on {}", server.local_addr());
+    eprintln!(
+        "ri-serve: pool width {}, endpoints: POST /solve, GET /problems, GET /healthz",
+        server.pool_width()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Serve until the process is killed; the acceptor and executors are
+    // detached by parking this thread forever.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,358 @@
+//! Minimal HTTP/1.1 message handling over any `Read`/`Write` stream.
+//!
+//! The server speaks the smallest useful HTTP subset, std-only: one
+//! request per connection (every response carries `Connection: close`),
+//! `Content-Length` bodies only (no chunked transfer), and a bounded
+//! header section. Responses are always JSON. The [`request`] helper is
+//! the matching client side, used by `loadgen` and the end-to-end tests.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Hard cap on the request head (request line + headers): a head this
+/// large is never legitimate for this API.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Case-insensitive header lookup (names are stored lower-cased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The bytes were not a well-formed HTTP/1.1 request (or used an
+    /// unsupported feature such as chunked transfer encoding).
+    BadRequest(String),
+    /// The declared body length exceeds the server's limit.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+        /// Body bytes that had already arrived with the head (the caller
+        /// must not re-read them when draining the remainder).
+        buffered: usize,
+    },
+    /// The underlying stream failed (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ReadError::BodyTooLarge {
+                declared, limit, ..
+            } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read and parse one HTTP/1.1 request from `stream`, enforcing
+/// [`MAX_HEAD_BYTES`] on the head and `max_body` on the declared body
+/// length (checked *before* the body is read, so an oversized upload is
+/// rejected without buffering it).
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<HttpRequest, ReadError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(ReadError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::BadRequest(
+                "connection closed before the request head completed".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ReadError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::BadRequest("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::BadRequest(format!("malformed header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = HttpRequest {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::BadRequest(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::BadRequest(format!("bad Content-Length `{v}`")))?,
+    };
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+            buffered: buf.len().saturating_sub(head_end + 4),
+        });
+    }
+
+    // The body may have arrived partly (or wholly) with the head.
+    let body_start = head_end + 4; // past the \r\n\r\n
+    let mut body = buf[body_start.min(buf.len())..].to_vec();
+    if body.len() > content_length {
+        return Err(ReadError::BadRequest(
+            "more body bytes than Content-Length declared".into(),
+        ));
+    }
+    let already = body.len();
+    body.resize(content_length, 0);
+    stream.read_exact(&mut body[already..])?;
+    request.body = body;
+    Ok(request)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one JSON response with `Connection: close` semantics.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A client-side response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// The response status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+/// Perform one HTTP request against `addr` (connect, send, read the full
+/// response, close), with `timeout` applied to connect and to each read.
+/// This is the client side of the one-request-per-connection protocol the
+/// server speaks; `loadgen` and the end-to-end tests drive it.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // A server may reject mid-upload (e.g. 413 on the declared length)
+    // and close its read side; keep any write error aside and try to read
+    // the response anyway — it is only fatal if no response arrived.
+    let written = stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body.as_bytes()))
+        .and_then(|_| stream.flush());
+
+    let mut raw = Vec::new();
+    let read = stream.read_to_end(&mut raw);
+    if raw.is_empty() {
+        written?;
+        read?;
+    }
+    parse_response(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let head_end = find_head_end(raw).ok_or("response head never completed")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head not UTF-8")?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let body = std::str::from_utf8(&raw[head_end + 4..])
+        .map_err(|_| "response body not UTF-8")?
+        .to_string();
+    Ok(HttpResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /solve?x=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &raw[..], 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..], 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let raw = b"POST /solve HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        match read_request(&mut &raw[..], 1024) {
+            Err(ReadError::BodyTooLarge {
+                declared,
+                limit,
+                buffered,
+            }) => {
+                assert_eq!(declared, 999999);
+                assert_eq!(limit, 1024);
+                assert_eq!(buffered, 0);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+
+        // Body bytes that arrived with the head are reported so the
+        // caller's drain does not re-request (and stall on) them.
+        let coalesced = b"POST /solve HTTP/1.1\r\nContent-Length: 999999\r\n\r\nabcdefgh";
+        match read_request(&mut &coalesced[..], 1024) {
+            Err(ReadError::BodyTooLarge { buffered, .. }) => assert_eq!(buffered, 8),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_unsupported_features() {
+        for raw in [
+            &b"NOT A REQUEST\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(
+                    read_request(&mut &raw[..], 1024),
+                    Err(ReadError::BadRequest(_))
+                ),
+                "input: {}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn response_writer_and_parser_agree() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let resp = parse_response(&out).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{\"ok\":true}");
+        assert!(String::from_utf8_lossy(&out).contains("Connection: close"));
+    }
+}

@@ -1,0 +1,602 @@
+//! # `ri-serve` — the batched serving layer over the problem registry
+//!
+//! The ROADMAP's serving milestone: an HTTP/1.1-over-TCP transport for the
+//! `{problem, workload, config}` → `{summary, report}` contract the `ri`
+//! CLI fixed in PR 2, built on the PR 3 persistent thread pool. std-only,
+//! dependency-free, `#![forbid(unsafe_code)]`.
+//!
+//! ## Endpoints
+//!
+//! * `POST /solve` — a [`ServeRequest`] JSON body; answers with a
+//!   [`ServeResponse`] (200) or a structured [`ServeError`] (4xx/5xx).
+//! * `GET /problems` — the registry listing (names + descriptions).
+//! * `GET /healthz` — liveness plus queue observability (depth, inflight,
+//!   served counts); served directly by the connection thread, so it
+//!   never waits behind in-flight solves.
+//!
+//! ## The batching executor
+//!
+//! The paper's algorithms tolerate batched, out-of-order execution — the
+//! whole point of the low-dependence-depth analysis — which is what makes
+//! concurrent requests safe to multiplex onto shared compute. The server
+//! exploits that with a three-stage design:
+//!
+//! 1. **Admission**: each `POST /solve` passes a `max_inflight` gate
+//!    (everything admitted but not yet answered counts); past it, the
+//!    request is rejected immediately with `503 overloaded` rather than
+//!    queued without bound.
+//! 2. **The MPSC queue**: admitted requests are enqueued with their
+//!    arrival time. A fixed set of **executor threads** drains the queue;
+//!    a request that waited past `deadline_ms` is answered
+//!    `504 deadline-exceeded` without being solved.
+//! 3. **One pool**: at startup the server calls
+//!    [`Runner::install_global`], building the process-wide cached pool
+//!    **once**; every parallel solve is clamped to that pool's width, so
+//!    N concurrent requests share one set of pool workers instead of
+//!    building per-request pools (the spawn-counter regression test
+//!    asserts exactly this).
+//!
+//! Shutdown is graceful: the acceptor stops, queued requests drain
+//! through the executors (each still gets its response), and worker
+//! threads are joined.
+
+#![forbid(unsafe_code)]
+
+pub mod http;
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ri_core::engine::envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
+use ri_core::engine::json::Value;
+use ri_core::engine::{ExecMode, Registry, Runner};
+
+use http::{read_request, write_response, ReadError};
+
+/// Server tuning knobs. Every field has a serving-sensible default;
+/// `addr` `"127.0.0.1:0"` binds an ephemeral port (read it back from
+/// [`Server::local_addr`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `host:port` (`port` 0 = ephemeral).
+    pub addr: String,
+    /// Width of the shared solve pool (`0` = machine default). Parallel
+    /// requests are clamped to this width; the echoed `config.threads`
+    /// documents the effective value.
+    pub threads: usize,
+    /// Executor threads draining the solve queue (how many solves run
+    /// concurrently).
+    pub executors: usize,
+    /// Admission gate: maximum requests admitted but not yet answered
+    /// (queued + executing). Beyond it, `/solve` answers `503`.
+    pub max_inflight: usize,
+    /// Queue-wait deadline: a request still queued after this many
+    /// milliseconds is answered `504` without being solved.
+    pub deadline_ms: u64,
+    /// Maximum accepted `/solve` body size in bytes (larger bodies are
+    /// answered `413` without being read).
+    pub max_body_bytes: usize,
+    /// Maximum simultaneous connection-handler threads. Connections
+    /// beyond it are answered `503` directly from the acceptor, so the
+    /// admission gate cannot be bypassed by opening sockets that never
+    /// reach `/solve`.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            executors: 2,
+            max_inflight: 64,
+            deadline_ms: 30_000,
+            max_body_bytes: 1 << 20,
+            max_connections: 256,
+        }
+    }
+}
+
+/// One queued solve: the parsed request, when it was admitted, and the
+/// channel its response goes back on.
+struct Job {
+    request: ServeRequest,
+    enqueued: Instant,
+    reply: SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+/// State shared by the acceptor, connection threads and executors.
+struct Shared {
+    registry: Registry,
+    cfg: ServeConfig,
+    /// Effective width of the shared pool (resolved from `cfg.threads`).
+    pool_width: usize,
+    /// Sender side of the solve queue; taken (set to `None`) at shutdown
+    /// so executors see disconnect once the queue drains and late
+    /// arrivals are answered `503`.
+    queue_tx: Mutex<Option<Sender<Job>>>,
+    /// Jobs enqueued but not yet picked up by an executor.
+    queue_depth: AtomicUsize,
+    /// Requests admitted but not yet answered (queued + executing).
+    inflight: AtomicUsize,
+    /// Successfully solved requests.
+    served: AtomicUsize,
+    /// Requests answered with an error envelope.
+    errored: AtomicUsize,
+    /// Set once shutdown begins (health reports `draining`).
+    draining: AtomicBool,
+    /// Open connection threads (shutdown waits for them briefly).
+    connections: AtomicUsize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running server: owns the acceptor and executor threads. Dropping a
+/// `Server` without calling [`Server::shutdown`] detaches them (the
+/// process-exit path for the `ri-serve` binary); `shutdown` stops
+/// accepting, drains the queue, and joins everything.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, install the shared pool, and start the acceptor and
+    /// executor threads. Returns once the listener is accepting.
+    pub fn start(registry: Registry, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+
+        // ONE process-wide pool, built now: per-request solves reuse it
+        // instead of paying pool construction (the first install_global
+        // call fixes the width for the process's lifetime).
+        let pool = Runner::install_global(cfg.threads);
+        let pool_width = pool.current_num_threads();
+
+        let (tx, rx) = mpsc::channel::<Job>();
+        let shared = Arc::new(Shared {
+            registry,
+            pool_width,
+            queue_tx: Mutex::new(Some(tx)),
+            queue_depth: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+            errored: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            cfg,
+        });
+
+        let executors = {
+            let rx = Arc::new(Mutex::new(rx));
+            (0..shared.cfg.executors.max(1))
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    let rx = Arc::clone(&rx);
+                    std::thread::Builder::new()
+                        .name(format!("ri-serve-exec-{i}"))
+                        .spawn(move || executor_loop(&shared, &rx))
+                        .expect("spawning an executor thread")
+                })
+                .collect()
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ri-serve-accept".into())
+                .spawn(move || acceptor_loop(&shared, listener))
+                .expect("spawning the acceptor thread")
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            executors,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Width of the shared solve pool.
+    pub fn pool_width(&self) -> usize {
+        self.shared.pool_width
+    }
+
+    /// Graceful shutdown: stop accepting, answer everything already
+    /// admitted (the executors drain the queue), and join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Late /solve arrivals now get `503 overloaded`; dropping the
+        // sole sender means the executors see disconnect — and exit —
+        // as soon as the already-queued jobs are drained and answered.
+        *lock(&self.shared.queue_tx) = None;
+        // Wake the acceptor's blocking accept with a throwaway
+        // connection (it answers a quick `503 draining` and exits). Only
+        // join if a wake attempt landed — otherwise the acceptor may
+        // still be parked in accept(), and joining would hang forever;
+        // leaving it detached is safe (it exits on the next connection).
+        let woken =
+            (0..3).any(|_| TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)).is_ok());
+        if let Some(acceptor) = self.acceptor.take() {
+            if woken {
+                let _ = acceptor.join();
+            }
+        }
+        for exec in self.executors.drain(..) {
+            let _ = exec.join();
+        }
+        // Give open connection threads (e.g. a client still reading its
+        // response) a moment to finish.
+        let t0 = Instant::now();
+        while self.shared.connections.load(Ordering::SeqCst) > 0
+            && t0.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // Whether this is the shutdown wake-up or a real client that
+            // raced the drain flag: answer, don't drop.
+            reject_connection(shared, stream, "server is draining");
+            break;
+        }
+        // Cap handler threads: the /solve admission gate cannot protect
+        // thread/memory budgets from connections that never send a
+        // request, so the acceptor itself sheds beyond the limit.
+        if shared.connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            reject_connection(shared, stream, "connection limit reached; retry later");
+            continue;
+        }
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("ri-serve-conn".into())
+            .spawn(move || {
+                handle_connection(&conn_shared, stream);
+                conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: shed the connection instead of dying.
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Answer a connection the acceptor cannot hand to a handler thread with
+/// a quick `503` envelope (short write timeout — the acceptor must never
+/// block on a slow peer).
+fn reject_connection(shared: &Shared, mut stream: TcpStream, why: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    respond_error(
+        shared,
+        &mut stream,
+        &ServeError::new(ServeErrorKind::Overloaded, why),
+    );
+}
+
+/// Per-connection protocol: read one request, route it, write one JSON
+/// response, close. Errors at any stage become structured [`ServeError`]
+/// bodies — never silent connection drops.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+
+    let request = match read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            let err = match e {
+                ReadError::BodyTooLarge {
+                    declared,
+                    limit,
+                    buffered,
+                } => {
+                    // Drain (bounded) what the client is still sending so
+                    // the 413 is not lost to a connection reset mid-write.
+                    // Body bytes that arrived with the head are already
+                    // consumed — re-requesting them would stall until the
+                    // read timeout.
+                    drain(&mut stream, declared.saturating_sub(buffered).min(4 << 20));
+                    ServeError::new(
+                        ServeErrorKind::BodyTooLarge,
+                        format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                    )
+                }
+                ReadError::BadRequest(msg) => ServeError::bad_request(msg),
+                // A socket error mid-read has no client left to answer.
+                ReadError::Io(_) => return,
+            };
+            respond_error(shared, &mut stream, &err);
+            return;
+        }
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body),
+        ("GET", "/healthz") => {
+            let body = health_value(shared).write();
+            let _ = write_response(&mut stream, 200, &body);
+        }
+        ("GET", "/problems") => {
+            let body = problems_value(&shared.registry).write();
+            let _ = write_response(&mut stream, 200, &body);
+        }
+        (_, "/solve") | (_, "/healthz") | (_, "/problems") => {
+            let err = ServeError::new(
+                ServeErrorKind::MethodNotAllowed,
+                format!("{} is not supported on {}", request.method, request.path),
+            );
+            respond_error(shared, &mut stream, &err);
+        }
+        (_, path) => {
+            let err = ServeError::new(
+                ServeErrorKind::NotFound,
+                format!("no such path `{path}`; try POST /solve, GET /problems, GET /healthz"),
+            );
+            respond_error(shared, &mut stream, &err);
+        }
+    }
+}
+
+/// `POST /solve`: parse, admit, enqueue, wait for the executor's answer.
+fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => {
+            let err = ServeError::bad_request("request body is not UTF-8");
+            respond_error(shared, stream, &err);
+            return;
+        }
+    };
+    let mut request = match ServeRequest::from_json(text) {
+        Ok(r) => r,
+        Err(err) => {
+            respond_error(shared, stream, &err);
+            return;
+        }
+    };
+    // Clamp parallel solves to the shared pool: one pool serves every
+    // request, whatever widths clients ask for. The response's config
+    // echo documents the effective width.
+    if request.config.mode == ExecMode::Parallel {
+        request.config.threads = Some(shared.pool_width);
+    }
+
+    // Admission gate: bound what is queued + executing.
+    if !admit(shared) {
+        let err = ServeError::new(
+            ServeErrorKind::Overloaded,
+            format!(
+                "{} requests already in flight (limit {}); retry later",
+                shared.inflight.load(Ordering::SeqCst),
+                shared.cfg.max_inflight
+            ),
+        );
+        respond_error(shared, stream, &err);
+        return;
+    }
+
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        request,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    let sent = {
+        let tx = lock(&shared.queue_tx);
+        match tx.as_ref() {
+            Some(tx) => {
+                shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                tx.send(job).is_ok()
+            }
+            None => false,
+        }
+    };
+    if !sent {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        let err = ServeError::new(ServeErrorKind::Overloaded, "server is draining");
+        respond_error(shared, stream, &err);
+        return;
+    }
+
+    // The executor always replies (deadline misses and panics included);
+    // the generous timeout only guards against executor-thread death.
+    let deadline = Duration::from_millis(shared.cfg.deadline_ms);
+    match reply_rx.recv_timeout(deadline + Duration::from_secs(600)) {
+        Ok(Ok(response)) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            let _ = write_response(stream, 200, &response.to_json());
+        }
+        Ok(Err(err)) => respond_error(shared, stream, &err),
+        Err(_) => {
+            let err = ServeError::new(ServeErrorKind::Internal, "executor did not answer");
+            respond_error(shared, stream, &err);
+        }
+    }
+}
+
+fn admit(shared: &Shared) -> bool {
+    let mut current = shared.inflight.load(Ordering::SeqCst);
+    loop {
+        if current >= shared.cfg.max_inflight {
+            return false;
+        }
+        match shared.inflight.compare_exchange(
+            current,
+            current + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return true,
+            Err(now) => current = now,
+        }
+    }
+}
+
+/// An executor thread: drain the queue until every sender is gone (which
+/// is shutdown's drain-then-exit signal), answering each job exactly once.
+fn executor_loop(shared: &Arc<Shared>, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself, so the
+        // other executors pick up jobs while this one solves.
+        let job = match lock(rx).recv() {
+            Ok(job) => job,
+            Err(_) => break, // disconnected: queue drained + shutdown
+        };
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let outcome = run_job(shared, &job);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        // The connection thread may have timed out and gone; that's its
+        // loss, not an executor error.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
+    let waited = job.enqueued.elapsed();
+    let deadline = Duration::from_millis(shared.cfg.deadline_ms);
+    if waited > deadline {
+        return Err(ServeError::new(
+            ServeErrorKind::DeadlineExceeded,
+            format!(
+                "request waited {}ms in the queue (deadline {}ms)",
+                waited.as_millis(),
+                deadline.as_millis()
+            ),
+        ));
+    }
+    let req = &job.request;
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        shared
+            .registry
+            .solve(&req.problem, &req.workload, &req.config)
+    }));
+    match solved {
+        Ok(Ok((summary, report))) => Ok(ServeResponse {
+            problem: req.problem.clone(),
+            workload: req.workload.clone(),
+            config: req.config.clone(),
+            summary,
+            report,
+        }),
+        Ok(Err(registry_err)) => Err(ServeError::from(registry_err)),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "solve panicked".into());
+            Err(ServeError::new(
+                ServeErrorKind::Internal,
+                format!("solve panicked: {msg}"),
+            ))
+        }
+    }
+}
+
+/// Read and discard up to `limit` bytes (stops on error or EOF).
+fn drain(stream: &mut impl std::io::Read, limit: usize) {
+    let mut remaining = limit;
+    let mut buf = [0u8; 8192];
+    while remaining > 0 {
+        let take = remaining.min(8192);
+        match stream.read(&mut buf[..take]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => remaining -= n,
+        }
+    }
+}
+
+/// Write an error envelope and count it — the ONE counting point for
+/// `errored`, so a failed solve is not double-counted by the executor
+/// and the connection thread.
+fn respond_error(shared: &Shared, stream: &mut impl Write, err: &ServeError) {
+    shared.errored.fetch_add(1, Ordering::SeqCst);
+    let _ = write_response(stream, err.http_status(), &err.to_json());
+}
+
+/// The `/healthz` document. Assembled from atomics only — no locks shared
+/// with the solve path — so health stays responsive under full load.
+fn health_value(shared: &Shared) -> Value {
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    Value::Obj(vec![
+        ("status".into(), Value::Str(status.into())),
+        ("pool_threads".into(), Value::Num(shared.pool_width as f64)),
+        (
+            "executors".into(),
+            Value::Num(shared.cfg.executors.max(1) as f64),
+        ),
+        (
+            "queue_depth".into(),
+            Value::Num(shared.queue_depth.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "inflight".into(),
+            Value::Num(shared.inflight.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "max_inflight".into(),
+            Value::Num(shared.cfg.max_inflight as f64),
+        ),
+        (
+            "served".into(),
+            Value::Num(shared.served.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "errored".into(),
+            Value::Num(shared.errored.load(Ordering::SeqCst) as f64),
+        ),
+    ])
+}
+
+/// The `/problems` document: registry names + descriptions, in
+/// registration order.
+fn problems_value(registry: &Registry) -> Value {
+    Value::Obj(vec![(
+        "problems".into(),
+        Value::Arr(
+            registry
+                .descriptions()
+                .into_iter()
+                .map(|(name, description)| {
+                    Value::Obj(vec![
+                        ("name".into(), Value::Str(name.into())),
+                        ("description".into(), Value::Str(description.into())),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
