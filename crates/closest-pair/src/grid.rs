@@ -13,6 +13,11 @@ struct GridState<'a> {
     cell: f64,
     pair: (u32, u32),
     cells: FxHashMap<(i64, i64), Vec<u32>>,
+    /// Retired bucket vectors, recycled across grid rebuilds: a rebuild
+    /// invalidates every cell *key* (the cell size changed) but the
+    /// bucket allocations themselves are perfectly reusable. A local
+    /// freelist recycles all of them with no per-insert overhead.
+    spare_buckets: Vec<Vec<u32>>,
     /// All points with index `< inserted_hi` are present in `cells`
     /// (once the grid exists).
     inserted_hi: usize,
@@ -26,8 +31,18 @@ impl<'a> GridState<'a> {
             cell: f64::INFINITY,
             pair: (0, 0),
             cells: FxHashMap::default(),
+            spare_buckets: Vec::new(),
             inserted_hi: 0,
         }
+    }
+
+    /// Append `j` to cell `c`, reusing a retired bucket for new cells.
+    #[inline]
+    fn insert_point(&mut self, c: (i64, i64), j: u32) {
+        self.cells
+            .entry(c)
+            .or_insert_with(|| self.spare_buckets.pop().unwrap_or_default())
+            .push(j);
     }
 
     #[inline]
@@ -69,10 +84,15 @@ impl<'a> GridState<'a> {
             self.cell > 0.0,
             "duplicate points: closest-pair distance is zero"
         );
-        self.cells.clear();
+        // Retire every bucket into the freelist before rebucketing: the
+        // rebuild reallocates nothing in steady state.
+        for (_, mut bucket) in self.cells.drain() {
+            bucket.clear();
+            self.spare_buckets.push(bucket);
+        }
         for j in 0..self.inserted_hi {
             let c = self.cell_of(self.points[j]);
-            self.cells.entry(c).or_default().push(j as u32);
+            self.insert_point(c, j as u32);
         }
     }
 }
@@ -86,7 +106,7 @@ impl Type2Algorithm for GridState<'_> {
         if self.cell.is_finite() {
             for j in lo..hi {
                 let c = self.cell_of(self.points[j]);
-                self.cells.entry(c).or_default().push(j as u32);
+                self.insert_point(c, j as u32);
             }
         }
         self.inserted_hi = hi;

@@ -19,6 +19,13 @@
 //!   of named [`ErasedProblem`] constructors taking a [`WorkloadSpec`]
 //!   and solving to `(OutputSummary, RunReport)` — what the `ri` CLI
 //!   driver and any serving layer program against;
+//! * [`scratch`] — the round-scoped scratch workspace
+//!   ([`RoundScratch`]): per-thread, capacity-preserving buffer reuse so
+//!   steady-state executor rounds allocate nothing, with reuse counters
+//!   stamped on every report;
+//! * [`grain`] — adaptive grain control: the per-round sequential cutoff
+//!   (derived from the installed pool width) under which a round runs
+//!   inline on the caller with zero scheduler involvement;
 //! * [`envelope`] — the transport-agnostic serving envelope:
 //!   [`ServeRequest`] / [`ServeResponse`] / [`ServeError`] with JSON
 //!   round-trips, shared by the `ri` CLI and the `ri-serve` HTTP server
@@ -52,10 +59,12 @@
 //! ```
 
 pub mod envelope;
+pub mod grain;
 pub mod json;
 pub mod registry;
 mod report;
 mod runner;
+pub mod scratch;
 
 pub use envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
 pub use registry::{ErasedProblem, OutputSummary, Registry, RegistryError, WorkloadSpec};
@@ -64,3 +73,4 @@ pub use runner::{
     execute_type1, execute_type2, execute_type3, ExecMode, Executable, ParseExecModeError, Problem,
     RunConfig, Runner, Type1Adapter, Type2Adapter, Type3Adapter,
 };
+pub use scratch::RoundScratch;

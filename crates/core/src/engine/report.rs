@@ -56,6 +56,19 @@ pub struct RunReport {
     /// Total wall time of the run in seconds (0 when instrumentation is
     /// off).
     pub wall_seconds: f64,
+    /// Scratch-arena takes served from the pool during the run (buffer
+    /// reuse; measured on the run's calling thread).
+    pub scratch_hits: u64,
+    /// Scratch-arena takes that had to allocate (first run on a thread
+    /// warms the pool; steady state should be hit-dominated).
+    pub scratch_misses: u64,
+    /// Multi-member parallel regions the calling thread started. 0 when
+    /// every round fell under the engine's sequential grain cutoff (and
+    /// always 0 for sequential / 1-thread runs).
+    pub regions: u64,
+    /// Scoped helper threads the calling thread spawned (crew members,
+    /// join branches). Like `regions`, 0 for fully inline runs.
+    pub helper_spawns: u64,
 }
 
 impl RunReport {
@@ -74,6 +87,10 @@ impl RunReport {
             checks: 0,
             phases: Vec::new(),
             wall_seconds: 0.0,
+            scratch_hits: 0,
+            scratch_misses: 0,
+            regions: 0,
+            helper_spawns: 0,
         }
     }
 
@@ -126,6 +143,10 @@ impl RunReport {
         self.checks += other.checks;
         self.phases.extend_from_slice(&other.phases);
         self.wall_seconds += other.wall_seconds;
+        self.scratch_hits += other.scratch_hits;
+        self.scratch_misses += other.scratch_misses;
+        self.regions += other.regions;
+        self.helper_spawns += other.helper_spawns;
     }
 
     /// Serialize to a single-line JSON object.
@@ -175,6 +196,16 @@ impl RunReport {
             ("checks".into(), Value::Num(self.checks as f64)),
             ("phases".into(), phases),
             ("wall_seconds".into(), Value::Num(self.wall_seconds)),
+            ("scratch_hits".into(), Value::Num(self.scratch_hits as f64)),
+            (
+                "scratch_misses".into(),
+                Value::Num(self.scratch_misses as f64),
+            ),
+            ("regions".into(), Value::Num(self.regions as f64)),
+            (
+                "helper_spawns".into(),
+                Value::Num(self.helper_spawns as f64),
+            ),
         ])
     }
 
@@ -249,6 +280,17 @@ impl RunReport {
         report.wall_seconds = field("wall_seconds")?
             .as_f64()
             .ok_or_else(|| bad("wall_seconds"))?;
+        // The allocation/region counters were added after the first JSON
+        // shape shipped: absent fields read as 0 so recorded reports from
+        // older runs still parse; present fields must be well-formed.
+        let counter = |key: &str| match v.get(key) {
+            None => Ok(0),
+            Some(x) => x.as_u64().ok_or_else(|| bad(key)),
+        };
+        report.scratch_hits = counter("scratch_hits")?;
+        report.scratch_misses = counter("scratch_misses")?;
+        report.regions = counter("regions")?;
+        report.helper_spawns = counter("helper_spawns")?;
         Ok(report)
     }
 }
@@ -274,6 +316,10 @@ mod tests {
             seconds: 0.125,
         });
         r.wall_seconds = 0.25;
+        r.scratch_hits = 6;
+        r.scratch_misses = 2;
+        r.regions = 3;
+        r.helper_spawns = 9;
         r
     }
 
@@ -327,6 +373,22 @@ mod tests {
         let mut ok = sample().to_json();
         ok = ok.replace("\"parallel\"", "\"sideways\"");
         assert!(RunReport::from_json(&ok).is_err());
+    }
+
+    #[test]
+    fn counters_are_optional_on_parse_but_validated_when_present() {
+        // A pre-counter report (the shape older runs recorded) parses
+        // with zeroed counters...
+        let old = sample().to_json();
+        let old = old.split(",\"scratch_hits\"").next().unwrap().to_string() + "}";
+        let parsed = RunReport::from_json(&old).expect("old shape parses");
+        assert_eq!(parsed.scratch_hits, 0);
+        assert_eq!(parsed.regions, 0);
+        // ...but a malformed present counter is rejected.
+        let bad = sample()
+            .to_json()
+            .replace("\"regions\":3", "\"regions\":\"many\"");
+        assert!(RunReport::from_json(&bad).is_err());
     }
 
     #[test]

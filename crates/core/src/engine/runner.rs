@@ -22,7 +22,9 @@ use crate::type1::Type1Algorithm;
 use crate::type2::Type2Algorithm;
 use crate::type3::{prefix_rounds, Type3Algorithm};
 
+use super::grain;
 use super::report::RunReport;
+use super::scratch::{self, RoundScratch};
 
 /// How the engine schedules iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -333,9 +335,14 @@ impl Runner {
     }
 
     /// Execute `algo` under this runner's config: scope the thread pool,
-    /// run, and stamp name/mode/threads/wall time on the report.
+    /// run, and stamp name/mode/threads/wall time — plus the scratch and
+    /// region counters measured by the runner's [`RoundScratch`]
+    /// workspace — on the report. The scratch/region deltas are measured
+    /// on the calling thread, which is where the executors' round loops
+    /// (and their reused buffers) live.
     pub fn run<E: Executable + ?Sized>(&self, algo: &mut E) -> RunReport {
         let threads = self.cfg.resolved_threads();
+        let workspace = RoundScratch::begin();
         let t0 = std::time::Instant::now();
         let mut report = self.install(|| algo.execute(&self.cfg));
         report.algorithm = algo.name().to_string();
@@ -344,6 +351,11 @@ impl Runner {
         if self.cfg.instrument {
             report.wall_seconds = t0.elapsed().as_secs_f64();
         }
+        let (hits, misses) = workspace.scratch_delta();
+        report.scratch_hits = hits;
+        report.scratch_misses = misses;
+        report.regions = workspace.regions_delta();
+        report.helper_spawns = workspace.helper_spawns_delta();
         report
     }
 }
@@ -410,39 +422,65 @@ pub fn execute_type1<A: Type1Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
             report.depth = n;
         }
         ExecMode::Parallel => {
-            let mut remaining: Vec<usize> = (0..n).collect();
+            // All three per-round buffers come from (and return to) the
+            // runner's scratch workspace: steady-state rounds allocate
+            // nothing, and repeated runs on one thread reuse capacity.
+            let mut remaining: Vec<usize> = scratch::take_vec();
+            remaining.extend(0..n);
+            let mut next: Vec<usize> = scratch::take_vec();
+            let mut flags: Vec<bool> = scratch::take_vec();
             let mut round = 0usize;
             while !remaining.is_empty() {
                 algo.begin_round(round);
-                // Check phase (parallel, read-only), then run phase
-                // (sequential within the round: iterations that run
-                // together are mutually independent, so any order gives
-                // the sequential algorithm's result).
-                let ready_flags: Vec<bool> = remaining.par_iter().map(|&k| algo.ready(k)).collect();
-                let runnable: Vec<usize> = remaining
-                    .iter()
-                    .zip(&ready_flags)
-                    .filter(|(_, &r)| r)
-                    .map(|(&k, _)| k)
-                    .collect();
+                // Check phase (read-only; all checks observe the state at
+                // round start), then run phase (sequential within the
+                // round: iterations that run together are mutually
+                // independent, so any order gives the sequential
+                // algorithm's result). Small rounds — the long tail —
+                // check inline instead of paying region setup.
+                flags.clear();
+                if grain::parallel_round(remaining.len()) {
+                    flags.resize(remaining.len(), false);
+                    let chunk = remaining.len().div_ceil(rayon::recommended_splits());
+                    flags
+                        .par_chunks_mut(chunk)
+                        .zip(remaining.par_chunks(chunk))
+                        .for_each(|(fs, ks)| {
+                            for (f, &k) in fs.iter_mut().zip(ks) {
+                                *f = algo.ready(k);
+                            }
+                        });
+                } else {
+                    flags.extend(remaining.iter().map(|&k| algo.ready(k)));
+                }
+                // Run-and-compact in one pass over the reused buffers.
+                let mut ran = 0usize;
+                next.clear();
+                for (&k, &ready) in remaining.iter().zip(flags.iter()) {
+                    if ready {
+                        ran += 1;
+                    } else {
+                        next.push(k);
+                    }
+                }
                 assert!(
-                    !runnable.is_empty(),
+                    ran > 0,
                     "Type 1 executor stalled with {} iterations remaining",
                     remaining.len()
                 );
-                for &k in &runnable {
-                    algo.run(k);
+                for (&k, &ready) in remaining.iter().zip(flags.iter()) {
+                    if ready {
+                        algo.run(k);
+                    }
                 }
-                remaining = remaining
-                    .iter()
-                    .zip(&ready_flags)
-                    .filter(|(_, &r)| !r)
-                    .map(|(&k, _)| k)
-                    .collect();
-                report.record_round(runnable.len(), runnable.len() as u64);
+                std::mem::swap(&mut remaining, &mut next);
+                report.record_round(ran, ran as u64);
                 round += 1;
             }
             report.depth = round;
+            scratch::put_vec(remaining);
+            scratch::put_vec(next);
+            scratch::put_vec(flags);
         }
     }
     report
@@ -485,13 +523,19 @@ pub fn execute_type2<A: Type2Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
                 while j < hi {
                     sub_rounds += 1;
                     prefix_checks += (hi - j) as u64;
-                    // Parallel check phase over the outstanding prefix
-                    // tail; find the earliest special iteration
-                    // (min-reduction).
-                    let l = (j..hi)
-                        .into_par_iter()
-                        .find_first(|&k| algo.is_special(k))
-                        .unwrap_or(hi);
+                    // Check phase over the outstanding prefix tail; find
+                    // the earliest special iteration (min-reduction).
+                    // Short tails — every early prefix, and every tail
+                    // after a late special — scan inline instead of
+                    // paying region setup.
+                    let l = if grain::parallel_round(hi - j) {
+                        (j..hi)
+                            .into_par_iter()
+                            .find_first(|&k| algo.is_special(k))
+                            .unwrap_or(hi)
+                    } else {
+                        (j..hi).find(|&k| algo.is_special(k)).unwrap_or(hi)
+                    };
                     for k in j..l {
                         algo.run_regular(k);
                     }
@@ -523,12 +567,17 @@ pub fn execute_type3<A: Type3Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
     let n = algo.len();
     let mut report = RunReport::new("type3");
     report.items = n;
+    // One output buffer serves every round (and, in sequential mode,
+    // every iteration): `combine` drains it, `clear` keeps the capacity.
+    let mut outputs: Vec<A::Output> = Vec::new();
     match cfg.mode {
         ExecMode::Sequential => {
             let mut total_work = 0u64;
             for k in 0..n {
                 let out = algo.run_iteration(k);
-                total_work += algo.combine(k, vec![out]);
+                outputs.clear();
+                outputs.push(out);
+                total_work += algo.combine(k, &mut outputs);
             }
             if n > 0 {
                 report.record_round(n, total_work);
@@ -539,11 +588,18 @@ pub fn execute_type3<A: Type3Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
             let rounds = prefix_rounds(n);
             report.depth = rounds.len();
             for (lo, hi) in rounds {
-                let outputs: Vec<A::Output> = (lo..hi)
-                    .into_par_iter()
-                    .map(|k| algo.run_iteration(k))
-                    .collect();
-                let work = algo.combine(lo, outputs);
+                // Small rounds (the first log n of them combined hold
+                // fewer items than the last) run inline on the caller.
+                if grain::parallel_round(hi - lo) {
+                    (lo..hi)
+                        .into_par_iter()
+                        .map(|k| algo.run_iteration(k))
+                        .collect_into_vec(&mut outputs);
+                } else {
+                    outputs.clear();
+                    outputs.extend((lo..hi).map(|k| algo.run_iteration(k)));
+                }
+                let work = algo.combine(lo, &mut outputs);
                 report.record_round(hi - lo, work);
             }
         }

@@ -41,7 +41,11 @@ pub trait Type3Algorithm: Sync {
     /// Combine one round's outputs (iterations `lo..lo+outputs.len()`, in
     /// iteration order; earlier iterations have priority). Returns the work
     /// performed this round (for the logs).
-    fn combine(&mut self, lo: usize, outputs: Vec<Self::Output>) -> u64;
+    ///
+    /// The buffer is borrowed so the executor can reuse its allocation
+    /// across rounds: implementations typically `drain(..)` it (reading
+    /// in place is equally fine — the executor clears it before refilling).
+    fn combine(&mut self, lo: usize, outputs: &mut Vec<Self::Output>) -> u64;
 }
 
 /// The doubling-round schedule of Algorithm 2: `[0,1), [1,2), [2,4), ...`,
@@ -119,9 +123,9 @@ mod tests {
         fn run_iteration(&self, k: usize) -> u64 {
             self.values[k]
         }
-        fn combine(&mut self, lo: usize, outputs: Vec<u64>) -> u64 {
+        fn combine(&mut self, lo: usize, outputs: &mut Vec<u64>) -> u64 {
             let work = outputs.len() as u64;
-            for (off, v) in outputs.into_iter().enumerate() {
+            for (off, v) in outputs.drain(..).enumerate() {
                 self.current = self.current.min(v);
                 self.prefix_min[lo + off] = self.current;
             }

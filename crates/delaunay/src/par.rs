@@ -16,6 +16,7 @@
 
 use rayon::prelude::*;
 
+use ri_core::engine::{grain, scratch};
 use ri_geometry::Point2;
 use ri_pram::{ConcurrentPairMap, RoundLog};
 
@@ -103,7 +104,11 @@ pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
     let (mut mesh, seed_tris) = build_seed(points_in_order, &mut stats);
 
     let mut face_map = ConcurrentPairMap::with_capacity(8 * n + 64);
-    let mut candidates: Vec<u64> = Vec::new();
+    // Per-round working vectors come from (and return to) the engine's
+    // scratch arena; `candidates`/`next` swap roles each round.
+    let mut candidates: Vec<u64> = scratch::take_vec();
+    let mut next: Vec<u64> = scratch::take_vec();
+    let mut tasks: Vec<Task> = scratch::take_vec();
     for tri in seed_tris {
         let id = mesh.triangles.len() as u32;
         for (u, w) in tri.directed_faces() {
@@ -119,32 +124,44 @@ pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
 
     let mut log = RoundLog::new();
     while !candidates.is_empty() {
-        // Activity check: which candidate faces may fire?
-        let tasks: Vec<Task> = candidates
-            .par_iter()
-            .filter_map(|&key| {
-                let slots = face_map.get(key);
-                let (a, b) = (slots.a?, slots.b?);
-                let (t1, t2) = (a as u32, b as u32);
-                let m1 = mesh.triangles[t1 as usize].min_conflict();
-                let m2 = mesh.triangles[t2 as usize].min_conflict();
-                match m1.cmp(&m2) {
-                    std::cmp::Ordering::Equal => None, // both done, or interior
-                    std::cmp::Ordering::Less => Some(Task {
-                        key,
-                        t: t1,
-                        to: t2,
-                        v: m1,
-                    }),
-                    std::cmp::Ordering::Greater => Some(Task {
-                        key,
-                        t: t2,
-                        to: t1,
-                        v: m2,
-                    }),
-                }
-            })
-            .collect();
+        // Activity check: which candidate faces may fire? Small rounds
+        // (the long tail) check inline; either way the task list reuses
+        // one scratch buffer across rounds.
+        let classify = |key: u64| -> Option<Task> {
+            let slots = face_map.get(key);
+            let (a, b) = (slots.a?, slots.b?);
+            let (t1, t2) = (a as u32, b as u32);
+            let m1 = mesh.triangles[t1 as usize].min_conflict();
+            let m2 = mesh.triangles[t2 as usize].min_conflict();
+            match m1.cmp(&m2) {
+                std::cmp::Ordering::Equal => None, // both done, or interior
+                std::cmp::Ordering::Less => Some(Task {
+                    key,
+                    t: t1,
+                    to: t2,
+                    v: m1,
+                }),
+                std::cmp::Ordering::Greater => Some(Task {
+                    key,
+                    t: t2,
+                    to: t1,
+                    v: m2,
+                }),
+            }
+        };
+        tasks.clear();
+        if grain::parallel_round(candidates.len()) {
+            let chunk = candidates.len().div_ceil(rayon::recommended_splits());
+            let parts: Vec<Vec<Task>> = candidates
+                .par_chunks(chunk)
+                .map(|keys| keys.iter().filter_map(|&key| classify(key)).collect())
+                .collect();
+            for p in parts {
+                tasks.extend(p);
+            }
+        } else {
+            tasks.extend(candidates.iter().filter_map(|&key| classify(key)));
+        }
         if tasks.is_empty() {
             break;
         }
@@ -164,7 +181,8 @@ pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
         }
         stats.triangles_created += new_tris.len();
 
-        let mut next: Vec<u64> = Vec::with_capacity(3 * new_tris.len());
+        next.clear();
+        next.reserve(3 * new_tris.len());
         for (off, nt) in new_tris.into_iter().enumerate() {
             let id = base + off as u32;
             mesh.triangles.push(Triangle {
@@ -187,9 +205,12 @@ pub(crate) fn delaunay_parallel_impl(points: &[Point2]) -> DtResult {
         }
         next.sort_unstable();
         next.dedup();
-        candidates = next;
+        std::mem::swap(&mut candidates, &mut next);
         log.record(tasks.len(), round_work);
     }
+    scratch::put_vec(candidates);
+    scratch::put_vec(next);
+    scratch::put_vec(tasks);
 
     debug_assert!(
         mesh.triangles

@@ -114,10 +114,12 @@ impl Type3Algorithm for ParState<'_> {
         )
     }
 
-    fn combine(&mut self, lo: usize, outputs: Vec<Self::Output>) -> u64 {
+    fn combine(&mut self, lo: usize, outputs: &mut Vec<Self::Output>) -> u64 {
         // Flatten in iteration order: (target, source iteration, distance).
-        let mut records: Vec<(u32, u32, f64)> = Vec::new();
-        for (off, out) in outputs.into_iter().enumerate() {
+        // The flat record buffer comes from the engine's scratch arena and
+        // goes back below, so every round reuses one allocation.
+        let mut records: Vec<(u32, u32, f64)> = ri_pram::take_vec();
+        for (off, out) in outputs.drain(..).enumerate() {
             let k = (lo + off) as u32;
             for (u, d) in out {
                 records.push((u, k, d));
@@ -141,6 +143,7 @@ impl Type3Algorithm for ParState<'_> {
             }
             self.delta[u] = current;
         }
+        ri_pram::put_vec(grouped.records);
         let now = self.visits.get() + self.relax.get();
         let round_work = now - self.work_mark;
         self.work_mark = now;

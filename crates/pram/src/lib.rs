@@ -19,6 +19,7 @@
 //! | [`permutation`] | seeded random permutations | the random insertion order itself |
 //! | [`hash`] | fast non-cryptographic hashing | hashing for semisort / hash tables |
 //! | [`counters`] | work/round instrumentation | measuring work and depth (rounds) |
+//! | [`scratch`] | reusable per-thread scratch buffers | amortising per-round allocation |
 //!
 //! All primitives are deterministic given their inputs (and seeds), which is
 //! what lets the algorithm crates assert *parallel output == sequential
@@ -36,12 +37,13 @@ pub mod priority;
 pub mod radix;
 pub mod reduce;
 pub mod scan;
+pub mod scratch;
 pub mod semisort;
 
 pub use conmap::{ConcurrentPairMap, PairSlots};
 pub use counters::{RoundLog, WorkCounter};
 pub use hash::{hash_u64, FxBuildHasher, FxHasher};
-pub use pack::{pack, pack_indices, pack_indices_where};
+pub use pack::{pack, pack_indices, pack_indices_where, pack_indices_where_into, pack_into};
 pub use permutation::{
     knuth_shuffle_parallel, knuth_shuffle_sequential, knuth_targets, random_permutation,
     random_permutation_par, Permutation,
@@ -50,6 +52,7 @@ pub use priority::{MinIndex, PriorityCell};
 pub use radix::{radix_sort_by_key, radix_sort_u64};
 pub use reduce::{min_float_index, min_index, min_index_by_key};
 pub use scan::{exclusive_scan_inplace, exclusive_scan_usize};
+pub use scratch::{put_vec, take_vec, ScratchStats};
 pub use semisort::{semisort_by_key, Grouped};
 
 /// Grain size below which primitives fall back to sequential loops.

@@ -4,15 +4,25 @@
 //! key; LE-lists sort contributions per target by source index). We use the
 //! classic stable least-significant-digit scheme. Each pass:
 //!
-//! 1. every block counting-sorts its chunk locally by the current 8-bit
-//!    digit (stable within the block),
-//! 2. the global output is the column-major concatenation — for each digit
-//!    `d`, block 0's `d`-bucket, then block 1's, ... — which preserves
-//!    stability across blocks,
-//! 3. the concatenation itself is a parallel order-preserving flat-map.
+//! 1. every block counts its chunk's 8-bit-digit histogram (one parallel
+//!    pass, histograms land in a reused flat buffer),
+//! 2. a small sequential scan over the `RADIX × blocks` histogram matrix
+//!    (digit-major, block-minor) yields every *(digit, block)* segment's
+//!    start in the output,
+//! 3. every block counting-sorts its chunk **directly into its disjoint
+//!    output segments** (one parallel pass; each block owns one `&mut`
+//!    sub-slice per digit, so the scatter is safe-Rust disjoint writes).
+//!
+//! The two data buffers ping-pong between passes, so a whole sort touches
+//! exactly two `n`-sized allocations (the input itself and one auxiliary
+//! clone) instead of the former two *per pass* (per-block local sort
+//! buffers plus a fresh output vector); the histogram/offset arrays come
+//! from the scratch pool. Digit-major segment order, block order within a
+//! digit, and input order within a block make every pass stable — the
+//! same placement the old concatenation produced.
 //!
 //! Work O(8 · n), depth O(log n) per pass. Entirely safe code: the only
-//! "scatter" is a local write into a block-owned buffer.
+//! "scatter" is a write through a block-owned `&mut` segment.
 
 use rayon::prelude::*;
 
@@ -45,50 +55,68 @@ where
 
     let nblocks = rayon::recommended_splits();
     let block = n.div_ceil(nblocks);
+    let nb = n.div_ceil(block); // actual block count (≤ nblocks)
+
+    // Ping-pong buffers: `src` holds the current ordering, `dst` is fully
+    // overwritten by the scatter (its initial contents are irrelevant —
+    // the clone is just safe-Rust initialisation).
     let mut src: Vec<T> = std::mem::take(items);
+    let mut dst: Vec<T> = src.clone();
+    // hist[b * RADIX + d] = block b's count of digit d (reused across
+    // passes and, via the scratch pool, across calls).
+    let mut hist: Vec<u32> = crate::scratch::take_vec();
+    hist.resize(nb * RADIX, 0);
 
     for pass in 0..passes {
         let shift = pass * DIGIT_BITS;
         let digit = |x: &T| ((key(x) >> shift) as usize) & (RADIX - 1);
 
-        // Per-block local stable counting sort: (sorted buffer, bucket starts).
-        let locals: Vec<(Vec<T>, Vec<u32>)> = src
-            .par_chunks(block)
-            .map(|chunk| {
-                let mut hist = [0u32; RADIX];
+        // 1. Per-block digit histograms (one region; rows align with chunks).
+        hist.fill(0);
+        hist.par_chunks_mut(RADIX)
+            .zip(src.par_chunks(block))
+            .for_each(|(h, chunk)| {
                 for x in chunk {
-                    hist[digit(x)] += 1;
+                    h[digit(x)] += 1;
                 }
-                let mut starts = vec![0u32; RADIX + 1];
-                for d in 0..RADIX {
-                    starts[d + 1] = starts[d] + hist[d];
+            });
+
+        // 2. Segment starts, digit-major then block-minor: segment (d, b)
+        // holds block b's digit-d elements, so this order is exactly the
+        // stable global placement.
+        // 3. Carve `dst` into those segments and group them per block.
+        let mut groups: Vec<Vec<&mut [T]>> = (0..nb).map(|_| Vec::with_capacity(RADIX)).collect();
+        {
+            let mut rest: &mut [T] = &mut dst;
+            for d in 0..RADIX {
+                for (b, group) in groups.iter_mut().enumerate() {
+                    let len = hist[b * RADIX + d] as usize;
+                    let (seg, tail) = rest.split_at_mut(len);
+                    group.push(seg);
+                    rest = tail;
                 }
-                let mut cursor: Vec<u32> = starts[..RADIX].to_vec();
-                // Pre-fill then overwrite: keeps the placement loop safe.
-                let mut buf: Vec<T> = chunk.to_vec();
+            }
+            debug_assert!(rest.is_empty(), "segments must tile the output");
+        }
+
+        // 4. Scatter: each block counting-sorts its chunk straight into
+        // its RADIX owned segments (group index = digit), one region
+        // (weighted: each item is a whole block of work).
+        let pairs: Vec<(&[T], Vec<&mut [T]>)> = src.chunks(block).zip(groups).collect();
+        ParIter::from_vec(pairs)
+            .with_weight(block)
+            .for_each(|(chunk, mut segs)| {
+                let mut cursors = [0u32; RADIX];
                 for x in chunk {
                     let d = digit(x);
-                    buf[cursor[d] as usize] = x.clone();
-                    cursor[d] += 1;
+                    segs[d][cursors[d] as usize] = x.clone();
+                    cursors[d] += 1;
                 }
-                (buf, starts)
-            })
-            .collect();
+            });
 
-        // Column-major concatenation; rayon's collect preserves order.
-        let nb = locals.len();
-        src = (0..RADIX * nb)
-            .into_par_iter()
-            .flat_map_iter(|seg| {
-                let (d, b) = (seg / nb, seg % nb);
-                let (buf, starts) = &locals[b];
-                buf[starts[d] as usize..starts[d + 1] as usize]
-                    .iter()
-                    .cloned()
-            })
-            .collect();
-        debug_assert_eq!(src.len(), n);
+        std::mem::swap(&mut src, &mut dst);
     }
+    crate::scratch::put_vec(hist);
     *items = src;
 }
 
@@ -120,12 +148,36 @@ mod tests {
     }
 
     #[test]
+    fn sorts_large_random_under_installed_pool() {
+        let mut v: Vec<u64> = (0..250_000u64)
+            .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D).rotate_left(31))
+            .collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        rayon::cached_pool(4).install(|| radix_sort_u64(&mut v));
+        assert_eq!(v, want);
+    }
+
+    #[test]
     fn stability_preserved() {
         // Pairs (key, original index): after sorting by key, equal keys must
         // keep index order.
         let n = 100_000usize;
         let mut v: Vec<(u64, usize)> = (0..n).map(|i| ((i % 16) as u64, i)).collect();
         radix_sort_by_key(&mut v, |&(k, _)| k);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn stability_preserved_under_installed_pool() {
+        let n = 100_000usize;
+        let mut v: Vec<(u64, usize)> = (0..n).map(|i| ((i % 5) as u64, i)).collect();
+        rayon::cached_pool(4).install(|| radix_sort_by_key(&mut v, |&(k, _)| k));
         for w in v.windows(2) {
             assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 {

@@ -37,11 +37,13 @@ pub fn exclusive_scan_inplace(values: &mut [usize]) -> usize {
     }
     let nblocks = rayon::recommended_splits();
     let block = n.div_ceil(nblocks);
-    // Pass 1: independent sums per block.
-    let mut block_sums: Vec<usize> = values
+    // Pass 1: independent sums per block (the small block-sum array is a
+    // reused scratch buffer, so repeated scans allocate nothing).
+    let mut block_sums: Vec<usize> = crate::scratch::take_vec();
+    values
         .par_chunks(block)
         .map(|c| c.iter().sum::<usize>())
-        .collect();
+        .collect_into_vec(&mut block_sums);
     // Scan the (small) block-sum array sequentially.
     let total = scan_seq(&mut block_sums);
     // Pass 2: per-block exclusive scan offset by the block prefix.
@@ -56,6 +58,7 @@ pub fn exclusive_scan_inplace(values: &mut [usize]) -> usize {
                 acc += x;
             }
         });
+    crate::scratch::put_vec(block_sums);
     total
 }
 

@@ -1,0 +1,232 @@
+//! Reusable scratch buffers for round-based algorithms.
+//!
+//! The paper's executors proceed in `O(log n)` prefix-doubling rounds, so
+//! the *constant factor* of a round — not the asymptotics — decides wall
+//! clock. Allocating fresh `Vec`s every round (ready flags, survivor
+//! lists, per-round outputs) makes the allocator a per-round cost. This
+//! module is the cure: a **per-thread pool of typed, capacity-preserving
+//! vectors**. [`take_vec`] hands out a cleared `Vec<T>` (reusing a
+//! previously returned one when available, with whatever capacity it grew
+//! to); [`put_vec`] clears a vector and shelves it for the next taker.
+//!
+//! Lifetime rules (see also the engine docs in `ri-core`):
+//!
+//! * A taken vector is **always empty** (`len == 0`); only its *capacity*
+//!   carries over. Callers can never observe a previous round's contents,
+//!   which is what keeps repeated runs byte-identical to fresh-state runs.
+//! * The pool is **thread-local**: the round-orchestrating thread (which
+//!   is where per-round buffers live) reuses across rounds *and* across
+//!   runs; short-lived crew helper threads simply miss and fall back to
+//!   plain allocation.
+//! * At most [`MAX_POOLED_PER_TYPE`] vectors are shelved per element type;
+//!   extra returns are dropped, bounding idle memory.
+//!
+//! The [`stats`] counters (hits / misses / returns) are what the engine
+//! surfaces in its `RunReport` so benches can verify the reuse actually
+//! happens.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Upper bound on shelved vectors per element type (per thread). Extra
+/// [`put_vec`] calls drop their vector instead of pooling it.
+pub const MAX_POOLED_PER_TYPE: usize = 16;
+
+/// Upper bound on shelved *bytes* per element type (per thread): a shelf
+/// also stops accepting once its retained capacities sum past this, so a
+/// long-lived serving thread that once handled a giant burst cannot pin
+/// worst-case buffers forever. Large enough to keep the full working set
+/// of the default bench sizes warm.
+pub const MAX_POOLED_BYTES_PER_TYPE: usize = 64 << 20;
+
+/// Cumulative counters of one thread's scratch pool.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// [`take_vec`] calls served from the pool (an allocation avoided,
+    /// modulo any later growth past the reused capacity).
+    pub hits: u64,
+    /// [`take_vec`] calls that found the shelf empty and allocated.
+    pub misses: u64,
+    /// [`put_vec`] calls that shelved their vector for reuse.
+    pub returns: u64,
+}
+
+impl ScratchStats {
+    /// Counter-wise difference `self - earlier` (for before/after
+    /// measurement around a run).
+    pub fn since(&self, earlier: &ScratchStats) -> ScratchStats {
+        ScratchStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            returns: self.returns - earlier.returns,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shelf {
+    vecs: Vec<Box<dyn Any>>,
+    /// Sum of the retained capacities, in bytes.
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Pool {
+    shelves: HashMap<TypeId, Shelf>,
+    stats: ScratchStats,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Take a cleared `Vec<T>` from this thread's pool (empty, but with the
+/// capacity it had grown to when it was last [`put_vec`]-returned), or a
+/// brand-new `Vec` if none is shelved.
+pub fn take_vec<T: 'static>() -> Vec<T> {
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let shelved = pool
+            .shelves
+            .get_mut(&TypeId::of::<Vec<T>>())
+            .and_then(|shelf| {
+                let v = shelf.vecs.pop()?;
+                let v = v
+                    .downcast::<Vec<T>>()
+                    .expect("shelf is keyed by the vector's TypeId");
+                shelf.bytes -= v.capacity() * std::mem::size_of::<T>();
+                Some(*v)
+            });
+        match shelved {
+            Some(v) => {
+                pool.stats.hits += 1;
+                v
+            }
+            None => {
+                pool.stats.misses += 1;
+                Vec::new()
+            }
+        }
+    })
+}
+
+/// Clear `v` and shelve it for a later [`take_vec`] of the same element
+/// type. Dropped instead (still cleared) when the shelf is full — by
+/// count ([`MAX_POOLED_PER_TYPE`]) or by retained bytes
+/// ([`MAX_POOLED_BYTES_PER_TYPE`]).
+pub fn put_vec<T: 'static>(mut v: Vec<T>) {
+    v.clear();
+    let bytes = v.capacity() * std::mem::size_of::<T>();
+    if bytes == 0 {
+        return; // nothing worth shelving
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let shelf = pool.shelves.entry(TypeId::of::<Vec<T>>()).or_default();
+        if shelf.vecs.len() < MAX_POOLED_PER_TYPE
+            && shelf.bytes.saturating_add(bytes) <= MAX_POOLED_BYTES_PER_TYPE
+        {
+            shelf.vecs.push(Box::new(v));
+            shelf.bytes += bytes;
+            pool.stats.returns += 1;
+        }
+    });
+}
+
+/// This thread's cumulative pool counters.
+pub fn stats() -> ScratchStats {
+    POOL.with(|pool| pool.borrow().stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_capacity() {
+        // Use a locally unique type so concurrently running tests in the
+        // same thread cannot interfere with the shelf we observe.
+        #[derive(Clone, Copy)]
+        struct Marker(#[allow(dead_code)] u128);
+        let mut v: Vec<Marker> = take_vec();
+        v.reserve(1000);
+        let cap = v.capacity();
+        assert!(cap >= 1000);
+        v.push(Marker(7));
+        put_vec(v);
+        let reused: Vec<Marker> = take_vec();
+        assert!(reused.is_empty(), "taken vectors are always cleared");
+        assert_eq!(reused.capacity(), cap, "capacity carries over");
+    }
+
+    #[test]
+    fn distinct_types_have_distinct_shelves() {
+        struct A(#[allow(dead_code)] [u64; 3]);
+        struct B(#[allow(dead_code)] [u64; 3]);
+        let mut a: Vec<A> = take_vec();
+        a.reserve(64);
+        put_vec(a);
+        let b: Vec<B> = take_vec();
+        assert_eq!(b.capacity(), 0, "B must not receive A's buffer");
+        let a2: Vec<A> = take_vec();
+        assert!(a2.capacity() >= 64, "A's buffer is still shelved for A");
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        struct Unique(#[allow(dead_code)] u8);
+        let before = stats();
+        let v: Vec<Unique> = take_vec(); // miss (nothing shelved yet)
+        let mut v = v;
+        v.reserve(8);
+        put_vec(v); // return
+        let _v2: Vec<Unique> = take_vec(); // hit
+        let d = stats().since(&before);
+        assert!(d.misses >= 1);
+        assert!(d.returns >= 1);
+        assert!(d.hits >= 1);
+    }
+
+    #[test]
+    fn empty_vectors_are_not_shelved() {
+        struct Zero(#[allow(dead_code)] u8);
+        let before = stats();
+        put_vec(Vec::<Zero>::new());
+        let d = stats().since(&before);
+        assert_eq!(d.returns, 0, "capacity-0 vectors are dropped, not pooled");
+    }
+
+    #[test]
+    fn shelf_is_bounded_by_count() {
+        struct Cap(#[allow(dead_code)] u64);
+        for _ in 0..(2 * MAX_POOLED_PER_TYPE) {
+            put_vec(Vec::<Cap>::with_capacity(4));
+        }
+        let shelved = POOL.with(|p| {
+            p.borrow()
+                .shelves
+                .get(&TypeId::of::<Vec<Cap>>())
+                .map_or(0, |s| s.vecs.len())
+        });
+        assert!(shelved <= MAX_POOLED_PER_TYPE);
+    }
+
+    #[test]
+    fn shelf_is_bounded_by_bytes() {
+        struct Big(#[allow(dead_code)] [u64; 128]); // 1 KiB per element
+        let per_vec = MAX_POOLED_BYTES_PER_TYPE / (4 * std::mem::size_of::<Big>());
+        for _ in 0..8 {
+            put_vec(Vec::<Big>::with_capacity(per_vec));
+        }
+        let (count, bytes) = POOL.with(|p| {
+            p.borrow()
+                .shelves
+                .get(&TypeId::of::<Vec<Big>>())
+                .map_or((0, 0), |s| (s.vecs.len(), s.bytes))
+        });
+        assert!(bytes <= MAX_POOLED_BYTES_PER_TYPE, "bytes {bytes}");
+        assert!(count < 8, "byte cap must reject some returns, kept {count}");
+        assert!(count >= 1, "cap must still keep the first returns");
+    }
+}

@@ -68,12 +68,16 @@ where
     // every radix pass is balanced regardless of the key distribution.
     radix_sort_by_key(&mut records, |r| hash_u64(key(r)));
 
-    // Group boundaries: positions where the key changes.
+    // Group boundaries: positions where the key changes (the boundary
+    // index buffer is reused scratch; the group list is returned, so it
+    // owns its allocation).
     let n = records.len();
-    let boundary: Vec<usize> = (0..n)
-        .into_par_iter()
-        .filter(|&i| i == 0 || key(&records[i - 1]) != key(&records[i]))
-        .collect();
+    let mut boundary: Vec<usize> = crate::scratch::take_vec();
+    crate::pack::pack_indices_where_into(
+        n,
+        |i| i == 0 || key(&records[i - 1]) != key(&records[i]),
+        &mut boundary,
+    );
     let groups: Vec<(u64, usize, usize)> = boundary
         .par_iter()
         .enumerate()
@@ -86,6 +90,7 @@ where
             (key(&records[start]), start, end)
         })
         .collect();
+    crate::scratch::put_vec(boundary);
     Grouped { records, groups }
 }
 

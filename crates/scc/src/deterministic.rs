@@ -82,14 +82,14 @@ impl Type3Algorithm for DetState<'_> {
         })
     }
 
-    fn combine(&mut self, lo: usize, outputs: Vec<Self::Output>) -> u64 {
+    fn combine(&mut self, lo: usize, outputs: &mut Vec<Self::Output>) -> u64 {
         // Per-round signatures: sig[z] starts at the frozen partition label
         // and refines search by search; kept in a side array indexed by
         // vertex (only touched vertices matter, but dense is simpler and
         // the round already did Ω(touched) work).
         let mut sig: Vec<u64> = self.part.clone();
 
-        for (off, out) in outputs.into_iter().enumerate() {
+        for (off, out) in outputs.drain(..).enumerate() {
             let k = (lo + off) as u32;
             let Some(fp) = out else { continue };
             let center = self.order[k as usize];

@@ -157,12 +157,14 @@ impl Type3Algorithm for ParState<'_> {
         })
     }
 
-    fn combine(&mut self, lo: usize, outputs: Vec<Self::Output>) -> u64 {
+    fn combine(&mut self, lo: usize, outputs: &mut Vec<Self::Output>) -> u64 {
         // Flatten to (vertex, center iteration k, direction) records.
+        // The flat buffer (and the per-group center lists below) come from
+        // the engine's scratch arena, so every round reuses allocations.
         const FWD: u32 = 0;
         const BWD: u32 = 1;
-        let mut records: Vec<(u32, u32, u32)> = Vec::new();
-        for (off, out) in outputs.into_iter().enumerate() {
+        let mut records: Vec<(u32, u32, u32)> = ri_pram::take_vec();
+        for (off, out) in outputs.drain(..).enumerate() {
             let k = (lo + off) as u32;
             if let Some(fp) = out {
                 self.queries += 1;
@@ -181,6 +183,8 @@ impl Type3Algorithm for ParState<'_> {
         // Group the searches touching each vertex. Stability keeps each
         // group in center order (records were appended in k order).
         let grouped = semisort_by_key(records, |&(u, _, _)| u as u64);
+        let mut fwd_ks: Vec<u32> = ri_pram::take_vec();
+        let mut bwd_ks: Vec<u32> = ri_pram::take_vec();
         for (ukey, recs) in grouped.iter() {
             let u = ukey as usize;
             if self.part[u] == DONE {
@@ -189,8 +193,10 @@ impl Type3Algorithm for ParState<'_> {
                 // (DONE vertices are excluded), so this is a hard error.
                 unreachable!("search reached DONE vertex {u}");
             }
-            let fwd_ks: Vec<u32> = recs.iter().filter(|r| r.2 == FWD).map(|r| r.1).collect();
-            let bwd_ks: Vec<u32> = recs.iter().filter(|r| r.2 == BWD).map(|r| r.1).collect();
+            fwd_ks.clear();
+            bwd_ks.clear();
+            fwd_ks.extend(recs.iter().filter(|r| r.2 == FWD).map(|r| r.1));
+            bwd_ks.extend(recs.iter().filter(|r| r.2 == BWD).map(|r| r.1));
             // Minimum common center: u belongs to that center's SCC.
             let common = first_common(&fwd_ks, &bwd_ks);
             if let Some(c) = common {
@@ -210,6 +216,9 @@ impl Type3Algorithm for ParState<'_> {
                 self.part[u] = sig & !(1 << 63); // keep clear of DONE
             }
         }
+        ri_pram::put_vec(fwd_ks);
+        ri_pram::put_vec(bwd_ks);
+        ri_pram::put_vec(grouped.records);
         let now = self.visits.get() + self.relax.get();
         let round_work = now - self.work_mark;
         self.work_mark = now;

@@ -19,13 +19,17 @@
 //! geometric tail `P[l] ≤ 2^{-l}`; the bench harness plots the measured
 //! histogram.
 
-use std::collections::HashMap;
-
 use ri_core::engine::{execute_type3, RunConfig};
 use ri_core::{prefix_rounds, Type3Algorithm};
 use ri_pram::{RoundLog, WorkCounter};
 
 use crate::tree::{Bst, NONE};
+
+/// Upper bound on doubling rounds: `⌈log₂ n⌉ + 1 ≤ 64` for any `n` that
+/// fits in memory. Keeping the per-probe left-dependence counters in a
+/// fixed array of this size (instead of a heap vector per probed key)
+/// makes the search phase allocation-free.
+const MAX_ROUNDS: usize = 64;
 
 /// Output of the batch (Type 3) sort.
 #[derive(Debug)]
@@ -56,14 +60,13 @@ struct Probe {
     key: usize,
     slot: Slot,
     /// Left dependences per earlier round (index = round).
-    left_hits: Vec<u16>,
+    left_hits: [u16; MAX_ROUNDS],
 }
 
 struct BatchState<'a, T> {
     keys: &'a [T],
     tree: Bst,
     round_of: Vec<u16>,
-    num_rounds: usize,
     search_comparisons: WorkCounter,
     resolve_comparisons: u64,
     histogram: Vec<u64>,
@@ -77,7 +80,7 @@ impl<T: Ord + Sync> Type3Algorithm for BatchState<'_, T> {
     }
 
     fn run_iteration(&self, k: usize) -> Probe {
-        let mut left_hits = vec![0u16; self.num_rounds];
+        let mut left_hits = [0u16; MAX_ROUNDS];
         let mut slot = Slot::Root;
         let mut cur = self.tree.root;
         while cur != NONE {
@@ -101,47 +104,38 @@ impl<T: Ord + Sync> Type3Algorithm for BatchState<'_, T> {
         }
     }
 
-    fn combine(&mut self, lo: usize, outputs: Vec<Probe>) -> u64 {
+    fn combine(&mut self, lo: usize, outputs: &mut Vec<Probe>) -> u64 {
         let round = self.round_of[lo] as usize;
         let work_before = self.search_comparisons.get() + self.resolve_comparisons;
 
-        // Group colliding keys by contested slot (outputs arrive in
-        // iteration order; HashMap preserves insertion order per group via
-        // push order).
-        let mut groups: HashMap<Slot, Vec<usize>> = HashMap::new();
-        let mut order: Vec<Slot> = Vec::new();
-        let mut hits_of: HashMap<usize, Vec<u16>> = HashMap::new();
-        for p in outputs {
-            let e = groups.entry(p.slot).or_default();
-            if e.is_empty() {
-                order.push(p.slot);
-            }
-            e.push(p.key);
-            hits_of.insert(p.key, p.left_hits);
-        }
-
-        for slot in order {
-            let members = &groups[&slot];
-            // Place the earliest key into the contested slot...
-            let winner = members[0];
-            match slot {
-                Slot::Root => self.tree.root = winner as u64,
-                Slot::Left(p) => self.tree.left[p as usize] = winner as u64,
-                Slot::Right(p) => self.tree.right[p as usize] = winner as u64,
-            }
-            // ...then insert the rest in iteration order, descending from
-            // the winner: exactly the comparisons sequential separation
-            // would have charged inside this subtree.
-            for &k in &members[1..] {
-                let mut cur = winner as u64;
+        // Resolve conflicts in one allocation-free pass. Probes drain in
+        // iteration order and every contested slot was empty in the frozen
+        // tree, so the *first* probe to reach a slot is exactly the
+        // earliest colliding key — it takes the slot — and every later
+        // collider descends from that winner through the subtree the
+        // round has grown below it (all this-round keys, so right-steps
+        // are intra-round left dependences). This interleaves the old
+        // per-group resolution without changing any insertion order
+        // within a subtree: groups live in disjoint subtrees.
+        for p in outputs.drain(..) {
+            let k = p.key;
+            let mut hits = p.left_hits;
+            let slot_child = match p.slot {
+                Slot::Root => &mut self.tree.root,
+                Slot::Left(q) => &mut self.tree.left[q as usize],
+                Slot::Right(q) => &mut self.tree.right[q as usize],
+            };
+            if *slot_child == NONE {
+                *slot_child = k as u64;
+            } else {
+                let mut cur = *slot_child;
                 loop {
                     self.resolve_comparisons += 1;
                     let node = cur as usize;
                     let child = if self.keys[k] < self.keys[node] {
                         &mut self.tree.left[node]
                     } else {
-                        let h = hits_of.get_mut(&k).expect("probe recorded");
-                        h[round] += 1;
+                        hits[round] += 1;
                         &mut self.tree.right[node]
                     };
                     if *child == NONE {
@@ -151,11 +145,9 @@ impl<T: Ord + Sync> Type3Algorithm for BatchState<'_, T> {
                     cur = *child;
                 }
             }
-        }
 
-        // Fold this round's probes into the Lemma 2.5 histogram: one sample
-        // per (key, round ≤ current) pair.
-        for (_, hits) in hits_of {
+            // Fold the probe into the Lemma 2.5 histogram: one sample per
+            // (key, round ≤ current) pair.
             for &l in hits.iter().take(round + 1) {
                 let l = l as usize;
                 if self.histogram.len() <= l {
@@ -173,6 +165,10 @@ impl<T: Ord + Sync> Type3Algorithm for BatchState<'_, T> {
 pub(crate) fn batch_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> BatchSortResult {
     let n = keys.len();
     let rounds = prefix_rounds(n);
+    assert!(
+        rounds.len() <= MAX_ROUNDS,
+        "doubling schedule exceeds MAX_ROUNDS"
+    );
     let mut round_of = vec![0u16; n];
     for (r, &(lo, hi)) in rounds.iter().enumerate() {
         for x in round_of.iter_mut().take(hi).skip(lo) {
@@ -183,7 +179,6 @@ pub(crate) fn batch_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> BatchSortResult 
         keys,
         tree: Bst::new(n),
         round_of,
-        num_rounds: rounds.len(),
         search_comparisons: WorkCounter::new(),
         resolve_comparisons: 0,
         histogram: Vec::new(),

@@ -15,12 +15,30 @@
 //! wins, the constructed tree is **identical** to the sequential one
 //! (Theorem 3.2), and the number of rounds equals the iteration dependence
 //! depth (each round retires exactly one level of the dependence DAG).
+//!
+//! ## Grain control: the fused inline round
+//!
+//! When a round runs entirely on the calling thread **in iteration
+//! order** — which the engine's grain policy chooses for every round at
+//! width 1 and for the long tail of small rounds at any width — the three
+//! phases fuse into a *single* pass with in-place compaction: the first
+//! key to see an empty slot is the minimum-index key pointing at it (the
+//! active list is always sorted by iteration index), so it wins exactly
+//! the priority-write, and every later key reads the winner as its
+//! occupant exactly as the resolve phase would. Same winners, same
+//! descents, same comparison counts, same per-round placement — but one
+//! pass instead of three and zero per-round allocation, which is what
+//! brings parallel-mode-at-1-thread within a whisker of the sequential
+//! loop. The concurrent (multi-thread) path keeps the phase separation
+//! (a fused check-and-write is racy about *which* key wins) and instead
+//! reuses its snapshot/survivor buffers through the scratch arena.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
 use crate::tree::{Bst, NONE};
+use ri_core::engine::{grain, scratch};
 use ri_pram::RoundLog;
 
 /// Output of the parallel sort.
@@ -59,50 +77,110 @@ pub(crate) fn parallel_bst_sort_impl<T: Ord + Sync>(keys: &[T]) -> ParSortResult
         }
     };
 
-    let mut active: Vec<(usize, Cursor)> = (0..n).map(|i| (i, Cursor::Root)).collect();
+    // The active list, its successor, and the snapshot buffer all come
+    // from (and return to) the engine's scratch arena: rounds reallocate
+    // nothing, repeated runs on one thread reuse capacity.
+    let mut active: Vec<(usize, Cursor)> = scratch::take_vec();
+    active.extend((0..n).map(|i| (i, Cursor::Root)));
+    let mut next: Vec<(usize, Cursor)> = scratch::take_vec();
+    let mut snapshot: Vec<u64> = scratch::take_vec();
     let mut log = RoundLog::new();
     let comparisons = ri_pram::WorkCounter::new();
 
     while !active.is_empty() {
-        // Phase 1: snapshot each active key's slot.
-        let snapshot: Vec<u64> = active
-            .par_iter()
-            .map(|&(_, c)| slot_of(c).load(Ordering::Acquire))
-            .collect();
-
-        // Phase 2: keys that saw an empty slot priority-write their index.
-        active
-            .par_iter()
-            .zip(snapshot.par_iter())
-            .for_each(|(&(i, c), &seen)| {
-                if seen == NONE {
-                    slot_of(c).fetch_min(i as u64, Ordering::AcqRel);
-                }
-            });
-
-        // Phase 3: resolve — winners retire, losers descend one level.
-        let next: Vec<Option<(usize, Cursor)>> = active
-            .par_iter()
-            .map(|&(i, c)| {
-                let occupant = slot_of(c).load(Ordering::Acquire);
-                debug_assert_ne!(occupant, NONE, "write phase must have filled the slot");
-                if occupant == i as u64 {
-                    return None; // placed
-                }
-                comparisons.incr();
-                let next_cursor = if keys[i] < keys[occupant as usize] {
-                    Cursor::Left(occupant)
-                } else {
-                    Cursor::Right(occupant)
-                };
-                Some((i, next_cursor))
-            })
-            .collect();
-
         let round_items = active.len();
-        active = next.into_iter().flatten().collect();
+        if !grain::parallel_round(round_items) {
+            // Fused inline round (single thread, iteration order): see the
+            // module docs for why this is phase-equivalent. Winners retire
+            // in place; losers are compacted forward with a write cursor.
+            let mut kept = 0usize;
+            let mut round_comparisons = 0u64;
+            for r in 0..round_items {
+                let (i, c) = active[r];
+                let slot = slot_of(c);
+                let occupant = slot.load(Ordering::Acquire);
+                if occupant == NONE {
+                    // In-order processing: i is the minimum active index
+                    // pointing at this slot, i.e. the priority-write winner.
+                    slot.store(i as u64, Ordering::Release);
+                } else {
+                    round_comparisons += 1;
+                    let next_cursor = if keys[i] < keys[occupant as usize] {
+                        Cursor::Left(occupant)
+                    } else {
+                        Cursor::Right(occupant)
+                    };
+                    active[kept] = (i, next_cursor);
+                    kept += 1;
+                }
+            }
+            comparisons.add(round_comparisons);
+            active.truncate(kept);
+        } else {
+            let chunk = round_items.div_ceil(rayon::recommended_splits());
+
+            // Phase 1: snapshot each active key's slot (into the reused
+            // buffer, chunk-aligned with the active list).
+            snapshot.clear();
+            snapshot.resize(round_items, 0);
+            snapshot
+                .par_chunks_mut(chunk)
+                .zip(active.par_chunks(chunk))
+                .for_each(|(ss, aa)| {
+                    for (s, &(_, c)) in ss.iter_mut().zip(aa) {
+                        *s = slot_of(c).load(Ordering::Acquire);
+                    }
+                });
+
+            // Phase 2: keys that saw an empty slot priority-write their
+            // index.
+            active
+                .par_iter()
+                .zip(snapshot.par_iter())
+                .for_each(|(&(i, c), &seen)| {
+                    if seen == NONE {
+                        slot_of(c).fetch_min(i as u64, Ordering::AcqRel);
+                    }
+                });
+
+            // Phase 3: resolve — winners retire, losers descend one level.
+            // Survivors compact per chunk, then drain into the reused
+            // `next` buffer in order.
+            let parts: Vec<Vec<(usize, Cursor)>> = active
+                .par_chunks(chunk)
+                .map(|aa| {
+                    aa.iter()
+                        .filter_map(|&(i, c)| {
+                            let occupant = slot_of(c).load(Ordering::Acquire);
+                            debug_assert_ne!(
+                                occupant, NONE,
+                                "write phase must have filled the slot"
+                            );
+                            if occupant == i as u64 {
+                                return None; // placed
+                            }
+                            comparisons.incr();
+                            let next_cursor = if keys[i] < keys[occupant as usize] {
+                                Cursor::Left(occupant)
+                            } else {
+                                Cursor::Right(occupant)
+                            };
+                            Some((i, next_cursor))
+                        })
+                        .collect()
+                })
+                .collect();
+            next.clear();
+            for p in parts {
+                next.extend(p);
+            }
+            std::mem::swap(&mut active, &mut next);
+        }
         log.record(round_items, (round_items - active.len()) as u64);
     }
+    scratch::put_vec(active);
+    scratch::put_vec(next);
+    scratch::put_vec(snapshot);
 
     let tree = Bst {
         root: root.into_inner(),

@@ -25,7 +25,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::pool::{crew_run, parallelism_for, CHUNKS_PER_WORKER, MIN_CHUNK};
+use crate::pool::{crew_run, parallelism_for_weighted, CHUNKS_PER_WORKER, MIN_CHUNK};
 
 /// Split `0..n` into `k` near-equal contiguous ranges, in order.
 fn split_ranges(n: usize, k: usize) -> Vec<(usize, usize)> {
@@ -42,25 +42,33 @@ fn split_ranges(n: usize, k: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Number of cursor-scheduled chunks for a region of `n` items run by a
-/// crew of `width`.
-fn chunk_count(n: usize, width: usize) -> usize {
+/// Number of cursor-scheduled chunks for a region of `n` items (each
+/// standing for ~`weight` underlying elements) run by a crew of `width`.
+fn chunk_count(n: usize, width: usize, weight: usize) -> usize {
+    let min_chunk_items = (MIN_CHUNK / weight.max(1)).max(1);
     (width * CHUNKS_PER_WORKER)
-        .min(n.div_ceil(MIN_CHUNK))
+        .min(n.div_ceil(min_chunk_items))
         .max(width)
+        .min(n.max(1))
 }
 
 /// Execute `f` over contiguous sub-ranges of `0..n` (one crew region) and
-/// return the per-range results in range order.
-pub(crate) fn run_indexed<R: Send>(n: usize, f: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
+/// return the per-range results in range order. `weight` is the pipeline's
+/// [`ParallelIterator::weight_hint`]: the approximate number of underlying
+/// elements each item stands for.
+pub(crate) fn run_indexed<R: Send>(
+    n: usize,
+    weight: usize,
+    f: impl Fn(usize, usize) -> R + Sync,
+) -> Vec<R> {
     if n == 0 {
         return Vec::new();
     }
-    let width = parallelism_for(n);
+    let width = parallelism_for_weighted(n, weight);
     if width <= 1 {
         return vec![f(0, n)];
     }
-    let ranges = split_ranges(n, chunk_count(n, width));
+    let ranges = split_ranges(n, chunk_count(n, width, weight));
     crew_run(ranges, width, |(lo, hi)| f(lo, hi))
 }
 
@@ -91,6 +99,15 @@ pub trait ParallelIterator: Sync + Sized {
 
     /// Produce item `i` (`i < len()`).
     fn at(&self, i: usize) -> Self::Item;
+
+    /// Approximate underlying elements per item — the work estimate the
+    /// executor multiplies into its go-parallel decision. 1 for element
+    /// sources; `par_chunks(w)` reports `w` so a handful of block-sized
+    /// chunks still forms a full crew (by item count alone, a blocked
+    /// primitive would always look too small to parallelise).
+    fn weight_hint(&self) -> usize {
+        1
+    }
 
     /// Emptiness test.
     fn is_empty(&self) -> bool {
@@ -141,7 +158,7 @@ pub trait ParallelIterator: Sync + Sized {
     where
         F: Fn(&Self::Item) -> bool + Sync,
     {
-        let parts = run_indexed(self.len(), |lo, hi| {
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             (lo..hi)
                 .map(|i| self.at(i))
                 .filter(|x| pred(x))
@@ -156,7 +173,7 @@ pub trait ParallelIterator: Sync + Sized {
         R: Send,
         F: Fn(Self::Item) -> Option<R> + Sync,
     {
-        let parts = run_indexed(self.len(), |lo, hi| {
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             (lo..hi).filter_map(|i| f(self.at(i))).collect::<Vec<_>>()
         });
         ParIter::from_vec(concat(parts))
@@ -169,7 +186,7 @@ pub trait ParallelIterator: Sync + Sized {
         I::Item: Send,
         F: Fn(Self::Item) -> I + Sync,
     {
-        let parts = run_indexed(self.len(), |lo, hi| {
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             (lo..hi).flat_map(|i| f(self.at(i))).collect::<Vec<_>>()
         });
         ParIter::from_vec(concat(parts))
@@ -183,7 +200,7 @@ pub trait ParallelIterator: Sync + Sized {
         ID: Fn() -> B + Sync,
         F: Fn(B, Self::Item) -> B + Sync,
     {
-        let parts = run_indexed(self.len(), |lo, hi| {
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             (lo..hi).map(|i| self.at(i)).fold(identity(), &fold_op)
         });
         ParIter::from_vec(parts)
@@ -194,7 +211,7 @@ pub trait ParallelIterator: Sync + Sized {
     where
         F: Fn(Self::Item) + Sync,
     {
-        run_indexed(self.len(), |lo, hi| {
+        run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             for i in lo..hi {
                 f(self.at(i));
             }
@@ -207,7 +224,7 @@ pub trait ParallelIterator: Sync + Sized {
         ID: Fn() -> Self::Item + Sync,
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
     {
-        let parts = run_indexed(self.len(), |lo, hi| {
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             (lo..hi).map(|i| self.at(i)).fold(identity(), &op)
         });
         parts.into_iter().fold(identity(), &op)
@@ -218,7 +235,7 @@ pub trait ParallelIterator: Sync + Sized {
     where
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
     {
-        let parts = run_indexed(self.len(), |lo, hi| {
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             (lo..hi).map(|i| self.at(i)).reduce(&op)
         });
         parts.into_iter().flatten().reduce(&op)
@@ -229,7 +246,9 @@ pub trait ParallelIterator: Sync + Sized {
     where
         S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
     {
-        let parts = run_indexed(self.len(), |lo, hi| (lo..hi).map(|i| self.at(i)).sum::<S>());
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
+            (lo..hi).map(|i| self.at(i)).sum::<S>()
+        });
         parts.into_iter().sum()
     }
 
@@ -262,7 +281,7 @@ pub trait ParallelIterator: Sync + Sized {
         F: Fn(&Self::Item) -> bool + Sync,
     {
         let best = AtomicUsize::new(usize::MAX);
-        let hits = run_indexed(self.len(), |lo, hi| {
+        let hits = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             for i in lo..hi {
                 if best.load(Ordering::Relaxed) < lo {
                     return None; // an earlier chunk already matched
@@ -286,7 +305,7 @@ pub trait ParallelIterator: Sync + Sized {
     where
         C: FromIterator<Self::Item>,
     {
-        let parts = run_indexed(self.len(), |lo, hi| {
+        let parts = run_indexed(self.len(), self.weight_hint(), |lo, hi| {
             let mut v = Vec::with_capacity(hi - lo);
             for i in lo..hi {
                 v.push(self.at(i));
@@ -294,6 +313,37 @@ pub trait ParallelIterator: Sync + Sized {
             v
         });
         concat(parts).into_iter().collect()
+    }
+
+    /// Gather into a reused vector, in order: `out` is cleared and filled,
+    /// keeping its capacity. Round-based callers pass the same buffer every
+    /// round so the large backing allocation is paid once. When the
+    /// pipeline runs inline (width 1), items are written straight into
+    /// `out` with no intermediate storage at all.
+    fn collect_into_vec(self, out: &mut Vec<Self::Item>) {
+        out.clear();
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        if parallelism_for_weighted(n, self.weight_hint()) <= 1 {
+            out.reserve(n);
+            for i in 0..n {
+                out.push(self.at(i));
+            }
+            return;
+        }
+        let parts = run_indexed(n, self.weight_hint(), |lo, hi| {
+            let mut v = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                v.push(self.at(i));
+            }
+            v
+        });
+        out.reserve(n);
+        for p in parts {
+            out.extend(p);
+        }
     }
 }
 
@@ -317,6 +367,9 @@ where
     fn at(&self, i: usize) -> R {
         (self.f)(self.base.at(i))
     }
+    fn weight_hint(&self) -> usize {
+        self.base.weight_hint()
+    }
 }
 
 /// Lazy zip adapter (see [`ParallelIterator::zip`]).
@@ -338,6 +391,9 @@ where
     fn at(&self, i: usize) -> Self::Item {
         (self.a.at(i), self.b.at(i))
     }
+    fn weight_hint(&self) -> usize {
+        self.a.weight_hint().max(self.b.weight_hint())
+    }
 }
 
 /// Lazy enumerate adapter (see [`ParallelIterator::enumerate`]).
@@ -353,6 +409,9 @@ impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
     }
     fn at(&self, i: usize) -> Self::Item {
         (i, self.base.at(i))
+    }
+    fn weight_hint(&self) -> usize {
+        self.base.weight_hint()
     }
 }
 
@@ -374,6 +433,9 @@ where
     fn at(&self, i: usize) -> T {
         *self.base.at(i)
     }
+    fn weight_hint(&self) -> usize {
+        self.base.weight_hint()
+    }
 }
 
 /// Lazy clone-out-of-references adapter.
@@ -393,6 +455,9 @@ where
     }
     fn at(&self, i: usize) -> T {
         self.base.at(i).clone()
+    }
+    fn weight_hint(&self) -> usize {
+        self.base.weight_hint()
     }
 }
 
@@ -461,7 +526,10 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     type Iter = ParIter<T>;
     fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+        ParIter {
+            items: self,
+            weight: 1,
+        }
     }
 }
 
@@ -498,12 +566,25 @@ fn split_vec<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
 #[derive(Debug)]
 pub struct ParIter<T> {
     items: Vec<T>,
+    /// Approximate underlying elements per item (see
+    /// [`ParallelIterator::weight_hint`]); set by coarse sources such as
+    /// [`par_chunks_mut`](crate::slice::ParallelSliceMut::par_chunks_mut)
+    /// and by [`ParIter::with_weight`].
+    weight: usize,
 }
 
 impl<T: Send> ParIter<T> {
     /// Wrap already materialised items.
     pub fn from_vec(items: Vec<T>) -> Self {
-        ParIter { items }
+        ParIter { items, weight: 1 }
+    }
+
+    /// Declare each item to stand for ~`weight` underlying elements, so
+    /// the go-parallel decision is made on estimated work rather than
+    /// item count (for items that are whole blocks of work).
+    pub fn with_weight(mut self, weight: usize) -> Self {
+        self.weight = weight.max(1);
+        self
     }
 
     /// Number of items.
@@ -523,11 +604,11 @@ impl<T: Send> ParIter<T> {
         if n == 0 {
             return Vec::new();
         }
-        let width = parallelism_for(n);
+        let width = parallelism_for_weighted(n, self.weight);
         if width <= 1 {
             return vec![per_chunk(0, self.items)];
         }
-        let chunks = split_vec(self.items, chunk_count(n, width));
+        let chunks = split_vec(self.items, chunk_count(n, width, self.weight));
         let mut offset = 0usize;
         let inputs: Vec<(usize, Vec<T>)> = chunks
             .into_iter()
@@ -540,14 +621,16 @@ impl<T: Send> ParIter<T> {
         crew_run(inputs, width, |(base, chunk)| per_chunk(base, chunk))
     }
 
-    /// Parallel map, preserving order.
+    /// Parallel map, preserving order (and the weight hint: items map
+    /// one-to-one, so each output still stands for the same work).
     pub fn map<R, F>(self, f: F) -> ParIter<R>
     where
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        let weight = self.weight;
         let parts = self.run_owned(|_, chunk| chunk.into_iter().map(&f).collect::<Vec<R>>());
-        ParIter::from_vec(concat(parts))
+        ParIter::from_vec(concat(parts)).with_weight(weight)
     }
 
     /// Parallel filter, preserving order.
@@ -591,10 +674,14 @@ impl<T: Send> ParIter<T> {
 
     /// Index-based zip with any lazy pipeline: the right-hand side is read
     /// per index while this side's chunks move, so neither side is
-    /// materialised as a whole before pairing.
+    /// materialised as a whole before pairing. Pairing is one-to-one, so
+    /// the result carries the heavier side's weight hint — a zip of two
+    /// chunked views stays a full-crew region for its downstream
+    /// terminal, instead of looking like a handful of items.
     pub fn zip<P: ParallelIterator>(mut self, other: P) -> ParIter<(T, P::Item)> {
         let n = self.items.len().min(other.len());
         self.items.truncate(n);
+        let weight = self.weight.max(other.weight_hint());
         let parts = self.run_owned(|base, chunk| {
             chunk
                 .into_iter()
@@ -602,11 +689,13 @@ impl<T: Send> ParIter<T> {
                 .map(|(j, x)| (x, other.at(base + j)))
                 .collect::<Vec<_>>()
         });
-        ParIter::from_vec(concat(parts))
+        ParIter::from_vec(concat(parts)).with_weight(weight)
     }
 
-    /// Index each item, in parallel (offsets are carried per chunk).
+    /// Index each item, in parallel (offsets are carried per chunk; the
+    /// weight hint carries over — enumeration is one-to-one).
     pub fn enumerate(self) -> ParIter<(usize, T)> {
+        let weight = self.weight;
         let parts = self.run_owned(|base, chunk| {
             chunk
                 .into_iter()
@@ -614,7 +703,7 @@ impl<T: Send> ParIter<T> {
                 .map(|(j, x)| (base + j, x))
                 .collect::<Vec<_>>()
         });
-        ParIter::from_vec(concat(parts))
+        ParIter::from_vec(concat(parts)).with_weight(weight)
     }
 
     /// First item matching `pred`, in original order, searched in parallel

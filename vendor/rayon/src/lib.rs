@@ -52,9 +52,9 @@ pub use iter::{
     RangeIter, Zip,
 };
 pub use pool::{
-    cached_pool, current_num_threads, global_pool, helper_threads_spawned, join, run_sequential,
-    scope, spawn, worker_threads_spawned, Scope, ThreadPool, ThreadPoolBuildError,
-    ThreadPoolBuilder, MIN_PAR_LEN,
+    cached_pool, crew_regions, current_num_threads, global_pool, helper_threads_spawned, join,
+    run_sequential, scope, should_parallelize, spawn, worker_threads_spawned, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder, MIN_CHUNK, MIN_PAR_LEN,
 };
 pub use slice::{ChunksIter, ParallelSlice, ParallelSliceMut, SliceIter};
 
@@ -166,6 +166,36 @@ mod tests {
         assert_eq!(idx[0], 1);
         assert_eq!(idx[1], 1);
         assert_eq!(idx[49_999], 49_999);
+    }
+
+    #[test]
+    fn chunked_zip_for_each_forms_a_crew() {
+        // Regression: blocked primitives pair a few block-sized mutable
+        // chunks with read chunks. The weight hint must survive the zip,
+        // so the terminal still forms a full crew — by raw item count
+        // (~a dozen chunk pairs) this region used to look too small to
+        // parallelise and every blocked pass ran sequentially.
+        let n = 40_000usize;
+        let mut flags = vec![false; n];
+        let keys: Vec<usize> = (0..n).collect();
+        let pool = cached_pool(4);
+        pool.install(|| {
+            let chunk = n.div_ceil(recommended_splits());
+            let before = helper_threads_spawned();
+            flags
+                .par_chunks_mut(chunk)
+                .zip(keys.par_chunks(chunk))
+                .for_each(|(fs, ks)| {
+                    for (f, &k) in fs.iter_mut().zip(ks) {
+                        *f = k % 2 == 0;
+                    }
+                });
+            assert!(
+                helper_threads_spawned() > before,
+                "chunked zip terminal must go parallel"
+            );
+        });
+        assert!(flags[0] && !flags[1] && flags[n - 2]);
     }
 
     #[test]

@@ -42,8 +42,19 @@ pub const MIN_PAR_LEN: usize = 2048;
 /// (over-partitioning is what makes the dynamic cursor balance load).
 pub(crate) const CHUNKS_PER_WORKER: usize = 4;
 
-/// Smallest chunk the splitter will produce for a parallel region.
-pub(crate) const MIN_CHUNK: usize = MIN_PAR_LEN / 4;
+/// Smallest chunk the splitter will produce for a parallel region. Also
+/// the unit grain-size callers can use to derive sequential cutoffs
+/// (see [`should_parallelize`]).
+pub const MIN_CHUNK: usize = MIN_PAR_LEN / 4;
+
+/// Would a parallel region over `len` items actually go parallel under
+/// the current install? `false` when the ambient width is 1 (sequential
+/// installs, `threads == 1` configs) or `len` is below [`MIN_PAR_LEN`].
+/// Round-based callers use this to run small rounds inline on the caller
+/// and skip region setup entirely.
+pub fn should_parallelize(len: usize) -> bool {
+    len >= MIN_PAR_LEN && current_num_threads() > 1
+}
 
 /// A unit of pool work (pool jobs must be `'static`; borrowed work goes
 /// through the crew executor instead).
@@ -65,6 +76,9 @@ thread_local! {
     /// count is naturally per-thread — which keeps assertions about it
     /// immune to concurrently running tests in the same process).
     static HELPER_SPAWNS: Cell<usize> = const { Cell::new(0) };
+    /// Multi-member crew regions this thread has started (a region that
+    /// ran inline — width 1 or a short input — does not count).
+    static CREW_REGIONS: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Lifetime count of pool worker threads spawned by this process
@@ -81,6 +95,14 @@ pub fn worker_threads_spawned() -> usize {
 /// crew (not one per combinator) and that sequential runs spawn nothing.
 pub fn helper_threads_spawned() -> usize {
     HELPER_SPAWNS.with(Cell::get)
+}
+
+/// Multi-member crew regions started *by the calling thread* so far.
+/// Together with [`helper_threads_spawned`], the delta across a run is
+/// how the engine's reports count scheduler involvement: both stay flat
+/// across a run whose every round fell under the sequential cutoff.
+pub fn crew_regions() -> usize {
+    CREW_REGIONS.with(Cell::get)
 }
 
 fn count_helper_spawn() {
@@ -457,12 +479,19 @@ pub(crate) fn crew_depth() -> usize {
 }
 
 /// How many crew members (caller included) a region over `len` items may
-/// use under the current install. Below [`MIN_PAR_LEN`] everything is
-/// inline; nested regions get geometrically fewer members so a region
-/// inside a crew helper cannot multiply threads unboundedly; and the count
-/// adapts so every member has at least `MIN_PAR_LEN / 2` items.
-pub(crate) fn parallelism_for(len: usize) -> usize {
-    if len < MIN_PAR_LEN {
+/// use under the current install, for items that each stand for roughly
+/// `weight` underlying elements (a `par_chunks(w)` item is a whole
+/// chunk). The go-parallel decision and the member count are sized by
+/// the estimated *work* `len × weight`, so a region of 16 block-sized
+/// chunks forms a full crew instead of mistaking itself for a 16-element
+/// toy — while a genuinely tiny region still runs inline (below
+/// [`MIN_PAR_LEN`] estimated work everything is inline). Nested regions
+/// get geometrically fewer members so a region inside a crew helper
+/// cannot multiply threads unboundedly, and the count adapts so every
+/// member has at least `MIN_PAR_LEN / 2` elements of estimated work.
+pub(crate) fn parallelism_for_weighted(len: usize, weight: usize) -> usize {
+    let work = len.saturating_mul(weight.max(1));
+    if work < MIN_PAR_LEN {
         return 1;
     }
     let base = match crew_depth() {
@@ -470,7 +499,8 @@ pub(crate) fn parallelism_for(len: usize) -> usize {
         1 => (current_num_threads() / 4).max(1),
         _ => 1,
     };
-    base.clamp(1, len.div_ceil(MIN_PAR_LEN / 2))
+    base.clamp(1, work.div_ceil(MIN_PAR_LEN / 2))
+        .min(len.max(1))
 }
 
 /// Execute `f` over `inputs` with a crew of `width` threads (the caller
@@ -491,6 +521,7 @@ where
     if crew <= 1 {
         return inputs.into_iter().map(f).collect();
     }
+    CREW_REGIONS.with(|c| c.set(c.get() + 1));
     let slots: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let outs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);

@@ -49,6 +49,11 @@ impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
         let hi = (lo + self.size).min(self.slice.len());
         &self.slice[lo..hi]
     }
+    fn weight_hint(&self) -> usize {
+        // Each item is a whole chunk: the go-parallel decision must see
+        // the underlying element count, not the (small) chunk count.
+        self.size
+    }
 }
 
 /// Borrowing parallel iteration over slices (and anything derefing to one).
@@ -84,7 +89,9 @@ pub trait ParallelSliceMut<T: Send> {
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
         assert!(chunk_size > 0, "chunk size must be positive");
-        ParIter::from_vec(self.chunks_mut(chunk_size).collect())
+        // Weighted: a few block-sized chunks are a full region's worth of
+        // work even though the item count is tiny.
+        ParIter::from_vec(self.chunks_mut(chunk_size).collect()).with_weight(chunk_size)
     }
     fn par_iter_mut(&mut self) -> ParIter<&mut T> {
         ParIter::from_vec(self.iter_mut().collect())
