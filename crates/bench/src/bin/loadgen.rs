@@ -1,12 +1,14 @@
 //! `loadgen` — the serving-layer load generator: fire N concurrent
-//! `/solve` requests at an `ri-serve` instance and record latency
-//! percentiles to `BENCH_PR4.json`. The PR 4 performance artifact: CI
-//! runs it briefly against an in-process server and fails on any
-//! non-2xx response or unparseable body.
+//! `/solve` requests at an `ri-serve` instance (or, with `--router`, an
+//! `ri-router` fronted fleet) and record latency percentiles to
+//! `BENCH_PR4.json` / `BENCH_PR6.json`. The CI performance artifact:
+//! runs briefly against an in-process target and fails on any non-2xx
+//! response or unparseable body.
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--n SIZE]
 //!         [--problems a,b,c] [--threads K] [--executors E] [--out PATH]
+//!         [--router] [--shards S] [--witness PATH]
 //! ```
 //!
 //! Without `--addr`, an in-process server is booted on an ephemeral port
@@ -14,11 +16,20 @@
 //! end — the one-command CI path. With `--addr`, an already-running
 //! server is targeted and `--threads`/`--executors` are ignored.
 //!
-//! Requests round-robin over the problem list (default: every registered
-//! problem), all with workload size `--n`. Each client thread opens one
-//! connection per request (the server's one-request-per-connection
-//! protocol), so concurrency C exercises C simultaneous solves end to
-//! end: admission, queueing, the shared pool, response serialization.
+//! With `--router`, the in-process target is a full front tier:
+//! `--shards` backends plus a router, each request carrying a distinct
+//! workload seed (so every request really routes — nothing collapses
+//! into the result cache), and clients reuse keep-alive connections.
+//! The output gains a `router` section: per-shard request counts, retry
+//! counts, and cache statistics straight from the router's `/healthz`.
+//! `--witness PATH` additionally captures the run's witness log,
+//! replayable with `ri witness replay PATH`.
+//!
+//! In plain mode requests round-robin over the problem list (default:
+//! every registered problem), all with workload size `--n`, one
+//! connection per request — concurrency C exercises C simultaneous
+//! solves end to end: admission, queueing, the shared pool, response
+//! serialization.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,8 +37,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parallel_ri::registry;
-use ri_core::engine::json::Value;
+use ri_core::engine::json::{self, Value};
 use ri_core::engine::{ServeRequest, ServeResponse, WorkloadSpec};
+use ri_router::{BackendSpec, BackendTarget, Router, RouterConfig};
 use ri_serve::{http, ServeConfig, Server};
 
 struct Args {
@@ -38,7 +50,10 @@ struct Args {
     problems: Option<Vec<String>>,
     threads: usize,
     executors: usize,
-    out: String,
+    out: Option<String>,
+    router: bool,
+    shards: usize,
+    witness: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,7 +65,10 @@ fn parse_args() -> Result<Args, String> {
         problems: None,
         threads: 0,
         executors: 2,
-        out: "BENCH_PR4.json".to_string(),
+        out: None,
+        router: false,
+        shards: 2,
+        witness: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -92,12 +110,25 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --executors: {e}"))?
             }
-            "--out" => args.out = value("--out")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--router" => args.router = true,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?
+            }
+            "--witness" => args.witness = Some(value("--witness")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.requests == 0 || args.concurrency == 0 || args.executors == 0 {
         return Err("--requests, --concurrency and --executors must be positive".into());
+    }
+    if args.router && args.addr.is_some() {
+        return Err("--router boots its own in-process fleet; drop --addr".into());
+    }
+    if args.router && args.shards == 0 {
+        return Err("--shards must be positive".into());
     }
     Ok(args)
 }
@@ -129,35 +160,85 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 
 fn main() {
     let args = parse_args().unwrap_or_else(|e| fail(e));
+    let out = args.out.clone().unwrap_or_else(|| {
+        if args.router {
+            "BENCH_PR6.json".to_string()
+        } else {
+            "BENCH_PR4.json".to_string()
+        }
+    });
 
-    // Target: an external server, or an in-process one on an ephemeral
-    // port (shut down gracefully after the run).
+    // Target: an external server, an in-process one, or (--router) an
+    // in-process fleet of shards behind a router — all shut down
+    // gracefully after the run.
     let mut in_process: Option<Server> = None;
-    let addr: SocketAddr = match &args.addr {
-        // Resolve through ToSocketAddrs so hostnames (`localhost:8077`)
-        // work exactly as they do for `ri-serve --addr`.
-        Some(addr) => std::net::ToSocketAddrs::to_socket_addrs(addr.as_str())
-            .unwrap_or_else(|e| fail(format!("bad --addr: {e}")))
-            .next()
-            .unwrap_or_else(|| fail(format!("--addr `{addr}` resolved to nothing"))),
-        None => {
-            let server = Server::start(
-                registry(),
-                ServeConfig {
-                    threads: args.threads,
-                    executors: args.executors,
-                    ..ServeConfig::default()
-                },
-            )
-            .unwrap_or_else(|e| fail(format!("starting in-process server: {e}")));
-            let addr = server.local_addr();
-            eprintln!(
-                "loadgen: in-process server on {addr} (pool width {}, {} executors)",
-                server.pool_width(),
-                args.executors
-            );
-            in_process = Some(server);
-            addr
+    let mut fleet: Option<(Router, Vec<Server>)> = None;
+    let addr: SocketAddr = if args.router {
+        let backends: Vec<Server> = (0..args.shards)
+            .map(|i| {
+                Server::start(
+                    registry(),
+                    ServeConfig {
+                        threads: args.threads,
+                        executors: args.executors,
+                        shard_id: format!("s{i}"),
+                        ..ServeConfig::default()
+                    },
+                )
+                .unwrap_or_else(|e| fail(format!("starting shard {i}: {e}")))
+            })
+            .collect();
+        let specs = backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BackendSpec {
+                shard_id: format!("s{i}"),
+                target: BackendTarget::Attach(b.local_addr()),
+            })
+            .collect();
+        let router = Router::start(
+            RouterConfig {
+                witness_path: args.witness.clone().map(Into::into),
+                health_interval_ms: 200,
+                ..RouterConfig::default()
+            },
+            specs,
+        )
+        .unwrap_or_else(|e| fail(format!("starting router: {e}")));
+        let addr = router.local_addr();
+        eprintln!(
+            "loadgen: in-process router on {addr} fronting {} shards",
+            args.shards
+        );
+        fleet = Some((router, backends));
+        addr
+    } else {
+        match &args.addr {
+            // Resolve through ToSocketAddrs so hostnames (`localhost:8077`)
+            // work exactly as they do for `ri-serve --addr`.
+            Some(addr) => std::net::ToSocketAddrs::to_socket_addrs(addr.as_str())
+                .unwrap_or_else(|e| fail(format!("bad --addr: {e}")))
+                .next()
+                .unwrap_or_else(|| fail(format!("--addr `{addr}` resolved to nothing"))),
+            None => {
+                let server = Server::start(
+                    registry(),
+                    ServeConfig {
+                        threads: args.threads,
+                        executors: args.executors,
+                        ..ServeConfig::default()
+                    },
+                )
+                .unwrap_or_else(|e| fail(format!("starting in-process server: {e}")));
+                let addr = server.local_addr();
+                eprintln!(
+                    "loadgen: in-process server on {addr} (pool width {}, {} executors)",
+                    server.pool_width(),
+                    args.executors
+                );
+                in_process = Some(server);
+                addr
+            }
         }
     };
 
@@ -169,21 +250,37 @@ fn main() {
         fail("no problems to request");
     }
 
-    // Pre-render the request bodies (one per problem; requests round-robin
-    // over them).
-    let bodies: Vec<(String, String)> = problems
-        .iter()
-        .map(|p| {
-            let mut req = ServeRequest::new(p.clone());
-            req.workload = WorkloadSpec::new(args.n, 1);
-            req.config.seed = 7;
-            (p.clone(), req.to_json())
-        })
-        .collect();
+    // Pre-render the request bodies. Plain mode: one per problem,
+    // round-robined. Router mode: one per *request* with a distinct
+    // workload seed, so every request carries a fresh witness key and
+    // really routes (the result cache would otherwise absorb repeats
+    // and the per-shard counts would measure nothing).
+    let bodies: Vec<(String, String)> = if args.router {
+        (0..args.requests)
+            .map(|i| {
+                let p = &problems[i % problems.len()];
+                let mut req = ServeRequest::new(p.clone());
+                req.workload = WorkloadSpec::new(args.n, i as u64);
+                req.config.seed = 7;
+                (p.clone(), req.to_json())
+            })
+            .collect()
+    } else {
+        problems
+            .iter()
+            .map(|p| {
+                let mut req = ServeRequest::new(p.clone());
+                req.workload = WorkloadSpec::new(args.n, 1);
+                req.config.seed = 7;
+                (p.clone(), req.to_json())
+            })
+            .collect()
+    };
 
     let next = AtomicUsize::new(0);
     let bodies = Arc::new(bodies);
     let total = args.requests;
+    let use_keep_alive = args.router;
     let t0 = Instant::now();
     let samples: Vec<Sample> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.concurrency)
@@ -191,6 +288,10 @@ fn main() {
                 let bodies = Arc::clone(&bodies);
                 let next = &next;
                 s.spawn(move || {
+                    // Router mode: one keep-alive connection per client
+                    // thread, reused across its whole share of the burst.
+                    let mut conn = use_keep_alive
+                        .then(|| http::ClientConn::new(addr, Duration::from_secs(120)));
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -199,13 +300,16 @@ fn main() {
                         }
                         let (problem, body) = &bodies[i % bodies.len()];
                         let t = Instant::now();
-                        let outcome = http::request(
-                            addr,
-                            "POST",
-                            "/solve",
-                            Some(body),
-                            Duration::from_secs(120),
-                        );
+                        let outcome = match conn.as_mut() {
+                            Some(c) => c.request("POST", "/solve", Some(body)),
+                            None => http::request(
+                                addr,
+                                "POST",
+                                "/solve",
+                                Some(body),
+                                Duration::from_secs(120),
+                            ),
+                        };
                         let latency = t.elapsed();
                         let (ok, detail) = match outcome {
                             Ok(resp) if resp.status == 200 => {
@@ -241,8 +345,37 @@ fn main() {
     });
     let wall = t0.elapsed().as_secs_f64();
 
+    // Router mode: capture the cluster view (per-shard request counts,
+    // retries, cache stats, witness info) before tearing the fleet down.
+    let router_stats: Option<Value> = fleet.as_ref().map(|(router, _)| {
+        let resp = http::request(
+            router.local_addr(),
+            "GET",
+            "/healthz",
+            None,
+            Duration::from_secs(10),
+        )
+        .unwrap_or_else(|e| fail(format!("router healthz: {e}")));
+        let health = json::parse(&resp.body)
+            .unwrap_or_else(|e| fail(format!("unparseable router healthz: {e}")));
+        let pick = |key: &str| health.get(key).cloned().unwrap_or(Value::Null);
+        Value::Obj(vec![
+            ("shards".into(), pick("shards")),
+            ("retries".into(), pick("retries")),
+            ("routed".into(), pick("routed")),
+            ("cache".into(), pick("cache")),
+            ("witness".into(), pick("witness")),
+        ])
+    });
+
     if let Some(server) = in_process.take() {
         server.shutdown();
+    }
+    if let Some((router, backends)) = fleet.take() {
+        router.shutdown();
+        for backend in backends {
+            backend.shutdown();
+        }
     }
 
     let failures: Vec<&Sample> = samples.iter().filter(|s| !s.ok).collect();
@@ -298,6 +431,15 @@ fn main() {
                 ("n".into(), Value::Num(args.n as f64)),
                 ("executors".into(), Value::Num(args.executors as f64)),
                 ("in_process_server".into(), Value::Bool(args.addr.is_none())),
+                ("router".into(), Value::Bool(args.router)),
+                (
+                    "shards".into(),
+                    if args.router {
+                        Value::Num(args.shards as f64)
+                    } else {
+                        Value::Null
+                    },
+                ),
             ]),
         ),
         (
@@ -330,17 +472,18 @@ fn main() {
             ]),
         ),
         ("per_problem".into(), Value::Obj(per_problem)),
+        ("router".into(), router_stats.unwrap_or(Value::Null)),
     ]);
 
-    std::fs::write(&args.out, format!("{}\n", doc.write()))
-        .unwrap_or_else(|e| fail(format!("writing {}: {e}", args.out)));
+    std::fs::write(&out, format!("{}\n", doc.write()))
+        .unwrap_or_else(|e| fail(format!("writing {}: {e}", out)));
     eprintln!(
         "loadgen: {} requests, {} ok, p50 {:.1}ms p99 {:.1}ms, wrote {}",
         samples.len(),
         samples.len() - failures.len(),
         percentile(&all_ms, 0.50),
         percentile(&all_ms, 0.99),
-        args.out
+        out
     );
 
     if !failures.is_empty() {

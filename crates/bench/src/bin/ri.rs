@@ -11,7 +11,14 @@
 //! ri --request-file req.json        # same JSON from a file ("-" = stdin)
 //! ri --problem delaunay --n 1000 --seed 7 --shape uniform-disk --mode parallel --threads 4
 //! ri --list                         # registered problem names + descriptions
+//! ri witness replay <file>          # re-execute a witness log, assert bit-identity
 //! ```
+//!
+//! `witness replay` loads an `ri-router` witness log (one JSON record per
+//! routed solve), re-executes every record through the local registry and
+//! asserts the answer **and** the deterministic round trace come back
+//! bit-identical — the cross-shard determinism gate. Prints a one-line
+//! JSON summary; exits nonzero if any record diverges.
 //!
 //! `workload.seed` seeds the input generator; `config.seed` seeds run-time
 //! randomness (processing orders). Omitted fields take their defaults
@@ -24,6 +31,9 @@ use std::io::Read;
 
 use parallel_ri::registry;
 use ri_core::engine::envelope::check_seed;
+use ri_core::engine::json::Value;
+use ri_core::engine::registry::Registry;
+use ri_core::engine::witness;
 use ri_core::engine::{ServeRequest, ServeResponse};
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -37,11 +47,15 @@ fn usage_text() -> &'static str {
      \x20      ri --problem <name> [--n N] [--seed S] [--shape NAME] [--param X]\n\
      \x20         [--mode sequential|parallel] [--run-seed S] [--threads K] [--no-instrument]\n\
      \x20      ri --list\n\
+     \x20      ri witness replay <file>\n\
      \n\
      The request JSON shape is {\"problem\": <name>, \"workload\": {n, seed, shape?, param?},\n\
      \"config\": {seed, mode, threads?, instrument?}}; the response echoes\n\
      problem/workload/config and adds summary + report JSON. The same\n\
-     request body works verbatim against ri-serve's POST /solve."
+     request body works verbatim against ri-serve's POST /solve.\n\
+     `witness replay` re-executes every record of an ri-router witness log\n\
+     and exits nonzero unless all answers and round traces reproduce\n\
+     bit-identically."
 }
 
 fn usage() -> ! {
@@ -109,6 +123,48 @@ fn parse_flags(args: &[String]) -> Result<ServeRequest, String> {
     Ok(request)
 }
 
+/// `ri witness replay <file>`: the determinism gate as a command. Every
+/// record re-executes through the local registry; any divergence (answer
+/// or round trace) is reported per record and fails the run.
+fn witness_command(reg: &Registry, args: &[String]) {
+    match args {
+        [subcommand, path] if subcommand == "replay" => {
+            let records = witness::read_log(path).unwrap_or_else(|e| fail(e));
+            let mut divergent = 0usize;
+            for (i, record) in records.iter().enumerate() {
+                if let Err(e) = witness::replay(reg, record) {
+                    divergent += 1;
+                    eprintln!(
+                        "ri: record {} ({} seed {} via shard {}): {e}",
+                        i + 1,
+                        record.request.problem,
+                        record.request.config.seed,
+                        record.shard
+                    );
+                }
+            }
+            println!(
+                "{}",
+                Value::Obj(vec![
+                    ("log".into(), Value::Str(path.clone())),
+                    ("records".into(), Value::Num(records.len() as f64)),
+                    (
+                        "replayed".into(),
+                        Value::Num((records.len() - divergent) as f64)
+                    ),
+                    ("divergent".into(), Value::Num(divergent as f64)),
+                    ("ok".into(), Value::Bool(divergent == 0)),
+                ])
+                .write()
+            );
+            if divergent > 0 {
+                std::process::exit(1);
+            }
+        }
+        _ => fail("usage: ri witness replay <file>"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -124,6 +180,10 @@ fn main() {
         for (name, description) in reg.descriptions() {
             println!("{name:<14} {description}");
         }
+        return;
+    }
+    if args[0] == "witness" {
+        witness_command(&reg, &args[1..]);
         return;
     }
 

@@ -114,6 +114,21 @@ impl ServeErrorKind {
         ServeErrorKind::Internal,
     ];
 
+    /// Whether a request failing with this kind is safe and sensible to
+    /// retry (against another shard, or later): the request never ran —
+    /// it was shed at admission ([`ServeErrorKind::Overloaded`]) or timed
+    /// out in the queue ([`ServeErrorKind::DeadlineExceeded`]). Every
+    /// solve is deterministic and side-effect-free, so retrying can never
+    /// double-apply anything; the kinds marked non-retryable would just
+    /// fail identically anywhere (malformed request, unknown problem, a
+    /// deterministic panic).
+    pub fn default_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeErrorKind::Overloaded | ServeErrorKind::DeadlineExceeded
+        )
+    }
+
     /// The HTTP status this kind maps to.
     pub fn http_status(&self) -> u16 {
         match self {
@@ -152,15 +167,30 @@ pub struct ServeError {
     pub kind: ServeErrorKind,
     /// What went wrong, for humans.
     pub message: String,
+    /// Whether retrying the request (elsewhere, or later) can succeed —
+    /// what a router keys its failover decision on. Defaults to the
+    /// kind's [`ServeErrorKind::default_retryable`]; the field is
+    /// additive in the JSON form, so parsers of the pre-field envelope
+    /// keep working and old envelopes parse to the kind default.
+    pub retryable: bool,
 }
 
 impl ServeError {
-    /// An error of `kind` with `message`.
+    /// An error of `kind` with `message` and the kind's default
+    /// retryability.
     pub fn new(kind: ServeErrorKind, message: impl Into<String>) -> Self {
         ServeError {
             kind,
             message: message.into(),
+            retryable: kind.default_retryable(),
         }
+    }
+
+    /// Override the retryability (e.g. a router marking its synthesized
+    /// all-shards-down 503 as retryable-later).
+    pub fn retryable(mut self, retryable: bool) -> Self {
+        self.retryable = retryable;
+        self
     }
 
     /// Shorthand for a [`ServeErrorKind::BadRequest`] error.
@@ -180,6 +210,7 @@ impl ServeError {
             Value::Obj(vec![
                 ("kind".into(), Value::Str(self.kind.as_str().into())),
                 ("message".into(), Value::Str(self.message.clone())),
+                ("retryable".into(), Value::Bool(self.retryable)),
             ]),
         )])
     }
@@ -211,7 +242,18 @@ impl ServeError {
             .and_then(Value::as_str)
             .ok_or_else(|| bad("missing `message`"))?
             .to_string();
-        Ok(ServeError { kind, message })
+        // Additive field: absent (pre-field envelopes) means the kind
+        // default; present must be a bool.
+        let retryable = match inner.get("retryable") {
+            None => kind.default_retryable(),
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(bad("non-bool `retryable`")),
+        };
+        Ok(ServeError {
+            kind,
+            message,
+            retryable,
+        })
     }
 }
 
@@ -439,14 +481,38 @@ mod tests {
     #[test]
     fn error_round_trips_and_maps_statuses() {
         for kind in ServeErrorKind::ALL {
-            let e = ServeError::new(kind, "something");
-            let back = ServeError::from_json(&e.to_json()).unwrap();
-            assert_eq!(back, e);
+            for retryable in [kind.default_retryable(), !kind.default_retryable()] {
+                let e = ServeError::new(kind, "something").retryable(retryable);
+                let back = ServeError::from_json(&e.to_json()).unwrap();
+                assert_eq!(back, e);
+                assert_eq!(back.retryable, retryable);
+            }
             assert!((400..=599).contains(&kind.http_status()), "{kind:?}");
         }
         assert_eq!(ServeError::bad_request("x").http_status(), 400);
         assert!(ServeError::from_json("{\"error\":{}}").is_err());
         assert!(ServeError::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn retryable_defaults_by_kind_and_is_additive_on_parse() {
+        // Shed-before-running kinds default retryable; the rest do not.
+        assert!(ServeError::new(ServeErrorKind::Overloaded, "x").retryable);
+        assert!(ServeError::new(ServeErrorKind::DeadlineExceeded, "x").retryable);
+        for kind in ServeErrorKind::ALL {
+            if kind != ServeErrorKind::Overloaded && kind != ServeErrorKind::DeadlineExceeded {
+                assert!(!ServeError::new(kind, "x").retryable, "{kind:?}");
+            }
+        }
+        // A pre-field envelope (no `retryable` member) parses to the kind
+        // default — the field is additive, old producers keep working.
+        let old = "{\"error\":{\"kind\":\"overloaded\",\"message\":\"m\"}}";
+        assert!(ServeError::from_json(old).unwrap().retryable);
+        let old = "{\"error\":{\"kind\":\"bad-request\",\"message\":\"m\"}}";
+        assert!(!ServeError::from_json(old).unwrap().retryable);
+        // Present but malformed is rejected.
+        let bad = "{\"error\":{\"kind\":\"overloaded\",\"message\":\"m\",\"retryable\":1}}";
+        assert!(ServeError::from_json(bad).is_err());
     }
 
     #[test]

@@ -29,7 +29,13 @@
 //! * [`envelope`] — the transport-agnostic serving envelope:
 //!   [`ServeRequest`] / [`ServeResponse`] / [`ServeError`] with JSON
 //!   round-trips, shared by the `ri` CLI and the `ri-serve` HTTP server
-//!   so both speak exactly one parse path.
+//!   so both speak exactly one parse path;
+//! * [`witness`] — deterministic witness records
+//!   ([`WitnessRecord`] / [`WitnessLog`] / [`witness::replay`]): persist
+//!   any served response as `{request, seed, shard, answer, trace}` and
+//!   re-execute it bit-identically anywhere — the cross-shard
+//!   answer-equality gate the `ri-router` front tier and the
+//!   `ri witness replay` CLI mode are built on.
 //!
 //! ```
 //! use ri_core::engine::{ExecMode, RunConfig, Runner, Type1Adapter};
@@ -65,6 +71,7 @@ pub mod registry;
 mod report;
 mod runner;
 pub mod scratch;
+pub mod witness;
 
 pub use envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
 pub use registry::{ErasedProblem, OutputSummary, Registry, RegistryError, WorkloadSpec};
@@ -74,3 +81,4 @@ pub use runner::{
     RunConfig, Runner, Type1Adapter, Type2Adapter, Type3Adapter,
 };
 pub use scratch::RoundScratch;
+pub use witness::{RoundTrace, WitnessLog, WitnessRecord};

@@ -233,15 +233,15 @@ impl RunConfig {
     }
 
     /// Worker threads a run under this config uses: 1 in sequential mode,
-    /// otherwise the configured count, falling back to the process-wide
-    /// [`Runner::install_global`] width when one is installed, and to the
-    /// ambient/machine default otherwise.
+    /// otherwise the configured count, falling back to the ambient/machine
+    /// default. A serving process that wants a fixed width pins it
+    /// explicitly per request (see [`Runner::pool`]) instead of relying on
+    /// process-global state.
     pub fn resolved_threads(&self) -> usize {
         match self.mode {
             ExecMode::Sequential => 1,
             ExecMode::Parallel => self
                 .threads
-                .or_else(Runner::global_threads)
                 .unwrap_or_else(rayon::current_num_threads)
                 .max(1),
         }
@@ -282,38 +282,28 @@ pub struct Runner {
     cfg: RunConfig,
 }
 
-/// The width fixed by [`Runner::install_global`], if any (first call
-/// wins for the process's lifetime).
-static GLOBAL_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-
 impl Runner {
     /// A runner for `cfg`.
     pub fn new(cfg: RunConfig) -> Self {
         Runner { cfg }
     }
 
-    /// Install the process-wide serving pool: eagerly build the cached
-    /// pool for `threads` workers (`0` means the machine default) and
-    /// record its width as the fallback for every config that does not
-    /// pin `threads` itself. Call this **once at startup** in a serving
-    /// process so a batch of solves shares one pool instead of each
-    /// paying pool setup; the first call fixes the width for the
-    /// process's lifetime and later calls return the already-installed
-    /// pool regardless of their argument.
-    pub fn install_global(threads: usize) -> std::sync::Arc<rayon::ThreadPool> {
-        let requested = if threads == 0 {
+    /// Eagerly build (or fetch) the cached persistent pool for `threads`
+    /// workers (`0` means the machine default). This replaces the old
+    /// first-call-wins `install_global`: pool width is now **explicit
+    /// per-caller config**, so two serving tiers in one process — or N
+    /// router-spawned backend processes — can each pin their own width
+    /// (pools are cached per width and shared by everyone who asks for
+    /// that width). Callers that want every solve clamped to a fixed
+    /// width set `config.threads` on each request; nothing is decided by
+    /// process-global state.
+    pub fn pool(threads: usize) -> std::sync::Arc<rayon::ThreadPool> {
+        let width = if threads == 0 {
             rayon::current_num_threads()
         } else {
             threads
         };
-        let width = *GLOBAL_THREADS.get_or_init(|| requested.max(1));
-        rayon::cached_pool(width)
-    }
-
-    /// The width fixed by [`Runner::install_global`], if it has been
-    /// called.
-    pub fn global_threads() -> Option<usize> {
-        GLOBAL_THREADS.get().copied()
+        rayon::cached_pool(width.max(1))
     }
 
     /// The configuration this runner applies.

@@ -1,0 +1,354 @@
+//! One routed-to backend shard: its address, health state, counters,
+//! keep-alive connection pool, and (when the router spawned it) the
+//! child process handle.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ri_serve::http::ClientConn;
+
+/// How the router reaches a shard: attach to an already-running
+/// `ri-serve` (in-process servers in tests, externally managed fleets),
+/// or spawn one as a child process.
+#[derive(Debug, Clone)]
+pub enum BackendTarget {
+    /// Route to a server someone else runs at this address.
+    Attach(SocketAddr),
+    /// Spawn `serve_bin` on an ephemeral port and route to it.
+    Spawn {
+        /// Path to the `ri-serve` binary.
+        serve_bin: PathBuf,
+        /// `--threads` for the shard's solve pool (0 = machine default).
+        threads: usize,
+        /// `--executors` for the shard.
+        executors: usize,
+    },
+}
+
+/// A shard the router should route to.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// The shard's identity on the ring (and in `/healthz`).
+    pub shard_id: String,
+    /// How to reach it.
+    pub target: BackendTarget,
+}
+
+/// Backend health/routing state. Transitions: health polls move between
+/// `Unknown`/`Healthy`/`Unhealthy` (so do request outcomes); an admin
+/// drain moves to `Draining` and, once the last in-flight request
+/// finishes (and any child is stopped), `Detached` — both are terminal
+/// for routing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendState {
+    /// Not yet health-checked.
+    Unknown,
+    /// Last health check (or request) succeeded.
+    Healthy,
+    /// Last health check (or request) failed; still polled, still
+    /// eligible as a last-resort candidate.
+    Unhealthy,
+    /// Draining: no new requests; in-flight ones finish.
+    Draining,
+    /// Drained and (if spawned) stopped. Never routed to again.
+    Detached,
+}
+
+impl BackendState {
+    fn from_u8(v: u8) -> BackendState {
+        match v {
+            1 => BackendState::Healthy,
+            2 => BackendState::Unhealthy,
+            3 => BackendState::Draining,
+            4 => BackendState::Detached,
+            _ => BackendState::Unknown,
+        }
+    }
+
+    /// The state's `/healthz` name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendState::Unknown => "unknown",
+            BackendState::Healthy => "healthy",
+            BackendState::Unhealthy => "unhealthy",
+            BackendState::Draining => "draining",
+            BackendState::Detached => "detached",
+        }
+    }
+}
+
+/// Cap on pooled idle connections per backend; beyond it, finished
+/// connections are simply closed.
+const MAX_POOLED_CONNS: usize = 8;
+
+/// A live backend: everything the router tracks about one shard.
+#[derive(Debug)]
+pub struct Backend {
+    shard_id: String,
+    addr: SocketAddr,
+    state: AtomicU8,
+    /// Requests currently proxied to this shard.
+    inflight: AtomicUsize,
+    /// Requests this shard answered 200 through the router.
+    served: AtomicU64,
+    /// Attempts against this shard that failed over to another.
+    failed: AtomicU64,
+    /// Idle keep-alive connections, reused across proxied requests.
+    conns: Mutex<Vec<ClientConn>>,
+    /// The child process when the router spawned this shard.
+    child: Mutex<Option<Child>>,
+}
+
+impl Backend {
+    /// Attach to an already-running server.
+    pub fn attach(shard_id: impl Into<String>, addr: SocketAddr) -> Backend {
+        Backend {
+            shard_id: shard_id.into(),
+            addr,
+            state: AtomicU8::new(0),
+            inflight: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            child: Mutex::new(None),
+        }
+    }
+
+    /// Spawn `serve_bin` as a child on an ephemeral port (the child
+    /// prints `listening on ADDR`; this blocks until that line arrives)
+    /// and attach to it. The child carries this backend's shard id so
+    /// health checks can verify they reached the right process.
+    pub fn spawn(
+        shard_id: impl Into<String>,
+        serve_bin: &std::path::Path,
+        threads: usize,
+        executors: usize,
+    ) -> io::Result<Backend> {
+        let shard_id = shard_id.into();
+        let mut child = Command::new(serve_bin)
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                &threads.to_string(),
+                "--executors",
+                &executors.max(1).to_string(),
+                "--shard-id",
+                &shard_id,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .stdin(Stdio::null())
+            .spawn()?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| io::Error::other("child stdout was not captured"))?;
+        let addr = read_listening_line(stdout).inspect_err(|_| {
+            let _ = child.kill();
+            let _ = child.wait();
+        })?;
+        let backend = Backend::attach(shard_id, addr);
+        *lock(&backend.child) = Some(child);
+        Ok(backend)
+    }
+
+    /// The shard's identity.
+    pub fn shard_id(&self) -> &str {
+        &self.shard_id
+    }
+
+    /// The shard's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current routing state.
+    pub fn state(&self) -> BackendState {
+        BackendState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    /// Record a health observation. Ignored once draining/detached —
+    /// the drain decision outranks the poller.
+    pub fn observe(&self, healthy: bool) {
+        let new = if healthy { 1 } else { 2 };
+        for current in [0u8, 1, 2] {
+            if self
+                .state
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Begin draining: no new requests. Returns false if already
+    /// draining or detached.
+    pub fn begin_drain(&self) -> bool {
+        for current in [0u8, 1, 2] {
+            if self
+                .state
+                .compare_exchange(current, 3, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether new requests may be routed here.
+    pub fn routable(&self) -> bool {
+        matches!(
+            self.state(),
+            BackendState::Unknown | BackendState::Healthy | BackendState::Unhealthy
+        )
+    }
+
+    /// Requests currently in flight against this shard.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// 200s this shard answered through the router.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Attempts against this shard that failed over elsewhere.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn begin_request(&self) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn end_request(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn count_served(&self) {
+        self.served.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn count_failed(&self) {
+        self.failed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Check out a keep-alive connection (pooled or fresh).
+    pub(crate) fn checkout(&self, timeout: Duration) -> ClientConn {
+        lock(&self.conns)
+            .pop()
+            .unwrap_or_else(|| ClientConn::new(self.addr, timeout))
+    }
+
+    /// Return a connection to the pool (dropped when the pool is full —
+    /// callers should only return connections that are still healthy).
+    pub(crate) fn checkin(&self, conn: ClientConn) {
+        let mut conns = lock(&self.conns);
+        if conns.len() < MAX_POOLED_CONNS {
+            conns.push(conn);
+        }
+    }
+
+    /// Finish a drain: mark detached and stop the child (if spawned).
+    /// Idempotent.
+    pub fn detach(&self) {
+        self.state.store(4, Ordering::SeqCst);
+        lock(&self.conns).clear();
+        if let Some(mut child) = lock(&self.child).take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for Backend {
+    fn drop(&mut self) {
+        // Never leak a spawned shard past the router's lifetime.
+        if let Some(mut child) = lock(&self.child).take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read the child's stdout until its `listening on ADDR` line.
+fn read_listening_line(stdout: impl io::Read) -> io::Result<SocketAddr> {
+    use std::io::BufRead as _;
+    let reader = io::BufReader::new(stdout);
+    for line in reader.lines() {
+        let line = line?;
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            return addr.trim().parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unparseable listen address `{addr}`: {e}"),
+                )
+            });
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "child exited before printing its listen address",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_drain_outranks_health() {
+        let b = Backend::attach("s0", "127.0.0.1:9".parse().unwrap());
+        assert_eq!(b.state(), BackendState::Unknown);
+        assert!(b.routable());
+        b.observe(true);
+        assert_eq!(b.state(), BackendState::Healthy);
+        b.observe(false);
+        assert_eq!(b.state(), BackendState::Unhealthy);
+        assert!(b.begin_drain());
+        assert!(!b.begin_drain(), "drain is not re-enterable");
+        assert!(!b.routable());
+        // Health observations no longer move the state.
+        b.observe(true);
+        assert_eq!(b.state(), BackendState::Draining);
+        b.detach();
+        assert_eq!(b.state(), BackendState::Detached);
+        b.observe(true);
+        assert_eq!(b.state(), BackendState::Detached);
+    }
+
+    #[test]
+    fn listening_line_parses_and_rejects() {
+        let ok = b"ri-serve noise\nlistening on 127.0.0.1:4567\n" as &[u8];
+        assert_eq!(
+            read_listening_line(ok).unwrap(),
+            "127.0.0.1:4567".parse::<SocketAddr>().unwrap()
+        );
+        let eof = b"no address here\n" as &[u8];
+        assert!(read_listening_line(eof).is_err());
+        let garbage = b"listening on not-an-addr\n" as &[u8];
+        assert!(read_listening_line(garbage).is_err());
+    }
+
+    #[test]
+    fn connection_pool_is_bounded() {
+        let b = Backend::attach("s0", "127.0.0.1:9".parse().unwrap());
+        for _ in 0..(MAX_POOLED_CONNS + 4) {
+            b.checkin(ClientConn::new(b.addr(), Duration::from_secs(1)));
+        }
+        assert_eq!(lock(&b.conns).len(), MAX_POOLED_CONNS);
+    }
+}

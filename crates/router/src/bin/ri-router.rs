@@ -1,0 +1,171 @@
+//! `ri-router` — front a fleet of `ri-serve` shards with one address.
+//!
+//! ```text
+//! ri-router [--addr HOST:PORT]
+//!           [--backend ADDR[=SHARD_ID]]...      attach to running shards
+//!           [--spawn N --serve-bin PATH]        or spawn N children
+//!           [--threads-per-shard K] [--executors-per-shard E]
+//!           [--witness PATH] [--replicas R] [--max-attempts A]
+//!           [--health-interval-ms MS] [--cache-capacity C]
+//! ```
+//!
+//! Prints `routing on ADDR` once the listener is up (scripts wait on
+//! that line), then routes until killed. Endpoints: `POST /solve`
+//! (consistent-hashed, retried, cached, witnessed), `GET /healthz`
+//! (cluster view), `GET /problems`, `POST /admin/drain`.
+
+use std::path::PathBuf;
+
+use ri_router::{BackendSpec, BackendTarget, Router, RouterConfig};
+
+fn usage_text() -> &'static str {
+    "usage: ri-router [--addr HOST:PORT] [--backend ADDR[=SHARD_ID]]...\n\
+     \x20                [--spawn N --serve-bin PATH] [--threads-per-shard K]\n\
+     \x20                [--executors-per-shard E] [--witness PATH] [--replicas R]\n\
+     \x20                [--max-attempts A] [--health-interval-ms MS]\n\
+     \x20                [--cache-capacity C]\n\
+     \n\
+     Routes POST /solve across ri-serve shards by consistent-hashing the\n\
+     request's determinism key; retries shed requests on the next shard;\n\
+     serves the cluster view on GET /healthz; drains shards via\n\
+     POST /admin/drain {\"shard_id\": ...}. --backend attaches to running\n\
+     shards (repeatable; SHARD_ID defaults to s0, s1, ...); --spawn N starts\n\
+     N ri-serve children from --serve-bin on ephemeral ports. --witness\n\
+     appends one JSON record per routed solve, replayable with\n\
+     `ri witness replay PATH`."
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ri-router: {msg}");
+    std::process::exit(2);
+}
+
+struct Parsed {
+    cfg: RouterConfig,
+    specs: Vec<BackendSpec>,
+}
+
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let mut cfg = RouterConfig {
+        addr: "127.0.0.1:8078".into(),
+        ..RouterConfig::default()
+    };
+    let mut attach: Vec<(String, Option<String>)> = Vec::new();
+    let mut spawn = 0usize;
+    let mut serve_bin: Option<PathBuf> = None;
+    let mut threads_per_shard = 0usize;
+    let mut executors_per_shard = 2usize;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--backend" => {
+                let raw = value("--backend")?;
+                match raw.split_once('=') {
+                    Some((addr, id)) => attach.push((addr.to_string(), Some(id.to_string()))),
+                    None => attach.push((raw, None)),
+                }
+            }
+            "--spawn" => {
+                spawn = value("--spawn")?
+                    .parse()
+                    .map_err(|e| format!("bad --spawn: {e}"))?
+            }
+            "--serve-bin" => serve_bin = Some(PathBuf::from(value("--serve-bin")?)),
+            "--threads-per-shard" => {
+                threads_per_shard = value("--threads-per-shard")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads-per-shard: {e}"))?
+            }
+            "--executors-per-shard" => {
+                executors_per_shard = value("--executors-per-shard")?
+                    .parse()
+                    .map_err(|e| format!("bad --executors-per-shard: {e}"))?
+            }
+            "--witness" => cfg.witness_path = Some(PathBuf::from(value("--witness")?)),
+            "--replicas" => {
+                cfg.replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|e| format!("bad --replicas: {e}"))?
+            }
+            "--max-attempts" => {
+                cfg.max_attempts = value("--max-attempts")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-attempts: {e}"))?
+            }
+            "--health-interval-ms" => {
+                cfg.health_interval_ms = value("--health-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --health-interval-ms: {e}"))?
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-capacity: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut specs = Vec::new();
+    for (i, (addr, id)) in attach.iter().enumerate() {
+        let addr = addr
+            .parse()
+            .map_err(|e| format!("bad --backend address `{addr}`: {e}"))?;
+        specs.push(BackendSpec {
+            shard_id: id.clone().unwrap_or_else(|| format!("s{i}")),
+            target: BackendTarget::Attach(addr),
+        });
+    }
+    if spawn > 0 {
+        let serve_bin = serve_bin
+            .clone()
+            .ok_or("--spawn needs --serve-bin PATH (the ri-serve binary)")?;
+        let base = specs.len();
+        for i in 0..spawn {
+            specs.push(BackendSpec {
+                shard_id: format!("s{}", base + i),
+                target: BackendTarget::Spawn {
+                    serve_bin: serve_bin.clone(),
+                    threads: threads_per_shard,
+                    executors: executors_per_shard,
+                },
+            });
+        }
+    }
+    if specs.is_empty() {
+        return Err("no backends: pass --backend ADDR or --spawn N --serve-bin PATH".into());
+    }
+    Ok(Parsed { cfg, specs })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage_text());
+        return;
+    }
+    let parsed = parse_args(&args).unwrap_or_else(|e| fail(e));
+    let router = Router::start(parsed.cfg, parsed.specs).unwrap_or_else(|e| fail(e));
+    println!("routing on {}", router.local_addr());
+    for backend in router.backends() {
+        eprintln!(
+            "ri-router: shard {} at {}",
+            backend.shard_id(),
+            backend.addr()
+        );
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Route until the process is killed (spawned shards die with us via
+    // each Backend's Drop).
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,147 @@
+//! The deterministic result cache.
+//!
+//! Sound only because of the paper's determinism property: a witness key
+//! (problem, workload, seed, mode, instrument — see
+//! `ri_core::engine::witness::witness_key`) fully determines the
+//! response body any backend would produce, so serving a cached body is
+//! indistinguishable from re-solving, minus the compute. The cache
+//! stores the raw backend response body (byte-identical replay to the
+//! client) under FIFO eviction — entry cost is uniform enough here that
+//! recency tracking isn't worth its locking.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded `witness_key -> response body` map with FIFO eviction and
+/// hit/miss counters. Capacity 0 disables caching entirely.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, String>,
+    fifo: VecDeque<String>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` response bodies.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, counting the outcome.
+    pub fn get(&self, key: &str) -> Option<String> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.map.get(key) {
+            Some(body) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert `key -> body`, evicting the oldest entry when full. A key
+    /// already present keeps its original body — determinism says the
+    /// two must be equal anyway.
+    pub fn insert(&self, key: &str, body: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.contains_key(key) {
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.fifo.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(key.to_string(), body.to_string());
+        inner.fifo.push_back(key.to_string());
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_fifo_eviction() {
+        let cache = ResultCache::new(2);
+        assert_eq!(cache.get("a"), None);
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        assert_eq!(cache.get("b").as_deref(), Some("2"));
+        // Third insert evicts the oldest ("a").
+        cache.insert("c", "3");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.get("c").as_deref(), Some("3"));
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_the_first_body() {
+        let cache = ResultCache::new(4);
+        cache.insert("k", "first");
+        cache.insert("k", "second");
+        assert_eq!(cache.get("k").as_deref(), Some("first"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert("k", "v");
+        assert_eq!(cache.get("k"), None);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,707 @@
+//! # `ri-router` — the sharded front tier over `ri-serve` backends
+//!
+//! A std-only, `#![forbid(unsafe_code)]` HTTP router that turns N
+//! `ri-serve` processes into one deterministic serving surface:
+//!
+//! * **Consistent-hash routing** — `POST /solve` hashes the request's
+//!   determinism key (problem, workload, seed, mode — the witness key)
+//!   onto a virtual-node ring ([`ring::HashRing`]); the walk order from
+//!   that point is both the home-shard assignment and the failover
+//!   sequence.
+//! * **Health-checked backends** — a poller aggregates per-shard
+//!   `GET /healthz` (verifying each shard answers with the expected
+//!   `shard_id`) into the cluster view the router's own `/healthz`
+//!   serves.
+//! * **Retry** — a shard that answers a *retryable* error (`503`/`504`:
+//!   the solve never ran) or fails at the transport level is failed over
+//!   to the next distinct shard on the ring. Safe by construction:
+//!   every solve is deterministic and side-effect-free, so a retry can
+//!   never double-apply anything.
+//! * **Drain** — `POST /admin/drain {"shard_id": ...}` stops routing to
+//!   a shard, waits out its in-flight requests, then stops it (killing
+//!   the child when the router spawned it).
+//! * **The witness log + result cache** — every 200 routed is persisted
+//!   as a [`WitnessRecord`] (`{request, seed, shard, answer, trace}`)
+//!   and its body cached under the witness key. `ri witness replay`
+//!   re-executes the log anywhere and asserts bit-identical answers and
+//!   round traces — the cross-shard determinism gate; the cache serves
+//!   repeat keys without compute (`X-RI-Cache: hit`), sound for exactly
+//!   the same reason replay is.
+//!
+//! The router itself is thread-per-connection with keep-alive, no solve
+//! queue of its own — admission control lives in the backends, whose
+//! `503 overloaded` the router converts into failover rather than
+//! client-visible failure (until every shard has shed it).
+
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod cache;
+pub mod ring;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ri_core::engine::envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
+use ri_core::engine::json::{self, Value};
+use ri_core::engine::witness::{witness_key, WitnessLog, WitnessRecord};
+use ri_serve::http::{
+    read_request_buffered, write_response_opts, ClientConn, HttpResponse, ReadError,
+};
+
+pub use backend::{Backend, BackendSpec, BackendState, BackendTarget};
+pub use cache::ResultCache;
+pub use ring::HashRing;
+
+/// Router tuning knobs; every field defaults to something sensible for
+/// a small local fleet.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address, `host:port` (`port` 0 = ephemeral).
+    pub addr: String,
+    /// Virtual points per shard on the hash ring.
+    pub replicas: usize,
+    /// Maximum *distinct shards* tried per `/solve` before answering
+    /// `503` (clamped to the shard count).
+    pub max_attempts: usize,
+    /// Health-poll period.
+    pub health_interval_ms: u64,
+    /// Timeout for connect + each read/write on a proxied request. This
+    /// bounds a whole backend solve, so it is generous by default.
+    pub request_timeout_ms: u64,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Append witness records here (`None` disables witnessing).
+    pub witness_path: Option<PathBuf>,
+    /// Maximum accepted request body size in bytes.
+    pub max_body_bytes: usize,
+    /// Maximum simultaneous connection-handler threads.
+    pub max_connections: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 32,
+            max_attempts: 3,
+            health_interval_ms: 500,
+            request_timeout_ms: 120_000,
+            cache_capacity: 256,
+            witness_path: None,
+            max_body_bytes: 1 << 20,
+            max_connections: 256,
+        }
+    }
+}
+
+struct Shared {
+    cfg: RouterConfig,
+    backends: Vec<Backend>,
+    ring: HashRing,
+    cache: ResultCache,
+    witness: Option<WitnessLog>,
+    /// `/solve` requests answered 200 (cache hits included).
+    routed: AtomicU64,
+    /// Failover attempts: a shard was tried and the request moved on.
+    retries: AtomicU64,
+    /// `/solve` requests answered with an error envelope.
+    errored: AtomicU64,
+    draining: AtomicBool,
+    connections: AtomicUsize,
+}
+
+/// A running router: owns the acceptor and health-poller threads plus
+/// every backend handle (spawned children die with it).
+pub struct Router {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    health: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Resolve every backend spec (spawning children where asked), build
+    /// the ring, bind, and start the acceptor + health poller.
+    pub fn start(cfg: RouterConfig, specs: Vec<BackendSpec>) -> io::Result<Router> {
+        if specs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one backend",
+            ));
+        }
+        let mut ids: Vec<&str> = specs.iter().map(|s| s.shard_id.as_str()).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "backend shard ids must be unique",
+            ));
+        }
+
+        let mut backends = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let backend = match &spec.target {
+                BackendTarget::Attach(addr) => Backend::attach(&spec.shard_id, *addr),
+                BackendTarget::Spawn {
+                    serve_bin,
+                    threads,
+                    executors,
+                } => Backend::spawn(&spec.shard_id, serve_bin, *threads, *executors)?,
+            };
+            backends.push(backend);
+        }
+
+        let shard_ids: Vec<String> = backends.iter().map(|b| b.shard_id().to_string()).collect();
+        let ring = HashRing::new(&shard_ids, cfg.replicas);
+        let witness = match &cfg.witness_path {
+            Some(path) => Some(WitnessLog::open(path)?),
+            None => None,
+        };
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(cfg.cache_capacity),
+            witness,
+            ring,
+            backends,
+            routed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            errored: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            cfg,
+        });
+
+        // Prime the health view synchronously once, so requests arriving
+        // right after start() don't race an all-Unknown fleet.
+        poll_health_once(&shared);
+
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ri-router-health".into())
+                .spawn(move || health_loop(&shared))
+                .expect("spawning the health thread")
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ri-router-accept".into())
+                .spawn(move || acceptor_loop(&shared, listener))
+                .expect("spawning the acceptor thread")
+        };
+
+        Ok(Router {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            health: Some(health),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live backend handles, in spec order.
+    pub fn backends(&self) -> &[Backend] {
+        &self.shared.backends
+    }
+
+    /// Failover attempts so far.
+    pub fn retries(&self) -> u64 {
+        self.shared.retries.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, join the poller, detach every
+    /// backend (killing spawned children).
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let woken =
+            (0..3).any(|_| TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)).is_ok());
+        if let Some(acceptor) = self.acceptor.take() {
+            if woken {
+                let _ = acceptor.join();
+            }
+        }
+        if let Some(health) = self.health.take() {
+            let _ = health.join();
+        }
+        let t0 = Instant::now();
+        while self.shared.connections.load(Ordering::SeqCst) > 0
+            && t0.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for backend in &self.shared.backends {
+            backend.detach();
+        }
+    }
+}
+
+fn health_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.cfg.health_interval_ms.max(10));
+    while !shared.draining.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        poll_health_once(shared);
+    }
+}
+
+/// One health sweep: `GET /healthz` against every still-routable shard.
+/// A response only counts as healthy if it parses and, when the shard
+/// advertises an id, that id matches what the router expects — catching
+/// port reuse and misconfigured fleets, not just dead sockets.
+fn poll_health_once(shared: &Shared) {
+    // Health checks use a short timeout: /healthz is served off the
+    // connection thread and never waits behind solves.
+    let timeout = Duration::from_millis(shared.cfg.health_interval_ms.clamp(10, 2_000));
+    for backend in &shared.backends {
+        if matches!(
+            backend.state(),
+            BackendState::Draining | BackendState::Detached
+        ) {
+            continue;
+        }
+        let mut conn = ClientConn::new(backend.addr(), timeout);
+        let healthy = match conn.request("GET", "/healthz", None) {
+            Ok(resp) if resp.status == 200 => match json::parse(&resp.body) {
+                Ok(v) => match v.get("shard_id").and_then(Value::as_str) {
+                    Some(id) if !id.is_empty() => id == backend.shard_id(),
+                    _ => true, // a shard that doesn't name itself is trusted
+                },
+                Err(_) => false,
+            },
+            _ => false,
+        };
+        backend.observe(healthy);
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            reject_connection(shared, stream, "router is draining");
+            break;
+        }
+        if shared.connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            reject_connection(shared, stream, "connection limit reached; retry later");
+            continue;
+        }
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("ri-router-conn".into())
+            .spawn(move || {
+                handle_connection(&conn_shared, stream);
+                conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn reject_connection(shared: &Shared, mut stream: TcpStream, why: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    respond_error(
+        shared,
+        &mut stream,
+        &ServeError::new(ServeErrorKind::Overloaded, why),
+        false,
+        &[],
+    );
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+
+    let mut carry = Vec::new();
+    loop {
+        let request =
+            match read_request_buffered(&mut stream, &mut carry, shared.cfg.max_body_bytes) {
+                Ok(r) => r,
+                Err(e) => {
+                    let err = match e {
+                        ReadError::Closed | ReadError::Io(_) => return,
+                        ReadError::BodyTooLarge {
+                            declared, limit, ..
+                        } => ServeError::new(
+                            ServeErrorKind::BodyTooLarge,
+                            format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                        ),
+                        ReadError::BadRequest(msg) => ServeError::bad_request(msg),
+                    };
+                    respond_error(shared, &mut stream, &err, false, &[]);
+                    return;
+                }
+            };
+
+        let keep_alive = request.keep_alive() && !shared.draining.load(Ordering::SeqCst);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body, keep_alive),
+            ("GET", "/healthz") => {
+                let body = health_value(shared).write();
+                let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
+            }
+            ("GET", "/problems") => handle_problems(shared, &mut stream, keep_alive),
+            ("POST", "/admin/drain") => {
+                handle_drain(shared, &mut stream, &request.body, keep_alive)
+            }
+            (_, "/solve") | (_, "/healthz") | (_, "/problems") | (_, "/admin/drain") => {
+                let err = ServeError::new(
+                    ServeErrorKind::MethodNotAllowed,
+                    format!("{} is not supported on {}", request.method, request.path),
+                );
+                respond_error(shared, &mut stream, &err, keep_alive, &[]);
+            }
+            (_, path) => {
+                let err = ServeError::new(
+                    ServeErrorKind::NotFound,
+                    format!(
+                        "no such path `{path}`; try POST /solve, GET /problems, GET /healthz, \
+                         POST /admin/drain"
+                    ),
+                );
+                respond_error(shared, &mut stream, &err, keep_alive, &[]);
+            }
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// `POST /solve`: validate, check the cache, then walk the ring.
+fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+    // Parse with the same envelope code the backends use, so the router
+    // rejects malformed requests itself instead of burning a backend
+    // attempt on them (and so error shapes match shard-direct calls).
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => {
+            let err = ServeError::bad_request("request body is not UTF-8");
+            respond_error(shared, stream, &err, keep_alive, &[]);
+            return;
+        }
+    };
+    let request = match ServeRequest::from_json(text) {
+        Ok(r) => r,
+        Err(err) => {
+            respond_error(shared, stream, &err, keep_alive, &[]);
+            return;
+        }
+    };
+    let key = witness_key(&request.problem, &request.workload, &request.config);
+
+    if let Some(cached) = shared.cache.get(&key) {
+        shared.routed.fetch_add(1, Ordering::SeqCst);
+        let _ = write_response_opts(stream, 200, keep_alive, &[("X-RI-Cache", "hit")], &cached);
+        return;
+    }
+
+    // The ring walk from the key's home shard, restricted to routable
+    // backends; `max_attempts` caps how many we burn per request.
+    let order = shared.ring.order(&key);
+    let candidates: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| shared.backends[i].routable())
+        .take(shared.cfg.max_attempts.max(1))
+        .collect();
+    if candidates.is_empty() {
+        let err = ServeError::new(
+            ServeErrorKind::Overloaded,
+            "no routable shard (all draining or detached); retry later",
+        );
+        respond_error(shared, stream, &err, keep_alive, &[]);
+        return;
+    }
+
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
+    let last = candidates.len() - 1;
+    for (attempt, &index) in candidates.iter().enumerate() {
+        let backend = &shared.backends[index];
+        backend.begin_request();
+        let outcome = proxy_solve(backend, text, timeout);
+        backend.end_request();
+        match outcome {
+            Ok(resp) if resp.status == 200 => {
+                record_witness(shared, backend.shard_id(), &key, &resp.body);
+                backend.count_served();
+                shared.routed.fetch_add(1, Ordering::SeqCst);
+                let shard = backend.shard_id().to_string();
+                let _ = write_response_opts(
+                    stream,
+                    200,
+                    keep_alive,
+                    &[("X-RI-Shard", &shard), ("X-RI-Cache", "miss")],
+                    &resp.body,
+                );
+                return;
+            }
+            Ok(resp) if attempt < last && retryable_response(&resp) => {
+                // The backend shed the request without running it:
+                // fail over to the next shard on the ring.
+                backend.count_failed();
+                shared.retries.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(resp) => {
+                // A non-retryable error (or a retryable one with no
+                // shards left): forward the backend's own envelope.
+                shared.errored.fetch_add(1, Ordering::SeqCst);
+                let shard = backend.shard_id().to_string();
+                let mut extra: Vec<(&str, &str)> = vec![("X-RI-Shard", &shard)];
+                if resp.status == 503 {
+                    extra.push(("Retry-After", "1"));
+                }
+                let _ = write_response_opts(stream, resp.status, keep_alive, &extra, &resp.body);
+                return;
+            }
+            Err(_) => {
+                // Transport failure: the shard is gone or wedged. Mark it
+                // so routing avoids it until a health poll clears it.
+                backend.observe(false);
+                backend.count_failed();
+                if attempt < last {
+                    shared.retries.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    let err = ServeError::new(
+                        ServeErrorKind::Overloaded,
+                        format!(
+                            "every candidate shard failed (tried {}); retry later",
+                            candidates.len()
+                        ),
+                    );
+                    respond_error(shared, stream, &err, keep_alive, &[]);
+                    return;
+                }
+            }
+        }
+    }
+    // All candidates answered retryable errors.
+    let err = ServeError::new(
+        ServeErrorKind::Overloaded,
+        format!(
+            "every candidate shard shed the request (tried {}); retry later",
+            candidates.len()
+        ),
+    );
+    respond_error(shared, stream, &err, keep_alive, &[]);
+}
+
+/// Proxy one `/solve` to a backend over its pooled keep-alive connection.
+fn proxy_solve(backend: &Backend, body: &str, timeout: Duration) -> io::Result<HttpResponse> {
+    let mut conn = backend.checkout(timeout);
+    let result = conn.request("POST", "/solve", Some(body));
+    if result.is_ok() {
+        backend.checkin(conn);
+    }
+    result
+}
+
+/// Whether a backend's non-200 answer means "never ran, try elsewhere".
+/// Trust the envelope's `retryable` field when the body parses; fall
+/// back to the status code (503/504) when it does not.
+fn retryable_response(resp: &HttpResponse) -> bool {
+    match ServeError::from_json(&resp.body) {
+        Ok(err) => err.retryable,
+        Err(_) => matches!(resp.status, 503 | 504),
+    }
+}
+
+/// Persist a routed 200 to the witness log (when enabled) and the cache.
+/// A body the router cannot parse is a backend bug; it is still returned
+/// to the client verbatim but never witnessed or cached.
+fn record_witness(shared: &Shared, shard_id: &str, key: &str, body: &str) {
+    if let Ok(resp) = ServeResponse::from_json(body) {
+        if let Some(log) = &shared.witness {
+            let _ = log.append(&WitnessRecord::from_response(&resp, shard_id));
+        }
+        shared.cache.insert(key, body);
+    }
+}
+
+/// `GET /problems`: proxied from the first shard that answers — the
+/// registry is identical across the fleet by construction.
+fn handle_problems(shared: &Shared, stream: &mut TcpStream, keep_alive: bool) {
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.clamp(100, 10_000));
+    for backend in &shared.backends {
+        if !backend.routable() {
+            continue;
+        }
+        let mut conn = backend.checkout(timeout);
+        if let Ok(resp) = conn.request("GET", "/problems", None) {
+            backend.checkin(conn);
+            let _ = write_response_opts(stream, resp.status, keep_alive, &[], &resp.body);
+            return;
+        }
+        backend.observe(false);
+    }
+    let err = ServeError::new(ServeErrorKind::Overloaded, "no shard answered /problems");
+    respond_error(shared, stream, &err, keep_alive, &[]);
+}
+
+/// `POST /admin/drain {"shard_id": "..."}`: stop routing to the shard,
+/// then (off-thread) wait out its in-flight requests and stop it.
+fn handle_drain(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+    let parsed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| json::parse(t).ok());
+    let shard_id = match parsed
+        .as_ref()
+        .and_then(|v| v.get("shard_id"))
+        .and_then(Value::as_str)
+    {
+        Some(id) => id.to_string(),
+        None => {
+            let err = ServeError::bad_request("drain body must be {\"shard_id\": \"...\"}");
+            respond_error(shared, stream, &err, keep_alive, &[]);
+            return;
+        }
+    };
+    let Some(index) = shared
+        .backends
+        .iter()
+        .position(|b| b.shard_id() == shard_id)
+    else {
+        let err = ServeError::new(
+            ServeErrorKind::NotFound,
+            format!("no shard named `{shard_id}`"),
+        );
+        respond_error(shared, stream, &err, keep_alive, &[]);
+        return;
+    };
+
+    let already = !shared.backends[index].begin_drain();
+    if !already {
+        // Finish the drain off-thread: new requests already avoid the
+        // shard; once its in-flight count hits zero it is detached (and
+        // a spawned child killed).
+        let drain_shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name(format!("ri-router-drain-{shard_id}"))
+            .spawn(move || {
+                let backend = &drain_shared.backends[index];
+                let t0 = Instant::now();
+                while backend.inflight() > 0 && t0.elapsed() < Duration::from_secs(300) {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                backend.detach();
+            });
+    }
+    let body = Value::Obj(vec![
+        ("status".into(), Value::Str("draining".into())),
+        ("shard_id".into(), Value::Str(shard_id)),
+        ("already_draining".into(), Value::Bool(already)),
+    ])
+    .write();
+    let _ = write_response_opts(stream, 200, keep_alive, &[], &body);
+}
+
+fn respond_error(
+    shared: &Shared,
+    stream: &mut impl io::Write,
+    err: &ServeError,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) {
+    shared.errored.fetch_add(1, Ordering::SeqCst);
+    let status = err.http_status();
+    let mut headers: Vec<(&str, &str)> = extra.to_vec();
+    if status == 503 {
+        headers.push(("Retry-After", "1"));
+    }
+    let _ = write_response_opts(stream, status, keep_alive, &headers, &err.to_json());
+}
+
+/// The router's `/healthz`: the cluster view. `status` is `ok` when every
+/// routable shard is healthy, `degraded` when at least one healthy shard
+/// remains, `down` when none does (draining reports `draining`).
+fn health_value(shared: &Shared) -> Value {
+    let mut shards = Vec::with_capacity(shared.backends.len());
+    let mut healthy = 0usize;
+    let mut routable = 0usize;
+    for backend in &shared.backends {
+        let state = backend.state();
+        if backend.routable() {
+            routable += 1;
+        }
+        if state == BackendState::Healthy {
+            healthy += 1;
+        }
+        shards.push(Value::Obj(vec![
+            ("shard_id".into(), Value::Str(backend.shard_id().into())),
+            ("addr".into(), Value::Str(backend.addr().to_string())),
+            ("state".into(), Value::Str(state.as_str().into())),
+            ("inflight".into(), Value::Num(backend.inflight() as f64)),
+            ("served".into(), Value::Num(backend.served() as f64)),
+            ("failed".into(), Value::Num(backend.failed() as f64)),
+        ]));
+    }
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else if healthy == routable && routable > 0 {
+        "ok"
+    } else if healthy > 0 {
+        "degraded"
+    } else {
+        "down"
+    };
+    let witness = match &shared.witness {
+        Some(log) => Value::Obj(vec![
+            ("path".into(), Value::Str(log.path().display().to_string())),
+            ("appended".into(), Value::Num(log.appended() as f64)),
+        ]),
+        None => Value::Null,
+    };
+    Value::Obj(vec![
+        ("status".into(), Value::Str(status.into())),
+        (
+            "version".into(),
+            Value::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
+        ("shards".into(), Value::Arr(shards)),
+        (
+            "routed".into(),
+            Value::Num(shared.routed.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "retries".into(),
+            Value::Num(shared.retries.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "errored".into(),
+            Value::Num(shared.errored.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "cache".into(),
+            Value::Obj(vec![
+                ("hits".into(), Value::Num(shared.cache.hits() as f64)),
+                ("misses".into(), Value::Num(shared.cache.misses() as f64)),
+                ("size".into(), Value::Num(shared.cache.len() as f64)),
+            ]),
+        ),
+        ("witness".into(), witness),
+    ])
+}

@@ -1,0 +1,150 @@
+//! The consistent-hash ring that assigns requests to shards.
+//!
+//! Each shard contributes `replicas` virtual points, placed by hashing
+//! `"{shard_id}#{k}"` with FNV-1a 64; a request key (the witness key:
+//! problem, workload, seed, mode) hashes onto the ring and walks
+//! clockwise. [`HashRing::order`] returns **all** shards in that walk
+//! order, first-distinct wins — the head is the home shard, the tail is
+//! the deterministic failover sequence the router retries along. Two
+//! routers over the same shard set compute identical assignments, and
+//! removing one shard reassigns only that shard's keys (the classic
+//! consistent-hashing property the virtual points are there to smooth).
+
+/// FNV-1a 64-bit: tiny, dependency-free byte hashing (this is a load
+/// balancer, not a cryptosystem).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Avalanche finalizer (splitmix64's): raw FNV-1a of short, similar
+/// strings (`"s0#1"`, `"s0#2"`, ...) differs only in the low bits, which
+/// clumps each shard's virtual points into one tight arc and defeats the
+/// ring's smoothing. Mixing restores full-width dispersion.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Where a label lands on the ring.
+fn place(label: &str) -> u64 {
+    mix(fnv1a(label.as_bytes()))
+}
+
+/// A consistent-hash ring over shard indices `0..shard_count`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard_index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shard_count: usize,
+}
+
+impl HashRing {
+    /// Build a ring with `replicas` virtual points per shard (clamped to
+    /// at least 1). Shard identity — not list position — places the
+    /// points, so the assignment survives reordering the shard list.
+    pub fn new(shard_ids: &[String], replicas: usize) -> Self {
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(shard_ids.len() * replicas);
+        for (index, id) in shard_ids.iter().enumerate() {
+            for k in 0..replicas {
+                points.push((place(&format!("{id}#{k}")), index));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            shard_count: shard_ids.len(),
+        }
+    }
+
+    /// Number of distinct shards on the ring.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Every shard index in ring order starting from `key`'s position:
+    /// `order(key)[0]` is the home shard, the rest are the failover
+    /// sequence. Deterministic for a fixed ring and key.
+    pub fn order(&self, key: &str) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let h = place(key);
+        let start = self.points.partition_point(|&(p, _)| p < h) % self.points.len();
+        let mut seen = vec![false; self.shard_count];
+        let mut order = Vec::with_capacity(self.shard_count);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shard_count {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("s{i}")).collect()
+    }
+
+    #[test]
+    fn order_is_deterministic_and_covers_every_shard() {
+        let ring = HashRing::new(&ids(4), 32);
+        for key in ["a", "b", "sort|{}|1", "scc|{}|2"] {
+            let order = ring.order(key);
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "a permutation of all shards");
+            assert_eq!(order, ring.order(key), "stable across calls");
+        }
+    }
+
+    #[test]
+    fn assignment_is_identity_based_not_position_based() {
+        let forward = HashRing::new(&["a".into(), "b".into(), "c".into()], 16);
+        let reversed = HashRing::new(&["c".into(), "b".into(), "a".into()], 16);
+        // Map indices back to ids: the chosen *identity* must agree.
+        let fwd_ids = ["a", "b", "c"];
+        let rev_ids = ["c", "b", "a"];
+        for key in ["x", "y", "z", "w", "sort|64|7"] {
+            assert_eq!(
+                fwd_ids[forward.order(key)[0]],
+                rev_ids[reversed.order(key)[0]]
+            );
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let ring = HashRing::new(&ids(3), 64);
+        let mut counts = [0usize; 3];
+        for i in 0..300 {
+            counts[ring.order(&format!("key-{i}"))[0]] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(c > 30, "shard {shard} got only {c}/300 keys");
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        assert!(HashRing::new(&[], 8).order("k").is_empty());
+    }
+}

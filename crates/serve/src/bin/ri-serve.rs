@@ -3,7 +3,7 @@
 //! ```text
 //! ri-serve [--addr HOST:PORT] [--threads K] [--executors E]
 //!          [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]
-//!          [--max-connections C]
+//!          [--max-connections C] [--shard-id ID]
 //! ```
 //!
 //! Prints `listening on ADDR` once the listener is up (scripts wait on
@@ -17,7 +17,7 @@ use ri_serve::{ServeConfig, Server};
 fn usage_text() -> &'static str {
     "usage: ri-serve [--addr HOST:PORT] [--threads K] [--executors E]\n\
      \x20              [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]\n\
-     \x20              [--max-connections C]\n\
+     \x20              [--max-connections C] [--shard-id ID]\n\
      \n\
      Serves POST /solve ({problem, workload, config} JSON -> {summary, report}),\n\
      GET /problems and GET /healthz. --addr defaults to 127.0.0.1:8077; port 0\n\
@@ -25,7 +25,8 @@ fn usage_text() -> &'static str {
      sizes the one shared solve pool (0 = machine default); --executors bounds\n\
      concurrent solves; --max-inflight is the admission gate; --deadline-ms\n\
      bounds queue wait; --max-body-bytes bounds request bodies;\n\
-     --max-connections bounds simultaneous connection handlers."
+     --max-connections bounds simultaneous connection handlers; --shard-id\n\
+     names this process in /healthz (set by ri-router when it spawns shards)."
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -77,6 +78,7 @@ fn parse_config(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|e| format!("bad --max-connections: {e}"))?
             }
+            "--shard-id" => cfg.shard_id = value("--shard-id")?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }

@@ -1,10 +1,18 @@
 //! Minimal HTTP/1.1 message handling over any `Read`/`Write` stream.
 //!
-//! The server speaks the smallest useful HTTP subset, std-only: one
-//! request per connection (every response carries `Connection: close`),
-//! `Content-Length` bodies only (no chunked transfer), and a bounded
-//! header section. Responses are always JSON. The [`request`] helper is
-//! the matching client side, used by `loadgen` and the end-to-end tests.
+//! The server speaks the smallest useful HTTP subset, std-only:
+//! `Content-Length` bodies only (no chunked transfer), a bounded header
+//! section, and — since the router PR — **persistent connections**:
+//! requests are read through a caller-held carry buffer
+//! ([`read_request_buffered`]) so bytes that arrive beyond one request's
+//! body (a pipelined next request) are kept for the next read instead of
+//! being dropped, and responses advertise `Connection: keep-alive`
+//! whenever the request allows it. Responses are always JSON.
+//!
+//! Client side: [`request`] performs a one-shot request (connect, send
+//! with `Connection: close`, read, close) and [`ClientConn`] holds one
+//! keep-alive connection open across requests — what the router's
+//! backend proxying uses so a proxied solve does not pay a TCP connect.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -21,6 +29,8 @@ pub struct HttpRequest {
     pub method: String,
     /// Request path with any query string stripped.
     pub path: String,
+    /// The HTTP version token (`HTTP/1.1`, `HTTP/1.0`).
+    pub version: String,
     /// Header `(name, value)` pairs in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
@@ -36,11 +46,26 @@ impl HttpRequest {
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the client allows the connection to stay open after the
+    /// response: an explicit `Connection` header wins; absent one,
+    /// HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(c) if c.eq_ignore_ascii_case("close") => false,
+            Some(c) if c.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
 }
 
 /// Why reading a request failed.
 #[derive(Debug)]
 pub enum ReadError {
+    /// The peer closed the connection cleanly before sending any byte of
+    /// a (next) request — the normal end of a keep-alive connection, not
+    /// a protocol error.
+    Closed,
     /// The bytes were not a well-formed HTTP/1.1 request (or used an
     /// unsupported feature such as chunked transfer encoding).
     BadRequest(String),
@@ -61,6 +86,7 @@ pub enum ReadError {
 impl std::fmt::Display for ReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ReadError::Closed => write!(f, "connection closed"),
             ReadError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ReadError::BodyTooLarge {
                 declared, limit, ..
@@ -78,13 +104,28 @@ impl From<io::Error> for ReadError {
     }
 }
 
-/// Read and parse one HTTP/1.1 request from `stream`, enforcing
-/// [`MAX_HEAD_BYTES`] on the head and `max_body` on the declared body
-/// length (checked *before* the body is read, so an oversized upload is
-/// rejected without buffering it).
+/// Read and parse one HTTP/1.1 request from `stream` (one-shot form: no
+/// carry buffer, so any pipelined bytes beyond the first request are
+/// dropped). See [`read_request_buffered`] for the keep-alive form.
 pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<HttpRequest, ReadError> {
-    // Accumulate until the blank line that ends the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut carry = Vec::new();
+    read_request_buffered(stream, &mut carry, max_body)
+}
+
+/// Read and parse one HTTP/1.1 request, carrying excess bytes between
+/// calls: `carry` holds bytes already read from the stream but beyond the
+/// previous request's body (a pipelined next request). The head is capped
+/// at [`MAX_HEAD_BYTES`]; the declared body length is checked against
+/// `max_body` *before* the body is read, so an oversized upload is
+/// rejected without buffering it.
+pub fn read_request_buffered(
+    stream: &mut impl Read,
+    carry: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<HttpRequest, ReadError> {
+    // Accumulate until the blank line that ends the head, starting from
+    // whatever the previous request left behind.
+    let mut buf = std::mem::take(carry);
     let head_end = loop {
         if let Some(pos) = find_head_end(&buf) {
             break pos;
@@ -97,6 +138,11 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<HttpReque
         let mut chunk = [0u8; 1024];
         let n = stream.read(&mut chunk)?;
         if n == 0 {
+            if buf.is_empty() {
+                // Clean close between requests: the keep-alive peer is
+                // simply done.
+                return Err(ReadError::Closed);
+            }
             return Err(ReadError::BadRequest(
                 "connection closed before the request head completed".into(),
             ));
@@ -143,6 +189,7 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<HttpReque
     let mut request = HttpRequest {
         method,
         path,
+        version: version.to_string(),
         headers,
         body: Vec::new(),
     };
@@ -162,26 +209,28 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<HttpReque
             .parse::<usize>()
             .map_err(|_| ReadError::BadRequest(format!("bad Content-Length `{v}`")))?,
     };
+    let body_start = (head_end + 4).min(buf.len());
     if content_length > max_body {
         return Err(ReadError::BodyTooLarge {
             declared: content_length,
             limit: max_body,
-            buffered: buf.len().saturating_sub(head_end + 4),
+            buffered: buf.len() - body_start,
         });
     }
 
-    // The body may have arrived partly (or wholly) with the head.
-    let body_start = head_end + 4; // past the \r\n\r\n
-    let mut body = buf[body_start.min(buf.len())..].to_vec();
-    if body.len() > content_length {
-        return Err(ReadError::BadRequest(
-            "more body bytes than Content-Length declared".into(),
-        ));
+    // The body may have arrived partly (or wholly) with the head; bytes
+    // beyond it belong to the next pipelined request and go back into the
+    // carry buffer.
+    let available = buf.len() - body_start;
+    if available >= content_length {
+        request.body = buf[body_start..body_start + content_length].to_vec();
+        carry.extend_from_slice(&buf[body_start + content_length..]);
+    } else {
+        let mut body = buf[body_start..].to_vec();
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[available..])?;
+        request.body = body;
     }
-    let already = body.len();
-    body.resize(content_length, 0);
-    stream.read_exact(&mut body[already..])?;
-    request.body = body;
     Ok(request)
 }
 
@@ -204,32 +253,73 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write one JSON response with `Connection: close` semantics.
+/// Write one JSON response with `Connection: close` semantics (the
+/// one-shot form; keep-alive servers use [`write_response_opts`]).
 pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_opts(stream, status, false, &[], body)
+}
+
+/// Write one JSON response, advertising `Connection: keep-alive` when
+/// `keep_alive` is set (the connection stays usable for the next
+/// request) and emitting any `extra` headers (e.g. `Retry-After` on a
+/// 503, or the router's shard/cache annotations).
+pub fn write_response_opts(
+    stream: &mut impl Write,
+    status: u16,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
-/// A client-side response: status code and body text.
+/// A client-side response: status code, headers and body text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpResponse {
     /// The response status code.
     pub status: u16,
+    /// Header `(name, value)` pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: String,
 }
 
-/// Perform one HTTP request against `addr` (connect, send, read the full
-/// response, close), with `timeout` applied to connect and to each read.
-/// This is the client side of the one-request-per-connection protocol the
-/// server speaks; `loadgen` and the end-to-end tests drive it.
+impl HttpResponse {
+    /// Case-insensitive header lookup (names are stored lower-cased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the server will keep the connection open after this
+    /// response (`Connection: keep-alive`).
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|c| c.eq_ignore_ascii_case("keep-alive"))
+    }
+}
+
+/// Perform one HTTP request against `addr` (connect, send with
+/// `Connection: close`, read the full response, close), with `timeout`
+/// applied to connect and to each read. The one-shot client; for
+/// connection reuse see [`ClientConn`].
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -262,19 +352,194 @@ pub fn request(
     parse_response(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
-fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
-    let head_end = find_head_end(raw).ok_or("response head never completed")?;
-    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head not UTF-8")?;
-    let status_line = head.lines().next().ok_or("empty response")?;
+fn parse_response_head(head: &str) -> Result<(u16, Vec<(String, String)>), String> {
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty response")?;
     let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed response header `{line}`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((status, headers))
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let head_end = find_head_end(raw).ok_or("response head never completed")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head not UTF-8")?;
+    let (status, headers) = parse_response_head(head)?;
     let body = std::str::from_utf8(&raw[head_end + 4..])
         .map_err(|_| "response body not UTF-8")?
         .to_string();
-    Ok(HttpResponse { status, body })
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Read one `Content-Length`-framed response from a keep-alive stream
+/// (cannot read to EOF — the connection stays open). Bytes read beyond
+/// this response stay in `carry` for the next read.
+fn read_response(stream: &mut impl Read, carry: &mut Vec<u8>) -> io::Result<HttpResponse> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut buf = std::mem::take(carry);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(invalid("response head too large".into()));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the response head completed",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| invalid("response head not UTF-8".into()))?;
+    let (status, headers) = parse_response_head(head).map_err(invalid)?;
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .ok_or_else(|| invalid("keep-alive response without Content-Length".into()))?;
+    let body_start = (head_end + 4).min(buf.len());
+    let available = buf.len() - body_start;
+    let body = if available >= content_length {
+        carry.extend_from_slice(&buf[body_start + content_length..]);
+        buf[body_start..body_start + content_length].to_vec()
+    } else {
+        let mut body = buf[body_start..].to_vec();
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[available..])?;
+        body
+    };
+    let body = String::from_utf8(body).map_err(|_| invalid("response body not UTF-8".into()))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// One keep-alive client connection: requests sent through it reuse the
+/// TCP connection as long as the server allows, reconnecting lazily when
+/// the server closed it in between (an idle-timeout race every keep-alive
+/// client must tolerate). The stale-connection retry re-sends at most
+/// once, and only when the failed attempt ran on a *reused* connection —
+/// a fresh connection's failure is reported, not retried. Safe here
+/// because every request this system makes is idempotent by construction
+/// (deterministic solves, reads).
+#[derive(Debug)]
+pub struct ClientConn {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    carry: Vec<u8>,
+}
+
+impl ClientConn {
+    /// A (not yet connected) keep-alive client for `addr`; `timeout`
+    /// applies to connect, each read, and each write.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        ClientConn {
+            addr,
+            timeout,
+            stream: None,
+            carry: Vec::new(),
+        }
+    }
+
+    /// The target address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a live connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Perform one request, reusing the held connection when possible.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let reused = self.stream.is_some();
+        match self.request_once(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                // The held connection was stale (server idle-closed it);
+                // retry exactly once on a fresh one.
+                self.stream = None;
+                let _ = e;
+                self.request_once(method, path, body)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.carry.clear();
+            self.stream = Some(stream);
+        }
+        let result = {
+            let stream = self.stream.as_mut().expect("connected above");
+            let body = body.unwrap_or("");
+            let head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                self.addr,
+                body.len()
+            );
+            stream
+                .write_all(head.as_bytes())
+                .and_then(|_| stream.write_all(body.as_bytes()))
+                .and_then(|_| stream.flush())
+                .and_then(|_| read_response(stream, &mut self.carry))
+        };
+        match result {
+            Ok(resp) => {
+                if !resp.keep_alive() {
+                    self.stream = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -287,9 +552,11 @@ mod tests {
         let req = read_request(&mut &raw[..], 1024).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/solve");
+        assert_eq!(req.version, "HTTP/1.1");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -299,6 +566,36 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn keep_alive_honors_connection_header_and_version() {
+        let close = b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!read_request(&mut &close[..], 64).unwrap().keep_alive());
+        let ka10 = b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        assert!(read_request(&mut &ka10[..], 64).unwrap().keep_alive());
+        let plain10 = b"GET /x HTTP/1.0\r\n\r\n";
+        assert!(!read_request(&mut &plain10[..], 64).unwrap().keep_alive());
+    }
+
+    #[test]
+    fn carry_buffer_preserves_pipelined_requests() {
+        let raw =
+            b"POST /solve HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /healthz HTTP/1.1\r\n\r\n";
+        let mut stream = &raw[..];
+        let mut carry = Vec::new();
+        let first = read_request_buffered(&mut stream, &mut carry, 1024).unwrap();
+        assert_eq!(first.body, b"abc");
+        assert!(!carry.is_empty(), "pipelined bytes stay in the carry");
+        let second = read_request_buffered(&mut stream, &mut carry, 1024).unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(carry.is_empty());
+        // A clean close after the last request reads as Closed.
+        assert!(matches!(
+            read_request_buffered(&mut stream, &mut carry, 1024),
+            Err(ReadError::Closed)
+        ));
     }
 
     #[test]
@@ -353,6 +650,32 @@ mod tests {
         let resp = parse_response(&out).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, "{\"ok\":true}");
+        assert!(!resp.keep_alive());
         assert!(String::from_utf8_lossy(&out).contains("Connection: close"));
+    }
+
+    #[test]
+    fn keep_alive_responses_carry_extra_headers_and_frame_by_length() {
+        let mut out = Vec::new();
+        write_response_opts(&mut out, 503, true, &[("Retry-After", "1")], "{}").unwrap();
+        let mut carry = Vec::new();
+        let resp = read_response(&mut &out[..], &mut carry).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(resp.keep_alive());
+        assert_eq!(resp.body, "{}");
+
+        // Two framed responses on one stream read back one at a time
+        // (the over-read second response survives in the carry).
+        let mut two = Vec::new();
+        write_response_opts(&mut two, 200, true, &[], "{\"a\":1}").unwrap();
+        write_response_opts(&mut two, 200, true, &[], "{\"b\":2}").unwrap();
+        let mut stream = &two[..];
+        let mut carry = Vec::new();
+        let first = read_response(&mut stream, &mut carry).unwrap();
+        assert_eq!(first.body, "{\"a\":1}");
+        let second = read_response(&mut stream, &mut carry).unwrap();
+        assert_eq!(second.body, "{\"b\":2}");
+        assert!(carry.is_empty());
     }
 }

@@ -11,8 +11,15 @@
 //!   [`ServeResponse`] (200) or a structured [`ServeError`] (4xx/5xx).
 //! * `GET /problems` — the registry listing (names + descriptions).
 //! * `GET /healthz` — liveness plus queue observability (depth, inflight,
-//!   served counts); served directly by the connection thread, so it
-//!   never waits behind in-flight solves.
+//!   served counts), the server's `shard_id` and build `version`; served
+//!   directly by the connection thread, so it never waits behind
+//!   in-flight solves.
+//!
+//! Connections are persistent: the handler honors HTTP/1.1
+//! `Connection: keep-alive` (and advertises it back), serving any number
+//! of requests per connection — what lets the `ri-router` front tier and
+//! `loadgen` reuse one TCP connection per backend instead of paying a
+//! connect per solve.
 //!
 //! ## The batching executor
 //!
@@ -29,12 +36,15 @@
 //!    arrival time. A fixed set of **executor threads** drains the queue;
 //!    a request that waited past `deadline_ms` is answered
 //!    `504 deadline-exceeded` without being solved.
-//! 3. **One pool**: at startup the server calls
-//!    [`Runner::install_global`], building the process-wide cached pool
-//!    **once**; every parallel solve is clamped to that pool's width, so
-//!    N concurrent requests share one set of pool workers instead of
-//!    building per-request pools (the spawn-counter regression test
-//!    asserts exactly this).
+//! 3. **One pool per server**: at startup the server resolves
+//!    `cfg.threads` and builds its pool through [`Runner::pool`] (the
+//!    process-wide cache keyed by width); every parallel solve is
+//!    clamped to that pool's width, so N concurrent requests share one
+//!    set of pool workers instead of building per-request pools (the
+//!    spawn-counter regression test asserts exactly this). Pool choice
+//!    is explicit per-[`ServeConfig`], not first-call-wins process
+//!    state: several in-process servers (as the router tests spawn) can
+//!    pin different widths.
 //!
 //! Shutdown is graceful: the acceptor stops, queued requests drain
 //! through the executors (each still gets its response), and worker
@@ -57,7 +67,7 @@ use ri_core::engine::envelope::{ServeError, ServeErrorKind, ServeRequest, ServeR
 use ri_core::engine::json::Value;
 use ri_core::engine::{ExecMode, Registry, Runner};
 
-use http::{read_request, write_response, ReadError};
+use http::{read_request_buffered, write_response_opts, ReadError};
 
 /// Server tuning knobs. Every field has a serving-sensible default;
 /// `addr` `"127.0.0.1:0"` binds an ephemeral port (read it back from
@@ -87,6 +97,10 @@ pub struct ServeConfig {
     /// admission gate cannot be bypassed by opening sockets that never
     /// reach `/solve`.
     pub max_connections: usize,
+    /// This server's shard identity, echoed in `/healthz` (empty for a
+    /// standalone server; the `ri-router` front tier assigns one per
+    /// backend and verifies it on health polls).
+    pub shard_id: String,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +113,7 @@ impl Default for ServeConfig {
             deadline_ms: 30_000,
             max_body_bytes: 1 << 20,
             max_connections: 256,
+            shard_id: String::new(),
         }
     }
 }
@@ -157,10 +172,11 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
 
-        // ONE process-wide pool, built now: per-request solves reuse it
-        // instead of paying pool construction (the first install_global
-        // call fixes the width for the process's lifetime).
-        let pool = Runner::install_global(cfg.threads);
+        // ONE pool for this server, built now: per-request solves reuse
+        // it instead of paying pool construction. The width comes from
+        // this config alone (0 = machine default) — other servers in the
+        // same process are free to pin different widths.
+        let pool = Runner::pool(cfg.threads);
         let pool_width = pool.current_num_threads();
 
         let (tx, rx) = mpsc::channel::<Job>();
@@ -299,87 +315,108 @@ fn reject_connection(shared: &Shared, mut stream: TcpStream, why: &str) {
         shared,
         &mut stream,
         &ServeError::new(ServeErrorKind::Overloaded, why),
+        false,
     );
 }
 
-/// Per-connection protocol: read one request, route it, write one JSON
-/// response, close. Errors at any stage become structured [`ServeError`]
-/// bodies — never silent connection drops.
+/// Per-connection protocol: read requests off the connection for as long
+/// as the client keeps it alive (HTTP/1.1 persistent connections; the
+/// carry buffer keeps pipelined bytes between reads), routing each and
+/// writing one JSON response per request. Errors become structured
+/// [`ServeError`] bodies — never silent connection drops — and close the
+/// connection afterwards, since framing beyond a malformed request is
+/// unknowable.
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nodelay(true);
 
-    let request = match read_request(&mut stream, shared.cfg.max_body_bytes) {
-        Ok(r) => r,
-        Err(e) => {
-            let err = match e {
-                ReadError::BodyTooLarge {
-                    declared,
-                    limit,
-                    buffered,
-                } => {
-                    // Drain (bounded) what the client is still sending so
-                    // the 413 is not lost to a connection reset mid-write.
-                    // Body bytes that arrived with the head are already
-                    // consumed — re-requesting them would stall until the
-                    // read timeout.
-                    drain(&mut stream, declared.saturating_sub(buffered).min(4 << 20));
-                    ServeError::new(
-                        ServeErrorKind::BodyTooLarge,
-                        format!("body of {declared} bytes exceeds the {limit}-byte limit"),
-                    )
+    let mut carry = Vec::new();
+    loop {
+        let request =
+            match read_request_buffered(&mut stream, &mut carry, shared.cfg.max_body_bytes) {
+                Ok(r) => r,
+                Err(e) => {
+                    let err = match e {
+                        // The client finished and closed between requests:
+                        // the normal end of a keep-alive connection.
+                        ReadError::Closed => return,
+                        ReadError::BodyTooLarge {
+                            declared,
+                            limit,
+                            buffered,
+                        } => {
+                            // Drain (bounded) what the client is still sending so
+                            // the 413 is not lost to a connection reset mid-write.
+                            // Body bytes that arrived with the head are already
+                            // consumed — re-requesting them would stall until the
+                            // read timeout.
+                            drain(&mut stream, declared.saturating_sub(buffered).min(4 << 20));
+                            ServeError::new(
+                                ServeErrorKind::BodyTooLarge,
+                                format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                            )
+                        }
+                        ReadError::BadRequest(msg) => ServeError::bad_request(msg),
+                        // A socket error mid-read (including the 10s idle
+                        // timeout on a quiet keep-alive connection) has no
+                        // client left to answer.
+                        ReadError::Io(_) => return,
+                    };
+                    respond_error(shared, &mut stream, &err, false);
+                    return;
                 }
-                ReadError::BadRequest(msg) => ServeError::bad_request(msg),
-                // A socket error mid-read has no client left to answer.
-                ReadError::Io(_) => return,
             };
-            respond_error(shared, &mut stream, &err);
-            return;
-        }
-    };
 
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body),
-        ("GET", "/healthz") => {
-            let body = health_value(shared).write();
-            let _ = write_response(&mut stream, 200, &body);
+        // Honor the client's keep-alive preference, but force the final
+        // response of a draining server to close.
+        let keep_alive = request.keep_alive() && !shared.draining.load(Ordering::SeqCst);
+
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body, keep_alive),
+            ("GET", "/healthz") => {
+                let body = health_value(shared).write();
+                let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
+            }
+            ("GET", "/problems") => {
+                let body = problems_value(&shared.registry).write();
+                let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
+            }
+            (_, "/solve") | (_, "/healthz") | (_, "/problems") => {
+                let err = ServeError::new(
+                    ServeErrorKind::MethodNotAllowed,
+                    format!("{} is not supported on {}", request.method, request.path),
+                );
+                respond_error(shared, &mut stream, &err, keep_alive);
+            }
+            (_, path) => {
+                let err = ServeError::new(
+                    ServeErrorKind::NotFound,
+                    format!("no such path `{path}`; try POST /solve, GET /problems, GET /healthz"),
+                );
+                respond_error(shared, &mut stream, &err, keep_alive);
+            }
         }
-        ("GET", "/problems") => {
-            let body = problems_value(&shared.registry).write();
-            let _ = write_response(&mut stream, 200, &body);
-        }
-        (_, "/solve") | (_, "/healthz") | (_, "/problems") => {
-            let err = ServeError::new(
-                ServeErrorKind::MethodNotAllowed,
-                format!("{} is not supported on {}", request.method, request.path),
-            );
-            respond_error(shared, &mut stream, &err);
-        }
-        (_, path) => {
-            let err = ServeError::new(
-                ServeErrorKind::NotFound,
-                format!("no such path `{path}`; try POST /solve, GET /problems, GET /healthz"),
-            );
-            respond_error(shared, &mut stream, &err);
+        if !keep_alive {
+            return;
         }
     }
 }
 
 /// `POST /solve`: parse, admit, enqueue, wait for the executor's answer.
-fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
+fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
         Err(_) => {
             let err = ServeError::bad_request("request body is not UTF-8");
-            respond_error(shared, stream, &err);
+            respond_error(shared, stream, &err, keep_alive);
             return;
         }
     };
     let mut request = match ServeRequest::from_json(text) {
         Ok(r) => r,
         Err(err) => {
-            respond_error(shared, stream, &err);
+            respond_error(shared, stream, &err, keep_alive);
             return;
         }
     };
@@ -400,7 +437,7 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
                 shared.cfg.max_inflight
             ),
         );
-        respond_error(shared, stream, &err);
+        respond_error(shared, stream, &err, keep_alive);
         return;
     }
 
@@ -423,7 +460,7 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
     if !sent {
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
         let err = ServeError::new(ServeErrorKind::Overloaded, "server is draining");
-        respond_error(shared, stream, &err);
+        respond_error(shared, stream, &err, keep_alive);
         return;
     }
 
@@ -433,12 +470,12 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
     match reply_rx.recv_timeout(deadline + Duration::from_secs(600)) {
         Ok(Ok(response)) => {
             shared.served.fetch_add(1, Ordering::SeqCst);
-            let _ = write_response(stream, 200, &response.to_json());
+            let _ = write_response_opts(stream, 200, keep_alive, &[], &response.to_json());
         }
-        Ok(Err(err)) => respond_error(shared, stream, &err),
+        Ok(Err(err)) => respond_error(shared, stream, &err, keep_alive),
         Err(_) => {
             let err = ServeError::new(ServeErrorKind::Internal, "executor did not answer");
-            respond_error(shared, stream, &err);
+            respond_error(shared, stream, &err, keep_alive);
         }
     }
 }
@@ -537,10 +574,18 @@ fn drain(stream: &mut impl std::io::Read, limit: usize) {
 
 /// Write an error envelope and count it — the ONE counting point for
 /// `errored`, so a failed solve is not double-counted by the executor
-/// and the connection thread.
-fn respond_error(shared: &Shared, stream: &mut impl Write, err: &ServeError) {
+/// and the connection thread. Retryable rejections (`503 overloaded`)
+/// carry `Retry-After` so well-behaved clients back off before the
+/// router's next-shard retry.
+fn respond_error(shared: &Shared, stream: &mut impl Write, err: &ServeError, keep_alive: bool) {
     shared.errored.fetch_add(1, Ordering::SeqCst);
-    let _ = write_response(stream, err.http_status(), &err.to_json());
+    let status = err.http_status();
+    let extra: &[(&str, &str)] = if status == 503 {
+        &[("Retry-After", "1")]
+    } else {
+        &[]
+    };
+    let _ = write_response_opts(stream, status, keep_alive, extra, &err.to_json());
 }
 
 /// The `/healthz` document. Assembled from atomics only — no locks shared
@@ -553,6 +598,11 @@ fn health_value(shared: &Shared) -> Value {
     };
     Value::Obj(vec![
         ("status".into(), Value::Str(status.into())),
+        ("shard_id".into(), Value::Str(shared.cfg.shard_id.clone())),
+        (
+            "version".into(),
+            Value::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
         ("pool_threads".into(), Value::Num(shared.pool_width as f64)),
         (
             "executors".into(),

@@ -131,16 +131,37 @@ proptest! {
     }
 
     /// `ServeError` round-trips for every kind with arbitrary (including
-    /// control-character) messages.
+    /// control-character) messages, and the `retryable` field survives
+    /// whether left at the kind's default or explicitly overridden
+    /// either way.
     #[test]
     fn error_round_trip_identity(
         kind_idx in 0usize..9,
         raw in proptest::collection::vec(0u8..128, 0..40),
+        override_retryable in any::<bool>(),
+        retryable in any::<bool>(),
     ) {
         let message: String = raw.iter().map(|&b| b as char).collect();
-        let err = ServeError::new(ServeErrorKind::ALL[kind_idx], message);
+        let mut err = ServeError::new(ServeErrorKind::ALL[kind_idx], message);
+        if override_retryable {
+            err = err.retryable(retryable);
+        }
         let back = ServeError::from_json(&err.to_json()).expect("own output parses");
+        prop_assert_eq!(back.retryable, err.retryable);
         prop_assert_eq!(back, err);
+    }
+
+    /// Bodies written before the `retryable` field existed (no such key)
+    /// still parse, defaulting by kind — the additivity contract.
+    #[test]
+    fn legacy_error_bodies_default_retryable_by_kind(kind_idx in 0usize..9) {
+        let kind = ServeErrorKind::ALL[kind_idx];
+        let legacy = format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"message\":\"m\"}}}}",
+            kind.as_str()
+        );
+        let parsed = ServeError::from_json(&legacy).expect("legacy body parses");
+        prop_assert_eq!(parsed.retryable, kind.default_retryable());
     }
 
     /// Parser robustness: arbitrary character-level mutations of valid

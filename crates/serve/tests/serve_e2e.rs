@@ -13,8 +13,8 @@ use ri_core::engine::{
 use ri_serve::http;
 use ri_serve::{ServeConfig, Server};
 
-/// One shared width for every server in this test binary: the first
-/// `Runner::install_global` call fixes the process-wide pool width.
+/// One shared width for every server in this test binary: servers built
+/// at the same width share one cached pool (`Runner::pool`).
 const POOL_WIDTH: usize = 2;
 
 fn start_server(cfg_mut: impl FnOnce(&mut ServeConfig)) -> Server {
@@ -247,6 +247,13 @@ fn problems_and_healthz_report_the_registry_and_counters() {
     assert_eq!(resp.status, 200);
     let doc = ri_core::engine::json::parse(&resp.body).expect("healthz JSON");
     assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+    // The additive identity fields: shard_id (empty unless configured)
+    // and the build version.
+    assert_eq!(doc.get("shard_id").and_then(Value::as_str), Some(""));
+    assert_eq!(
+        doc.get("version").and_then(Value::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
     assert_eq!(
         doc.get("pool_threads").and_then(Value::as_usize),
         Some(server.pool_width())
@@ -292,6 +299,47 @@ fn connection_cap_sheds_with_structured_503() {
     let resp = http::request(addr, "GET", "/healthz", None, Duration::from_secs(5)).unwrap();
     assert_eq!(resp.status, 200, "{}", resp.body);
 
+    server.shutdown();
+}
+
+/// Keep-alive: one TCP connection serves many requests, the configured
+/// shard id shows in `/healthz`, and a 503 rejection carries
+/// `Retry-After` plus `"retryable":true` in its envelope.
+#[test]
+fn keep_alive_shard_identity_and_retry_after() {
+    let server = start_server(|cfg| cfg.shard_id = "shard-7".into());
+    let mut conn = http::ClientConn::new(server.local_addr(), Duration::from_secs(120));
+
+    // Several requests over the same connection: after the first, the
+    // connection object must still be holding its socket.
+    let mut request = ServeRequest::new("sort");
+    request.workload = WorkloadSpec::new(64, 2);
+    let body = request.to_json();
+    for i in 0..3 {
+        let resp = conn.request("POST", "/solve", Some(&body)).expect("solve");
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        assert!(resp.keep_alive(), "server advertises keep-alive");
+        if i > 0 {
+            assert!(
+                conn.is_connected(),
+                "the connection was reused, not reopened"
+            );
+        }
+    }
+    let health = conn.request("GET", "/healthz", None).expect("healthz");
+    let doc = ri_core::engine::json::parse(&health.body).unwrap();
+    assert_eq!(doc.get("shard_id").and_then(Value::as_str), Some("shard-7"));
+    server.shutdown();
+
+    // An admission gate of zero sheds every solve: the 503 must carry
+    // Retry-After and a retryable envelope.
+    let server = start_server(|cfg| cfg.max_inflight = 0);
+    let resp = post_solve(&server, &body);
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    let err = ServeError::from_json(&resp.body).expect("structured 503");
+    assert_eq!(err.kind, ServeErrorKind::Overloaded);
+    assert!(err.retryable, "overload rejections are marked retryable");
     server.shutdown();
 }
 
