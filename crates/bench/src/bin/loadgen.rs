@@ -9,6 +9,8 @@
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--n SIZE]
 //!         [--problems a,b,c] [--threads K] [--executors E] [--out PATH]
 //!         [--router] [--shards S] [--witness PATH]
+//!         [--stream] [--sessions S] [--rps R] [--batches B]
+//!         [--batch-count C] [--gate-p99 MS]
 //! ```
 //!
 //! Without `--addr`, an in-process server is booted on an ephemeral port
@@ -30,6 +32,19 @@
 //! connection per request — concurrency C exercises C simultaneous
 //! solves end to end: admission, queueing, the shared pool, response
 //! serialization.
+//!
+//! With `--stream`, the generator drives the streaming session protocol
+//! instead: `--sessions` concurrent sessions (one keep-alive connection
+//! each, capacity `--batches × --batch-count`), with batch sends paced
+//! **open-loop** across the sessions at a global `--rps` target — each
+//! batch has a wall-clock deadline `t0 + i/rps` fixed up front, and the
+//! generator reports both per-batch latency percentiles and *lateness*
+//! (how far behind schedule each send fired, the open-loop backpressure
+//! signal a closed loop would hide). Results land in `BENCH_PR7.json`;
+//! `--gate-p99 MS` makes the run fail when the p99 batch latency
+//! exceeds the budget — the CI regression gate for the streaming path.
+//! `--stream` composes with `--router` (sticky sessions over the fleet)
+//! and `--witness` (the streamed log replays with `ri witness replay`).
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,6 +69,12 @@ struct Args {
     router: bool,
     shards: usize,
     witness: Option<String>,
+    stream: bool,
+    sessions: usize,
+    rps: f64,
+    batches: usize,
+    batch_count: usize,
+    gate_p99: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +90,12 @@ fn parse_args() -> Result<Args, String> {
         router: false,
         shards: 2,
         witness: None,
+        stream: false,
+        sessions: 4,
+        rps: 40.0,
+        batches: 6,
+        batch_count: 32,
+        gate_p99: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -118,11 +145,48 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --shards: {e}"))?
             }
             "--witness" => args.witness = Some(value("--witness")?),
+            "--stream" => args.stream = true,
+            "--sessions" => {
+                args.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("bad --sessions: {e}"))?
+            }
+            "--rps" => {
+                args.rps = value("--rps")?
+                    .parse()
+                    .map_err(|e| format!("bad --rps: {e}"))?
+            }
+            "--batches" => {
+                args.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("bad --batches: {e}"))?
+            }
+            "--batch-count" => {
+                args.batch_count = value("--batch-count")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-count: {e}"))?
+            }
+            "--gate-p99" => {
+                args.gate_p99 = Some(
+                    value("--gate-p99")?
+                        .parse()
+                        .map_err(|e| format!("bad --gate-p99: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.requests == 0 || args.concurrency == 0 || args.executors == 0 {
         return Err("--requests, --concurrency and --executors must be positive".into());
+    }
+    let positive = |x: f64| x.is_finite() && x > 0.0;
+    if args.stream
+        && (args.sessions == 0 || args.batches == 0 || args.batch_count == 0 || !positive(args.rps))
+    {
+        return Err("--sessions, --batches, --batch-count and --rps must be positive".into());
+    }
+    if args.gate_p99.is_some_and(|g| !positive(g)) {
+        return Err("--gate-p99 must be a positive millisecond budget".into());
     }
     if args.router && args.addr.is_some() {
         return Err("--router boots its own in-process fleet; drop --addr".into());
@@ -158,10 +222,254 @@ fn fail(msg: impl std::fmt::Display) -> ! {
     std::process::exit(2);
 }
 
+/// The router's cluster view, folded into the output document.
+fn router_stats_value(router: &Router) -> Value {
+    let resp = http::request(
+        router.local_addr(),
+        "GET",
+        "/healthz",
+        None,
+        Duration::from_secs(10),
+    )
+    .unwrap_or_else(|e| fail(format!("router healthz: {e}")));
+    let health = json::parse(&resp.body)
+        .unwrap_or_else(|e| fail(format!("unparseable router healthz: {e}")));
+    let pick = |key: &str| health.get(key).cloned().unwrap_or(Value::Null);
+    Value::Obj(vec![
+        ("shards".into(), pick("shards")),
+        ("retries".into(), pick("retries")),
+        ("routed".into(), pick("routed")),
+        ("sessions".into(), pick("sessions")),
+        ("cache".into(), pick("cache")),
+        ("witness".into(), pick("witness")),
+    ])
+}
+
+/// One streamed batch's record.
+struct StreamSample {
+    latency_ms: f64,
+    /// How far behind its open-loop deadline the send fired.
+    lateness_ms: f64,
+    ok: bool,
+    detail: Option<String>,
+}
+
+/// Drive `--sessions` streaming sessions at a global open-loop `--rps`
+/// batch target: every batch's send deadline is fixed up front as
+/// `t0 + i/rps` (batches interleave round-robin across sessions), so a
+/// slow server shows up as *lateness* rather than silently stretching
+/// the schedule. Returns the result document (sans the `router`/`gate`
+/// sections), the failure count, and the observed p99 batch latency.
+fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f64) {
+    let capacity = args.batches * args.batch_count;
+    let interval = Duration::from_secs_f64(1.0 / args.rps);
+    // The schedule starts shortly after every session thread has opened.
+    let t0 = Instant::now() + Duration::from_millis(50);
+    let results: Vec<(Vec<StreamSample>, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.sessions)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut samples = Vec::new();
+                    let mut lifecycle = Vec::new();
+                    let mut conn = http::ClientConn::new(addr, Duration::from_secs(120));
+                    let mut req = ServeRequest::new(problem.to_string());
+                    req.workload = WorkloadSpec::new(capacity, s as u64);
+                    req.config.seed = 7;
+                    let id = match conn.request("POST", "/stream", Some(&req.to_json())) {
+                        Ok(resp) if resp.status == 200 => {
+                            json::parse(&resp.body).ok().and_then(|v| {
+                                v.get("session").and_then(Value::as_str).map(str::to_string)
+                            })
+                        }
+                        Ok(resp) => {
+                            lifecycle.push(format!(
+                                "session {s}: open status {}: {}",
+                                resp.status, resp.body
+                            ));
+                            None
+                        }
+                        Err(e) => {
+                            lifecycle.push(format!("session {s}: open transport: {e}"));
+                            None
+                        }
+                    };
+                    let Some(id) = id else {
+                        return (samples, lifecycle);
+                    };
+                    let body = format!("{{\"count\":{}}}", args.batch_count);
+                    let path = format!("/stream/{id}/batch");
+                    for j in 0..args.batches {
+                        let scheduled = t0 + interval.mul_f64((j * args.sessions + s) as f64);
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let send = Instant::now();
+                        let lateness_ms =
+                            send.saturating_duration_since(scheduled).as_secs_f64() * 1000.0;
+                        let outcome = conn.request("POST", &path, Some(&body));
+                        let latency_ms = send.elapsed().as_secs_f64() * 1000.0;
+                        let (ok, detail) = match outcome {
+                            Ok(resp) if resp.status == 200 => match json::parse(&resp.body) {
+                                Ok(v) if v.get("batch").and_then(Value::as_usize) == Some(j) => {
+                                    (true, None)
+                                }
+                                Ok(_) => (
+                                    false,
+                                    Some(format!(
+                                        "session {id} batch {j}: out-of-sequence delta: {}",
+                                        resp.body
+                                    )),
+                                ),
+                                Err(e) => (
+                                    false,
+                                    Some(format!("session {id} batch {j}: unparseable delta: {e}")),
+                                ),
+                            },
+                            Ok(resp) => (
+                                false,
+                                Some(format!(
+                                    "session {id} batch {j}: status {}: {}",
+                                    resp.status, resp.body
+                                )),
+                            ),
+                            Err(e) => (
+                                false,
+                                Some(format!("session {id} batch {j}: transport: {e}")),
+                            ),
+                        };
+                        samples.push(StreamSample {
+                            latency_ms,
+                            lateness_ms,
+                            ok,
+                            detail,
+                        });
+                    }
+                    match conn.request("DELETE", &format!("/stream/{id}"), None) {
+                        Ok(resp) if resp.status == 200 => {}
+                        Ok(resp) => lifecycle.push(format!(
+                            "session {id}: close status {}: {}",
+                            resp.status, resp.body
+                        )),
+                        Err(e) => lifecycle.push(format!("session {id}: close transport: {e}")),
+                    }
+                    (samples, lifecycle)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    let wall = (Instant::now() - t0).as_secs_f64().max(1e-9);
+
+    let mut samples = Vec::new();
+    let mut lifecycle_failures = Vec::new();
+    for (s, l) in results {
+        samples.extend(s);
+        lifecycle_failures.extend(l);
+    }
+    let batch_failures = samples.iter().filter(|s| !s.ok).count();
+    for s in samples.iter().filter(|s| !s.ok) {
+        eprintln!(
+            "loadgen: FAILED {}",
+            s.detail.as_deref().unwrap_or("unknown")
+        );
+    }
+    for msg in &lifecycle_failures {
+        eprintln!("loadgen: FAILED {msg}");
+    }
+    let failed = batch_failures + lifecycle_failures.len();
+
+    let mut lat: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let mut late: Vec<f64> = samples.iter().map(|s| s.lateness_ms).collect();
+    late.sort_by(|a, b| a.total_cmp(b));
+    let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+    let p99 = percentile(&lat, 0.99);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = Value::Obj(vec![
+        (
+            "machine".into(),
+            Value::Obj(vec![("cores".into(), Value::Num(cores as f64))]),
+        ),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("stream".into(), Value::Bool(true)),
+                ("problem".into(), Value::Str(problem.into())),
+                ("sessions".into(), Value::Num(args.sessions as f64)),
+                ("rps".into(), Value::Num(args.rps)),
+                ("batches".into(), Value::Num(args.batches as f64)),
+                ("batch_count".into(), Value::Num(args.batch_count as f64)),
+                ("capacity".into(), Value::Num(capacity as f64)),
+                ("executors".into(), Value::Num(args.executors as f64)),
+                ("in_process_server".into(), Value::Bool(args.addr.is_none())),
+                ("router".into(), Value::Bool(args.router)),
+                (
+                    "shards".into(),
+                    if args.router {
+                        Value::Num(args.shards as f64)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+        (
+            "totals".into(),
+            Value::Obj(vec![
+                ("batches".into(), Value::Num(samples.len() as f64)),
+                (
+                    "ok".into(),
+                    Value::Num((samples.len() - batch_failures) as f64),
+                ),
+                ("failed".into(), Value::Num(failed as f64)),
+                ("wall_seconds".into(), Value::Num(round3(wall))),
+                (
+                    "achieved_rps".into(),
+                    Value::Num(round3(samples.len() as f64 / wall)),
+                ),
+            ]),
+        ),
+        (
+            "latency_ms".into(),
+            Value::Obj(vec![
+                ("mean".into(), Value::Num(round3(mean))),
+                ("p50".into(), Value::Num(round3(percentile(&lat, 0.50)))),
+                ("p90".into(), Value::Num(round3(percentile(&lat, 0.90)))),
+                ("p99".into(), Value::Num(round3(p99))),
+                (
+                    "max".into(),
+                    Value::Num(round3(lat.last().copied().unwrap_or(0.0))),
+                ),
+            ]),
+        ),
+        (
+            "lateness_ms".into(),
+            Value::Obj(vec![
+                ("p50".into(), Value::Num(round3(percentile(&late, 0.50)))),
+                ("p99".into(), Value::Num(round3(percentile(&late, 0.99)))),
+                (
+                    "max".into(),
+                    Value::Num(round3(late.last().copied().unwrap_or(0.0))),
+                ),
+            ]),
+        ),
+    ]);
+    (doc, failed, p99)
+}
+
 fn main() {
     let args = parse_args().unwrap_or_else(|e| fail(e));
     let out = args.out.clone().unwrap_or_else(|| {
-        if args.router {
+        if args.stream {
+            "BENCH_PR7.json".to_string()
+        } else if args.router {
             "BENCH_PR6.json".to_string()
         } else {
             "BENCH_PR4.json".to_string()
@@ -241,6 +549,61 @@ fn main() {
             }
         }
     };
+
+    if args.stream {
+        let problem = args
+            .problems
+            .as_ref()
+            .and_then(|p| p.first().cloned())
+            .unwrap_or_else(|| "sort".to_string());
+        eprintln!(
+            "loadgen: streaming {} sessions x {} batches of {} ({}) at {} batches/s open-loop",
+            args.sessions, args.batches, args.batch_count, problem, args.rps
+        );
+        let (mut doc, failed, p99) = run_stream(&args, addr, &problem);
+        let router_stats = fleet.as_ref().map(|(router, _)| router_stats_value(router));
+        if let Some(server) = in_process.take() {
+            server.shutdown();
+        }
+        if let Some((router, backends)) = fleet.take() {
+            router.shutdown();
+            for backend in backends {
+                backend.shutdown();
+            }
+        }
+        let gate = match args.gate_p99 {
+            Some(limit) => Value::Obj(vec![
+                ("p99_ms_limit".into(), Value::Num(round3(limit))),
+                ("p99_ms".into(), Value::Num(round3(p99))),
+                ("passed".into(), Value::Bool(p99 <= limit)),
+            ]),
+            None => Value::Null,
+        };
+        if let Value::Obj(members) = &mut doc {
+            members.push(("gate".into(), gate));
+            members.push(("router".into(), router_stats.unwrap_or(Value::Null)));
+        }
+        std::fs::write(&out, format!("{}\n", doc.write()))
+            .unwrap_or_else(|e| fail(format!("writing {out}: {e}")));
+        eprintln!(
+            "loadgen: {} sessions, {} batches, {} failed, p99 {:.1}ms, wrote {}",
+            args.sessions,
+            args.sessions * args.batches,
+            failed,
+            p99,
+            out
+        );
+        if failed > 0 {
+            std::process::exit(1);
+        }
+        if let Some(limit) = args.gate_p99 {
+            if p99 > limit {
+                eprintln!("loadgen: p99 {p99:.1}ms exceeds the --gate-p99 {limit:.1}ms budget");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let problems: Vec<String> = match &args.problems {
         Some(list) => list.clone(),
@@ -347,26 +710,7 @@ fn main() {
 
     // Router mode: capture the cluster view (per-shard request counts,
     // retries, cache stats, witness info) before tearing the fleet down.
-    let router_stats: Option<Value> = fleet.as_ref().map(|(router, _)| {
-        let resp = http::request(
-            router.local_addr(),
-            "GET",
-            "/healthz",
-            None,
-            Duration::from_secs(10),
-        )
-        .unwrap_or_else(|e| fail(format!("router healthz: {e}")));
-        let health = json::parse(&resp.body)
-            .unwrap_or_else(|e| fail(format!("unparseable router healthz: {e}")));
-        let pick = |key: &str| health.get(key).cloned().unwrap_or(Value::Null);
-        Value::Obj(vec![
-            ("shards".into(), pick("shards")),
-            ("retries".into(), pick("retries")),
-            ("routed".into(), pick("routed")),
-            ("cache".into(), pick("cache")),
-            ("witness".into(), pick("witness")),
-        ])
-    });
+    let router_stats: Option<Value> = fleet.as_ref().map(|(router, _)| router_stats_value(router));
 
     if let Some(server) = in_process.take() {
         server.shutdown();

@@ -15,10 +15,12 @@
 //! ```
 //!
 //! `witness replay` loads an `ri-router` witness log (one JSON record per
-//! routed solve), re-executes every record through the local registry and
-//! asserts the answer **and** the deterministic round trace come back
-//! bit-identical — the cross-shard determinism gate. Prints a one-line
-//! JSON summary; exits nonzero if any record diverges.
+//! routed solve or served stream batch), re-executes every record through
+//! the local registry — solves one-shot, stream sessions re-fed batch by
+//! batch under their original ids — and asserts the answers, per-batch
+//! deltas **and** the deterministic round traces come back bit-identical:
+//! the cross-shard determinism gate. Prints a one-line JSON summary;
+//! exits nonzero if any record diverges.
 //!
 //! `workload.seed` seeds the input generator; `config.seed` seeds run-time
 //! randomness (processing orders). Omitted fields take their defaults
@@ -54,7 +56,8 @@ fn usage_text() -> &'static str {
      problem/workload/config and adds summary + report JSON. The same\n\
      request body works verbatim against ri-serve's POST /solve.\n\
      `witness replay` re-executes every record of an ri-router witness log\n\
-     and exits nonzero unless all answers and round traces reproduce\n\
+     (one-shot solves and streamed session batches alike) and exits nonzero\n\
+     unless all answers, per-batch deltas and round traces reproduce\n\
      bit-identically."
 }
 
@@ -123,23 +126,51 @@ fn parse_flags(args: &[String]) -> Result<ServeRequest, String> {
     Ok(request)
 }
 
-/// `ri witness replay <file>`: the determinism gate as a command. Every
-/// record re-executes through the local registry; any divergence (answer
-/// or round trace) is reported per record and fails the run.
+/// `ri witness replay <file>`: the determinism gate as a command. The
+/// log may mix one-shot solve records and stream-batch records. Solves
+/// re-execute one by one; stream batches are grouped by session (order
+/// preserved) and each session is re-fed batch by batch, asserting every
+/// per-batch delta — answer, trace, problem-specific delta — comes back
+/// bit-identical. Any divergence is reported per record and fails the run.
 fn witness_command(reg: &Registry, args: &[String]) {
     match args {
         [subcommand, path] if subcommand == "replay" => {
-            let records = witness::read_log(path).unwrap_or_else(|e| fail(e));
+            let entries = witness::read_any_log(path).unwrap_or_else(|e| fail(e));
             let mut divergent = 0usize;
-            for (i, record) in records.iter().enumerate() {
-                if let Err(e) = witness::replay(reg, record) {
+            let mut solves = 0usize;
+            let mut stream_batches = 0usize;
+            let mut sessions: Vec<(String, Vec<witness::StreamBatchRecord>)> = Vec::new();
+            for (i, entry) in entries.iter().enumerate() {
+                match entry {
+                    witness::LogEntry::Solve(record) => {
+                        solves += 1;
+                        if let Err(e) = witness::replay(reg, record) {
+                            divergent += 1;
+                            eprintln!(
+                                "ri: record {} ({} seed {} via shard {}): {e}",
+                                i + 1,
+                                record.request.problem,
+                                record.request.config.seed,
+                                record.shard
+                            );
+                        }
+                    }
+                    witness::LogEntry::Stream(record) => {
+                        stream_batches += 1;
+                        match sessions.iter_mut().find(|(id, _)| *id == record.session) {
+                            Some((_, records)) => records.push(record.clone()),
+                            None => sessions.push((record.session.clone(), vec![record.clone()])),
+                        }
+                    }
+                }
+            }
+            for (id, records) in &sessions {
+                if let Err(e) = witness::replay_stream(reg, records) {
                     divergent += 1;
                     eprintln!(
-                        "ri: record {} ({} seed {} via shard {}): {e}",
-                        i + 1,
-                        record.request.problem,
-                        record.request.config.seed,
-                        record.shard
+                        "ri: session {id} ({} x{} batches): {e}",
+                        records[0].spec.problem,
+                        records.len()
                     );
                 }
             }
@@ -147,11 +178,10 @@ fn witness_command(reg: &Registry, args: &[String]) {
                 "{}",
                 Value::Obj(vec![
                     ("log".into(), Value::Str(path.clone())),
-                    ("records".into(), Value::Num(records.len() as f64)),
-                    (
-                        "replayed".into(),
-                        Value::Num((records.len() - divergent) as f64)
-                    ),
+                    ("records".into(), Value::Num(entries.len() as f64)),
+                    ("solves".into(), Value::Num(solves as f64)),
+                    ("stream_batches".into(), Value::Num(stream_batches as f64)),
+                    ("sessions".into(), Value::Num(sessions.len() as f64)),
                     ("divergent".into(), Value::Num(divergent as f64)),
                     ("ok".into(), Value::Bool(divergent == 0)),
                 ])

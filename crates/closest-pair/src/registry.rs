@@ -1,8 +1,13 @@
 //! Registry entry: `"closest-pair"` — the grid-sieve closest pair over a
 //! seeded point workload (§5.2, Type 2). The workload shape is a
-//! point-distribution name (default `"uniform-square"`).
+//! point-distribution name (default `"uniform-square"`) — plus the
+//! native streaming adapter, which fixes the full point set at open and
+//! tracks the running closest pair as batches reveal successive
+//! prefixes.
 
-use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::json::Value;
+use ri_core::engine::registry::{ErasedIncremental, ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::session::{BatchDelta, FeedState};
 use ri_core::engine::{Problem, RunConfig, RunReport};
 use ri_geometry::{named_point_workload, Point2};
 
@@ -24,6 +29,32 @@ pub fn register(reg: &mut Registry) {
             Ok(Box::new(ClosestPairWorkload { points }))
         },
     );
+    reg.register_incremental("closest-pair", |spec| {
+        // Same generator call as the one-shot constructor, so the final
+        // streamed prefix is the one-shot instance bit for bit.
+        let points = named_point_workload(
+            "closest-pair",
+            spec.n,
+            spec.seed,
+            spec.shape_or("uniform-square"),
+            2,
+        )?;
+        Ok(Box::new(ClosestPairStream {
+            points,
+            state: FeedState::new(spec.n),
+            prev_dist: None,
+        }))
+    });
+}
+
+fn summarize(points: &[Point2], cfg: &RunConfig) -> (OutputSummary, RunReport, (u32, u32), f64) {
+    let (out, report) = ClosestPairProblem::new(points).solve(cfg);
+    let mut s = OutputSummary::new();
+    s.answer_num("points", points.len() as f64)
+        .answer_num("pair_i", out.pair.0 as f64)
+        .answer_num("pair_j", out.pair.1 as f64)
+        .answer_num("dist", out.dist);
+    (s, report, out.pair, out.dist)
 }
 
 struct ClosestPairWorkload {
@@ -36,13 +67,63 @@ impl ErasedProblem for ClosestPairWorkload {
     }
 
     fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
-        let (out, report) = ClosestPairProblem::new(&self.points).solve(cfg);
-        let mut s = OutputSummary::new();
-        s.answer_num("points", self.points.len() as f64)
-            .answer_num("pair_i", out.pair.0 as f64)
-            .answer_num("pair_j", out.pair.1 as f64)
-            .answer_num("dist", out.dist);
+        let (s, report, _, _) = summarize(&self.points, cfg);
         (s, report)
+    }
+}
+
+/// The native streaming adapter: the delta is the running closest pair
+/// of the absorbed prefix, flagged `improved` when a batch tightened the
+/// distance. Prefixes of fewer than two points are pending.
+struct ClosestPairStream {
+    points: Vec<Point2>,
+    state: FeedState,
+    prev_dist: Option<f64>,
+}
+
+impl ErasedIncremental for ClosestPairStream {
+    fn name(&self) -> &str {
+        "closest-pair"
+    }
+
+    fn capacity(&self) -> usize {
+        self.state.capacity()
+    }
+
+    fn absorbed(&self) -> usize {
+        self.state.absorbed()
+    }
+
+    fn native(&self) -> bool {
+        true
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.points.len() * std::mem::size_of::<Point2>() + 128
+    }
+
+    fn feed(&mut self, count: usize, cfg: &RunConfig) -> Result<(BatchDelta, RunReport), String> {
+        let (batch, _lo, hi) = self.state.advance(count)?;
+        let capacity = self.state.capacity();
+        if hi < 2 {
+            return Ok((
+                BatchDelta::pending(batch, count, hi, capacity),
+                RunReport::new("closest-pair"),
+            ));
+        }
+        let (summary, report, pair, dist) = summarize(&self.points[..hi], cfg);
+        let improved = self.prev_dist.is_none_or(|prev| dist < prev);
+        self.prev_dist = Some(dist);
+        let delta = Value::Obj(vec![
+            ("pair_i".into(), Value::Num(pair.0 as f64)),
+            ("pair_j".into(), Value::Num(pair.1 as f64)),
+            ("dist".into(), Value::Num(dist)),
+            ("improved".into(), Value::Bool(improved)),
+        ]);
+        Ok((
+            BatchDelta::solved(batch, count, hi, capacity, delta, &summary, &report),
+            report,
+        ))
     }
 }
 
@@ -67,5 +148,36 @@ mod tests {
         assert!(reg
             .construct("closest-pair", &WorkloadSpec::new(1, 4))
             .is_err());
+    }
+
+    #[test]
+    fn stream_tracks_the_running_pair() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        let spec = WorkloadSpec::new(40, 4);
+        let cfg = RunConfig::new().seed(1);
+        let mut inc = reg.construct_incremental("closest-pair", &spec).unwrap();
+        assert!(inc.native());
+
+        // One point: pending. Two points: first real pair, improved.
+        let (d0, _) = inc.feed(1, &cfg).unwrap();
+        assert!(d0.pending);
+        let (d1, _) = inc.feed(1, &cfg).unwrap();
+        assert!(!d1.pending);
+        assert_eq!(d1.delta.get("improved"), Some(&Value::Bool(true)));
+
+        // Distances never increase as the prefix grows.
+        let mut dist = d1.delta.get("dist").unwrap().as_f64().unwrap();
+        let mut last = d1;
+        while !last.complete {
+            let (d, _) = inc.feed(19.min(spec.n - last.cumulative), &cfg).unwrap();
+            let next = d.delta.get("dist").unwrap().as_f64().unwrap();
+            assert!(next <= dist);
+            dist = next;
+            last = d;
+        }
+        // Final streamed answer equals the one-shot solve.
+        let (one_shot, _) = reg.solve("closest-pair", &spec, &cfg).unwrap();
+        assert_eq!(last.answer, one_shot.answer().to_vec());
     }
 }

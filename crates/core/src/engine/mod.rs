@@ -30,6 +30,11 @@
 //!   [`ServeRequest`] / [`ServeResponse`] / [`ServeError`] with JSON
 //!   round-trips, shared by the `ri` CLI and the `ri-serve` HTTP server
 //!   so both speak exactly one parse path;
+//! * [`session`] — the streaming-session envelope
+//!   ([`StreamSpec`] / [`BatchRequest`] / [`BatchDelta`]): open a
+//!   session over a fixed instance and reveal it batch by batch through
+//!   the registry's object-safe [`ErasedIncremental`] trait, each batch
+//!   returning a deterministic delta + per-batch trace;
 //! * [`witness`] — deterministic witness records
 //!   ([`WitnessRecord`] / [`WitnessLog`] / [`witness::replay`]): persist
 //!   any served response as `{request, seed, shard, answer, trace}` and
@@ -71,14 +76,18 @@ pub mod registry;
 mod report;
 mod runner;
 pub mod scratch;
+pub mod session;
 pub mod witness;
 
 pub use envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
-pub use registry::{ErasedProblem, OutputSummary, Registry, RegistryError, WorkloadSpec};
+pub use registry::{
+    ErasedIncremental, ErasedProblem, OutputSummary, Registry, RegistryError, WorkloadSpec,
+};
 pub use report::{Phase, RunReport};
 pub use runner::{
     execute_type1, execute_type2, execute_type3, ExecMode, Executable, ParseExecModeError, Problem,
     RunConfig, Runner, Type1Adapter, Type2Adapter, Type3Adapter,
 };
 pub use scratch::RoundScratch;
-pub use witness::{RoundTrace, WitnessLog, WitnessRecord};
+pub use session::{BatchDelta, BatchRequest, FeedState, StreamSpec};
+pub use witness::{LogEntry, RoundTrace, StreamBatchRecord, WitnessLog, WitnessRecord};

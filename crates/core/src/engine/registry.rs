@@ -50,6 +50,8 @@
 use super::json::{self, Value};
 use super::report::RunReport;
 use super::runner::RunConfig;
+use super::session::{BatchDelta, FeedState};
+use std::sync::Arc;
 
 /// Generator parameters for one workload instance: everything an algorithm
 /// crate needs to construct a problem of its kind. The same spec given to
@@ -269,6 +271,50 @@ pub trait ErasedProblem: Send + Sync {
     fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport);
 }
 
+/// The object-safe **incremental** problem trait: a session-owned
+/// instance that absorbs element batches online and advances its
+/// randomized-incremental rounds prefix by prefix.
+///
+/// The contract mirrors the paper's setting: the full instance is fixed
+/// at construction (the [`WorkloadSpec`]'s `n` is the **capacity**), and
+/// each [`feed`](ErasedIncremental::feed) reveals the next `count`
+/// elements of that fixed instance. Because the instance never changes —
+/// only how much of it is visible — the state after absorbing `k`
+/// elements is exactly the one-shot solve of the first `k`, whatever the
+/// batch partition. That is the batch-split invariance the streaming
+/// proptests assert, and it must hold bit-identically: same spec + same
+/// batch sequence ⇒ equal [`BatchDelta`]s everywhere.
+///
+/// `Send` but not `Sync`: a session serializes its own batches (the
+/// serving layer holds one instance behind a mutex), so implementations
+/// keep plain mutable state.
+pub trait ErasedIncremental: Send {
+    /// The registered problem name (`"sort"`, `"delaunay"`, ...).
+    fn name(&self) -> &str;
+
+    /// The full instance size fixed at construction.
+    fn capacity(&self) -> usize;
+
+    /// Elements absorbed so far.
+    fn absorbed(&self) -> usize;
+
+    /// Whether this is a native incremental adapter (`true`) or the
+    /// generic re-solve-prefix fallback (`false`).
+    fn native(&self) -> bool;
+
+    /// A conservative estimate of the session's resident bytes — what
+    /// the serving layer's per-session byte cap is enforced against.
+    fn approx_bytes(&self) -> usize;
+
+    /// Absorb the next `count` elements and advance the incremental
+    /// construction under `cfg`, returning the batch's delta and the
+    /// run report of the work this batch performed. Errors on an empty
+    /// batch or one overrunning the capacity; prefixes still below the
+    /// problem's minimum instance size yield a
+    /// [`pending`](BatchDelta::pending) delta, not an error.
+    fn feed(&mut self, count: usize, cfg: &RunConfig) -> Result<(BatchDelta, RunReport), String>;
+}
+
 /// Why a registry lookup or construction failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
@@ -308,12 +354,20 @@ impl std::error::Error for RegistryError {}
 /// Shorthand for a constructor's result.
 pub type ConstructResult = Result<Box<dyn ErasedProblem>, String>;
 
-type Constructor = Box<dyn Fn(&WorkloadSpec) -> ConstructResult + Send + Sync>;
+/// Shorthand for an incremental constructor's result.
+pub type IncrementalResult = Result<Box<dyn ErasedIncremental>, String>;
+
+// `Arc` rather than `Box` so the generic fallback can carry a clone of
+// the one-shot constructor into its re-solve loop.
+type Constructor = Arc<dyn Fn(&WorkloadSpec) -> ConstructResult + Send + Sync>;
+
+type IncrementalCtor = Arc<dyn Fn(&WorkloadSpec) -> IncrementalResult + Send + Sync>;
 
 struct RegistryEntry {
     name: &'static str,
     description: &'static str,
     ctor: Constructor,
+    incremental: Option<IncrementalCtor>,
 }
 
 /// An ordered problem-name → constructor map. Names are unique;
@@ -355,8 +409,41 @@ impl Registry {
         self.entries.push(RegistryEntry {
             name,
             description,
-            ctor: Box::new(ctor),
+            ctor: Arc::new(ctor),
+            incremental: None,
         });
+    }
+
+    /// Attach a native incremental constructor to the already-registered
+    /// `name`. Problems without one still stream through the generic
+    /// re-solve-prefix fallback of
+    /// [`construct_incremental`](Registry::construct_incremental).
+    ///
+    /// Panics on an unknown name or a second attachment — like
+    /// [`register`](Registry::register), this is a static per-crate list
+    /// and a clash is a programming error.
+    pub fn register_incremental(
+        &mut self,
+        name: &'static str,
+        ctor: impl Fn(&WorkloadSpec) -> IncrementalResult + Send + Sync + 'static,
+    ) {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("incremental ctor for unregistered problem `{name}`"));
+        assert!(
+            entry.incremental.is_none(),
+            "incremental ctor for `{name}` registered twice"
+        );
+        entry.incremental = Some(Arc::new(ctor));
+    }
+
+    /// Whether `name` has a native incremental adapter.
+    pub fn has_incremental(&self, name: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.name == name && e.incremental.is_some())
     }
 
     /// Every registered name, in registration order.
@@ -402,6 +489,43 @@ impl Registry {
         })
     }
 
+    /// Construct `name`'s **streaming** instance from `spec` (whose `n`
+    /// is the session capacity). Problems with a native incremental
+    /// adapter get it; the rest get the generic re-solve-prefix
+    /// fallback, validated here against the full-capacity spec so a bad
+    /// shape or parameter fails at open time rather than mid-stream.
+    pub fn construct_incremental(
+        &self,
+        name: &str,
+        spec: &WorkloadSpec,
+    ) -> Result<Box<dyn ErasedIncremental>, RegistryError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| RegistryError::UnknownProblem {
+                name: name.to_string(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            })?;
+        let bad = |message: String| RegistryError::BadWorkload {
+            name: name.to_string(),
+            message,
+        };
+        if let Some(inc) = &entry.incremental {
+            return inc(spec).map_err(bad);
+        }
+        // Fallback path: prove the full-capacity instance constructs, then
+        // stream by re-solving ever-longer prefixes of the same spec.
+        (entry.ctor)(spec).map_err(bad)?;
+        Ok(Box::new(PrefixResolve {
+            name: name.to_string(),
+            ctor: Arc::clone(&entry.ctor),
+            spec: spec.clone(),
+            state: FeedState::new(spec.n),
+            prev_answer: Vec::new(),
+        }))
+    }
+
     /// Construct and solve in one step.
     pub fn solve(
         &self,
@@ -410,6 +534,87 @@ impl Registry {
         cfg: &RunConfig,
     ) -> Result<(OutputSummary, RunReport), RegistryError> {
         Ok(self.construct(name, spec)?.solve_erased(cfg))
+    }
+}
+
+/// The generic incremental fallback: every batch re-solves the absorbed
+/// prefix from scratch by constructing the problem at `n = cumulative`
+/// with the session's original seed/shape/param. Asymptotically wasteful
+/// next to a native adapter, but it keeps the whole registry streamable,
+/// and its **final** batch (at `cumulative == capacity`) constructs the
+/// exact one-shot instance — so the last delta's answer and trace equal
+/// the one-shot solve by construction.
+///
+/// Constructor rejections while the prefix is still short (below the
+/// problem's minimum instance size) yield a pending delta; at full
+/// capacity they are real errors (though `construct_incremental` already
+/// vetted the full spec at open time).
+struct PrefixResolve {
+    name: String,
+    ctor: Constructor,
+    spec: WorkloadSpec,
+    state: FeedState,
+    prev_answer: Vec<(String, Value)>,
+}
+
+impl ErasedIncremental for PrefixResolve {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity(&self) -> usize {
+        self.state.capacity()
+    }
+
+    fn absorbed(&self) -> usize {
+        self.state.absorbed()
+    }
+
+    fn native(&self) -> bool {
+        false
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // The fallback holds no instance between batches; the dominant
+        // transient is the re-constructed prefix. Estimate generously.
+        self.state.capacity() * 64
+    }
+
+    fn feed(&mut self, count: usize, cfg: &RunConfig) -> Result<(BatchDelta, RunReport), String> {
+        let (batch, _lo, hi) = self.state.advance(count)?;
+        let capacity = self.state.capacity();
+        let mut prefix = self.spec.clone();
+        prefix.n = hi;
+        let problem = match (self.ctor)(&prefix) {
+            Ok(p) => p,
+            Err(_) if hi < capacity => {
+                // Prefix below the problem's minimum size: absorb quietly.
+                return Ok((
+                    BatchDelta::pending(batch, count, hi, capacity),
+                    RunReport::new(&self.name),
+                ));
+            }
+            Err(e) => return Err(e),
+        };
+        let (summary, report) = problem.solve_erased(cfg);
+        let changed: Vec<Value> = summary
+            .answer()
+            .iter()
+            .filter(|(key, value)| {
+                self.prev_answer
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .is_none_or(|(_, prev)| prev != value)
+            })
+            .map(|(key, _)| Value::Str(key.clone()))
+            .collect();
+        let delta = Value::Obj(vec![
+            ("resolve".into(), Value::Bool(true)),
+            ("changed".into(), Value::Arr(changed)),
+        ]);
+        let out = BatchDelta::solved(batch, count, hi, capacity, delta, &summary, &report);
+        self.prev_answer = summary.answer().to_vec();
+        Ok((out, report))
     }
 }
 
@@ -484,6 +689,129 @@ mod tests {
     fn duplicate_registration_panics() {
         let mut r = reg();
         r.register("fixed", "again", |_| Ok(Box::new(Fixed)));
+    }
+
+    // A registry whose one problem needs at least 3 items, answering the
+    // prefix sum — enough to exercise the fallback's pending → solved →
+    // complete progression.
+    fn min3_reg() -> Registry {
+        struct Sum(usize);
+        impl ErasedProblem for Sum {
+            fn name(&self) -> &str {
+                "sum"
+            }
+            fn solve_erased(&self, _cfg: &RunConfig) -> (OutputSummary, RunReport) {
+                let mut s = OutputSummary::new();
+                s.answer_num("sum", (0..self.0).sum::<usize>() as f64);
+                s.answer_num("items", self.0 as f64);
+                let mut report = RunReport::new("sum");
+                report.items = self.0;
+                (s, report)
+            }
+        }
+        let mut r = Registry::new();
+        r.register("sum", "prefix sums", |spec| {
+            if spec.n < 3 {
+                Err("need at least 3 items".into())
+            } else {
+                Ok(Box::new(Sum(spec.n)))
+            }
+        });
+        r
+    }
+
+    #[test]
+    fn fallback_streams_any_problem() {
+        let r = min3_reg();
+        assert!(!r.has_incremental("sum"));
+        let spec = WorkloadSpec::new(6, 0);
+        let mut inc = r.construct_incremental("sum", &spec).unwrap();
+        assert!(!inc.native());
+        assert_eq!((inc.capacity(), inc.absorbed()), (6, 0));
+        let cfg = RunConfig::new();
+
+        // Two items: below the minimum, absorbed as pending.
+        let (d0, _) = inc.feed(2, &cfg).unwrap();
+        assert!(d0.pending && !d0.complete);
+        assert_eq!((d0.batch, d0.cumulative), (0, 2));
+
+        // Three more: solvable now, and `changed` lists every answer key.
+        let (d1, _) = inc.feed(3, &cfg).unwrap();
+        assert!(!d1.pending && !d1.complete);
+        assert_eq!(d1.delta.get("resolve"), Some(&Value::Bool(true)));
+        let changed = match d1.delta.get("changed") {
+            Some(Value::Arr(keys)) => keys.len(),
+            other => panic!("bad changed section: {other:?}"),
+        };
+        assert_eq!(changed, 2);
+
+        // Final batch: complete, and its answer equals the one-shot solve.
+        let (d2, _) = inc.feed(1, &cfg).unwrap();
+        assert!(d2.complete && !d2.pending);
+        let (one_shot, _) = r.solve("sum", &spec, &cfg).unwrap();
+        assert_eq!(d2.answer, one_shot.answer().to_vec());
+        assert!(inc.feed(1, &cfg).is_err(), "stream complete");
+    }
+
+    #[test]
+    fn construct_incremental_vets_spec_and_name() {
+        let r = min3_reg();
+        assert!(matches!(
+            r.construct_incremental("nope", &WorkloadSpec::new(6, 0)),
+            Err(RegistryError::UnknownProblem { .. })
+        ));
+        // The full-capacity spec is vetted at open time.
+        assert!(matches!(
+            r.construct_incremental("sum", &WorkloadSpec::new(2, 0)),
+            Err(RegistryError::BadWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn native_incremental_ctor_takes_precedence() {
+        struct Native(FeedState);
+        impl ErasedIncremental for Native {
+            fn name(&self) -> &str {
+                "sum"
+            }
+            fn capacity(&self) -> usize {
+                self.0.capacity()
+            }
+            fn absorbed(&self) -> usize {
+                self.0.absorbed()
+            }
+            fn native(&self) -> bool {
+                true
+            }
+            fn approx_bytes(&self) -> usize {
+                64
+            }
+            fn feed(
+                &mut self,
+                count: usize,
+                _cfg: &RunConfig,
+            ) -> Result<(BatchDelta, RunReport), String> {
+                let (batch, _, hi) = self.0.advance(count)?;
+                Ok((
+                    BatchDelta::pending(batch, count, hi, self.0.capacity()),
+                    RunReport::new("sum"),
+                ))
+            }
+        }
+        let mut r = min3_reg();
+        r.register_incremental("sum", |spec| Ok(Box::new(Native(FeedState::new(spec.n)))));
+        assert!(r.has_incremental("sum"));
+        let inc = r
+            .construct_incremental("sum", &WorkloadSpec::new(4, 0))
+            .unwrap();
+        assert!(inc.native());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered problem")]
+    fn incremental_for_unknown_name_panics() {
+        let mut r = min3_reg();
+        r.register_incremental("nope", |_| Err("unused".into()));
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!   answer-equality gate. A divergence means a broken build, a
 //!   non-deterministic code path, or a corrupted log — all things a
 //!   serving fleet wants to catch loudly.
+//! * [`StreamBatchRecord`] / [`replay_stream`] — the same property for
+//!   streaming sessions: one record per served batch (tagged
+//!   `"kind":"stream-batch"` so both kinds share a log file, loaded via
+//!   [`read_any_log`]), and a replay that reconstructs the session from
+//!   its spec, re-feeds the exact batch sequence, and asserts every
+//!   [`BatchDelta`] comes back bit-identical — answer, problem-specific
+//!   delta and per-batch trace alike.
 //!
 //! The record's canonical JSON shape is one line of
 //! `{"request": {...}, "seed": {"workload": W, "config": C},
@@ -42,6 +49,7 @@ use super::json::{self, Value};
 use super::registry::{Registry, RegistryError, WorkloadSpec};
 use super::report::RunReport;
 use super::runner::RunConfig;
+use super::session::{BatchDelta, StreamSpec};
 
 /// The deterministic subset of a [`RunReport`]: equal across machines,
 /// pool widths and repetitions for a fixed request (problem, workload,
@@ -278,6 +286,114 @@ impl WitnessRecord {
     }
 }
 
+/// One served **stream batch**, reduced to what deterministic replay
+/// needs: the session's opening spec (problem, workload whose `n` is the
+/// capacity, config), the session id, the shard that served the batch,
+/// and the full [`BatchDelta`] the batch returned. A session's records,
+/// in batch order, are a complete recipe for rebuilding it anywhere.
+///
+/// Serialized with a `"kind":"stream-batch"` tag so stream and one-shot
+/// records can share one JSONL log file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBatchRecord {
+    /// The session id the batch belongs to.
+    pub session: String,
+    /// The session's opening spec: problem, full-capacity workload and
+    /// the run config every batch solves under.
+    pub spec: StreamSpec,
+    /// Which shard served the batch.
+    pub shard: String,
+    /// The delta the batch returned (carries its own batch index and
+    /// count — replay re-feeds `delta.count` and compares the whole
+    /// delta with `==`).
+    pub delta: BatchDelta,
+}
+
+impl StreamBatchRecord {
+    /// The record as a JSON [`Value`]. Mirrors [`WitnessRecord`]'s shape
+    /// (`request` + denormalized `seed` + `shard`) with the stream tag,
+    /// session id and delta on top.
+    pub fn to_value(&self) -> Value {
+        let mut spec = self.spec.clone();
+        spec.session_id = None; // the top-level `session` member is canonical
+        Value::Obj(vec![
+            ("kind".into(), Value::Str("stream-batch".into())),
+            ("session".into(), Value::Str(self.session.clone())),
+            ("request".into(), spec.to_value()),
+            (
+                "seed".into(),
+                Value::Obj(vec![
+                    (
+                        "workload".into(),
+                        Value::Num(self.spec.workload.seed as f64),
+                    ),
+                    ("config".into(), Value::Num(self.spec.config.seed as f64)),
+                ]),
+            ),
+            ("shard".into(), Value::Str(self.shard.clone())),
+            ("delta".into(), self.delta.to_value()),
+        ])
+    }
+
+    /// Serialize to a single-line JSON object (one log line).
+    pub fn to_json(&self) -> String {
+        self.to_value().write()
+    }
+
+    /// Parse a record back from its JSON form.
+    pub fn from_json(text: &str) -> Result<StreamBatchRecord, json::ParseError> {
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parse a record from an already-parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<StreamBatchRecord, json::ParseError> {
+        let bad = |what: &str| json::ParseError {
+            message: format!("malformed stream-batch record: {what}"),
+            at: 0,
+        };
+        if v.get("kind").and_then(Value::as_str) != Some("stream-batch") {
+            return Err(bad("missing `\"kind\":\"stream-batch\"` tag"));
+        }
+        let session = v
+            .get("session")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing `session`"))?
+            .to_string();
+        let mut spec =
+            StreamSpec::from_value(v.get("request").ok_or_else(|| bad("missing `request`"))?)
+                .map_err(|e| bad(&format!("bad `request`: {}", e.message)))?;
+        spec.session_id = None;
+        let shard = v
+            .get("shard")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing `shard`"))?
+            .to_string();
+        let delta = BatchDelta::from_value(v.get("delta").ok_or_else(|| bad("missing `delta`"))?)?;
+        if let Some(seed) = v.get("seed") {
+            let agree = seed.get("workload").and_then(Value::as_u64) == Some(spec.workload.seed)
+                && seed.get("config").and_then(Value::as_u64) == Some(spec.config.seed);
+            if !agree {
+                return Err(bad("`seed` disagrees with the request's seeds"));
+            }
+        }
+        Ok(StreamBatchRecord {
+            session,
+            spec,
+            shard,
+            delta,
+        })
+    }
+}
+
+/// One line of a witness log: a one-shot solve record or a stream batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogEntry {
+    /// A routed one-shot `/solve` record.
+    Solve(WitnessRecord),
+    /// One served batch of a streaming session.
+    Stream(StreamBatchRecord),
+}
+
 /// An append-only JSONL witness log: one [`WitnessRecord`] per line.
 /// Appends are serialized through a mutex and flushed per record, so a
 /// log captured from a killed process is whole-line truncated at worst.
@@ -316,7 +432,15 @@ impl WitnessLog {
 
     /// Append one record as one JSON line and flush it.
     pub fn append(&self, record: &WitnessRecord) -> io::Result<()> {
-        let line = record.to_json();
+        self.append_line(record.to_json())
+    }
+
+    /// Append one stream-batch record as one JSON line and flush it.
+    pub fn append_stream(&self, record: &StreamBatchRecord) -> io::Result<()> {
+        self.append_line(record.to_json())
+    }
+
+    fn append_line(&self, line: String) -> io::Result<()> {
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
         writeln!(file, "{line}")?;
         file.flush()?;
@@ -346,6 +470,34 @@ pub fn read_log(path: impl AsRef<Path>) -> io::Result<Vec<WitnessRecord>> {
     Ok(records)
 }
 
+/// Load every entry from a JSONL witness log that may mix one-shot
+/// [`WitnessRecord`] lines and `"kind":"stream-batch"` lines. Blank
+/// lines are skipped; a malformed line fails the whole load, like
+/// [`read_log`].
+pub fn read_any_log(path: impl AsRef<Path>) -> io::Result<Vec<LogEntry>> {
+    let text = std::fs::read_to_string(path.as_ref())?;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |e: json::ParseError| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("witness log line {}: {e}", i + 1),
+            )
+        };
+        let v = json::parse(line).map_err(fail)?;
+        let entry = if v.get("kind").and_then(Value::as_str) == Some("stream-batch") {
+            LogEntry::Stream(StreamBatchRecord::from_value(&v).map_err(fail)?)
+        } else {
+            LogEntry::Solve(WitnessRecord::from_value(&v).map_err(fail)?)
+        };
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
 /// Why a replay did not reproduce its record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReplayError {
@@ -365,6 +517,22 @@ pub enum ReplayError {
         /// Recorded vs re-executed, rendered for humans.
         detail: String,
     },
+    /// A streamed session's records are not replayable as recorded:
+    /// mixed sessions, non-contiguous batch indices, inconsistent specs,
+    /// or a batch the reconstructed session refused to absorb.
+    BadStream {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A re-fed batch produced a different delta than recorded.
+    DeltaMismatch {
+        /// The diverging batch's 0-based index.
+        batch: usize,
+        /// The recorded delta, as JSON.
+        expected: Value,
+        /// The re-fed delta, as JSON.
+        got: Value,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -380,6 +548,19 @@ impl std::fmt::Display for ReplayError {
             ReplayError::TraceMismatch { field, detail } => {
                 write!(f, "round trace diverged at `{field}`: {detail}")
             }
+            ReplayError::BadStream { detail } => {
+                write!(f, "stream records not replayable: {detail}")
+            }
+            ReplayError::DeltaMismatch {
+                batch,
+                expected,
+                got,
+            } => write!(
+                f,
+                "batch {batch} delta diverged: recorded {} but replay produced {}",
+                expected.write(),
+                got.write()
+            ),
         }
     }
 }
@@ -432,6 +613,61 @@ pub fn replay(registry: &Registry, record: &WitnessRecord) -> Result<(), ReplayE
             )
         };
         return Err(ReplayError::TraceMismatch { field, detail });
+    }
+    Ok(())
+}
+
+/// Re-feed one streamed session from its witness records and assert
+/// every [`BatchDelta`] comes back bit-identical.
+///
+/// `records` must be **one** session's records in batch order (batch
+/// indices contiguous from 0, identical spec throughout) — group a mixed
+/// log by session id first. The session is reconstructed through
+/// [`Registry::construct_incremental`], so a native adapter replays
+/// natively and a fallback problem replays through the same
+/// re-solve-prefix path that served it.
+pub fn replay_stream(
+    registry: &Registry,
+    records: &[StreamBatchRecord],
+) -> Result<(), ReplayError> {
+    let bad = |detail: String| ReplayError::BadStream { detail };
+    let first = records
+        .first()
+        .ok_or_else(|| bad("no records for session".into()))?;
+    for (i, r) in records.iter().enumerate() {
+        if r.session != first.session {
+            return Err(bad(format!(
+                "mixed sessions `{}` and `{}`; group by session before replay",
+                first.session, r.session
+            )));
+        }
+        if r.spec != first.spec {
+            return Err(bad(format!(
+                "session `{}` changes spec at batch {}",
+                r.session, r.delta.batch
+            )));
+        }
+        if r.delta.batch != i {
+            return Err(bad(format!(
+                "session `{}` batches not contiguous: expected index {i}, found {}",
+                r.session, r.delta.batch
+            )));
+        }
+    }
+    let mut inc = registry
+        .construct_incremental(&first.spec.problem, &first.spec.workload)
+        .map_err(ReplayError::Solve)?;
+    for r in records {
+        let (delta, _) = inc
+            .feed(r.delta.count, &first.spec.config)
+            .map_err(|e| bad(format!("batch {} refused on replay: {e}", r.delta.batch)))?;
+        if delta != r.delta {
+            return Err(ReplayError::DeltaMismatch {
+                batch: r.delta.batch,
+                expected: r.delta.to_value(),
+                got: delta.to_value(),
+            });
+        }
     }
     Ok(())
 }
@@ -593,6 +829,116 @@ mod tests {
         std::fs::write(&path, "not json\n").unwrap();
         assert!(read_log(&path).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Serve a toy session of `counts` batches through the registry's
+    /// fallback incremental path, producing one record per batch.
+    fn toy_stream(reg: &Registry, counts: &[usize]) -> Vec<StreamBatchRecord> {
+        let spec = StreamSpec {
+            problem: "toy".into(),
+            workload: WorkloadSpec::new(counts.iter().sum(), 3),
+            config: RunConfig::new().seed(9),
+            session_id: None,
+        };
+        let mut inc = reg
+            .construct_incremental(&spec.problem, &spec.workload)
+            .unwrap();
+        counts
+            .iter()
+            .map(|&count| {
+                let (delta, _) = inc.feed(count, &spec.config).unwrap();
+                StreamBatchRecord {
+                    session: "rs-1".into(),
+                    spec: spec.clone(),
+                    shard: "s0".into(),
+                    delta,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_record_round_trips_and_tags() {
+        let reg = toy_registry();
+        let records = toy_stream(&reg, &[4, 3, 5]);
+        for r in &records {
+            assert!(r.to_json().starts_with("{\"kind\":\"stream-batch\""));
+            assert_eq!(StreamBatchRecord::from_json(&r.to_json()).unwrap(), *r);
+        }
+        // The tag is required; a solve record does not parse as a stream one.
+        let solve = WitnessRecord::from_response(&toy_response(&reg, 8, 1, 2), "s0");
+        assert!(StreamBatchRecord::from_json(&solve.to_json()).is_err());
+        // The denormalized seed member is checked, as for solve records.
+        let tampered = records[0].to_json().replace(
+            "\"seed\":{\"workload\":3,\"config\":9}",
+            "\"seed\":{\"workload\":4,\"config\":9}",
+        );
+        assert!(StreamBatchRecord::from_json(&tampered).is_err());
+    }
+
+    #[test]
+    fn mixed_log_reads_back_both_kinds() {
+        let reg = toy_registry();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "ri-witness-mixed-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let log = WitnessLog::open(&path).unwrap();
+        let solve = WitnessRecord::from_response(&toy_response(&reg, 8, 1, 2), "s0");
+        let stream = toy_stream(&reg, &[2, 2]);
+        log.append(&solve).unwrap();
+        log.append_stream(&stream[0]).unwrap();
+        log.append_stream(&stream[1]).unwrap();
+        assert_eq!(log.appended(), 3);
+        let entries = read_any_log(&path).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                LogEntry::Solve(solve),
+                LogEntry::Stream(stream[0].clone()),
+                LogEntry::Stream(stream[1].clone()),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stream_replay_accepts_faithful_records_and_rejects_tampered_ones() {
+        let reg = toy_registry();
+        let records = toy_stream(&reg, &[4, 3, 5]);
+        assert!(replay_stream(&reg, &records).is_ok());
+
+        // Tampered delta → DeltaMismatch at the right batch.
+        let mut bad = records.clone();
+        bad[1].delta.trace.checks += 1;
+        assert!(matches!(
+            replay_stream(&reg, &bad),
+            Err(ReplayError::DeltaMismatch { batch: 1, .. })
+        ));
+
+        // A gap in the batch sequence → BadStream.
+        let gappy = vec![records[0].clone(), records[2].clone()];
+        assert!(matches!(
+            replay_stream(&reg, &gappy),
+            Err(ReplayError::BadStream { .. })
+        ));
+
+        // Mixed sessions → BadStream.
+        let mut mixed = records;
+        mixed[2].session = "rs-2".into();
+        assert!(matches!(
+            replay_stream(&reg, &mixed),
+            Err(ReplayError::BadStream { .. })
+        ));
+
+        // Empty input → BadStream.
+        assert!(matches!(
+            replay_stream(&reg, &[]),
+            Err(ReplayError::BadStream { .. })
+        ));
     }
 
     #[test]

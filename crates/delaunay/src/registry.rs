@@ -1,9 +1,16 @@
 //! Registry entry: `"delaunay"` — incremental Delaunay triangulation of a
 //! seeded point workload (§4, Type 1 with nested dependences). The
 //! workload shape is a point-distribution name (default
-//! `"uniform-square"`).
+//! `"uniform-square"`) — plus the native streaming adapter, which fixes
+//! the full point set at open and reports each batch's triangulation
+//! *edge diff* (edges added and removed as new points retriangulate
+//! their cavities) as the delta.
 
-use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use std::collections::HashSet;
+
+use ri_core::engine::json::Value;
+use ri_core::engine::registry::{ErasedIncremental, ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::session::{BatchDelta, FeedState};
 use ri_core::engine::{Problem, RunConfig, RunReport};
 use ri_geometry::{named_point_workload, Point2};
 
@@ -25,6 +32,57 @@ pub fn register(reg: &mut Registry) {
             Ok(Box::new(DelaunayWorkload { points }))
         },
     );
+    reg.register_incremental("delaunay", |spec| {
+        // Same generator call as the one-shot constructor, so the final
+        // streamed prefix is the one-shot instance bit for bit.
+        let points = named_point_workload(
+            "delaunay",
+            spec.n,
+            spec.seed,
+            spec.shape_or("uniform-square"),
+            3,
+        )?;
+        Ok(Box::new(DelaunayStream {
+            points,
+            edges: HashSet::new(),
+            state: FeedState::new(spec.n),
+        }))
+    });
+}
+
+fn summarize(points: &[Point2], cfg: &RunConfig) -> (OutputSummary, RunReport, Vec<(u32, u32)>) {
+    let (out, report) = DelaunayProblem::new(points).solve(cfg);
+    let mut s = OutputSummary::new();
+    s.answer_num("points", points.len() as f64)
+        .answer_num("triangles", out.mesh.finite_triangles().len() as f64)
+        .answer_bool("valid", out.mesh.validate().is_ok())
+        .metric_num("incircle_tests", out.stats.incircle_tests as f64)
+        .metric_num("orient_tests", out.stats.orient_tests as f64)
+        .metric_num("skipped_tests", out.stats.skipped_tests as f64);
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    for t in out.mesh.finite_triangles() {
+        for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+            edges.insert((a.min(b), a.max(b)));
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = edges.into_iter().collect();
+    edges.sort_unstable();
+    (s, report, edges)
+}
+
+/// FNV-1a over an edge list, masked below 2⁵³ so the checksum survives a
+/// JSON (f64) round trip exactly.
+fn edge_checksum(edges: &[(u32, u32)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(a, b) in edges {
+        for x in [a, b] {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x1_0000_0193);
+            }
+        }
+    }
+    h & ((1 << 53) - 1)
 }
 
 struct DelaunayWorkload {
@@ -37,15 +95,69 @@ impl ErasedProblem for DelaunayWorkload {
     }
 
     fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
-        let (out, report) = DelaunayProblem::new(&self.points).solve(cfg);
-        let mut s = OutputSummary::new();
-        s.answer_num("points", self.points.len() as f64)
-            .answer_num("triangles", out.mesh.finite_triangles().len() as f64)
-            .answer_bool("valid", out.mesh.validate().is_ok())
-            .metric_num("incircle_tests", out.stats.incircle_tests as f64)
-            .metric_num("orient_tests", out.stats.orient_tests as f64)
-            .metric_num("skipped_tests", out.stats.skipped_tests as f64);
+        let (s, report, _) = summarize(&self.points, cfg);
         (s, report)
+    }
+}
+
+/// The native streaming adapter: the delta counts the undirected
+/// triangulation edges a batch added and removed relative to the
+/// previous prefix, plus a checksum of the current sorted edge list —
+/// compact enough to log per batch, strong enough that replay catches
+/// any divergence in the mesh itself. Prefixes of fewer than three
+/// points are pending.
+struct DelaunayStream {
+    points: Vec<Point2>,
+    /// Undirected edges `(min, max)` of the previous prefix's mesh.
+    edges: HashSet<(u32, u32)>,
+    state: FeedState,
+}
+
+impl ErasedIncremental for DelaunayStream {
+    fn name(&self) -> &str {
+        "delaunay"
+    }
+
+    fn capacity(&self) -> usize {
+        self.state.capacity()
+    }
+
+    fn absorbed(&self) -> usize {
+        self.state.absorbed()
+    }
+
+    fn native(&self) -> bool {
+        true
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.points.len() * std::mem::size_of::<Point2>() + self.edges.len() * 16 + 256
+    }
+
+    fn feed(&mut self, count: usize, cfg: &RunConfig) -> Result<(BatchDelta, RunReport), String> {
+        let (batch, _lo, hi) = self.state.advance(count)?;
+        let capacity = self.state.capacity();
+        if hi < 3 {
+            return Ok((
+                BatchDelta::pending(batch, count, hi, capacity),
+                RunReport::new("delaunay"),
+            ));
+        }
+        let (summary, report, edges) = summarize(&self.points[..hi], cfg);
+        let added = edges.iter().filter(|e| !self.edges.contains(e)).count();
+        // |old| - |old ∩ new|, with |old ∩ new| = |new| - added.
+        let removed = self.edges.len() + added - edges.len();
+        let delta = Value::Obj(vec![
+            ("edges".into(), Value::Num(edges.len() as f64)),
+            ("added".into(), Value::Num(added as f64)),
+            ("removed".into(), Value::Num(removed as f64)),
+            ("checksum".into(), Value::Num(edge_checksum(&edges) as f64)),
+        ]);
+        self.edges = edges.into_iter().collect();
+        Ok((
+            BatchDelta::solved(batch, count, hi, capacity, delta, &summary, &report),
+            report,
+        ))
     }
 }
 
@@ -78,5 +190,39 @@ mod tests {
             .err()
             .unwrap();
         assert!(err.to_string().contains("at least 3"));
+        // The incremental constructor applies the same shape check.
+        assert!(reg
+            .construct_incremental("delaunay", &WorkloadSpec::new(100, 1).shape("sideways"))
+            .is_err());
+    }
+
+    #[test]
+    fn stream_reports_edge_diffs_and_matches_one_shot() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        let spec = WorkloadSpec::new(60, 5);
+        let cfg = RunConfig::new().seed(3);
+        let mut inc = reg.construct_incremental("delaunay", &spec).unwrap();
+        assert!(inc.native());
+
+        // Two points: pending, no mesh yet.
+        let (d0, _) = inc.feed(2, &cfg).unwrap();
+        assert!(d0.pending);
+
+        // First solvable prefix: every edge is newly added.
+        let (d1, _) = inc.feed(3, &cfg).unwrap();
+        assert!(!d1.pending);
+        assert_eq!(d1.delta.get("removed"), Some(&Value::Num(0.0)));
+        assert_eq!(d1.delta.get("added"), d1.delta.get("edges"));
+
+        // Stream to completion; later batches retriangulate (removals
+        // appear) and the final answer equals the one-shot solve.
+        let (d2, _) = inc.feed(40, &cfg).unwrap();
+        assert!(d2.delta.get("removed").unwrap().as_f64().unwrap() > 0.0);
+        let (d3, _) = inc.feed(15, &cfg).unwrap();
+        assert!(d3.complete);
+        let (one_shot, report) = reg.solve("delaunay", &spec, &cfg).unwrap();
+        assert_eq!(d3.answer, one_shot.answer().to_vec());
+        assert_eq!(d3.trace, ri_core::engine::RoundTrace::from_report(&report));
     }
 }

@@ -17,8 +17,10 @@ pub fn register(reg: &mut Registry) {
         "le-lists",
         "Cohen's least-element lists on a random graph (§6.1, Type 3)",
         |spec| {
-            if spec.n == 0 {
-                return Err("le-lists needs at least 1 vertex".into());
+            // An Err (not a panic) below the minimum lets the streaming
+            // fallback report small prefixes as pending rather than die.
+            if spec.n < 2 {
+                return Err("le-lists needs at least 2 vertices to place edges".into());
             }
             let g = match spec.shape_or("gnm-weighted") {
                 "gnm-weighted" => ri_graph::generators::gnm_weighted(

@@ -98,6 +98,11 @@ pub struct Backend {
     served: AtomicU64,
     /// Attempts against this shard that failed over to another.
     failed: AtomicU64,
+    /// Streaming sessions the shard reported open on its last health
+    /// poll (the shard owns the truth; this is the router's view).
+    sessions_open: AtomicU64,
+    /// Stream batches the shard reported served on its last health poll.
+    batches_served: AtomicU64,
     /// Idle keep-alive connections, reused across proxied requests.
     conns: Mutex<Vec<ClientConn>>,
     /// The child process when the router spawned this shard.
@@ -114,6 +119,8 @@ impl Backend {
             inflight: AtomicUsize::new(0),
             served: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            sessions_open: AtomicU64::new(0),
+            batches_served: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             child: Mutex::new(None),
         }
@@ -224,6 +231,22 @@ impl Backend {
     /// Attempts against this shard that failed over elsewhere.
     pub fn failed(&self) -> u64 {
         self.failed.load(Ordering::SeqCst)
+    }
+
+    /// Streaming sessions the shard reported open on its last health poll.
+    pub fn sessions_open(&self) -> u64 {
+        self.sessions_open.load(Ordering::SeqCst)
+    }
+
+    /// Stream batches the shard reported served on its last health poll.
+    pub fn batches_served(&self) -> u64 {
+        self.batches_served.load(Ordering::SeqCst)
+    }
+
+    /// Refresh the shard's self-reported session stats from a health poll.
+    pub(crate) fn record_session_stats(&self, open: u64, batches: u64) {
+        self.sessions_open.store(open, Ordering::SeqCst);
+        self.batches_served.store(batches, Ordering::SeqCst);
     }
 
     pub(crate) fn begin_request(&self) {

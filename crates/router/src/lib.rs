@@ -17,9 +17,21 @@
 //!   to the next distinct shard on the ring. Safe by construction:
 //!   every solve is deterministic and side-effect-free, so a retry can
 //!   never double-apply anything.
+//! * **Sticky streaming sessions** — `POST /stream` assigns the session
+//!   an id (`rs-<seq>` unless the client names one), consistent-hashes
+//!   *the id* onto the ring, and pins every later `/stream/<id>/...`
+//!   request to that shard. Because sessions are deterministic replayable
+//!   state (a fixed [`StreamSpec`] plus the batch counts served so far),
+//!   a dead or draining shard is survivable: the router *migrates* the
+//!   session — close on the old shard (best-effort), reopen under the
+//!   same id on the next routable shard, re-feed the recorded batch
+//!   counts — and the rebuilt session is bit-identical to the lost one.
+//!   Re-fed batches are never re-witnessed; only client-served batches
+//!   land in the log.
 //! * **Drain** — `POST /admin/drain {"shard_id": ...}` stops routing to
-//!   a shard, waits out its in-flight requests, then stops it (killing
-//!   the child when the router spawned it).
+//!   a shard, waits out its in-flight requests, migrates its streaming
+//!   sessions to surviving shards, then stops it (killing the child when
+//!   the router spawned it).
 //! * **The witness log + result cache** — every 200 routed is persisted
 //!   as a [`WitnessRecord`] (`{request, seed, shard, answer, trace}`)
 //!   and its body cached under the witness key. `ri witness replay`
@@ -39,16 +51,18 @@ pub mod backend;
 pub mod cache;
 pub mod ring;
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ri_core::engine::envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
 use ri_core::engine::json::{self, Value};
-use ri_core::engine::witness::{witness_key, WitnessLog, WitnessRecord};
+use ri_core::engine::session::{BatchDelta, BatchRequest, StreamSpec};
+use ri_core::engine::witness::{witness_key, StreamBatchRecord, WitnessLog, WitnessRecord};
 use ri_serve::http::{
     read_request_buffered, write_response_opts, ClientConn, HttpResponse, ReadError,
 };
@@ -99,12 +113,37 @@ impl Default for RouterConfig {
     }
 }
 
+/// The router's record of one pinned streaming session: which shard owns
+/// it, the exact open body to replay it from, and the batch counts served
+/// so far. Together these rebuild the session bit-identically anywhere —
+/// the whole basis of close-and-replay migration.
+struct StickySession {
+    /// Index into `Shared::backends` of the shard holding the session.
+    shard: usize,
+    /// The forwarded open body (client's spec + the assigned
+    /// `session_id`), replayed verbatim on migration.
+    open_body: String,
+    /// Counts of the batches served to the client, in order.
+    batches: Vec<usize>,
+}
+
 struct Shared {
     cfg: RouterConfig,
     backends: Vec<Backend>,
     ring: HashRing,
     cache: ResultCache,
     witness: Option<WitnessLog>,
+    /// Open streaming sessions pinned to shards. The per-session mutex
+    /// serializes batches (and migration) within a session; distinct
+    /// sessions never contend past the brief map lookup.
+    sticky: Mutex<HashMap<String, Arc<Mutex<StickySession>>>>,
+    /// Sequence for router-assigned session ids (`rs-<seq>`).
+    session_seq: AtomicU64,
+    /// Sessions rebuilt on another shard via close-and-replay.
+    sessions_migrated: AtomicU64,
+    /// Stream batches answered 200 to clients (migration re-feeds are
+    /// internal and not counted).
+    stream_batches: AtomicU64,
     /// `/solve` requests answered 200 (cache hits included).
     routed: AtomicU64,
     /// Failover attempts: a shard was tried and the request moved on.
@@ -113,6 +152,10 @@ struct Shared {
     errored: AtomicU64,
     draining: AtomicBool,
     connections: AtomicUsize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A running router: owns the acceptor and health-poller threads plus
@@ -170,6 +213,10 @@ impl Router {
             witness,
             ring,
             backends,
+            sticky: Mutex::new(HashMap::new()),
+            session_seq: AtomicU64::new(0),
+            sessions_migrated: AtomicU64::new(0),
+            stream_batches: AtomicU64::new(0),
             routed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             errored: AtomicU64::new(0),
@@ -275,10 +322,18 @@ fn poll_health_once(shared: &Shared) {
         let mut conn = ClientConn::new(backend.addr(), timeout);
         let healthy = match conn.request("GET", "/healthz", None) {
             Ok(resp) if resp.status == 200 => match json::parse(&resp.body) {
-                Ok(v) => match v.get("shard_id").and_then(Value::as_str) {
-                    Some(id) if !id.is_empty() => id == backend.shard_id(),
-                    _ => true, // a shard that doesn't name itself is trusted
-                },
+                Ok(v) => {
+                    // Fold the shard's self-reported session stats into
+                    // the router's cluster view while we're here.
+                    let stat = |key: &str| {
+                        v.get(key).and_then(Value::as_f64).unwrap_or(0.0).max(0.0) as u64
+                    };
+                    backend.record_session_stats(stat("sessions_open"), stat("batches_served"));
+                    match v.get("shard_id").and_then(Value::as_str) {
+                        Some(id) if !id.is_empty() => id == backend.shard_id(),
+                        _ => true, // a shard that doesn't name itself is trusted
+                    }
+                }
                 Err(_) => false,
             },
             _ => false,
@@ -360,6 +415,12 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         let keep_alive = request.keep_alive() && !shared.draining.load(Ordering::SeqCst);
         match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body, keep_alive),
+            ("POST", "/stream") => {
+                handle_stream_open(shared, &mut stream, &request.body, keep_alive)
+            }
+            (method, path) if path.strip_prefix("/stream/").is_some_and(|r| !r.is_empty()) => {
+                handle_stream_session(shared, &mut stream, method, path, &request.body, keep_alive)
+            }
             ("GET", "/healthz") => {
                 let body = health_value(shared).write();
                 let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
@@ -368,7 +429,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             ("POST", "/admin/drain") => {
                 handle_drain(shared, &mut stream, &request.body, keep_alive)
             }
-            (_, "/solve") | (_, "/healthz") | (_, "/problems") | (_, "/admin/drain") => {
+            (_, "/solve")
+            | (_, "/stream")
+            | (_, "/healthz")
+            | (_, "/problems")
+            | (_, "/admin/drain") => {
                 let err = ServeError::new(
                     ServeErrorKind::MethodNotAllowed,
                     format!("{} is not supported on {}", request.method, request.path),
@@ -379,8 +444,8 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let err = ServeError::new(
                     ServeErrorKind::NotFound,
                     format!(
-                        "no such path `{path}`; try POST /solve, GET /problems, GET /healthz, \
-                         POST /admin/drain"
+                        "no such path `{path}`; try POST /solve, POST /stream, GET /problems, \
+                         GET /healthz, POST /admin/drain"
                     ),
                 );
                 respond_error(shared, &mut stream, &err, keep_alive, &[]);
@@ -512,12 +577,465 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
 
 /// Proxy one `/solve` to a backend over its pooled keep-alive connection.
 fn proxy_solve(backend: &Backend, body: &str, timeout: Duration) -> io::Result<HttpResponse> {
+    proxy_request(backend, "POST", "/solve", Some(body), timeout)
+}
+
+/// Proxy one request to a backend over its pooled keep-alive connection.
+fn proxy_request(
+    backend: &Backend,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
     let mut conn = backend.checkout(timeout);
-    let result = conn.request("POST", "/solve", Some(body));
+    let result = conn.request(method, path, body);
     if result.is_ok() {
         backend.checkin(conn);
     }
     result
+}
+
+/// `POST /stream`: assign the session id, pick its home shard by
+/// consistent-hashing *the id*, and open it there (failing over along
+/// the ring like `/solve` — an open has no state to lose yet).
+fn handle_stream_open(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => {
+            let err = ServeError::bad_request("request body is not UTF-8");
+            respond_error(shared, stream, &err, keep_alive, &[]);
+            return;
+        }
+    };
+    // Validate with the same envelope code the backends use, and take
+    // over id assignment: the router must know the id *before* the
+    // session exists anywhere, because the id is the routing key.
+    let mut spec = match StreamSpec::from_json(text) {
+        Ok(s) => s,
+        Err(err) => {
+            respond_error(shared, stream, &err, keep_alive, &[]);
+            return;
+        }
+    };
+    let id = spec.session_id.clone().unwrap_or_else(|| {
+        format!(
+            "rs-{}",
+            shared.session_seq.fetch_add(1, Ordering::SeqCst) + 1
+        )
+    });
+    if lock(&shared.sticky).contains_key(&id) {
+        let err = ServeError::bad_request(format!("session `{id}` is already open"));
+        respond_error(shared, stream, &err, keep_alive, &[]);
+        return;
+    }
+    spec.session_id = Some(id.clone());
+    let open_body = spec.to_json();
+
+    let order = shared.ring.order(&id);
+    let candidates: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| shared.backends[i].routable())
+        .take(shared.cfg.max_attempts.max(1))
+        .collect();
+    if candidates.is_empty() {
+        let err = ServeError::new(
+            ServeErrorKind::Overloaded,
+            "no routable shard (all draining or detached); retry later",
+        );
+        respond_error(shared, stream, &err, keep_alive, &[]);
+        return;
+    }
+
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
+    let last = candidates.len() - 1;
+    for (attempt, &index) in candidates.iter().enumerate() {
+        let backend = &shared.backends[index];
+        backend.begin_request();
+        let outcome = proxy_request(backend, "POST", "/stream", Some(&open_body), timeout);
+        backend.end_request();
+        match outcome {
+            Ok(resp) if resp.status == 200 => {
+                lock(&shared.sticky).insert(
+                    id.clone(),
+                    Arc::new(Mutex::new(StickySession {
+                        shard: index,
+                        open_body,
+                        batches: Vec::new(),
+                    })),
+                );
+                let shard = backend.shard_id().to_string();
+                let _ = write_response_opts(
+                    stream,
+                    200,
+                    keep_alive,
+                    &[("X-RI-Shard", &shard)],
+                    &resp.body,
+                );
+                return;
+            }
+            Ok(resp) if attempt < last && retryable_response(&resp) => {
+                backend.count_failed();
+                shared.retries.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(resp) => {
+                let shard = backend.shard_id().to_string();
+                let mut extra: Vec<(&str, &str)> = vec![("X-RI-Shard", &shard)];
+                if resp.status == 503 {
+                    extra.push(("Retry-After", "1"));
+                }
+                shared.errored.fetch_add(1, Ordering::SeqCst);
+                let _ = write_response_opts(stream, resp.status, keep_alive, &extra, &resp.body);
+                return;
+            }
+            Err(_) => {
+                backend.observe(false);
+                backend.count_failed();
+                if attempt < last {
+                    shared.retries.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    let err = ServeError::new(
+                        ServeErrorKind::Overloaded,
+                        format!(
+                            "every candidate shard failed to open the session (tried {}); \
+                             retry later",
+                            candidates.len()
+                        ),
+                    );
+                    respond_error(shared, stream, &err, keep_alive, &[]);
+                    return;
+                }
+            }
+        }
+    }
+    let err = ServeError::new(
+        ServeErrorKind::Overloaded,
+        format!(
+            "every candidate shard shed the open (tried {}); retry later",
+            candidates.len()
+        ),
+    );
+    respond_error(shared, stream, &err, keep_alive, &[]);
+}
+
+/// `/stream/<id>[/batch]`: sticky-route to the session's pinned shard,
+/// migrating the session first when that shard is gone.
+fn handle_stream_session(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    let rest = path.strip_prefix("/stream/").unwrap_or_default();
+    let (id, action) = match rest.strip_suffix("/batch") {
+        Some(id) => (id, "batch"),
+        None => (rest, ""),
+    };
+    if id.is_empty() || id.contains('/') {
+        let err = ServeError::new(
+            ServeErrorKind::NotFound,
+            format!("no such path `{path}`; stream paths are /stream/<id> and /stream/<id>/batch"),
+        );
+        respond_error(shared, stream, &err, keep_alive, &[]);
+        return;
+    }
+    match (method, action) {
+        ("POST", "batch") => handle_stream_batch(shared, stream, id, body, keep_alive),
+        ("GET", "") => handle_stream_info(shared, stream, id, keep_alive),
+        ("DELETE", "") => handle_stream_close(shared, stream, id, keep_alive),
+        _ => {
+            let err = ServeError::new(
+                ServeErrorKind::MethodNotAllowed,
+                format!("{method} is not supported on {path}"),
+            );
+            respond_error(shared, stream, &err, keep_alive, &[]);
+        }
+    }
+}
+
+/// Look up a session's sticky entry (shared so the per-session mutex
+/// outlives the map lock).
+fn sticky_entry(shared: &Shared, id: &str) -> Option<Arc<Mutex<StickySession>>> {
+    lock(&shared.sticky).get(id).cloned()
+}
+
+fn respond_no_session(shared: &Shared, stream: &mut TcpStream, id: &str, keep_alive: bool) {
+    let err = ServeError::new(
+        ServeErrorKind::NotFound,
+        format!("no open session `{id}` (closed, evicted, or never opened here)"),
+    );
+    respond_error(shared, stream, &err, keep_alive, &[]);
+}
+
+/// `POST /stream/<id>/batch`: serve the batch from the pinned shard. The
+/// per-session lock is held across the proxy, so batches within a session
+/// are strictly ordered and migration never races a batch. On transport
+/// failure (or an unroutable pin) the session is migrated via
+/// close-and-replay and the batch retried once on its new home.
+fn handle_stream_batch(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    id: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    let request = match std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_request("request body is not UTF-8"))
+        .and_then(BatchRequest::from_json)
+    {
+        Ok(r) => r,
+        Err(err) => {
+            respond_error(shared, stream, &err, keep_alive, &[]);
+            return;
+        }
+    };
+    let Some(entry) = sticky_entry(shared, id) else {
+        respond_no_session(shared, stream, id, keep_alive);
+        return;
+    };
+    let mut sess = lock(&entry);
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
+    let batch_path = format!("/stream/{id}/batch");
+    let batch_body = request.to_json();
+
+    // Two tries: the pinned shard, then (after one migration) the new
+    // home. A second failure answers 503 — the batch is retryable from
+    // the client's side because a failed attempt never advanced state.
+    for attempt in 0..2 {
+        if !shared.backends[sess.shard].routable() && !migrate_session(shared, id, &mut sess) {
+            let err = ServeError::new(
+                ServeErrorKind::Overloaded,
+                format!("session `{id}` has no routable shard; retry later"),
+            );
+            respond_error(shared, stream, &err, keep_alive, &[]);
+            return;
+        }
+        let backend = &shared.backends[sess.shard];
+        backend.begin_request();
+        let outcome = proxy_request(backend, "POST", &batch_path, Some(&batch_body), timeout);
+        backend.end_request();
+        match outcome {
+            Ok(resp) if resp.status == 200 => {
+                sess.batches.push(request.count);
+                backend.count_served();
+                shared.stream_batches.fetch_add(1, Ordering::SeqCst);
+                record_stream_witness(shared, &sess, id, backend.shard_id(), &resp.body);
+                let shard = backend.shard_id().to_string();
+                let _ = write_response_opts(
+                    stream,
+                    200,
+                    keep_alive,
+                    &[("X-RI-Shard", &shard)],
+                    &resp.body,
+                );
+                return;
+            }
+            Ok(resp) if attempt == 0 && retryable_response(&resp) => {
+                // The shard shed the batch without running it (draining
+                // or overloaded): session state did not advance, so
+                // close-and-replay on another shard is safe.
+                backend.count_failed();
+                shared.retries.fetch_add(1, Ordering::SeqCst);
+                if migrate_session(shared, id, &mut sess) {
+                    continue;
+                }
+                let err = ServeError::new(
+                    ServeErrorKind::Overloaded,
+                    format!("session `{id}` has no routable shard; retry later"),
+                );
+                respond_error(shared, stream, &err, keep_alive, &[]);
+                return;
+            }
+            Ok(resp) => {
+                // The shard answered: a structured error the client must
+                // see (bad count, overfeed, ...). Never migrate on these —
+                // the session is alive and its state did not advance.
+                let shard = backend.shard_id().to_string();
+                let mut extra: Vec<(&str, &str)> = vec![("X-RI-Shard", &shard)];
+                if resp.status == 503 {
+                    extra.push(("Retry-After", "1"));
+                }
+                shared.errored.fetch_add(1, Ordering::SeqCst);
+                let _ = write_response_opts(stream, resp.status, keep_alive, &extra, &resp.body);
+                return;
+            }
+            Err(_) => {
+                backend.observe(false);
+                backend.count_failed();
+                if attempt == 0 {
+                    shared.retries.fetch_add(1, Ordering::SeqCst);
+                    if migrate_session(shared, id, &mut sess) {
+                        continue;
+                    }
+                }
+                let err = ServeError::new(
+                    ServeErrorKind::Overloaded,
+                    format!("session `{id}` lost its shard and could not migrate; retry later"),
+                );
+                respond_error(shared, stream, &err, keep_alive, &[]);
+                return;
+            }
+        }
+    }
+}
+
+/// `GET /stream/<id>`: proxy the info read to the pinned shard.
+fn handle_stream_info(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str, keep_alive: bool) {
+    let Some(entry) = sticky_entry(shared, id) else {
+        respond_no_session(shared, stream, id, keep_alive);
+        return;
+    };
+    let sess = lock(&entry);
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.clamp(100, 10_000));
+    let backend = &shared.backends[sess.shard];
+    match proxy_request(backend, "GET", &format!("/stream/{id}"), None, timeout) {
+        Ok(resp) => {
+            let shard = backend.shard_id().to_string();
+            let _ = write_response_opts(
+                stream,
+                resp.status,
+                keep_alive,
+                &[("X-RI-Shard", &shard)],
+                &resp.body,
+            );
+        }
+        Err(_) => {
+            backend.observe(false);
+            let err = ServeError::new(
+                ServeErrorKind::Overloaded,
+                format!("session `{id}`'s shard did not answer; retry later"),
+            );
+            respond_error(shared, stream, &err, keep_alive, &[]);
+        }
+    }
+}
+
+/// `DELETE /stream/<id>`: drop the sticky pin and close on the shard.
+/// The pin is dropped even when the shard is unreachable — the client
+/// wants the session gone, and the shard's own idle TTL will reap the
+/// orphan if the shard is merely slow rather than dead.
+fn handle_stream_close(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str, keep_alive: bool) {
+    let Some(entry) = lock(&shared.sticky).remove(id) else {
+        respond_no_session(shared, stream, id, keep_alive);
+        return;
+    };
+    let sess = lock(&entry);
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.clamp(100, 10_000));
+    let backend = &shared.backends[sess.shard];
+    let shard = backend.shard_id().to_string();
+    match proxy_request(backend, "DELETE", &format!("/stream/{id}"), None, timeout) {
+        Ok(resp) => {
+            let _ = write_response_opts(
+                stream,
+                resp.status,
+                keep_alive,
+                &[("X-RI-Shard", &shard)],
+                &resp.body,
+            );
+        }
+        Err(_) => {
+            backend.observe(false);
+            let body = Value::Obj(vec![
+                ("session".into(), Value::Str(id.into())),
+                ("closed".into(), Value::Bool(true)),
+                ("shard_lost".into(), Value::Bool(true)),
+            ])
+            .write();
+            let _ = write_response_opts(stream, 200, keep_alive, &[("X-RI-Shard", &shard)], &body);
+        }
+    }
+}
+
+/// Close-and-replay migration: best-effort close on the old shard, reopen
+/// under the same id on the next routable shard along the session's ring
+/// walk, and re-feed the recorded batch counts. Determinism makes the
+/// rebuilt session bit-identical to the lost one, so re-feeds are
+/// internal bookkeeping: they are neither witnessed nor counted as
+/// client-served batches. Returns false when no shard could take it
+/// (stickiness is kept, so a later batch retries migration).
+fn migrate_session(shared: &Shared, id: &str, sess: &mut StickySession) -> bool {
+    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
+    let old = sess.shard;
+    let path = format!("/stream/{id}");
+    // The old shard may be draining rather than dead: free its slot.
+    let _ = proxy_request(&shared.backends[old], "DELETE", &path, None, timeout);
+    for &index in &shared.ring.order(id) {
+        if index == old || !shared.backends[index].routable() {
+            continue;
+        }
+        let backend = &shared.backends[index];
+        match proxy_request(backend, "POST", "/stream", Some(&sess.open_body), timeout) {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(_) => continue, // admission-full or draining mid-open: next shard
+            Err(_) => {
+                backend.observe(false);
+                continue;
+            }
+        }
+        let refed = sess.batches.iter().all(|&count| {
+            let body = format!("{{\"count\":{count}}}");
+            matches!(
+                proxy_request(backend, "POST", &format!("{path}/batch"), Some(&body), timeout),
+                Ok(r) if r.status == 200
+            )
+        });
+        if !refed {
+            // Leave the half-rebuilt session to the shard's TTL sweep.
+            let _ = proxy_request(backend, "DELETE", &path, None, timeout);
+            backend.observe(false);
+            continue;
+        }
+        sess.shard = index;
+        shared.sessions_migrated.fetch_add(1, Ordering::SeqCst);
+        return true;
+    }
+    false
+}
+
+/// Migrate every session pinned to `index` (drain integration): called
+/// after the shard's in-flight requests settle, before it is detached.
+fn migrate_shard_sessions(shared: &Shared, index: usize) {
+    let pinned: Vec<(String, Arc<Mutex<StickySession>>)> = lock(&shared.sticky)
+        .iter()
+        .map(|(k, v)| (k.clone(), Arc::clone(v)))
+        .collect();
+    for (id, entry) in pinned {
+        let mut sess = lock(&entry);
+        if sess.shard == index {
+            let _ = migrate_session(shared, &id, &mut sess);
+        }
+    }
+}
+
+/// Persist one client-served stream batch to the witness log: session id,
+/// the opening spec (parsed back from the replay body, so it carries the
+/// client's own config), the serving shard, and the full delta. `ri
+/// witness replay` re-feeds these per session and compares with `==`.
+fn record_stream_witness(
+    shared: &Shared,
+    sess: &StickySession,
+    id: &str,
+    shard_id: &str,
+    body: &str,
+) {
+    let Some(log) = &shared.witness else { return };
+    let (Ok(spec), Ok(delta)) = (
+        StreamSpec::from_json(&sess.open_body),
+        json::parse(body)
+            .map_err(|e| e.to_string())
+            .and_then(|v| BatchDelta::from_value(&v).map_err(|e| e.to_string())),
+    ) else {
+        return; // an unparseable 200 is a backend bug; never witnessed
+    };
+    let _ = log.append_stream(&StreamBatchRecord {
+        session: id.to_string(),
+        spec,
+        shard: shard_id.to_string(),
+        delta,
+    });
 }
 
 /// Whether a backend's non-200 answer means "never ran, try elsewhere".
@@ -607,6 +1125,10 @@ fn handle_drain(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
                 while backend.inflight() > 0 && t0.elapsed() < Duration::from_secs(300) {
                     std::thread::sleep(Duration::from_millis(10));
                 }
+                // The shard is quiet and unroutable but still up: move
+                // its streaming sessions somewhere routable while the
+                // old copies can still be closed gracefully.
+                migrate_shard_sessions(&drain_shared, index);
                 backend.detach();
             });
     }
@@ -657,6 +1179,14 @@ fn health_value(shared: &Shared) -> Value {
             ("inflight".into(), Value::Num(backend.inflight() as f64)),
             ("served".into(), Value::Num(backend.served() as f64)),
             ("failed".into(), Value::Num(backend.failed() as f64)),
+            (
+                "sessions_open".into(),
+                Value::Num(backend.sessions_open() as f64),
+            ),
+            (
+                "batches_served".into(),
+                Value::Num(backend.batches_served() as f64),
+            ),
         ]));
     }
     let status = if shared.draining.load(Ordering::SeqCst) {
@@ -693,6 +1223,20 @@ fn health_value(shared: &Shared) -> Value {
         (
             "errored".into(),
             Value::Num(shared.errored.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "sessions".into(),
+            Value::Obj(vec![
+                ("open".into(), Value::Num(lock(&shared.sticky).len() as f64)),
+                (
+                    "migrated".into(),
+                    Value::Num(shared.sessions_migrated.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "stream_batches".into(),
+                    Value::Num(shared.stream_batches.load(Ordering::SeqCst) as f64),
+                ),
+            ]),
         ),
         (
             "cache".into(),

@@ -4,13 +4,52 @@
 //! vertices each, up to 64 of them, sizes summing to n), with
 //! `param` as average out-degree (default 4). The processing order is
 //! drawn from the *run* config's seed.
+//!
+//! The native streaming adapter fixes the full digraph at open and
+//! reveals its **vertex prefix**: each batch solves the subgraph induced
+//! by the first `cumulative` vertices (edges with both endpoints inside
+//! the prefix), reporting the updated component membership as the delta.
 
-use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::json::Value;
+use ri_core::engine::registry::{ErasedIncremental, ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::session::{BatchDelta, FeedState};
 use ri_core::engine::{Problem, RunConfig, RunReport};
 use ri_graph::generators::degree_edges;
 use ri_graph::CsrGraph;
 
-use crate::SccProblem;
+use crate::{canonical_labels, SccProblem};
+
+/// Build the full workload digraph from `spec`: the shared path of the
+/// one-shot constructor and the streaming adapter's open.
+fn build_graph(spec: &ri_core::engine::registry::WorkloadSpec) -> Result<CsrGraph, String> {
+    if spec.n == 0 {
+        return Err("scc needs at least 1 vertex".into());
+    }
+    let m = degree_edges(spec.n, spec.param_or(4.0))?;
+    let g = match spec.shape_or("gnm") {
+        "gnm" => ri_graph::generators::gnm(spec.n, m, spec.seed, false),
+        "dag" => ri_graph::generators::random_dag(spec.n, m, spec.seed),
+        "rmat" => {
+            let scale = (spec.n as f64).log2().ceil().max(1.0) as u32;
+            ri_graph::generators::rmat(scale, m, spec.seed)
+        }
+        "planted" => {
+            // Plant SCCs of >= 8 vertices (up to 64 of them) and
+            // spread the remainder so the sizes sum to exactly n —
+            // a planted shape must actually contain cycles.
+            let parts = (spec.n / 8).clamp(1, 64);
+            let (base, extra) = (spec.n / parts, spec.n % parts);
+            let sizes: Vec<usize> = (0..parts).map(|i| base + usize::from(i < extra)).collect();
+            ri_graph::generators::planted_sccs(&sizes, m / 2, m / 2, spec.seed).0
+        }
+        other => {
+            return Err(format!(
+                "unknown scc graph shape `{other}` (known: gnm, dag, rmat, planted)"
+            ))
+        }
+    };
+    Ok(g)
+}
 
 /// Register this crate's problem.
 pub fn register(reg: &mut Registry) {
@@ -18,36 +57,50 @@ pub fn register(reg: &mut Registry) {
         "scc",
         "incremental strongly connected components of a random digraph (§6.2, Type 3)",
         |spec| {
-            if spec.n == 0 {
-                return Err("scc needs at least 1 vertex".into());
-            }
-            let m = degree_edges(spec.n, spec.param_or(4.0))?;
-            let g = match spec.shape_or("gnm") {
-                "gnm" => ri_graph::generators::gnm(spec.n, m, spec.seed, false),
-                "dag" => ri_graph::generators::random_dag(spec.n, m, spec.seed),
-                "rmat" => {
-                    let scale = (spec.n as f64).log2().ceil().max(1.0) as u32;
-                    ri_graph::generators::rmat(scale, m, spec.seed)
-                }
-                "planted" => {
-                    // Plant SCCs of >= 8 vertices (up to 64 of them) and
-                    // spread the remainder so the sizes sum to exactly n —
-                    // a planted shape must actually contain cycles.
-                    let parts = (spec.n / 8).clamp(1, 64);
-                    let (base, extra) = (spec.n / parts, spec.n % parts);
-                    let sizes: Vec<usize> =
-                        (0..parts).map(|i| base + usize::from(i < extra)).collect();
-                    ri_graph::generators::planted_sccs(&sizes, m / 2, m / 2, spec.seed).0
-                }
-                other => {
-                    return Err(format!(
-                        "unknown scc graph shape `{other}` (known: gnm, dag, rmat, planted)"
-                    ))
-                }
-            };
-            Ok(Box::new(SccWorkload { g }))
+            Ok(Box::new(SccWorkload {
+                g: build_graph(spec)?,
+            }))
         },
     );
+    reg.register_incremental("scc", |spec| {
+        let g = build_graph(spec)?;
+        let mut edges = Vec::with_capacity(g.num_edges());
+        for u in 0..g.num_vertices() as u32 {
+            for &v in g.neighbors(u) {
+                edges.push((u, v));
+            }
+        }
+        Ok(Box::new(SccStream {
+            g,
+            edges,
+            labels: Vec::new(),
+            state: FeedState::new(spec.n),
+        }))
+    });
+}
+
+fn summarize(g: &CsrGraph, cfg: &RunConfig) -> (OutputSummary, RunReport, Vec<u32>) {
+    let (out, report) = SccProblem::new(g).solve(cfg);
+    let mut s = OutputSummary::new();
+    s.answer_num("vertices", g.num_vertices() as f64)
+        .answer_num("components", out.num_components() as f64)
+        .metric_num("queries", out.queries as f64)
+        .metric_num("max_visits_per_vertex", out.max_visits_per_vertex() as f64);
+    let labels = canonical_labels(&out.comp);
+    (s, report, labels)
+}
+
+/// FNV-1a over the canonical label vector, masked below 2⁵³ so the
+/// checksum survives a JSON (f64) round trip exactly.
+fn label_checksum(labels: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in labels {
+        for byte in l.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x1_0000_0193);
+        }
+    }
+    h & ((1 << 53) - 1)
 }
 
 struct SccWorkload {
@@ -60,13 +113,94 @@ impl ErasedProblem for SccWorkload {
     }
 
     fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
-        let (out, report) = SccProblem::new(&self.g).solve(cfg);
-        let mut s = OutputSummary::new();
-        s.answer_num("vertices", self.g.num_vertices() as f64)
-            .answer_num("components", out.num_components() as f64)
-            .metric_num("queries", out.queries as f64)
-            .metric_num("max_visits_per_vertex", out.max_visits_per_vertex() as f64);
+        let (s, report, _) = summarize(&self.g, cfg);
         (s, report)
+    }
+}
+
+/// The native streaming adapter. Each batch solves the subgraph induced
+/// by the revealed vertex prefix; at full capacity the original graph
+/// object is solved directly, so the final streamed answer and trace are
+/// the one-shot solve's bit for bit. The delta reports the component
+/// count, how many previously-revealed vertices changed canonical
+/// component label (merges as new vertices close cycles), and a label
+/// checksum.
+struct SccStream {
+    g: CsrGraph,
+    /// The full graph's edge list, for induced-prefix rebuilds.
+    edges: Vec<(u32, u32)>,
+    /// Canonical component labels of the previous prefix.
+    labels: Vec<u32>,
+    state: FeedState,
+}
+
+impl ErasedIncremental for SccStream {
+    fn name(&self) -> &str {
+        "scc"
+    }
+
+    fn capacity(&self) -> usize {
+        self.state.capacity()
+    }
+
+    fn absorbed(&self) -> usize {
+        self.state.absorbed()
+    }
+
+    fn native(&self) -> bool {
+        true
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.edges.len() * 8 + self.g.num_vertices() * 8 + self.labels.len() * 4 + 256
+    }
+
+    fn feed(&mut self, count: usize, cfg: &RunConfig) -> Result<(BatchDelta, RunReport), String> {
+        let (batch, _lo, hi) = self.state.advance(count)?;
+        let capacity = self.state.capacity();
+        let induced;
+        let g = if hi == capacity {
+            &self.g
+        } else {
+            let prefix_edges: Vec<(u32, u32)> = self
+                .edges
+                .iter()
+                .copied()
+                .filter(|&(u, v)| (u as usize) < hi && (v as usize) < hi)
+                .collect();
+            induced = CsrGraph::from_edges(hi, &prefix_edges);
+            &induced
+        };
+        let (summary, report, labels) = summarize(g, cfg);
+        let relabeled = self
+            .labels
+            .iter()
+            .zip(&labels)
+            .filter(|(prev, cur)| prev != cur)
+            .count();
+        let components = labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let prev_components = self
+            .labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let delta = Value::Obj(vec![
+            ("components".into(), Value::Num(components as f64)),
+            ("prev_components".into(), Value::Num(prev_components as f64)),
+            ("relabeled".into(), Value::Num(relabeled as f64)),
+            (
+                "checksum".into(),
+                Value::Num(label_checksum(&labels) as f64),
+            ),
+        ]);
+        self.labels = labels;
+        Ok((
+            BatchDelta::solved(batch, count, hi, capacity, delta, &summary, &report),
+            report,
+        ))
     }
 }
 
@@ -101,5 +235,38 @@ mod tests {
             t.len()
         };
         assert_eq!(out.num_components(), want);
+    }
+
+    #[test]
+    fn stream_reveals_the_vertex_prefix_and_matches_one_shot() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        for shape in ["gnm", "planted"] {
+            let spec = WorkloadSpec::new(96, 2).shape(shape);
+            let cfg = RunConfig::new().seed(3);
+            let mut inc = reg.construct_incremental("scc", &spec).unwrap();
+            assert!(inc.native(), "{shape}");
+            let (d0, _) = inc.feed(30, &cfg).unwrap();
+            assert!(!d0.pending, "{shape}");
+            assert_eq!(
+                d0.delta.get("relabeled"),
+                Some(&Value::Num(0.0)),
+                "{shape}: nothing revealed before the first batch"
+            );
+            let (d1, _) = inc.feed(50, &cfg).unwrap();
+            // Induced subgraphs only lose edges vs the final graph, so
+            // intermediate prefixes can only have MORE components per
+            // vertex; the count itself is just checked for presence.
+            assert!(d1.delta.get("components").is_some(), "{shape}");
+            let (d2, _) = inc.feed(16, &cfg).unwrap();
+            assert!(d2.complete, "{shape}");
+            let (one_shot, report) = reg.solve("scc", &spec, &cfg).unwrap();
+            assert_eq!(d2.answer, one_shot.answer().to_vec(), "{shape}");
+            assert_eq!(
+                d2.trace,
+                ri_core::engine::RoundTrace::from_report(&report),
+                "{shape}"
+            );
+        }
     }
 }

@@ -3,13 +3,15 @@
 //! ```text
 //! ri-serve [--addr HOST:PORT] [--threads K] [--executors E]
 //!          [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]
-//!          [--max-connections C] [--shard-id ID]
+//!          [--max-connections C] [--shard-id ID] [--max-sessions S]
+//!          [--session-ttl-ms MS] [--session-bytes B]
 //! ```
 //!
 //! Prints `listening on ADDR` once the listener is up (scripts wait on
 //! that line), then serves until killed. Endpoints: `POST /solve`,
+//! `POST /stream` (+ `/stream/<id>/batch`, `GET`/`DELETE /stream/<id>`),
 //! `GET /problems`, `GET /healthz` — see the `ri_serve` crate docs for
-//! the batching/admission model.
+//! the batching/admission model and the streaming session lifecycle.
 
 use parallel_ri::registry;
 use ri_serve::{ServeConfig, Server};
@@ -17,16 +19,20 @@ use ri_serve::{ServeConfig, Server};
 fn usage_text() -> &'static str {
     "usage: ri-serve [--addr HOST:PORT] [--threads K] [--executors E]\n\
      \x20              [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]\n\
-     \x20              [--max-connections C] [--shard-id ID]\n\
+     \x20              [--max-connections C] [--shard-id ID] [--max-sessions S]\n\
+     \x20              [--session-ttl-ms MS] [--session-bytes B]\n\
      \n\
      Serves POST /solve ({problem, workload, config} JSON -> {summary, report}),\n\
+     POST /stream (+ /stream/<id>/batch, GET/DELETE /stream/<id>),\n\
      GET /problems and GET /healthz. --addr defaults to 127.0.0.1:8077; port 0\n\
      binds an ephemeral port (printed on the `listening on` line). --threads\n\
      sizes the one shared solve pool (0 = machine default); --executors bounds\n\
      concurrent solves; --max-inflight is the admission gate; --deadline-ms\n\
      bounds queue wait; --max-body-bytes bounds request bodies;\n\
      --max-connections bounds simultaneous connection handlers; --shard-id\n\
-     names this process in /healthz (set by ri-router when it spawns shards)."
+     names this process in /healthz (set by ri-router when it spawns shards);\n\
+     --max-sessions bounds open streaming sessions, --session-ttl-ms their\n\
+     idle eviction, --session-bytes each session's resident state."
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -79,11 +85,29 @@ fn parse_config(args: &[String]) -> Result<ServeConfig, String> {
                     .map_err(|e| format!("bad --max-connections: {e}"))?
             }
             "--shard-id" => cfg.shard_id = value("--shard-id")?,
+            "--max-sessions" => {
+                cfg.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-sessions: {e}"))?
+            }
+            "--session-ttl-ms" => {
+                cfg.session_ttl_ms = value("--session-ttl-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --session-ttl-ms: {e}"))?
+            }
+            "--session-bytes" => {
+                cfg.session_bytes = value("--session-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --session-bytes: {e}"))?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if cfg.executors == 0 || cfg.max_inflight == 0 || cfg.max_connections == 0 {
         return Err("--executors, --max-inflight and --max-connections must be positive".into());
+    }
+    if cfg.max_sessions == 0 {
+        return Err("--max-sessions must be positive".into());
     }
     Ok(cfg)
 }
@@ -98,7 +122,7 @@ fn main() {
     let server = Server::start(registry(), cfg).unwrap_or_else(|e| fail(format!("bind: {e}")));
     println!("listening on {}", server.local_addr());
     eprintln!(
-        "ri-serve: pool width {}, endpoints: POST /solve, GET /problems, GET /healthz",
+        "ri-serve: pool width {}, endpoints: POST /solve, POST /stream, GET /problems, GET /healthz",
         server.pool_width()
     );
     use std::io::Write as _;

@@ -9,11 +9,17 @@
 //!
 //! * `POST /solve` — a [`ServeRequest`] JSON body; answers with a
 //!   [`ServeResponse`] (200) or a structured [`ServeError`] (4xx/5xx).
+//! * `POST /stream` — open a streaming session from a [`StreamSpec`]
+//!   body; `POST /stream/<id>/batch` feeds it (a [`BatchRequest`] body,
+//!   answered with the batch's delta + per-batch trace), `GET
+//!   /stream/<id>` inspects it, `DELETE /stream/<id>` closes it. See
+//!   [`session`] for lifecycle, admission and eviction.
 //! * `GET /problems` — the registry listing (names + descriptions).
 //! * `GET /healthz` — liveness plus queue observability (depth, inflight,
-//!   served counts), the server's `shard_id` and build `version`; served
-//!   directly by the connection thread, so it never waits behind
-//!   in-flight solves.
+//!   served counts), session counters (`sessions_open`,
+//!   `sessions_evicted`, `batches_served`, scratch rollups), the
+//!   server's `shard_id` and build `version`; served directly by the
+//!   connection thread, so it never waits behind in-flight solves.
 //!
 //! Connections are persistent: the handler honors HTTP/1.1
 //! `Connection: keep-alive` (and advertises it back), serving any number
@@ -53,6 +59,7 @@
 #![forbid(unsafe_code)]
 
 pub mod http;
+pub mod session;
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -65,9 +72,11 @@ use std::time::{Duration, Instant};
 
 use ri_core::engine::envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
 use ri_core::engine::json::Value;
+use ri_core::engine::session::{BatchRequest, StreamSpec};
 use ri_core::engine::{ExecMode, Registry, Runner};
 
 use http::{read_request_buffered, write_response_opts, ReadError};
+use session::{SessionConfig, SessionManager};
 
 /// Server tuning knobs. Every field has a serving-sensible default;
 /// `addr` `"127.0.0.1:0"` binds an ephemeral port (read it back from
@@ -101,6 +110,13 @@ pub struct ServeConfig {
     /// standalone server; the `ri-router` front tier assigns one per
     /// backend and verifies it on health polls).
     pub shard_id: String,
+    /// Maximum simultaneously open streaming sessions (`POST /stream`
+    /// past it answers `503`).
+    pub max_sessions: usize,
+    /// Idle streaming sessions are evicted after this many milliseconds.
+    pub session_ttl_ms: u64,
+    /// Per-session resident-byte cap for streaming state.
+    pub session_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +130,9 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             max_connections: 256,
             shard_id: String::new(),
+            max_sessions: 64,
+            session_ttl_ms: 300_000,
+            session_bytes: 64 << 20,
         }
     }
 }
@@ -148,6 +167,8 @@ struct Shared {
     draining: AtomicBool,
     /// Open connection threads (shutdown waits for them briefly).
     connections: AtomicUsize,
+    /// The streaming session store (`/stream` endpoints).
+    sessions: SessionManager,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -180,6 +201,11 @@ impl Server {
         let pool_width = pool.current_num_threads();
 
         let (tx, rx) = mpsc::channel::<Job>();
+        let sessions = SessionManager::new(SessionConfig {
+            max_sessions: cfg.max_sessions,
+            idle_ttl_ms: cfg.session_ttl_ms,
+            max_session_bytes: cfg.session_bytes,
+        });
         let shared = Arc::new(Shared {
             registry,
             pool_width,
@@ -190,6 +216,7 @@ impl Server {
             errored: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
+            sessions,
             cfg,
         });
 
@@ -374,6 +401,12 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
 
         match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body, keep_alive),
+            ("POST", "/stream") => {
+                handle_stream_open(shared, &mut stream, &request.body, keep_alive)
+            }
+            (method, path) if path.strip_prefix("/stream/").is_some_and(|r| !r.is_empty()) => {
+                handle_stream_session(shared, &mut stream, method, path, &request.body, keep_alive)
+            }
             ("GET", "/healthz") => {
                 let body = health_value(shared).write();
                 let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
@@ -382,7 +415,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let body = problems_value(&shared.registry).write();
                 let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
             }
-            (_, "/solve") | (_, "/healthz") | (_, "/problems") => {
+            (_, "/solve") | (_, "/stream") | (_, "/healthz") | (_, "/problems") => {
                 let err = ServeError::new(
                     ServeErrorKind::MethodNotAllowed,
                     format!("{} is not supported on {}", request.method, request.path),
@@ -392,7 +425,10 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             (_, path) => {
                 let err = ServeError::new(
                     ServeErrorKind::NotFound,
-                    format!("no such path `{path}`; try POST /solve, GET /problems, GET /healthz"),
+                    format!(
+                        "no such path `{path}`; try POST /solve, POST /stream, \
+                         GET /problems, GET /healthz"
+                    ),
                 );
                 respond_error(shared, &mut stream, &err, keep_alive);
             }
@@ -477,6 +513,101 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
             let err = ServeError::new(ServeErrorKind::Internal, "executor did not answer");
             respond_error(shared, stream, &err, keep_alive);
         }
+    }
+}
+
+/// `POST /stream`: open a streaming session. Admission, duplicate-id
+/// and byte-cap checks live in the [`SessionManager`]; this handler
+/// parses, clamps the config to the shared pool (like `/solve`), and
+/// answers with the session-info document.
+fn handle_stream_open(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+    // A draining server sheds state-advancing stream requests with a
+    // retryable error, so a router reopens the session elsewhere instead
+    // of parking new state on a shard about to disappear.
+    if shared.draining.load(Ordering::SeqCst) {
+        let err = ServeError::new(ServeErrorKind::Overloaded, "server is draining");
+        respond_error(shared, stream, &err, keep_alive);
+        return;
+    }
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_request("request body is not UTF-8"))
+        .and_then(StreamSpec::from_json);
+    let mut spec = match parsed {
+        Ok(s) => s,
+        Err(err) => {
+            respond_error(shared, stream, &err, keep_alive);
+            return;
+        }
+    };
+    if spec.config.mode == ExecMode::Parallel {
+        spec.config.threads = Some(shared.pool_width);
+    }
+    match shared.sessions.open(&shared.registry, spec) {
+        Ok(info) => {
+            let _ = write_response_opts(stream, 200, keep_alive, &[], &info.write());
+        }
+        Err(err) => respond_error(shared, stream, &err, keep_alive),
+    }
+}
+
+/// `/stream/<id>` and `/stream/<id>/batch`: feed, inspect or close one
+/// session. Batches run here, on the connection thread — consecutive
+/// batches over a keep-alive connection reuse its warm per-thread
+/// scratch pools — bounded by the session store's own admission, not
+/// the one-shot solve queue.
+fn handle_stream_session(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    let rest = path.strip_prefix("/stream/").unwrap_or_default();
+    let (id, action) = match rest.strip_suffix("/batch") {
+        Some(id) => (id, "batch"),
+        None => (rest, ""),
+    };
+    if id.is_empty() || id.contains('/') {
+        let err = ServeError::new(
+            ServeErrorKind::NotFound,
+            format!("no such path `{path}`; try /stream/<id> or /stream/<id>/batch"),
+        );
+        respond_error(shared, stream, &err, keep_alive);
+        return;
+    }
+    let outcome = match (method, action) {
+        // Batches advance session state, so a draining server sheds them
+        // retryably (reads and closes below still work — closing frees
+        // state, which is exactly what a drain wants). The batch never
+        // ran, so a router can safely replay the session elsewhere.
+        ("POST", "batch") if shared.draining.load(Ordering::SeqCst) => Err(ServeError::new(
+            ServeErrorKind::Overloaded,
+            "server is draining",
+        )),
+        ("POST", "batch") => std::str::from_utf8(body)
+            .map_err(|_| ServeError::bad_request("request body is not UTF-8"))
+            .and_then(BatchRequest::from_json)
+            .and_then(|req| shared.sessions.batch(id, req.count))
+            .map(|delta| {
+                let mut members = vec![("session".to_string(), Value::Str(id.to_string()))];
+                if let Value::Obj(rest) = delta.to_value() {
+                    members.extend(rest);
+                }
+                Value::Obj(members)
+            }),
+        ("GET", "") => shared.sessions.info(id),
+        ("DELETE", "") => shared.sessions.close(id),
+        _ => Err(ServeError::new(
+            ServeErrorKind::MethodNotAllowed,
+            format!("{method} is not supported on {path}"),
+        )),
+    };
+    match outcome {
+        Ok(doc) => {
+            let _ = write_response_opts(stream, 200, keep_alive, &[], &doc.write());
+        }
+        Err(err) => respond_error(shared, stream, &err, keep_alive),
     }
 }
 
@@ -588,15 +719,16 @@ fn respond_error(shared: &Shared, stream: &mut impl Write, err: &ServeError, kee
     let _ = write_response_opts(stream, status, keep_alive, extra, &err.to_json());
 }
 
-/// The `/healthz` document. Assembled from atomics only — no locks shared
-/// with the solve path — so health stays responsive under full load.
+/// The `/healthz` document. Assembled from atomics plus one brief
+/// session-map lock (never held across a solve or a batch), so health
+/// stays responsive under full load.
 fn health_value(shared: &Shared) -> Value {
     let status = if shared.draining.load(Ordering::SeqCst) {
         "draining"
     } else {
         "ok"
     };
-    Value::Obj(vec![
+    let mut members = vec![
         ("status".into(), Value::Str(status.into())),
         ("shard_id".into(), Value::Str(shared.cfg.shard_id.clone())),
         (
@@ -628,7 +760,9 @@ fn health_value(shared: &Shared) -> Value {
             "errored".into(),
             Value::Num(shared.errored.load(Ordering::SeqCst) as f64),
         ),
-    ])
+    ];
+    members.extend(shared.sessions.health_members());
+    Value::Obj(members)
 }
 
 /// The `/problems` document: registry names + descriptions, in

@@ -1,8 +1,12 @@
 //! Registry entries: `"sort"` (Algorithm 3, Type 1) and `"sort-batch"`
 //! (the §2.3 Type 3 batch execution), both over a seeded random
-//! permutation of `0..n`.
+//! permutation of `0..n` — plus their native streaming adapters, which
+//! reveal the same fixed permutation prefix by prefix and report each
+//! batch's sorted-rank insertions as the delta.
 
-use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::json::Value;
+use ri_core::engine::registry::{ErasedIncremental, ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::session::{BatchDelta, FeedState};
 use ri_core::engine::{Problem, RunConfig, RunReport};
 use ri_pram::random_permutation;
 
@@ -30,27 +34,41 @@ pub fn register(reg: &mut Registry) {
             }))
         },
     );
+    reg.register_incremental("sort", |spec| {
+        Ok(Box::new(SortStream::open("sort", spec.n, spec.seed)))
+    });
+    reg.register_incremental("sort-batch", |spec| {
+        Ok(Box::new(SortStream::open("sort-batch", spec.n, spec.seed)))
+    });
+}
+
+/// Solve `keys` under the named variant and digest the output: the
+/// shared path of the one-shot workload and every streamed prefix.
+fn solve_keys(name: &str, keys: &[usize], cfg: &RunConfig) -> (SortOutput, RunReport) {
+    if name == "sort-batch" {
+        BatchSortProblem::new(keys).solve(cfg)
+    } else {
+        SortProblem::new(keys).solve(cfg)
+    }
+}
+
+fn summarize(keys: &[usize], out: &SortOutput) -> OutputSummary {
+    let sorted = out
+        .sorted_indices
+        .windows(2)
+        .all(|w| keys[w[0]] < keys[w[1]])
+        && out.sorted_indices.len() == keys.len();
+    let mut s = OutputSummary::new();
+    s.answer_num("items", keys.len() as f64)
+        .answer_bool("sorted", sorted)
+        .answer_num("tree_depth", out.tree.dependence_depth() as f64)
+        .metric_num("comparisons", out.comparisons as f64);
+    s
 }
 
 struct SortWorkload {
     name: &'static str,
     keys: Vec<usize>,
-}
-
-impl SortWorkload {
-    fn summarize(&self, out: &SortOutput) -> OutputSummary {
-        let sorted = out
-            .sorted_indices
-            .windows(2)
-            .all(|w| self.keys[w[0]] < self.keys[w[1]])
-            && out.sorted_indices.len() == self.keys.len();
-        let mut s = OutputSummary::new();
-        s.answer_num("items", self.keys.len() as f64)
-            .answer_bool("sorted", sorted)
-            .answer_num("tree_depth", out.tree.dependence_depth() as f64)
-            .metric_num("comparisons", out.comparisons as f64);
-        s
-    }
 }
 
 impl ErasedProblem for SortWorkload {
@@ -59,12 +77,100 @@ impl ErasedProblem for SortWorkload {
     }
 
     fn solve_erased(&self, cfg: &RunConfig) -> (OutputSummary, RunReport) {
-        let (out, report) = if self.name == "sort-batch" {
-            BatchSortProblem::new(&self.keys).solve(cfg)
-        } else {
-            SortProblem::new(&self.keys).solve(cfg)
-        };
-        (self.summarize(&out), report)
+        let (out, report) = solve_keys(self.name, &self.keys, cfg);
+        (summarize(&self.keys, &out), report)
+    }
+}
+
+/// At most this many `[key, rank]` insertion pairs are spelled out per
+/// delta; larger batches set `"truncated": true` and keep the count.
+const MAX_DELTA_INSERTIONS: usize = 32;
+
+/// The native streaming adapter: the full permutation is fixed at open
+/// (`capacity`, workload seed), each batch reveals the next keys, and
+/// the delta reports where they landed — each new key's rank in the
+/// sorted prefix *at its own insertion* (keys are inserted in stream
+/// order, so ranks are deterministic and independent of batching only
+/// through the final state; the sequence itself is part of the witness).
+struct SortStream {
+    name: &'static str,
+    keys: Vec<usize>,
+    /// The absorbed prefix's keys in sorted order.
+    sorted: Vec<usize>,
+    state: FeedState,
+}
+
+impl SortStream {
+    fn open(name: &'static str, capacity: usize, seed: u64) -> Self {
+        SortStream {
+            name,
+            keys: random_permutation(capacity, seed),
+            sorted: Vec::new(),
+            state: FeedState::new(capacity),
+        }
+    }
+}
+
+impl ErasedIncremental for SortStream {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn capacity(&self) -> usize {
+        self.state.capacity()
+    }
+
+    fn absorbed(&self) -> usize {
+        self.state.absorbed()
+    }
+
+    fn native(&self) -> bool {
+        true
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Full instance + sorted prefix, usize keys each.
+        self.keys.len() * 16 + 128
+    }
+
+    fn feed(&mut self, count: usize, cfg: &RunConfig) -> Result<(BatchDelta, RunReport), String> {
+        let (batch, lo, hi) = self.state.advance(count)?;
+        let mut insertions = Vec::new();
+        for &key in &self.keys[lo..hi] {
+            let rank = self.sorted.partition_point(|&k| k < key);
+            self.sorted.insert(rank, key);
+            if insertions.len() < MAX_DELTA_INSERTIONS {
+                insertions.push(Value::Arr(vec![
+                    Value::Num(key as f64),
+                    Value::Num(rank as f64),
+                ]));
+            }
+        }
+        let delta = Value::Obj(vec![
+            ("inserted".into(), Value::Num(count as f64)),
+            ("insertions".into(), Value::Arr(insertions)),
+            (
+                "truncated".into(),
+                Value::Bool(count > MAX_DELTA_INSERTIONS),
+            ),
+        ]);
+        // The authoritative answer + trace come from solving the prefix
+        // through the real executors — what keeps the final batch equal
+        // to the one-shot solve bit for bit.
+        let (out, report) = solve_keys(self.name, &self.keys[..hi], cfg);
+        let summary = summarize(&self.keys[..hi], &out);
+        Ok((
+            BatchDelta::solved(
+                batch,
+                count,
+                hi,
+                self.state.capacity(),
+                delta,
+                &summary,
+                &report,
+            ),
+            report,
+        ))
     }
 }
 
@@ -83,6 +189,40 @@ mod tests {
                 .unwrap();
             assert_eq!(report.items, 256);
             assert!(summary.to_json().contains("\"sorted\":true"), "{name}");
+        }
+    }
+
+    #[test]
+    fn stream_matches_one_shot_and_reports_ranks() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        for name in ["sort", "sort-batch"] {
+            assert!(reg.has_incremental(name), "{name}");
+            let spec = WorkloadSpec::new(48, 7);
+            let cfg = RunConfig::new().seed(2);
+            let mut inc = reg.construct_incremental(name, &spec).unwrap();
+            assert!(inc.native());
+            let mut last = None;
+            for count in [1, 15, 32] {
+                let (delta, _) = inc.feed(count, &cfg).unwrap();
+                assert!(!delta.pending, "{name}");
+                assert_eq!(
+                    delta.delta.get("inserted"),
+                    Some(&Value::Num(count as f64)),
+                    "{name}"
+                );
+                last = Some(delta);
+            }
+            let last = last.unwrap();
+            assert!(last.complete);
+            // Final streamed answer + trace equal the one-shot solve.
+            let (one_shot, report) = reg.solve(name, &spec, &cfg).unwrap();
+            assert_eq!(last.answer, one_shot.answer().to_vec(), "{name}");
+            assert_eq!(
+                last.trace,
+                ri_core::engine::RoundTrace::from_report(&report),
+                "{name}"
+            );
         }
     }
 }
