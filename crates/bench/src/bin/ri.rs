@@ -47,7 +47,7 @@ fn usage_text() -> &'static str {
     "usage: ri '<request-json>'\n\
      \x20      ri --request-file <path|->\n\
      \x20      ri --problem <name> [--n N] [--seed S] [--shape NAME] [--param X]\n\
-     \x20         [--mode sequential|parallel] [--run-seed S] [--threads K] [--no-instrument]\n\
+     \x20         [--mode sequential|parallel|relaxed:k] [--run-seed S] [--threads K] [--no-instrument]\n\
      \x20      ri --list\n\
      \x20      ri witness replay <file>\n\
      \n\
@@ -58,7 +58,8 @@ fn usage_text() -> &'static str {
      `witness replay` re-executes every record of an ri-router witness log\n\
      (one-shot solves and streamed session batches alike) and exits nonzero\n\
      unless all answers, per-batch deltas and round traces reproduce\n\
-     bit-identically."
+     bit-identically; relaxed-mode records gate on answer equality only\n\
+     (their round traces follow the relaxed schedule by design)."
 }
 
 fn usage() -> ! {
@@ -131,7 +132,9 @@ fn parse_flags(args: &[String]) -> Result<ServeRequest, String> {
 /// re-execute one by one; stream batches are grouped by session (order
 /// preserved) and each session is re-fed batch by batch, asserting every
 /// per-batch delta — answer, trace, problem-specific delta — comes back
-/// bit-identical. Any divergence is reported per record and fails the run.
+/// bit-identical. Relaxed-mode records gate on answer equality only (their
+/// traces follow the relaxed schedule). Any divergence is reported per
+/// record — tagged with the record's execution mode — and fails the run.
 fn witness_command(reg: &Registry, args: &[String]) {
     match args {
         [subcommand, path] if subcommand == "replay" => {
@@ -147,9 +150,10 @@ fn witness_command(reg: &Registry, args: &[String]) {
                         if let Err(e) = witness::replay(reg, record) {
                             divergent += 1;
                             eprintln!(
-                                "ri: record {} ({} seed {} via shard {}): {e}",
+                                "ri: record {} ({} mode {} seed {} via shard {}): {e}",
                                 i + 1,
                                 record.request.problem,
+                                record.request.config.mode.as_str(),
                                 record.request.config.seed,
                                 record.shard
                             );
@@ -168,8 +172,9 @@ fn witness_command(reg: &Registry, args: &[String]) {
                 if let Err(e) = witness::replay_stream(reg, records) {
                     divergent += 1;
                     eprintln!(
-                        "ri: session {id} ({} x{} batches): {e}",
+                        "ri: session {id} ({} mode {} x{} batches): {e}",
                         records[0].spec.problem,
+                        records[0].spec.config.mode.as_str(),
                         records.len()
                     );
                 }

@@ -1,29 +1,35 @@
 //! `speedup` — the registry-wide performance gate: run every registered
-//! problem sequentially and in parallel at several thread counts, verify
-//! the parallel answers match the sequential ones, and write
-//! `BENCH_PR5.json` (per-problem wall times, speedups, and the
-//! `par1_overhead` ratio par@1 / sequential — the round engine's
-//! scheduling+allocation overhead, independent of the host's core count).
+//! problem sequentially, in parallel at several thread counts, and under
+//! the k-relaxed scheduler, verify the parallel **and relaxed** answers
+//! match the sequential ones, and write `BENCH_PR8.json` (per-problem
+//! wall times, speedups, the `par1_overhead` ratio par@1 / sequential —
+//! the round engine's scheduling+allocation overhead, independent of the
+//! host's core count — and a `relaxed` column with per-width wall times,
+//! the measured `rank_inversions`/`wasted_retries`, and whether the
+//! problem ran its native relaxed loop or the reported exact fallback).
 //!
 //! ```text
 //! speedup [--quick] [--out PATH] [--threads 1,2,4,8] [--repeat N]
-//!         [--scale X] [--gate-par1]
+//!         [--scale X] [--relax-k K] [--gate-par1]
 //! ```
 //!
 //! `--quick` shrinks instances for CI smoke runs; `--scale` divides the
-//! default sizes by an arbitrary factor. Exits nonzero if any parallel
-//! answer diverges from the sequential answer — that check is the hard CI
-//! gate on every run. `--gate-par1` additionally fails the run when a
-//! problem's `par1_overhead` exceeds its committed budget
+//! default sizes by an arbitrary factor. Exits nonzero if any parallel or
+//! relaxed answer diverges from the sequential answer — that check is the
+//! hard CI gate on every run. `--gate-par1` additionally fails the run
+//! when a problem's `par1_overhead` exceeds its committed budget
 //! ([`PAR1_BUDGETS`]); instances whose sequential time is below
 //! [`GATE_MIN_SEQ_SECONDS`] are skipped by that gate (their ratios are
-//! timer noise), so give the gate real sizes (`--scale 1` or `2`).
+//! timer noise), so give the gate real sizes (`--scale 1` or `2`). On a
+//! single-core host the relaxed-vs-exact *scaling* comparison is
+//! meaningless, so the relaxed column keeps only the width-1 answer gate
+//! and carries an explicit `"scaling": "skipped: 1 core"` marker.
 
 use std::time::Instant;
 
 use parallel_ri::registry;
 use ri_core::engine::json::Value;
-use ri_core::engine::{OutputSummary, Registry, RunConfig, WorkloadSpec};
+use ri_core::engine::{OutputSummary, Registry, RunConfig, RunReport, WorkloadSpec};
 
 /// Default instance sizes, chosen so each sequential run is substantial
 /// enough to time meaningfully but the full matrix stays in CI budget.
@@ -66,15 +72,17 @@ struct Args {
     threads: Vec<usize>,
     repeat: usize,
     scale: usize,
+    relax_k: usize,
     gate_par1: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR8.json".to_string(),
         threads: vec![1, 2, 4, 8],
         repeat: 3,
         scale: 1,
+        relax_k: 8,
         gate_par1: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +111,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --scale: {e}"))?
             }
+            "--relax-k" => {
+                args.relax_k = value("--relax-k")?
+                    .parse()
+                    .map_err(|e| format!("bad --relax-k: {e}"))?
+            }
             "--threads" => {
                 args.threads = value("--threads")?
                     .split(',')
@@ -112,8 +125,8 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.repeat == 0 || args.scale == 0 || args.threads.is_empty() {
-        return Err("--repeat, --scale and --threads must be nonzero/nonempty".into());
+    if args.repeat == 0 || args.scale == 0 || args.relax_k == 0 || args.threads.is_empty() {
+        return Err("--repeat, --scale, --relax-k and --threads must be nonzero/nonempty".into());
     }
     Ok(args)
 }
@@ -124,14 +137,15 @@ fn answer_fingerprint(summary: &OutputSummary) -> String {
     Value::Obj(summary.answer().to_vec()).write()
 }
 
-/// Best-of-`repeat` wall time and the last summary for one configuration.
+/// Best-of-`repeat` wall time and the last summary + report for one
+/// configuration.
 fn time_solve(
     reg: &Registry,
     name: &str,
     spec: &WorkloadSpec,
     cfg: &RunConfig,
     repeat: usize,
-) -> Result<(f64, OutputSummary), String> {
+) -> Result<(f64, OutputSummary, RunReport), String> {
     let problem = reg
         .construct(name, spec)
         .map_err(|e| format!("{name}: {e}"))?;
@@ -139,11 +153,12 @@ fn time_solve(
     let mut last = None;
     for _ in 0..repeat {
         let t0 = Instant::now();
-        let (summary, _report) = problem.solve_erased(cfg);
+        let (summary, report) = problem.solve_erased(cfg);
         best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(summary);
+        last = Some((summary, report));
     }
-    Ok((best, last.expect("repeat >= 1")))
+    let (summary, report) = last.expect("repeat >= 1");
+    Ok((best, summary, report))
 }
 
 fn main() {
@@ -166,7 +181,7 @@ fn main() {
         let spec = WorkloadSpec::new(n, 1);
         let seq_cfg = RunConfig::new().seed(7).sequential().instrument(false);
         eprintln!("speedup: {name} n={n} sequential...");
-        let (seq_secs, seq_summary) = time_solve(&reg, name, &spec, &seq_cfg, args.repeat)
+        let (seq_secs, seq_summary, _) = time_solve(&reg, name, &spec, &seq_cfg, args.repeat)
             .unwrap_or_else(|e| {
                 eprintln!("speedup: {e}");
                 std::process::exit(2);
@@ -185,7 +200,7 @@ fn main() {
                 .threads(t)
                 .instrument(false);
             eprintln!("speedup: {name} n={n} parallel t={t}...");
-            let (par_secs, par_summary) = time_solve(&reg, name, &spec, &par_cfg, args.repeat)
+            let (par_secs, par_summary, _) = time_solve(&reg, name, &spec, &par_cfg, args.repeat)
                 .unwrap_or_else(|e| {
                     eprintln!("speedup: {e}");
                     std::process::exit(2);
@@ -207,8 +222,69 @@ fn main() {
                 Value::Num((speedup * 1000.0).round() / 1000.0),
             ));
         }
+        // The relaxed column: k-relaxed schedule at the same widths (just
+        // width 1 on a single-core host — relaxed-vs-exact scaling is
+        // meaningless there and gets an explicit skip marker), gated on
+        // answer equality with the sequential fingerprint.
+        let relax_widths: &[usize] = if cores < 2 { &[1] } else { &args.threads };
+        let mut relaxed_seconds: Vec<(String, Value)> = Vec::new();
+        let mut relaxed_speedup: Vec<(String, Value)> = Vec::new();
+        let mut relaxed_matches = true;
+        let mut relaxed_report: Option<RunReport> = None;
+        for &t in relax_widths {
+            let rel_cfg = RunConfig::new()
+                .seed(7)
+                .relaxed(args.relax_k)
+                .threads(t)
+                .instrument(false);
+            eprintln!("speedup: {name} n={n} relaxed:{} t={t}...", args.relax_k);
+            let (rel_secs, rel_summary, rel_report) =
+                time_solve(&reg, name, &spec, &rel_cfg, args.repeat).unwrap_or_else(|e| {
+                    eprintln!("speedup: {e}");
+                    std::process::exit(2);
+                });
+            if answer_fingerprint(&rel_summary) != seq_answer {
+                relaxed_matches = false;
+                eprintln!("speedup: RELAXED DIVERGENCE on {name} at {t} threads");
+            }
+            relaxed_seconds.push((t.to_string(), Value::Num(rel_secs)));
+            relaxed_speedup.push((
+                t.to_string(),
+                Value::Num((seq_secs / rel_secs * 1000.0).round() / 1000.0),
+            ));
+            relaxed_report = Some(rel_report);
+        }
+        let relaxed_report = relaxed_report.expect("relax_widths is nonempty");
+        let mut relaxed_fields = vec![
+            ("k".into(), Value::Num(args.relax_k as f64)),
+            ("seconds".into(), Value::Obj(relaxed_seconds)),
+            ("speedup".into(), Value::Obj(relaxed_speedup)),
+            ("answers_match".into(), Value::Bool(relaxed_matches)),
+            (
+                "rank_inversions".into(),
+                Value::Num(relaxed_report.rank_inversions as f64),
+            ),
+            (
+                "wasted_retries".into(),
+                Value::Num(relaxed_report.wasted_retries as f64),
+            ),
+            (
+                "native".into(),
+                Value::Bool(relaxed_report.relaxed_fallback.is_none()),
+            ),
+        ];
+        if let Some(reason) = &relaxed_report.relaxed_fallback {
+            relaxed_fields.push(("fallback".into(), Value::Str(reason.clone())));
+        }
+        if cores < 2 {
+            relaxed_fields.push(("scaling".into(), Value::Str("skipped: 1 core".into())));
+        }
+
         if !matches {
             divergent.push(name.to_string());
+        }
+        if !relaxed_matches {
+            divergent.push(format!("{name} (relaxed:{})", args.relax_k));
         }
         if best_speedup_at_4plus > 1.0 {
             winners_at_4plus.push(name.to_string());
@@ -219,6 +295,7 @@ fn main() {
             ("par_seconds".into(), Value::Obj(par_entries)),
             ("speedup".into(), Value::Obj(speedup_entries)),
             ("answers_match".into(), Value::Bool(matches)),
+            ("relaxed".into(), Value::Obj(relaxed_fields)),
         ];
         if let Some(par1) = par1_secs {
             // par@1 / sequential: the round engine's own overhead, the
@@ -246,11 +323,12 @@ fn main() {
     // thing for the host that produced this file (CI regenerates it per
     // runner and uploads it as an artifact).
     let note = if cores == 1 {
-        "single-core host: speedups cannot exceed 1; par1_overhead is the \
-         meaningful column"
+        "single-core host: speedups cannot exceed 1 and relaxed-vs-exact \
+         scaling is skipped (skipped: 1 core); par1_overhead and the \
+         relaxed answer gate are the meaningful columns"
     } else {
-        "speedups are bounded by this host's core count; par1_overhead is \
-         core-count independent"
+        "multi-core host: speedups are bounded by this host's core count; \
+         par1_overhead and rank_inversions are core-count independent"
     };
     let doc = Value::Obj(vec![
         (
@@ -266,6 +344,7 @@ fn main() {
         ),
         ("repeat".into(), Value::Num(args.repeat as f64)),
         ("scale".into(), Value::Num(args.scale as f64)),
+        ("relax_k".into(), Value::Num(args.relax_k as f64)),
         ("problems".into(), Value::Obj(problems)),
         (
             "summary".into(),
@@ -298,7 +377,7 @@ fn main() {
 
     if !divergent.is_empty() {
         eprintln!(
-            "speedup: parallel answers diverged from sequential for: {}",
+            "speedup: parallel/relaxed answers diverged from sequential for: {}",
             divergent.join(", ")
         );
         std::process::exit(1);

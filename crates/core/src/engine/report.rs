@@ -69,6 +69,19 @@ pub struct RunReport {
     /// Scoped helper threads the calling thread spawned (crew members,
     /// join branches). Like `regions`, 0 for fully inline runs.
     pub helper_spawns: u64,
+    /// Pops the relaxed scheduler served out of priority order (an
+    /// inversion is a pop whose priority is below the running maximum of
+    /// priorities already popped). 0 outside [`ExecMode::Relaxed`] runs
+    /// and for `relaxed:1`, which is exact.
+    pub rank_inversions: u64,
+    /// Iterations a relaxed run evaluated but could not commit (conflict
+    /// re-enqueues, checks past the committed special) — the measured
+    /// O(k·poly-log) overhead. 0 outside [`ExecMode::Relaxed`] runs.
+    pub wasted_retries: u64,
+    /// Set when a relaxed-mode request fell back to the exact parallel
+    /// path because the problem has no native relaxed loop; carries the
+    /// reason. `None` for native relaxed runs and non-relaxed modes.
+    pub relaxed_fallback: Option<String>,
 }
 
 impl RunReport {
@@ -91,6 +104,9 @@ impl RunReport {
             scratch_misses: 0,
             regions: 0,
             helper_spawns: 0,
+            rank_inversions: 0,
+            wasted_retries: 0,
+            relaxed_fallback: None,
         }
     }
 
@@ -147,6 +163,11 @@ impl RunReport {
         self.scratch_misses += other.scratch_misses;
         self.regions += other.regions;
         self.helper_spawns += other.helper_spawns;
+        self.rank_inversions += other.rank_inversions;
+        self.wasted_retries += other.wasted_retries;
+        if self.relaxed_fallback.is_none() {
+            self.relaxed_fallback = other.relaxed_fallback.clone();
+        }
     }
 
     /// Serialize to a single-line JSON object.
@@ -184,7 +205,7 @@ impl RunReport {
                 .map(|p| Value::Arr(vec![Value::Str(p.name.clone()), Value::Num(p.seconds)]))
                 .collect(),
         );
-        Value::Obj(vec![
+        let mut fields = vec![
             ("algorithm".into(), Value::Str(self.algorithm.clone())),
             ("mode".into(), Value::Str(self.mode.as_str().into())),
             ("threads".into(), Value::Num(self.threads as f64)),
@@ -206,7 +227,21 @@ impl RunReport {
                 "helper_spawns".into(),
                 Value::Num(self.helper_spawns as f64),
             ),
-        ])
+            (
+                "rank_inversions".into(),
+                Value::Num(self.rank_inversions as f64),
+            ),
+            (
+                "wasted_retries".into(),
+                Value::Num(self.wasted_retries as f64),
+            ),
+        ];
+        // Stamped only when a relaxed request ran on the exact path, so
+        // the common case keeps the pre-PR-8 shape byte for byte.
+        if let Some(reason) = &self.relaxed_fallback {
+            fields.push(("relaxed_fallback".into(), Value::Str(reason.clone())));
+        }
+        Value::Obj(fields)
     }
 
     /// Parse a report back from [`RunReport::to_json`] output.
@@ -235,11 +270,10 @@ impl RunReport {
                 .as_str()
                 .ok_or_else(|| bad("algorithm"))?,
         );
-        report.mode = match field("mode")?.as_str() {
-            Some("sequential") => ExecMode::Sequential,
-            Some("parallel") => ExecMode::Parallel,
-            _ => return Err(bad("mode")),
-        };
+        report.mode = field("mode")?
+            .as_str()
+            .and_then(|s| s.parse::<ExecMode>().ok())
+            .ok_or_else(|| bad("mode"))?;
         report.threads = field("threads")?.as_usize().ok_or_else(|| bad("threads"))?;
         report.items = field("items")?.as_usize().ok_or_else(|| bad("items"))?;
         for entry in field("rounds")?.as_arr().ok_or_else(|| bad("rounds"))? {
@@ -291,6 +325,16 @@ impl RunReport {
         report.scratch_misses = counter("scratch_misses")?;
         report.regions = counter("regions")?;
         report.helper_spawns = counter("helper_spawns")?;
+        report.rank_inversions = counter("rank_inversions")?;
+        report.wasted_retries = counter("wasted_retries")?;
+        report.relaxed_fallback = match v.get("relaxed_fallback") {
+            None | Some(Value::Null) => None,
+            Some(r) => Some(
+                r.as_str()
+                    .ok_or_else(|| bad("relaxed_fallback"))?
+                    .to_string(),
+            ),
+        };
         Ok(report)
     }
 }
@@ -320,6 +364,8 @@ mod tests {
         r.scratch_misses = 2;
         r.regions = 3;
         r.helper_spawns = 9;
+        r.rank_inversions = 11;
+        r.wasted_retries = 4;
         r
     }
 
@@ -358,6 +404,22 @@ mod tests {
         let text = r.to_json();
         let parsed = RunReport::from_json(&text).expect("parses");
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn relaxed_mode_and_fallback_round_trip() {
+        let mut r = sample();
+        r.mode = ExecMode::Relaxed { k: 8 };
+        r.relaxed_fallback = Some("no native relaxed loop".into());
+        let text = r.to_json();
+        assert!(text.contains("\"relaxed:8\""));
+        assert!(text.contains("relaxed_fallback"));
+        assert_eq!(RunReport::from_json(&text).unwrap(), r);
+        // Without a fallback the key is absent, and parses back as None.
+        r.relaxed_fallback = None;
+        let text = r.to_json();
+        assert!(!text.contains("relaxed_fallback"));
+        assert_eq!(RunReport::from_json(&text).unwrap(), r);
     }
 
     #[test]

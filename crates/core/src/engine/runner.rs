@@ -34,35 +34,66 @@ pub enum ExecMode {
     Sequential,
     /// Run the paper's parallel schedule for the algorithm's class.
     Parallel,
+    /// Run the round loops over a k-relaxed priority scheduler
+    /// ([`ri_pram::relaxed::MultiQueue`](ri_pram::MultiQueue)): iterations
+    /// are pulled in two-choice relaxed priority order instead of exact
+    /// round order, trading at most O(k·poly-log) extra work (Alistarh,
+    /// Koval & Nadiradze) for barrier-free scheduling. Answers equal
+    /// [`ExecMode::Parallel`]; the round *trace* is mode-specific, so
+    /// witness replay gates relaxed records on answer equality only.
+    Relaxed {
+        /// The relaxation factor: number of internal queues, and the
+        /// bound on pop-rank error. Must be at least 1 (`relaxed:0` is
+        /// rejected at parse time; [`RunConfig::relaxed`] clamps).
+        k: usize,
+    },
 }
 
 impl ExecMode {
-    /// Lower-case name (stable; used by the JSON form).
-    pub fn as_str(&self) -> &'static str {
+    /// Lower-case name (stable; used by the JSON form). Borrowed for the
+    /// fixed modes; `relaxed:k` carries its parameter.
+    pub fn as_str(&self) -> std::borrow::Cow<'static, str> {
         match self {
-            ExecMode::Sequential => "sequential",
-            ExecMode::Parallel => "parallel",
+            ExecMode::Sequential => "sequential".into(),
+            ExecMode::Parallel => "parallel".into(),
+            ExecMode::Relaxed { k } => format!("relaxed:{k}").into(),
         }
     }
 }
 
 impl std::fmt::Display for ExecMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.as_str())
+        f.write_str(&self.as_str())
     }
 }
 
 /// Error parsing an [`ExecMode`] name.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseExecModeError(String);
+pub enum ParseExecModeError {
+    /// The name matched no known mode.
+    UnknownMode(String),
+    /// A `relaxed:k` form whose `k` was not an unsigned integer.
+    BadRelaxation(String),
+    /// `relaxed:0` — a zero-relaxed scheduler is meaningless (exact
+    /// order is `relaxed:1`).
+    ZeroRelaxation,
+}
 
 impl std::fmt::Display for ParseExecModeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unknown exec mode `{}` (expected `sequential` or `parallel`)",
-            self.0
-        )
+        match self {
+            ParseExecModeError::UnknownMode(s) => write!(
+                f,
+                "unknown exec mode `{s}` (expected `sequential`, `parallel` or `relaxed:k`)"
+            ),
+            ParseExecModeError::BadRelaxation(s) => write!(
+                f,
+                "bad relaxation in `relaxed:{s}`: expected an unsigned integer k"
+            ),
+            ParseExecModeError::ZeroRelaxation => {
+                write!(f, "`relaxed:0` is not a mode: k must be at least 1")
+            }
+        }
     }
 }
 
@@ -72,12 +103,20 @@ impl std::str::FromStr for ExecMode {
     type Err = ParseExecModeError;
 
     /// Accepts exactly the [`ExecMode::as_str`] names (the stable JSON
-    /// vocabulary), plus their common short forms `seq` / `par`.
+    /// vocabulary: `sequential`, `parallel`, `relaxed:k` with `k >= 1`),
+    /// plus the common short forms `seq` / `par`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "sequential" | "seq" => Ok(ExecMode::Sequential),
             "parallel" | "par" => Ok(ExecMode::Parallel),
-            other => Err(ParseExecModeError(other.to_string())),
+            other => match other.strip_prefix("relaxed:") {
+                Some(k_text) => match k_text.parse::<usize>() {
+                    Ok(0) => Err(ParseExecModeError::ZeroRelaxation),
+                    Ok(k) => Ok(ExecMode::Relaxed { k }),
+                    Err(_) => Err(ParseExecModeError::BadRelaxation(k_text.to_string())),
+                },
+                None => Err(ParseExecModeError::UnknownMode(other.to_string())),
+            },
         }
     }
 }
@@ -144,6 +183,12 @@ impl RunConfig {
     /// Shorthand for `.mode(ExecMode::Parallel)`.
     pub fn parallel(self) -> Self {
         self.mode(ExecMode::Parallel)
+    }
+
+    /// Shorthand for `.mode(ExecMode::Relaxed { k })` (`k` clamped to at
+    /// least 1 — `relaxed:1` is exact priority order).
+    pub fn relaxed(self, k: usize) -> Self {
+        self.mode(ExecMode::Relaxed { k: k.max(1) })
     }
 
     /// Set the worker-thread count (`0` restores the machine default).
@@ -240,7 +285,7 @@ impl RunConfig {
     pub fn resolved_threads(&self) -> usize {
         match self.mode {
             ExecMode::Sequential => 1,
-            ExecMode::Parallel => self
+            ExecMode::Parallel | ExecMode::Relaxed { .. } => self
                 .threads
                 .unwrap_or_else(rayon::current_num_threads)
                 .max(1),
@@ -388,7 +433,10 @@ impl<A: Type3Algorithm + ?Sized> Executable for Type3Adapter<'_, A> {
 
 /// The Type 1 executor (§2.1): parallel mode runs rounds of all ready
 /// iterations (rounds = iteration dependence depth); sequential mode runs
-/// iterations in insertion order.
+/// iterations in insertion order; relaxed mode pulls k-sized batches from
+/// a [`MultiQueue`] in relaxed priority order, runs the ready ones, and
+/// re-enqueues conflicts (`wasted_retries`). Iterations still run only
+/// when `ready`, so the answer is the sequential one in every mode.
 ///
 /// Panics if no progress is possible (an incorrectly encoded dependence
 /// graph).
@@ -472,6 +520,76 @@ pub fn execute_type1<A: Type1Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
             scratch::put_vec(next);
             scratch::put_vec(flags);
         }
+        ExecMode::Relaxed { k } => {
+            // Every iteration enters a k-relaxed MultiQueue under its
+            // own index as priority; workers would pull batches in
+            // two-choice relaxed order. Pops happen on the round loop's
+            // coordinating thread (the `run` contract is `&mut`), so the
+            // schedule is deterministic per seed; readiness checks fan
+            // out over the crews like the exact executor's check phase.
+            let mq = ri_pram::MultiQueue::new(k, cfg.seed);
+            for i in 0..n {
+                mq.push(i as u64, i);
+            }
+            let mut batch: Vec<(u64, usize)> = scratch::take_vec();
+            let mut flags: Vec<bool> = scratch::take_vec();
+            let mut round = 0usize;
+            let mut wasted = 0u64;
+            // Batch size k matches the scheduler's relaxation; after a
+            // batch with no ready iteration, drain everything — the
+            // minimum remaining index is always ready (its predecessors
+            // all ran), so a full drain guarantees progress.
+            let mut want = k.max(1);
+            loop {
+                batch.clear();
+                if mq.pop_batch(want, &mut batch) == 0 {
+                    break;
+                }
+                algo.begin_round(round);
+                flags.clear();
+                if grain::parallel_round(batch.len()) {
+                    flags.resize(batch.len(), false);
+                    let chunk = batch.len().div_ceil(rayon::recommended_splits());
+                    flags
+                        .par_chunks_mut(chunk)
+                        .zip(batch.par_chunks(chunk))
+                        .for_each(|(fs, bb)| {
+                            for (f, &(_, i)) in fs.iter_mut().zip(bb) {
+                                *f = algo.ready(i);
+                            }
+                        });
+                } else {
+                    flags.extend(batch.iter().map(|&(_, i)| algo.ready(i)));
+                }
+                let mut ran = 0usize;
+                for (&(prio, i), &ready) in batch.iter().zip(flags.iter()) {
+                    if ready {
+                        algo.run(i);
+                        ran += 1;
+                    } else {
+                        mq.push(prio, i);
+                        wasted += 1;
+                    }
+                }
+                if ran == 0 {
+                    assert!(
+                        want < usize::MAX,
+                        "Type 1 executor stalled with {} iterations remaining",
+                        mq.len()
+                    );
+                    want = usize::MAX;
+                } else {
+                    want = k.max(1);
+                }
+                report.record_round(batch.len(), ran as u64);
+                round += 1;
+            }
+            report.depth = round;
+            report.rank_inversions = mq.rank_inversions();
+            report.wasted_retries = wasted;
+            scratch::put_vec(batch);
+            scratch::put_vec(flags);
+        }
     }
     report
 }
@@ -480,6 +598,16 @@ pub fn execute_type1<A: Type1Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
 /// the classic sequential dispatch loop in sequential mode. Fills
 /// `specials`, `sub_rounds` and `checks`; round entries are one per prefix
 /// (parallel) or one summary entry (sequential).
+///
+/// Relaxed mode keeps the prefix-doubling structure but **evaluates** each
+/// sub-round's specialness checks in k-relaxed [`MultiQueue`] pop order
+/// instead of exact index order. Commits stay exact — the earliest special
+/// in the tail still wins, and regular iterations still run in index order
+/// against the same frozen prefix state — so answers and the special trace
+/// are identical to exact parallel, while `rank_inversions` measures how
+/// far the relaxed evaluation schedule strayed and `wasted_retries` counts
+/// checks beyond the committed special that an exact short-circuiting scan
+/// could have skipped.
 pub fn execute_type2<A: Type2Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) -> RunReport {
     let n = algo.len();
     let mut report = RunReport::new("type2");
@@ -545,6 +673,78 @@ pub fn execute_type2<A: Type2Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
             }
             report.depth = report.total_sub_rounds();
         }
+        ExecMode::Relaxed { k } => {
+            let mq = ri_pram::MultiQueue::new(k, cfg.seed);
+            let mut order: Vec<(u64, usize)> = scratch::take_vec();
+            let mut flags: Vec<bool> = scratch::take_vec();
+            let mut wasted = 0u64;
+            let mut lo = 0usize;
+            let mut width = 1usize;
+            while lo < n {
+                let hi = (lo + width).min(n);
+                algo.begin_prefix(lo, hi);
+                let mut sub_rounds = 0usize;
+                let mut prefix_checks = 0u64;
+                let mut j = lo;
+                while j < hi {
+                    sub_rounds += 1;
+                    prefix_checks += (hi - j) as u64;
+                    // Draw the tail's evaluation order from the relaxed
+                    // queue (epoch reset: each sub-round restarts its
+                    // priorities), check specialness in that order, then
+                    // commit the earliest special exactly.
+                    mq.begin_epoch();
+                    for i in j..hi {
+                        mq.push(i as u64, i);
+                    }
+                    order.clear();
+                    mq.pop_batch(usize::MAX, &mut order);
+                    flags.clear();
+                    if grain::parallel_round(order.len()) {
+                        flags.resize(order.len(), false);
+                        let chunk = order.len().div_ceil(rayon::recommended_splits());
+                        flags
+                            .par_chunks_mut(chunk)
+                            .zip(order.par_chunks(chunk))
+                            .for_each(|(fs, oo)| {
+                                for (f, &(_, i)) in fs.iter_mut().zip(oo) {
+                                    *f = algo.is_special(i);
+                                }
+                            });
+                    } else {
+                        flags.extend(order.iter().map(|&(_, i)| algo.is_special(i)));
+                    }
+                    let l = order
+                        .iter()
+                        .zip(flags.iter())
+                        .filter(|(_, &special)| special)
+                        .map(|(&(_, i), _)| i)
+                        .min()
+                        .unwrap_or(hi);
+                    wasted += order.iter().filter(|&&(_, i)| i > l).count() as u64;
+                    for i in j..l {
+                        algo.run_regular(i);
+                    }
+                    if l < hi {
+                        report.specials.push(l);
+                        algo.run_special(l);
+                        j = l + 1;
+                    } else {
+                        j = hi;
+                    }
+                }
+                report.checks += prefix_checks;
+                report.sub_rounds.push(sub_rounds);
+                report.record_round(hi - lo, prefix_checks);
+                lo = hi;
+                width *= 2;
+            }
+            report.depth = report.total_sub_rounds();
+            report.rank_inversions = mq.rank_inversions();
+            report.wasted_retries = wasted;
+            scratch::put_vec(order);
+            scratch::put_vec(flags);
+        }
     }
     report
 }
@@ -593,6 +793,38 @@ pub fn execute_type3<A: Type3Algorithm + ?Sized>(algo: &mut A, cfg: &RunConfig) 
                 report.record_round(hi - lo, work);
             }
         }
+        ExecMode::Relaxed { k } => {
+            // The frozen-state contract already bounds relaxation to
+            // within a round: every iteration of a round reads only the
+            // previous round's state, so running them in k-relaxed pop
+            // order changes nothing but the schedule. Outputs are sorted
+            // back into index order before `combine`, keeping answers
+            // bit-identical to parallel mode.
+            let mq = ri_pram::MultiQueue::new(k, cfg.seed);
+            let mut order: Vec<(u64, usize)> = scratch::take_vec();
+            // `A::Output` need not be `'static`, so this buffer stays a
+            // plain per-call Vec rather than a scratch-arena loan.
+            let mut pairs: Vec<(usize, A::Output)> = Vec::new();
+            let rounds = prefix_rounds(n);
+            report.depth = rounds.len();
+            for (lo, hi) in rounds {
+                mq.begin_epoch();
+                for i in lo..hi {
+                    mq.push(i as u64, i);
+                }
+                order.clear();
+                mq.pop_batch(usize::MAX, &mut order);
+                pairs.clear();
+                pairs.extend(order.iter().map(|&(_, i)| (i, algo.run_iteration(i))));
+                pairs.sort_unstable_by_key(|&(i, _)| i);
+                outputs.clear();
+                outputs.extend(pairs.drain(..).map(|(_, out)| out));
+                let work = algo.combine(lo, &mut outputs);
+                report.record_round(hi - lo, work);
+            }
+            report.rank_inversions = mq.rank_inversions();
+            scratch::put_vec(order);
+        }
     }
     report
 }
@@ -603,13 +835,44 @@ mod tests {
 
     #[test]
     fn exec_mode_round_trips_through_from_str() {
-        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel,
+            ExecMode::Relaxed { k: 1 },
+            ExecMode::Relaxed { k: 64 },
+        ] {
             assert_eq!(mode.as_str().parse::<ExecMode>().unwrap(), mode);
         }
         assert_eq!("seq".parse::<ExecMode>().unwrap(), ExecMode::Sequential);
         assert_eq!("par".parse::<ExecMode>().unwrap(), ExecMode::Parallel);
+        assert_eq!(
+            "relaxed:8".parse::<ExecMode>().unwrap(),
+            ExecMode::Relaxed { k: 8 }
+        );
         let err = "sideways".parse::<ExecMode>().unwrap_err();
         assert!(err.to_string().contains("sideways"));
+    }
+
+    #[test]
+    fn exec_mode_rejects_bad_relaxations() {
+        let zero = "relaxed:0".parse::<ExecMode>().unwrap_err();
+        assert_eq!(zero, ParseExecModeError::ZeroRelaxation);
+        assert!(zero.to_string().contains("at least 1"));
+        let junk = "relaxed:many".parse::<ExecMode>().unwrap_err();
+        assert_eq!(junk, ParseExecModeError::BadRelaxation("many".into()));
+        assert!(junk.to_string().contains("many"));
+        // A bare `relaxed` has no k and is not a mode either.
+        assert!("relaxed".parse::<ExecMode>().is_err());
+    }
+
+    #[test]
+    fn relaxed_config_round_trips_and_clamps() {
+        let cfg = RunConfig::new().relaxed(16).seed(5);
+        assert_eq!(cfg.mode, ExecMode::Relaxed { k: 16 });
+        assert_eq!(RunConfig::from_json(&cfg.to_json()).unwrap(), cfg);
+        // k = 0 clamps to 1 through the builder; the parser rejects it.
+        assert_eq!(RunConfig::new().relaxed(0).mode, ExecMode::Relaxed { k: 1 });
+        assert!(RunConfig::from_json("{\"mode\":\"relaxed:0\"}").is_err());
     }
 
     #[test]

@@ -48,7 +48,7 @@ use super::envelope::{ServeRequest, ServeResponse};
 use super::json::{self, Value};
 use super::registry::{Registry, RegistryError, WorkloadSpec};
 use super::report::RunReport;
-use super::runner::RunConfig;
+use super::runner::{ExecMode, RunConfig};
 use super::session::{BatchDelta, StreamSpec};
 
 /// The deterministic subset of a [`RunReport`]: equal across machines,
@@ -569,6 +569,11 @@ impl std::error::Error for ReplayError {}
 
 /// Re-execute `record`'s request through `registry` and assert that the
 /// answer **and** the deterministic round trace come back bit-identical.
+///
+/// Relaxed-mode records (`"relaxed:k"`) are gated on **answer equality
+/// only**: their answers must still equal the exact runs', but the round
+/// trace is a property of the relaxed schedule, which the determinism
+/// contract deliberately does not pin down.
 pub fn replay(registry: &Registry, record: &WitnessRecord) -> Result<(), ReplayError> {
     let req = &record.request;
     let (summary, report) = registry
@@ -578,6 +583,9 @@ pub fn replay(registry: &Registry, record: &WitnessRecord) -> Result<(), ReplayE
     let expected = Value::Obj(record.answer.clone());
     if got != expected {
         return Err(ReplayError::AnswerMismatch { expected, got });
+    }
+    if matches!(req.config.mode, ExecMode::Relaxed { .. }) {
+        return Ok(());
     }
     let trace = RoundTrace::from_report(&report);
     if trace != record.trace {
@@ -657,11 +665,27 @@ pub fn replay_stream(
     let mut inc = registry
         .construct_incremental(&first.spec.problem, &first.spec.workload)
         .map_err(ReplayError::Solve)?;
+    // Relaxed sessions are gated on everything *except* the round trace:
+    // the answers and deltas must come back bit-identical, but the trace
+    // reflects the relaxed schedule, which the contract leaves free.
+    let relaxed = matches!(first.spec.config.mode, ExecMode::Relaxed { .. });
     for r in records {
         let (delta, _) = inc
             .feed(r.delta.count, &first.spec.config)
             .map_err(|e| bad(format!("batch {} refused on replay: {e}", r.delta.batch)))?;
-        if delta != r.delta {
+        let matches = if relaxed {
+            delta.batch == r.delta.batch
+                && delta.count == r.delta.count
+                && delta.cumulative == r.delta.cumulative
+                && delta.capacity == r.delta.capacity
+                && delta.complete == r.delta.complete
+                && delta.pending == r.delta.pending
+                && delta.delta == r.delta.delta
+                && delta.answer == r.delta.answer
+        } else {
+            delta == r.delta
+        };
+        if !matches {
             return Err(ReplayError::DeltaMismatch {
                 batch: r.delta.batch,
                 expected: r.delta.to_value(),
@@ -706,6 +730,14 @@ mod tests {
                     report.depth = 2;
                     report.specials.push((mix % self.n.max(1) as u64) as usize);
                 }
+                // Same answer as parallel (the relaxed contract), but a
+                // deliberately different, k-dependent trace.
+                ExecMode::Relaxed { k } => {
+                    report.record_round(self.n, mix % 79);
+                    report.depth = 1;
+                    report.rank_inversions = (k as u64).wrapping_add(mix) % 13;
+                    report.wasted_retries = mix % 7;
+                }
             }
             report.checks = mix % 1009;
             // Non-deterministic-looking noise the trace must ignore.
@@ -731,8 +763,11 @@ mod tests {
     }
 
     fn toy_response(reg: &Registry, n: usize, wseed: u64, cseed: u64) -> ServeResponse {
+        toy_response_cfg(reg, n, wseed, RunConfig::new().seed(cseed))
+    }
+
+    fn toy_response_cfg(reg: &Registry, n: usize, wseed: u64, config: RunConfig) -> ServeResponse {
         let workload = WorkloadSpec::new(n, wseed);
-        let config = RunConfig::new().seed(cseed);
         let (summary, report) = reg.solve("toy", &workload, &config).unwrap();
         ServeResponse {
             problem: "toy".into(),
@@ -803,6 +838,29 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_replay_gates_on_answer_only() {
+        let reg = toy_registry();
+        let cfg = RunConfig::new().seed(11).relaxed(8);
+        let record = WitnessRecord::from_response(&toy_response_cfg(&reg, 20, 7, cfg), "s0");
+        assert!(replay(&reg, &record).is_ok());
+
+        // A tampered trace is NOT a divergence for a relaxed record: the
+        // schedule (and hence the trace) is deliberately unpinned.
+        let mut loose = record.clone();
+        loose.trace.checks += 1;
+        loose.trace.depth += 3;
+        assert!(replay(&reg, &loose).is_ok());
+
+        // The answer still is.
+        let mut bad = record;
+        bad.answer[0].1 = Value::Num(-1.0);
+        assert!(matches!(
+            replay(&reg, &bad),
+            Err(ReplayError::AnswerMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn log_appends_and_reads_back() {
         let reg = toy_registry();
         let dir = std::env::temp_dir();
@@ -834,10 +892,18 @@ mod tests {
     /// Serve a toy session of `counts` batches through the registry's
     /// fallback incremental path, producing one record per batch.
     fn toy_stream(reg: &Registry, counts: &[usize]) -> Vec<StreamBatchRecord> {
+        toy_stream_cfg(reg, counts, RunConfig::new().seed(9))
+    }
+
+    fn toy_stream_cfg(
+        reg: &Registry,
+        counts: &[usize],
+        config: RunConfig,
+    ) -> Vec<StreamBatchRecord> {
         let spec = StreamSpec {
             problem: "toy".into(),
             workload: WorkloadSpec::new(counts.iter().sum(), 3),
-            config: RunConfig::new().seed(9),
+            config,
             session_id: None,
         };
         let mut inc = reg
@@ -938,6 +1004,26 @@ mod tests {
         assert!(matches!(
             replay_stream(&reg, &[]),
             Err(ReplayError::BadStream { .. })
+        ));
+    }
+
+    #[test]
+    fn relaxed_stream_replay_ignores_traces_but_not_answers() {
+        let reg = toy_registry();
+        let cfg = RunConfig::new().seed(9).relaxed(4);
+        let records = toy_stream_cfg(&reg, &[4, 3, 5], cfg);
+        assert!(replay_stream(&reg, &records).is_ok());
+
+        // A relaxed session's trace is free; only non-trace fields gate.
+        let mut loose = records.clone();
+        loose[1].delta.trace.checks += 1;
+        assert!(replay_stream(&reg, &loose).is_ok());
+
+        let mut bad = records;
+        bad[2].delta.answer.push(("extra".into(), Value::Num(1.0)));
+        assert!(matches!(
+            replay_stream(&reg, &bad),
+            Err(ReplayError::DeltaMismatch { batch: 2, .. })
         ));
     }
 

@@ -65,4 +65,10 @@ pub struct DtResult {
     /// Parallel runs: per-round log (`rounds()` = dependence depth).
     /// `None` for sequential runs.
     pub rounds: Option<ri_pram::RoundLog>,
+    /// Relaxed runs: out-of-priority-order pops of the scheduler
+    /// (0 otherwise).
+    pub rank_inversions: u64,
+    /// Relaxed runs: popped tasks that had gone stale by fire time and
+    /// were re-enqueued for the next round (0 otherwise).
+    pub wasted_retries: u64,
 }

@@ -64,7 +64,15 @@ impl Executable for DtExec<'_> {
             ExecMode::Parallel => report.phase("solve", cfg.instrument, |_| {
                 crate::par::delaunay_parallel_impl(self.points)
             }),
+            // Native relaxed loop: Lemma 4.2 admits firing any subset of
+            // active faces, so the k-relaxed schedule reproduces the same
+            // triangulation with schedule-dependent work counters.
+            ExecMode::Relaxed { k } => report.phase("solve", cfg.instrument, |_| {
+                crate::par::delaunay_relaxed_impl(self.points, k, cfg.seed)
+            }),
         };
+        report.rank_inversions = result.rank_inversions;
+        report.wasted_retries = result.wasted_retries;
         let work = result.stats.incircle_tests + result.stats.orient_tests;
         match result.rounds {
             Some(log) => {

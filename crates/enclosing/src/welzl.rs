@@ -118,8 +118,23 @@ pub struct SedOutput {
 /// scans in parallel mode), returning the answer and the unified report.
 pub(crate) fn run_with(points: &[Point2], cfg: &RunConfig) -> (SedOutput, RunReport) {
     assert!(points.len() >= 2, "need at least two points");
+    // No native relaxed loop: Welzl's nested Update1/Update2 rebuilds
+    // leave no slack for a relaxed order, so relaxed requests run the
+    // exact parallel schedule and say so in the report.
+    let fallback = matches!(cfg.mode, ExecMode::Relaxed { .. });
+    let exact;
+    let cfg = if fallback {
+        exact = cfg.clone().parallel();
+        &exact
+    } else {
+        cfg
+    };
     let mut st = WelzlState::new(points, cfg.mode == ExecMode::Parallel);
     let mut report = execute_type2(&mut st, cfg);
+    if fallback {
+        report.relaxed_fallback =
+            Some("enclosing has no native relaxed loop; ran exact parallel".into());
+    }
     report.algorithm = "enclosing-disk".to_string();
     (
         SedOutput {

@@ -22,7 +22,7 @@
 //! the paper's full `O(d! log^{d-1} n)` depth bound, which would need the
 //! prefix-doubling executor at every recursion level.
 
-use ri_core::engine::{execute_type2, RunConfig, RunReport};
+use ri_core::engine::{execute_type2, ExecMode, RunConfig, RunReport};
 use ri_core::Type2Algorithm;
 
 /// Numerical tolerance (the workloads are O(1)-scaled).
@@ -218,7 +218,8 @@ impl Type2Algorithm for SeidelD<'_> {
 }
 
 /// Engine entry point: solve `inst` under `cfg`, returning the outcome and
-/// the unified report.
+/// the unified report. Like the 2-D solver, relaxed requests fall back to
+/// the exact parallel schedule with a reported reason.
 pub(crate) fn run_with_d(inst: &LpInstanceD, cfg: &RunConfig) -> (LpOutcomeD, RunReport) {
     let d = inst.objective.len();
     assert!(d >= 1, "dimension must be at least 1");
@@ -231,7 +232,19 @@ pub(crate) fn run_with_d(inst: &LpInstanceD, cfg: &RunConfig) -> (LpOutcomeD, Ru
         optimum: box_optimum(&inst.objective),
         infeasible: false,
     };
+    let fallback = matches!(cfg.mode, ExecMode::Relaxed { .. });
+    let exact;
+    let cfg = if fallback {
+        exact = cfg.clone().parallel();
+        &exact
+    } else {
+        cfg
+    };
     let mut report = execute_type2(&mut st, cfg);
+    if fallback {
+        report.relaxed_fallback =
+            Some("lp-d has no native relaxed loop; ran exact parallel".into());
+    }
     report.algorithm = "lp-seidel-d".to_string();
     let outcome = if st.infeasible {
         LpOutcomeD::Infeasible

@@ -36,6 +36,7 @@ pub mod permutation;
 pub mod priority;
 pub mod radix;
 pub mod reduce;
+pub mod relaxed;
 pub mod scan;
 pub mod scratch;
 pub mod semisort;
@@ -51,6 +52,7 @@ pub use permutation::{
 pub use priority::{MinIndex, PriorityCell};
 pub use radix::{radix_sort_by_key, radix_sort_u64};
 pub use reduce::{min_float_index, min_index, min_index_by_key};
+pub use relaxed::MultiQueue;
 pub use scan::{exclusive_scan_inplace, exclusive_scan_usize};
 pub use scratch::{put_vec, take_vec, ScratchStats};
 pub use semisort::{semisort_by_key, Grouped};

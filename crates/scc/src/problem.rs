@@ -97,10 +97,16 @@ impl Executable for SccExec<'_> {
             ExecMode::Sequential => report.phase("solve", cfg.instrument, |_| {
                 scc_sequential_impl(self.g, order)
             }),
-            ExecMode::Parallel => report.phase("solve", cfg.instrument, |_| {
-                scc_parallel_impl(self.g, order)
-            }),
+            // Parallel and relaxed share the Type 3 executor; the mode in
+            // `cfg` picks the round schedule (relaxed is native here — the
+            // frozen-state rounds make any within-round order equivalent).
+            ExecMode::Parallel | ExecMode::Relaxed { .. } => {
+                report.phase("solve", cfg.instrument, |_| {
+                    scc_parallel_impl(self.g, order, cfg)
+                })
+            }
         };
+        report.rank_inversions = result.stats.rank_inversions;
         let work = result.stats.visits + result.stats.relaxations;
         match result.stats.rounds {
             Some(ref log) => {

@@ -456,10 +456,10 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
             return;
         }
     };
-    // Clamp parallel solves to the shared pool: one pool serves every
-    // request, whatever widths clients ask for. The response's config
-    // echo documents the effective width.
-    if request.config.mode == ExecMode::Parallel {
+    // Clamp multi-threaded solves (parallel and relaxed alike) to the
+    // shared pool: one pool serves every request, whatever widths clients
+    // ask for. The response's config echo documents the effective width.
+    if request.config.mode != ExecMode::Sequential {
         request.config.threads = Some(shared.pool_width);
     }
 
@@ -539,7 +539,7 @@ fn handle_stream_open(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8],
             return;
         }
     };
-    if spec.config.mode == ExecMode::Parallel {
+    if spec.config.mode != ExecMode::Sequential {
         spec.config.threads = Some(shared.pool_width);
     }
     match shared.sessions.open(&shared.registry, spec) {

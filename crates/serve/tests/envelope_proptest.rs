@@ -19,6 +19,16 @@ const SHAPES: [&str; 6] = [
 
 const PROBLEMS: [&str; 4] = ["sort", "delaunay", "lp-d", "not-a-problem"];
 
+/// The three execution modes, indexed for proptest strategies: 0 =
+/// parallel, 1 = sequential, 2 = `relaxed:k`.
+fn mode_from(mode_idx: usize, relax_k: usize) -> ExecMode {
+    match mode_idx {
+        0 => ExecMode::Parallel,
+        1 => ExecMode::Sequential,
+        _ => ExecMode::Relaxed { k: relax_k },
+    }
+}
+
 #[allow(clippy::too_many_arguments)] // mirrors the strategy tuple 1:1
 fn build_request(
     problem_idx: usize,
@@ -27,7 +37,7 @@ fn build_request(
     shape: Option<usize>,
     param: Option<f64>,
     cseed: u64,
-    sequential: bool,
+    mode: ExecMode,
     threads: usize,
     instrument: bool,
 ) -> ServeRequest {
@@ -38,9 +48,7 @@ fn build_request(
         .seed(cseed)
         .threads(threads)
         .instrument(instrument);
-    if sequential {
-        config = config.sequential();
-    }
+    config.mode = mode;
     ServeRequest {
         problem: PROBLEMS[problem_idx].to_string(),
         workload,
@@ -64,7 +72,8 @@ proptest! {
         has_param in any::<bool>(),
         param in -1.0e6f64..1.0e6,
         cseed in 0u64..SEED_LIMIT,
-        sequential in any::<bool>(),
+        mode_idx in 0usize..3,
+        relax_k in 1usize..1_000_000,
         threads in 0usize..17,
         instrument in any::<bool>(),
     ) {
@@ -75,7 +84,7 @@ proptest! {
             has_shape.then_some(shape_idx),
             has_param.then_some(param),
             cseed,
-            sequential,
+            mode_from(mode_idx, relax_k),
             threads,
             instrument,
         );
@@ -93,11 +102,15 @@ proptest! {
         answers in proptest::collection::vec(-1.0e9f64..1.0e9, 0..4),
         metrics in proptest::collection::vec(0.0f64..1.0e9, 0..4),
         rounds in proptest::collection::vec((0usize..10_000, 0u64..1_000_000), 0..6),
-        sequential in any::<bool>(),
+        mode_idx in 0usize..3,
+        relax_k in 1usize..1_000_000,
         threads in 1usize..9,
         depth in 0usize..1_000,
         checks in 0u64..1_000_000,
         wall in 0.0f64..100.0,
+        rank_inversions in 0u64..1_000_000,
+        wasted_retries in 0u64..1_000_000,
+        has_fallback in any::<bool>(),
     ) {
         let mut summary = OutputSummary::new();
         for (i, x) in answers.iter().enumerate() {
@@ -108,8 +121,9 @@ proptest! {
             summary.metric_num(&format!("m{i}"), *x);
         }
 
+        let mode = mode_from(mode_idx, relax_k);
         let mut report = RunReport::new("prop");
-        report.mode = if sequential { ExecMode::Sequential } else { ExecMode::Parallel };
+        report.mode = mode;
         report.threads = threads;
         report.items = n;
         for &(items, work) in &rounds {
@@ -118,11 +132,16 @@ proptest! {
         report.depth = depth;
         report.checks = checks;
         report.wall_seconds = wall;
+        report.rank_inversions = rank_inversions;
+        report.wasted_retries = wasted_retries;
+        report.relaxed_fallback = has_fallback.then(|| "ran exact \"parallel\"\n".to_string());
 
+        let mut config = RunConfig::new().threads(threads);
+        config.mode = mode;
         let response = ServeResponse {
             problem: "prop".into(),
             workload: WorkloadSpec::new(n, wseed),
-            config: RunConfig::new().threads(threads),
+            config,
             summary,
             report,
         };
@@ -176,9 +195,10 @@ proptest! {
         op in 0usize..3,
         pos in 0usize..4096,
         replacement in 0u8..128,
+        mode_idx in 0usize..3,
     ) {
         let base = build_request(
-            problem_idx, n, wseed, Some(0), Some(1.5), 0, false, 4, true,
+            problem_idx, n, wseed, Some(0), Some(1.5), 0, mode_from(mode_idx, 8), 4, true,
         )
         .to_json();
         let chars: Vec<char> = base.chars().collect();

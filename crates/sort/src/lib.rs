@@ -33,6 +33,7 @@ mod batch;
 mod parallel;
 pub mod problem;
 pub mod registry;
+mod relaxed;
 mod sequential;
 pub mod tree;
 

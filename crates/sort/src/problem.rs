@@ -6,6 +6,7 @@ use ri_core::engine::{ExecMode, Executable, Problem, RunConfig, RunReport, Runne
 
 use crate::batch::batch_bst_sort_impl;
 use crate::parallel::parallel_bst_sort_impl;
+use crate::relaxed::relaxed_bst_sort_impl;
 use crate::sequential::sequential_bst_sort_impl;
 use crate::tree::Bst;
 
@@ -102,6 +103,23 @@ impl<T: Ord + Sync> Executable for SortExec<'_, T> {
                     left_dep_histogram: Vec::new(),
                 });
             }
+            // Native relaxed loop: independent slot tasks scheduled off a
+            // MultiQueue rebuild the identical tree with the identical
+            // comparison count (see `relaxed`'s module docs).
+            ExecMode::Relaxed { k } => {
+                let r = report.phase("solve", cfg.instrument, |_| {
+                    relaxed_bst_sort_impl(self.keys, k, cfg.seed)
+                });
+                report.depth = r.log.rounds();
+                report.rounds = r.log;
+                report.rank_inversions = r.rank_inversions;
+                self.out = Some(SortOutput {
+                    tree: r.tree,
+                    sorted_indices: r.sorted_indices,
+                    comparisons: r.comparisons,
+                    left_dep_histogram: Vec::new(),
+                });
+            }
         }
         report
     }
@@ -164,7 +182,17 @@ impl<T: Ord + Sync> Executable for BatchSortExec<'_, T> {
                     left_dep_histogram: Vec::new(),
                 });
             }
-            ExecMode::Parallel => {
+            ExecMode::Parallel | ExecMode::Relaxed { .. } => {
+                // The batch variant exists to *measure* the §2.3 doubling
+                // schedule (Lemma 2.5 histogram), so relaxing it away
+                // would defeat its purpose: relaxed requests run the
+                // exact batch schedule and report the fallback.
+                if matches!(cfg.mode, ExecMode::Relaxed { .. }) {
+                    report.relaxed_fallback = Some(
+                        "sort-batch measures the exact §2.3 doubling schedule; ran exact parallel"
+                            .into(),
+                    );
+                }
                 let r = report.phase("solve", cfg.instrument, |_| batch_bst_sort_impl(self.keys));
                 report.depth = r.log.rounds();
                 report.rounds = r.log;
