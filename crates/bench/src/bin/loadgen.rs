@@ -7,11 +7,21 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] [--n SIZE]
-//!         [--problems a,b,c] [--threads K] [--executors E] [--out PATH]
+//!         [--problems a,b,c] [--mix benign|hostile] [--threads K]
+//!         [--executors E] [--out PATH]
 //!         [--router] [--shards S] [--witness PATH]
 //!         [--stream] [--sessions S] [--rps R] [--batches B]
 //!         [--batch-count C] [--gate-p99 MS]
 //! ```
+//!
+//! `--mix` draws each request's workload shape from the `ri-testgen`
+//! vocabulary instead of every problem's default: `benign` cycles the
+//! benign families, `hostile` the adversarial ones (degenerate
+//! geometry, hostile arrival orders, deep digraphs) — the serving tier
+//! under the workloads the tail gates sweep. In `--stream` mode the
+//! session capacity is read back from the open response, so shapes
+//! that deduplicate their instance (`duplicate-heavy`) still stream to
+//! completion.
 //!
 //! Without `--addr`, an in-process server is booted on an ephemeral port
 //! (sized by `--threads`/`--executors`) and shut down gracefully at the
@@ -63,6 +73,7 @@ struct Args {
     concurrency: usize,
     n: usize,
     problems: Option<Vec<String>>,
+    mix: Option<String>,
     threads: usize,
     executors: usize,
     out: Option<String>,
@@ -84,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         concurrency: 8,
         n: 512,
         problems: None,
+        mix: None,
         threads: 0,
         executors: 2,
         out: None,
@@ -127,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
                         .collect(),
                 )
             }
+            "--mix" => args.mix = Some(value("--mix")?),
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -194,7 +207,23 @@ fn parse_args() -> Result<Args, String> {
     if args.router && args.shards == 0 {
         return Err("--shards must be positive".into());
     }
+    if let Some(mix) = &args.mix {
+        if mix != "benign" && mix != "hostile" {
+            return Err(format!("--mix must be `benign` or `hostile`, got `{mix}`"));
+        }
+    }
     Ok(args)
+}
+
+/// The shape cycle `--mix` draws from for `problem`: the testgen
+/// vocabulary's benign or hostile families. Empty (→ default shape)
+/// when no mix is requested or the problem has no vocabulary entry.
+fn mix_shapes(mix: Option<&str>, problem: &str) -> &'static [&'static str] {
+    match (mix, ri_testgen::vocabulary(problem)) {
+        (Some("benign"), Some(v)) => v.benign,
+        (Some("hostile"), Some(v)) => v.hostile,
+        _ => &[],
+    }
 }
 
 /// One completed request's record.
@@ -274,11 +303,26 @@ fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f6
                     let mut conn = http::ClientConn::new(addr, Duration::from_secs(120));
                     let mut req = ServeRequest::new(problem.to_string());
                     req.workload = WorkloadSpec::new(capacity, s as u64);
+                    let shapes = mix_shapes(args.mix.as_deref(), problem);
+                    if !shapes.is_empty() {
+                        req.workload = req.workload.shape(shapes[s % shapes.len()]);
+                    }
                     req.config.seed = 7;
-                    let id = match conn.request("POST", "/stream", Some(&req.to_json())) {
+                    let opened = match conn.request("POST", "/stream", Some(&req.to_json())) {
                         Ok(resp) if resp.status == 200 => {
                             json::parse(&resp.body).ok().and_then(|v| {
-                                v.get("session").and_then(Value::as_str).map(str::to_string)
+                                let id = v
+                                    .get("session")
+                                    .and_then(Value::as_str)
+                                    .map(str::to_string)?;
+                                // Shapes that deduplicate their instance
+                                // open below the requested capacity; the
+                                // schedule follows the server's number.
+                                let cap = v
+                                    .get("capacity")
+                                    .and_then(Value::as_usize)
+                                    .unwrap_or(capacity);
+                                Some((id, cap))
                             })
                         }
                         Ok(resp) => {
@@ -293,12 +337,19 @@ fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f6
                             None
                         }
                     };
-                    let Some(id) = id else {
+                    let Some((id, cap)) = opened else {
                         return (samples, lifecycle);
                     };
-                    let body = format!("{{\"count\":{}}}", args.batch_count);
+                    // Spread the actual capacity evenly over the batch
+                    // schedule; with the default capacity this is exactly
+                    // `--batch-count` per batch.
+                    let sizes: Vec<usize> = (0..args.batches)
+                        .map(|j| cap / args.batches + usize::from(j < cap % args.batches))
+                        .filter(|&c| c > 0)
+                        .collect();
                     let path = format!("/stream/{id}/batch");
-                    for j in 0..args.batches {
+                    for (j, count) in sizes.into_iter().enumerate() {
+                        let body = format!("{{\"count\":{count}}}");
                         let scheduled = t0 + interval.mul_f64((j * args.sessions + s) as f64);
                         let now = Instant::now();
                         if scheduled > now {
@@ -402,6 +453,13 @@ fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f6
             Value::Obj(vec![
                 ("stream".into(), Value::Bool(true)),
                 ("problem".into(), Value::Str(problem.into())),
+                (
+                    "mix".into(),
+                    args.mix
+                        .as_deref()
+                        .map(|m| Value::Str(m.into()))
+                        .unwrap_or(Value::Null),
+                ),
                 ("sessions".into(), Value::Num(args.sessions as f64)),
                 ("rps".into(), Value::Num(args.rps)),
                 ("batches".into(), Value::Num(args.batches as f64)),
@@ -618,26 +676,35 @@ fn main() {
     // workload seed, so every request carries a fresh witness key and
     // really routes (the result cache would otherwise absorb repeats
     // and the per-shard counts would measure nothing).
+    let shaped = |p: &str, wseed: u64, round: usize| -> (String, String) {
+        let mut req = ServeRequest::new(p.to_string());
+        req.workload = WorkloadSpec::new(args.n, wseed);
+        let shapes = mix_shapes(args.mix.as_deref(), p);
+        if !shapes.is_empty() {
+            req.workload = req.workload.shape(shapes[round % shapes.len()]);
+        }
+        req.config.seed = 7;
+        (p.to_string(), req.to_json())
+    };
     let bodies: Vec<(String, String)> = if args.router {
         (0..args.requests)
             .map(|i| {
                 let p = &problems[i % problems.len()];
-                let mut req = ServeRequest::new(p.clone());
-                req.workload = WorkloadSpec::new(args.n, i as u64);
-                req.config.seed = 7;
-                (p.clone(), req.to_json())
+                shaped(p, i as u64, i / problems.len())
+            })
+            .collect()
+    } else if args.mix.is_some() {
+        // One body per (problem, shape) pair so a short burst still
+        // touches the whole requested family mix.
+        problems
+            .iter()
+            .flat_map(|p| {
+                let shapes = mix_shapes(args.mix.as_deref(), p);
+                (0..shapes.len().max(1)).map(|round| shaped(p, 1, round))
             })
             .collect()
     } else {
-        problems
-            .iter()
-            .map(|p| {
-                let mut req = ServeRequest::new(p.clone());
-                req.workload = WorkloadSpec::new(args.n, 1);
-                req.config.seed = 7;
-                (p.clone(), req.to_json())
-            })
-            .collect()
+        problems.iter().map(|p| shaped(p, 1, 0)).collect()
     };
 
     let next = AtomicUsize::new(0);
@@ -773,6 +840,13 @@ fn main() {
                 ("requests".into(), Value::Num(args.requests as f64)),
                 ("concurrency".into(), Value::Num(args.concurrency as f64)),
                 ("n".into(), Value::Num(args.n as f64)),
+                (
+                    "mix".into(),
+                    args.mix
+                        .as_deref()
+                        .map(|m| Value::Str(m.into()))
+                        .unwrap_or(Value::Null),
+                ),
                 ("executors".into(), Value::Num(args.executors as f64)),
                 ("in_process_server".into(), Value::Bool(args.addr.is_none())),
                 ("router".into(), Value::Bool(args.router)),

@@ -39,9 +39,13 @@ pub fn register(reg: &mut Registry) {
             spec.shape_or("uniform-square"),
             2,
         )?;
+        // Capacity is the *deduplicated* point count, not spec.n: a
+        // duplicate-heavy shape shrinks the instance, and feeding past
+        // points.len() would index out of bounds.
+        let capacity = points.len();
         Ok(Box::new(ClosestPairStream {
             points,
-            state: FeedState::new(spec.n),
+            state: FeedState::new(capacity),
             prev_dist: None,
         }))
     });

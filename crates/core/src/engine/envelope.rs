@@ -322,6 +322,21 @@ impl ServeRequest {
             .ok_or_else(|| ServeError::bad_request("request needs a string `problem` field"))?
             .to_string();
         let workload = v.get("workload");
+        if let Some(p) = workload
+            .and_then(|w| w.get("param"))
+            .and_then(Value::as_f64)
+        {
+            // Report a non-finite param (e.g. the literal 1e999, which
+            // the number parser reads as +inf) as the structured
+            // bad-workload error rather than a generic parse failure:
+            // the request is well-formed JSON, the *workload* is bad.
+            if !p.is_finite() {
+                return Err(ServeError::new(
+                    ServeErrorKind::BadWorkload,
+                    format!("workload param {p} is not finite"),
+                ));
+            }
+        }
         let mut spec = match workload {
             Some(w) => WorkloadSpec::from_value(w).map_err(ServeError::from)?,
             None => WorkloadSpec::new(0, 0),
@@ -454,6 +469,27 @@ mod tests {
             ServeRequest::from_json("{\"problem\":\"sort\",\"workload\":{\"seed\":9}}").unwrap();
         assert_eq!(req.workload.n, DEFAULT_N);
         assert_eq!(req.workload.seed, 9);
+    }
+
+    #[test]
+    fn non_finite_param_is_a_structured_bad_workload() {
+        for body in [
+            "{\"problem\":\"le-lists\",\"workload\":{\"n\":64,\"param\":1e999}}",
+            "{\"problem\":\"le-lists\",\"workload\":{\"n\":64,\"param\":-1e999}}",
+        ] {
+            let err = ServeRequest::from_json(body).unwrap_err();
+            assert_eq!(err.kind, ServeErrorKind::BadWorkload, "{body}");
+            assert_eq!(err.http_status(), 400, "{body}");
+            assert!(
+                err.message.contains("not finite"),
+                "{body}: {}",
+                err.message
+            );
+            // The error envelope itself must serialize (a non-finite
+            // param echoed back would trip the writer's finiteness
+            // assertion).
+            assert!(err.to_json().contains("bad-workload"));
+        }
     }
 
     #[test]

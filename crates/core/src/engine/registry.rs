@@ -161,7 +161,18 @@ impl WorkloadSpec {
         match v.get("param") {
             None | Some(Value::Null) => {}
             Some(param) => {
-                spec.param = Some(param.as_f64().ok_or_else(|| bad("param"))?);
+                let x = param.as_f64().ok_or_else(|| bad("param"))?;
+                // The hand-rolled number parser accepts overflowing
+                // literals like 1e999 as ±inf; a non-finite param must
+                // never reach the constructors' casts (or the response
+                // echo, which asserts finiteness when serializing).
+                if !x.is_finite() {
+                    return Err(json::ParseError {
+                        message: format!("malformed workload field `param`: {x} is not finite"),
+                        at: 0,
+                    });
+                }
+                spec.param = Some(x);
             }
         }
         Ok(spec)
@@ -824,5 +835,19 @@ mod tests {
         assert_eq!(sparse, WorkloadSpec::new(32, 0));
         assert!(WorkloadSpec::from_json("{\"n\":-3}").is_err());
         assert!(WorkloadSpec::from_json("{\"shape\":7}").is_err());
+    }
+
+    #[test]
+    fn workload_spec_rejects_non_finite_param() {
+        // 1e999 overflows to +inf in the number parser; it must fail
+        // here, not flow into constructor casts or the response echo.
+        for text in ["{\"param\":1e999}", "{\"param\":-1e999}"] {
+            let err = WorkloadSpec::from_json(text).unwrap_err();
+            assert!(err.to_string().contains("not finite"), "{text}: {err}");
+        }
+        assert_eq!(
+            WorkloadSpec::from_json("{\"param\":4.0}").unwrap().param,
+            Some(4.0)
+        );
     }
 }

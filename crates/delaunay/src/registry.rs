@@ -42,10 +42,14 @@ pub fn register(reg: &mut Registry) {
             spec.shape_or("uniform-square"),
             3,
         )?;
+        // Capacity is the *deduplicated* point count, not spec.n: a
+        // duplicate-heavy shape shrinks the instance, and feeding past
+        // points.len() would index out of bounds.
+        let capacity = points.len();
         Ok(Box::new(DelaunayStream {
             points,
             edges: HashSet::new(),
-            state: FeedState::new(spec.n),
+            state: FeedState::new(capacity),
         }))
     });
 }

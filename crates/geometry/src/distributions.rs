@@ -26,6 +26,24 @@ pub enum PointDistribution {
     NearCircle,
     /// Jittered integer grid — near-degenerate, exercises exact predicates.
     JitteredGrid,
+    /// Exactly on the unit circle at seeded random angles. After f64
+    /// rounding every point sits a few ulps off the circle, so the set is
+    /// *cocircular at machine precision*: every incircle test during
+    /// Delaunay construction is a near-tie resolved by the exact
+    /// predicates, and the enclosing disk's boundary basis churns
+    /// (Devillers' degenerate regime).
+    Cocircular,
+    /// Near-collinear: 7 of every 8 points on one line with perpendicular
+    /// jitter at 1e-9, the rest uniform (a fully collinear set has no
+    /// triangulation). Orientation tests along the line are near-ties and
+    /// the triangulation is all slivers.
+    Collinear,
+    /// Duplicate-heavy: each of ~n/4 distinct sites is dealt to ~4
+    /// arrivals, so [`dedup_points`] collapses the workload to roughly a
+    /// quarter of the requested `n` — generators and streaming sessions
+    /// must account for the shrinkage truthfully instead of assuming
+    /// `len == n`.
+    DuplicateHeavy,
 }
 
 impl PointDistribution {
@@ -85,6 +103,39 @@ impl PointDistribution {
                     })
                     .collect()
             }
+            PointDistribution::Cocircular => (0..n)
+                .map(|_| {
+                    let th = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                    Point2::new(th.cos(), th.sin())
+                })
+                .collect(),
+            PointDistribution::Collinear => {
+                // Line from (0.05, 0.1) towards (0.95, 0.9), unit direction
+                // and unit normal precomputed.
+                let (dx, dy) = (0.9f64, 0.8f64);
+                let len = (dx * dx + dy * dy).sqrt();
+                let (ux, uy) = (dx / len, dy / len);
+                let (nx, ny) = (-uy, ux);
+                (0..n)
+                    .map(|i| {
+                        if i % 8 == 7 {
+                            Point2::new(rng.gen::<f64>(), rng.gen::<f64>())
+                        } else {
+                            let t = rng.gen::<f64>() * len;
+                            let off = (rng.gen::<f64>() - 0.5) * 2e-9;
+                            Point2::new(0.05 + t * ux + off * nx, 0.1 + t * uy + off * ny)
+                        }
+                    })
+                    .collect()
+            }
+            PointDistribution::DuplicateHeavy => {
+                let sites: Vec<Point2> = (0..(n / 4).max(1))
+                    .map(|_| Point2::new(rng.gen::<f64>(), rng.gen::<f64>()))
+                    .collect();
+                (0..n)
+                    .map(|_| sites[rng.gen_range(0..sites.len())])
+                    .collect()
+            }
         }
     }
 
@@ -96,6 +147,9 @@ impl PointDistribution {
             PointDistribution::Clusters(8),
             PointDistribution::NearCircle,
             PointDistribution::JitteredGrid,
+            PointDistribution::Cocircular,
+            PointDistribution::Collinear,
+            PointDistribution::DuplicateHeavy,
         ]
     }
 
@@ -107,6 +161,9 @@ impl PointDistribution {
             PointDistribution::Clusters(_) => "clusters",
             PointDistribution::NearCircle => "near-circle",
             PointDistribution::JitteredGrid => "jittered-grid",
+            PointDistribution::Cocircular => "cocircular",
+            PointDistribution::Collinear => "collinear",
+            PointDistribution::DuplicateHeavy => "duplicate-heavy",
         }
     }
 }
@@ -141,19 +198,20 @@ impl std::str::FromStr for PointDistribution {
             "clusters" => Ok(PointDistribution::Clusters(8)),
             "near-circle" => Ok(PointDistribution::NearCircle),
             "jittered-grid" => Ok(PointDistribution::JitteredGrid),
+            "cocircular" => Ok(PointDistribution::Cocircular),
+            "collinear" => Ok(PointDistribution::Collinear),
+            "duplicate-heavy" => Ok(PointDistribution::DuplicateHeavy),
             other => Err(ParseDistributionError(other.to_string())),
         }
     }
 }
 
 /// Deduplicate exactly-equal points (the algorithms assume distinct
-/// points; generators can collide at tiny probability).
+/// points; generators can collide at tiny probability). Total order via
+/// `total_cmp`, so hostile coordinates (NaN) cannot panic the caller's
+/// thread — [`named_point_workload`] rejects non-finite points separately.
 pub fn dedup_points(mut pts: Vec<Point2>) -> Vec<Point2> {
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap()
-            .then(a.y.partial_cmp(&b.y).unwrap())
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     pts
 }
@@ -182,6 +240,12 @@ pub fn named_point_workload(
 ) -> Result<Vec<Point2>, String> {
     let dist: PointDistribution = shape.parse().map_err(|e| format!("{e}"))?;
     let points = point_workload(n, seed, dist);
+    if let Some(p) = points.iter().find(|p| !p.x.is_finite() || !p.y.is_finite()) {
+        return Err(format!(
+            "{problem} workload contains a non-finite coordinate ({}, {})",
+            p.x, p.y
+        ));
+    }
     if points.len() < min_points {
         return Err(format!(
             "{problem} needs at least {min_points} distinct points, got {}",
@@ -252,6 +316,57 @@ mod tests {
             let r = p.norm_sq().sqrt();
             assert!((0.999..1.001).contains(&r));
         }
+    }
+
+    #[test]
+    fn cocircular_on_unit_circle() {
+        for p in PointDistribution::Cocircular.generate(500, 1) {
+            assert!((p.norm_sq() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn collinear_mostly_on_one_line() {
+        let pts = PointDistribution::Collinear.generate(800, 3);
+        let on_line = pts
+            .iter()
+            .filter(|p| {
+                // Signed distance to the generating line through (0.05, 0.1)
+                // with direction (0.9, 0.8).
+                let len = (0.9f64 * 0.9 + 0.8 * 0.8).sqrt();
+                let (ux, uy) = (0.9 / len, 0.8 / len);
+                let d = (p.x - 0.05) * (-uy) + (p.y - 0.1) * ux;
+                d.abs() < 1e-8
+            })
+            .count();
+        assert!(on_line >= 700, "only {on_line}/800 near the line");
+    }
+
+    #[test]
+    fn duplicate_heavy_shrinks_under_dedup() {
+        let pts = PointDistribution::DuplicateHeavy.generate(1000, 7);
+        let distinct = dedup_points(pts).len();
+        assert!(
+            distinct < 400,
+            "duplicate-heavy should collapse to ~n/4 distinct, got {distinct}"
+        );
+    }
+
+    #[test]
+    fn dedup_survives_nan_coordinates() {
+        let pts = vec![
+            Point2::new(f64::NAN, 0.0),
+            Point2::new(0.5, 0.5),
+            Point2::new(f64::NAN, 0.0),
+        ];
+        // Must not panic; NaN points sort to one end.
+        assert!(dedup_points(pts).len() <= 3);
+    }
+
+    #[test]
+    fn named_workload_rejects_unknown_shape() {
+        let err = named_point_workload("delaunay", 64, 1, "sideways", 3).unwrap_err();
+        assert!(err.contains("unknown point distribution"), "{err}");
     }
 
     #[test]

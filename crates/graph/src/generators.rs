@@ -122,6 +122,125 @@ pub fn grid2d(side: usize) -> CsrGraph {
     CsrGraph::from_edges(n, &edges)
 }
 
+/// Exactly-`n`-vertex RMAT: samples cells in the `2^ceil(log2 n)` RMAT
+/// grid, scatters ids by a seeded permutation, and resamples any edge
+/// touching an id ≥ `n` — the skewed degree profile survives and `n` is
+/// honored exactly. [`rmat`] rounds `n` up to a power of two, which
+/// silently inflates the instance (and a streaming session's capacity)
+/// for every non-power-of-two request; registry shapes use this variant.
+/// `symmetric` adds each edge in both directions (for LE-lists).
+pub fn rmat_n(n: usize, m: usize, seed: u64, symmetric: bool) -> CsrGraph {
+    assert!(n >= 2);
+    let scale = (n as f64).log2().ceil().max(1.0) as u32;
+    let full = 1usize << scale;
+    let ids = ri_pram::random_permutation(full, seed ^ 0x43a7);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(if symmetric { 2 * m } else { m });
+    for _ in 0..m {
+        // Rejection-resample until both permuted endpoints land < n and
+        // differ; bounded so a hostile parameter cannot spin forever.
+        for _attempt in 0..64 {
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..scale {
+                let r: f64 = rng.gen();
+                let (du, dv) = if r < 0.57 {
+                    (0, 0)
+                } else if r < 0.76 {
+                    (0, 1)
+                } else if r < 0.95 {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | du;
+                v = (v << 1) | dv;
+            }
+            let (u, v) = (ids[u], ids[v]);
+            if u < n && v < n && u != v {
+                edges.push((u as u32, v as u32));
+                if symmetric {
+                    edges.push((v as u32, u as u32));
+                }
+                break;
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Exactly-`n`-vertex grid: the row-major prefix of the `side × side`
+/// grid with `side = ceil(sqrt(n))`, 4-neighbor, both directions, with
+/// vertex ids scattered by a seeded permutation.
+///
+/// [`grid2d`] always builds the full `side²` square, so constructing
+/// "about n" vertices through it silently inflates the instance
+/// (n = 10 → 16 vertices) and ignores the workload seed; the registry
+/// shapes use this variant so `spec.n` is honored exactly and per-n
+/// accounting (streaming capacities, bench item counts) stays truthful.
+/// The prefix of a grid is connected whenever the full grid is.
+pub fn grid2d_n(n: usize, seed: u64) -> CsrGraph {
+    let side = (n as f64).sqrt().ceil().max(1.0) as usize;
+    let ids = ri_pram::random_permutation(n, seed ^ 0x62d);
+    let id = |x: usize, y: usize| -> Option<u32> {
+        let k = y * side + x;
+        (x < side && k < n).then(|| ids[k] as u32)
+    };
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..side {
+        for x in 0..side {
+            let Some(u) = id(x, y) else { continue };
+            if let Some(v) = id(x + 1, y) {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+            if let Some(v) = id(x, y + 1) {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Deep-path digraph: a spine `v_0 → v_1 → … → v_{n-1}` in a hidden
+/// random vertex order, plus `extra` shortcut edges — mostly short
+/// forward hops, with every eighth a long *back* edge closing a giant
+/// cycle. Directed, the result is a high-diameter graph whose SCCs are
+/// long stretches of the spine (the worst case for reachability-based
+/// partitioning); `symmetric` adds every edge in both directions,
+/// giving the high-diameter long-chain stress case for LE-lists.
+pub fn deep_path(n: usize, extra: usize, seed: u64, symmetric: bool) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let order = ri_pram::random_permutation(n, seed ^ 0xdee9);
+    let mut edges = Vec::with_capacity((n + extra) * if symmetric { 2 } else { 1 });
+    let push = |edges: &mut Vec<(u32, u32)>, a: usize, b: usize| {
+        if a == b {
+            return;
+        }
+        edges.push((order[a] as u32, order[b] as u32));
+        if symmetric {
+            edges.push((order[b] as u32, order[a] as u32));
+        }
+    };
+    for i in 0..n - 1 {
+        push(&mut edges, i, i + 1);
+    }
+    for k in 0..extra {
+        if k % 8 == 7 {
+            // Long back edge over roughly a quarter to half of the spine.
+            let span = rng.gen_range(n / 4..n / 2 + 2).min(n - 1).max(1);
+            let hi = rng.gen_range(span..n);
+            push(&mut edges, hi, hi - span);
+        } else {
+            let i = rng.gen_range(0..n - 1);
+            let hop = rng.gen_range(2usize..8).min(n - 1 - i).max(1);
+            push(&mut edges, i, i + hop);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
 /// Random DAG: `m` edges `u → v` with `u < v` in a hidden random topological
 /// order. Every SCC is trivial — the stress case for SCC partitioning.
 pub fn random_dag(n: usize, m: usize, seed: u64) -> CsrGraph {
@@ -260,6 +379,75 @@ mod tests {
         // Corner has degree 2, interior 4.
         assert_eq!(g.degree(0), 2);
         assert_eq!(g.degree(11), 4);
+    }
+
+    #[test]
+    fn rmat_n_honors_n_exactly_and_stays_skewed() {
+        for n in [2, 3, 100, 128, 1000] {
+            let g = rmat_n(n, 4 * n, 5, false);
+            assert_eq!(g.num_vertices(), n, "rmat_n inflated n={n}");
+        }
+        let g = rmat_n(1000, 8000, 5, false);
+        assert_eq!(rmat_n(1000, 8000, 5, false), g);
+        assert_ne!(rmat_n(1000, 8000, 6, false), g);
+        let max_deg = (0..1000u32).map(|u| g.degree(u)).max().unwrap();
+        let avg = g.num_edges() as f64 / 1000.0;
+        assert!(
+            max_deg as f64 > 4.0 * avg,
+            "rmat_n should stay skewed: max {max_deg}, avg {avg}"
+        );
+        // Symmetric variant has both directions.
+        let s = rmat_n(100, 300, 2, true);
+        for u in 0..100u32 {
+            for &v in s.neighbors(u) {
+                assert!(s.neighbors(v).contains(&u), "missing reverse of {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid2d_n_honors_n_exactly_and_seed() {
+        for n in [1, 2, 5, 10, 16, 37, 100] {
+            let g = grid2d_n(n, 3);
+            assert_eq!(g.num_vertices(), n, "grid2d_n inflated n={n}");
+        }
+        let a = grid2d_n(50, 1);
+        assert_eq!(grid2d_n(50, 1), a, "not reproducible");
+        assert_ne!(grid2d_n(50, 2), a, "grid2d_n ignores seed");
+        // Connected: BFS from vertex 0 reaches everything.
+        let g = grid2d_n(37, 9);
+        let mut seen = [false; 37];
+        let mut queue = vec![0u32];
+        seen[0] = true;
+        while let Some(u) = queue.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "grid prefix disconnected");
+    }
+
+    #[test]
+    fn deep_path_shape() {
+        let g = deep_path(100, 200, 5, false);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(deep_path(100, 200, 5, false), g);
+        assert_ne!(deep_path(100, 200, 6, false), g);
+        // Symmetric variant has both directions.
+        let s = deep_path(60, 30, 2, true);
+        for u in 0..60u32 {
+            for &v in s.neighbors(u) {
+                assert!(s.neighbors(v).contains(&u), "missing reverse of {u}->{v}");
+            }
+        }
+        // Tiny instances must not panic.
+        for n in [2, 3, 4] {
+            deep_path(n, 16, 1, false);
+            deep_path(n, 16, 1, true);
+        }
     }
 
     #[test]

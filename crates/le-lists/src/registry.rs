@@ -1,8 +1,12 @@
 //! Registry entry: `"le-lists"` — Cohen's least-element lists over a
-//! seeded random graph (§6.1, Type 3). Shapes: `"gnm-weighted"` (default)
-//! and `"gnm"` with `param` as average out-degree (default 4), or
-//! `"grid"` (an unweighted 2-D grid of about `n` vertices; `param`
-//! ignored). The priority order is drawn from the *run* config's seed.
+//! seeded random graph (§6.1, Type 3). Shapes: `"gnm-weighted"`
+//! (default) and `"gnm"` with `param` as average out-degree (default
+//! 4); `"grid"` (an unweighted 2-D grid of exactly `n` vertices, ids
+//! scattered by the workload seed; `param` ignored); and the
+//! adversarial `"rmat"` (skewed power-law degrees, symmetrized) and
+//! `"deep-path"` (a long chain with shortcuts — the high-diameter
+//! stress case for list lengths and search depth). The priority order
+//! is drawn from the *run* config's seed.
 
 use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
 use ri_core::engine::{Problem, RunConfig, RunReport};
@@ -35,13 +39,26 @@ pub fn register(reg: &mut Registry) {
                     spec.seed,
                     true,
                 ),
-                "grid" => {
-                    let side = (spec.n as f64).sqrt().ceil().max(1.0) as usize;
-                    ri_graph::generators::grid2d(side)
+                "grid" => ri_graph::generators::grid2d_n(spec.n, spec.seed),
+                "rmat" => ri_graph::generators::rmat_n(
+                    spec.n,
+                    degree_edges(spec.n, spec.param_or(4.0))?,
+                    spec.seed,
+                    true,
+                ),
+                "deep-path" => {
+                    let m = degree_edges(spec.n, spec.param_or(4.0))?;
+                    ri_graph::generators::deep_path(
+                        spec.n,
+                        m.saturating_sub(spec.n - 1),
+                        spec.seed,
+                        true,
+                    )
                 }
                 other => {
                     return Err(format!(
-                        "unknown le-lists graph shape `{other}` (known: gnm-weighted, gnm, grid)"
+                        "unknown le-lists graph shape `{other}` (known: gnm-weighted, \
+                         gnm, grid, rmat, deep-path)"
                     ))
                 }
             };
@@ -81,14 +98,40 @@ mod tests {
     fn registered_name_solves_all_shapes() {
         let mut reg = Registry::new();
         register(&mut reg);
-        for shape in ["gnm-weighted", "gnm", "grid"] {
+        for shape in ["gnm-weighted", "gnm", "grid", "rmat", "deep-path"] {
             let spec = WorkloadSpec::new(100, 3).shape(shape);
             let (summary, report) = reg
                 .solve("le-lists", &spec, &RunConfig::new().seed(1))
                 .unwrap();
+            // Every shape must honor spec.n exactly (the old grid shape
+            // silently built ceil(sqrt(n))² ≥ n vertices).
+            assert!(
+                summary.to_json().contains("\"vertices\":100"),
+                "{shape}: {}",
+                summary.to_json()
+            );
             assert!(summary.to_json().contains("total_entries"), "{shape}");
             assert!(report.items > 0, "{shape}");
         }
+        // The grid shape must honor the workload seed (the old one
+        // ignored it entirely).
+        let a = reg
+            .solve(
+                "le-lists",
+                &WorkloadSpec::new(90, 1).shape("grid"),
+                &RunConfig::new().seed(1),
+            )
+            .unwrap()
+            .0;
+        let b = reg
+            .solve(
+                "le-lists",
+                &WorkloadSpec::new(90, 2).shape("grid"),
+                &RunConfig::new().seed(1),
+            )
+            .unwrap()
+            .0;
+        assert_ne!(a.to_json(), b.to_json(), "grid ignores the workload seed");
         assert!(reg
             .construct("le-lists", &WorkloadSpec::new(100, 3).shape("sideways"))
             .is_err());

@@ -259,27 +259,66 @@ pub(crate) fn run_with_d(inst: &LpInstanceD, cfg: &RunConfig) -> (LpOutcomeD, Ru
 /// boundary.
 pub fn tangent_instance_d(d: usize, n: usize, seed: u64) -> LpInstanceD {
     use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD1);
-    let unit = |rng: &mut StdRng| -> Vec<f64> {
-        // Gaussian normalised (Box–Muller pairs).
-        let mut v: Vec<f64> = (0..d)
-            .map(|_| {
-                let u1: f64 = rng.gen::<f64>().max(1e-12);
-                let u2: f64 = rng.gen();
-                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-            })
-            .collect();
-        let norm = dot(&v, &v).sqrt().max(1e-12);
-        v.iter_mut().for_each(|x| *x /= norm);
-        v
-    };
     LpInstanceD {
-        objective: unit(&mut rng),
+        objective: random_unit(&mut rng, d),
         constraints: (0..n)
-            .map(|_| ConstraintD::new(unit(&mut rng), 1.0))
+            .map(|_| ConstraintD::new(random_unit(&mut rng, d), 1.0))
             .collect(),
     }
+}
+
+/// Tangent-degenerate d-dimensional instance: half the unit normals are
+/// tiny (1e-4-scale) perturbations of the objective direction, the rest
+/// uniform, all with bound 1. The optimum is a near-tie among the whole
+/// perturbed bundle — every late bundle arrival forces a violation test
+/// that is decided in the last few digits, the degenerate stress case
+/// for the recursive Seidel solver. Always feasible (unit ball inside
+/// every halfspace).
+pub fn degenerate_instance_d(d: usize, n: usize, seed: u64) -> LpInstanceD {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE6);
+    let objective = random_unit(&mut rng, d);
+    let constraints = (0..n)
+        .map(|i| {
+            let normal = if i % 2 == 0 {
+                let noise = random_unit(&mut rng, d);
+                let mut v: Vec<f64> = objective
+                    .iter()
+                    .zip(&noise)
+                    .map(|(o, e)| o + 1e-4 * e)
+                    .collect();
+                let norm = dot(&v, &v).sqrt().max(1e-12);
+                v.iter_mut().for_each(|x| *x /= norm);
+                v
+            } else {
+                random_unit(&mut rng, d)
+            };
+            ConstraintD::new(normal, 1.0)
+        })
+        .collect();
+    LpInstanceD {
+        objective,
+        constraints,
+    }
+}
+
+/// Uniform random unit vector in `d` dimensions (Gaussian normalised,
+/// Box–Muller pairs).
+fn random_unit(rng: &mut rand::rngs::StdRng, d: usize) -> Vec<f64> {
+    use rand::Rng;
+    let mut v: Vec<f64> = (0..d)
+        .map(|_| {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        })
+        .collect();
+    let norm = dot(&v, &v).sqrt().max(1e-12);
+    v.iter_mut().for_each(|x| *x /= norm);
+    v
 }
 
 #[cfg(test)]

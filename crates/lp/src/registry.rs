@@ -1,13 +1,15 @@
 //! Registry entries: `"lp"` (Seidel's 2-D LP, §5.1, Type 2) and `"lp-d"`
 //! (the d-dimensional extension). The 2-D workload shape picks a
 //! generator from [`crate::workloads`] (`"tangent"` default,
-//! `"shrinking"`, `"infeasible"`); `lp-d` solves the tangent-sphere
-//! workload with `param` as the dimension (default 3).
+//! `"shrinking"`, `"infeasible"`, plus the adversarial `"degenerate"`
+//! and `"near-infeasible"` families); `lp-d` solves the tangent-sphere
+//! (`"tangent"`, default) or `"degenerate"` workload with `param` as
+//! the dimension (default 3).
 
 use ri_core::engine::registry::{ErasedProblem, OutputSummary, Registry};
 use ri_core::engine::{Problem, RunConfig, RunReport};
 
-use crate::highdim::{tangent_instance_d, LpInstanceD, LpOutcomeD};
+use crate::highdim::{degenerate_instance_d, tangent_instance_d, LpInstanceD, LpOutcomeD};
 use crate::seidel::{LpInstance, LpOutcome};
 use crate::{workloads, LpProblem, LpProblemD};
 
@@ -21,9 +23,12 @@ pub fn register(reg: &mut Registry) {
                 "tangent" => workloads::tangent_instance(spec.n, spec.seed),
                 "shrinking" => workloads::shrinking_instance(spec.n, spec.seed),
                 "infeasible" => workloads::infeasible_instance(spec.n, spec.seed),
+                "degenerate" => workloads::degenerate_instance(spec.n, spec.seed),
+                "near-infeasible" => workloads::near_infeasible_instance(spec.n, spec.seed),
                 other => {
                     return Err(format!(
-                        "unknown lp workload `{other}` (known: tangent, shrinking, infeasible)"
+                        "unknown lp workload `{other}` (known: tangent, shrinking, \
+                         infeasible, degenerate, near-infeasible)"
                     ))
                 }
             };
@@ -40,9 +45,16 @@ pub fn register(reg: &mut Registry) {
                     "lp-d dimension must be an integer in 1..=16, got {d}"
                 ));
             }
-            Ok(Box::new(LpDWorkload {
-                inst: tangent_instance_d(d as usize, spec.n, spec.seed),
-            }))
+            let inst = match spec.shape_or("tangent") {
+                "tangent" => tangent_instance_d(d as usize, spec.n, spec.seed),
+                "degenerate" => degenerate_instance_d(d as usize, spec.n, spec.seed),
+                other => {
+                    return Err(format!(
+                        "unknown lp-d workload `{other}` (known: tangent, degenerate)"
+                    ))
+                }
+            };
+            Ok(Box::new(LpDWorkload { inst }))
         },
     );
 }
@@ -149,5 +161,35 @@ mod tests {
         assert!(reg
             .construct("lp-d", &WorkloadSpec::new(10, 1).param(2.5))
             .is_err());
+        assert!(reg
+            .construct("lp-d", &WorkloadSpec::new(10, 1).shape("sideways"))
+            .is_err());
+    }
+
+    #[test]
+    fn adversarial_shapes_solve() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        for shape in ["degenerate", "near-infeasible"] {
+            let (summary, _) = reg
+                .solve(
+                    "lp",
+                    &WorkloadSpec::new(128, 4).shape(shape),
+                    &RunConfig::new(),
+                )
+                .unwrap();
+            assert!(
+                summary.to_json().contains("\"outcome\":\"optimal\""),
+                "{shape}"
+            );
+        }
+        let (summary, _) = reg
+            .solve(
+                "lp-d",
+                &WorkloadSpec::new(128, 4).shape("degenerate").param(4.0),
+                &RunConfig::new(),
+            )
+            .unwrap();
+        assert!(summary.to_json().contains("\"outcome\":\"optimal\""));
     }
 }

@@ -1,9 +1,14 @@
 //! Registry entry: `"scc"` — incremental strongly connected components
 //! over a seeded random digraph (§6.2, Type 3). Shapes: `"gnm"`
-//! (default), `"dag"`, `"rmat"`, `"planted"` (planted SCCs of >= 8
-//! vertices each, up to 64 of them, sizes summing to n), with
-//! `param` as average out-degree (default 4). The processing order is
-//! drawn from the *run* config's seed.
+//! (default), `"dag"`, `"rmat"` (skewed power-law degrees, exactly `n`
+//! vertices), `"planted"` (planted SCCs of >= 8 vertices each, up to 64
+//! of them, sizes summing to n), plus the adversarial `"deep-path"` (a
+//! hidden-order spine with shortcuts and giant back-edge cycles — the
+//! worst case for reachability-based partitioning) and `"grid"` (a
+//! bidirected high-diameter grid), with `param` as average out-degree
+//! (default 4). The processing order is drawn from the *run* config's
+//! seed. Every shape honors `spec.n` exactly, which the streaming
+//! adapter's vertex-prefix reveal relies on.
 //!
 //! The native streaming adapter fixes the full digraph at open and
 //! reveals its **vertex prefix**: each batch solves the subgraph induced
@@ -29,10 +34,22 @@ fn build_graph(spec: &ri_core::engine::registry::WorkloadSpec) -> Result<CsrGrap
     let g = match spec.shape_or("gnm") {
         "gnm" => ri_graph::generators::gnm(spec.n, m, spec.seed, false),
         "dag" => ri_graph::generators::random_dag(spec.n, m, spec.seed),
+        // rmat_n, not rmat: the raw generator rounds n up to a power of
+        // two, which would let the streamed vertex prefix stop short of
+        // the full graph (capacity is spec.n).
         "rmat" => {
-            let scale = (spec.n as f64).log2().ceil().max(1.0) as u32;
-            ri_graph::generators::rmat(scale, m, spec.seed)
+            if spec.n < 2 {
+                return Err("scc rmat needs at least 2 vertices".into());
+            }
+            ri_graph::generators::rmat_n(spec.n, m, spec.seed, false)
         }
+        "deep-path" => {
+            if spec.n < 2 {
+                return Err("scc deep-path needs at least 2 vertices".into());
+            }
+            ri_graph::generators::deep_path(spec.n, m.saturating_sub(spec.n - 1), spec.seed, false)
+        }
+        "grid" => ri_graph::generators::grid2d_n(spec.n, spec.seed),
         "planted" => {
             // Plant SCCs of >= 8 vertices (up to 64 of them) and
             // spread the remainder so the sizes sum to exactly n —
@@ -44,7 +61,8 @@ fn build_graph(spec: &ri_core::engine::registry::WorkloadSpec) -> Result<CsrGrap
         }
         other => {
             return Err(format!(
-                "unknown scc graph shape `{other}` (known: gnm, dag, rmat, planted)"
+                "unknown scc graph shape `{other}` (known: gnm, dag, rmat, \
+                 planted, deep-path, grid)"
             ))
         }
     };
@@ -213,9 +231,16 @@ mod tests {
     fn registered_name_solves_all_shapes() {
         let mut reg = Registry::new();
         register(&mut reg);
-        for shape in ["gnm", "dag", "rmat", "planted"] {
-            let spec = WorkloadSpec::new(128, 2).shape(shape);
+        for shape in ["gnm", "dag", "rmat", "planted", "deep-path", "grid"] {
+            // 100 is not a power of two: the old rmat shape would have
+            // built 128 vertices here.
+            let spec = WorkloadSpec::new(100, 2).shape(shape);
             let (summary, report) = reg.solve("scc", &spec, &RunConfig::new().seed(3)).unwrap();
+            assert!(
+                summary.to_json().contains("\"vertices\":100"),
+                "{shape} inflated n: {}",
+                summary.to_json()
+            );
             assert!(summary.to_json().contains("components"), "{shape}");
             assert!(report.items > 0, "{shape}");
         }

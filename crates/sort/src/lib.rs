@@ -36,6 +36,7 @@ pub mod registry;
 mod relaxed;
 mod sequential;
 pub mod tree;
+pub mod workloads;
 
 pub use problem::{BatchSortProblem, SortOutput, SortProblem};
 pub use tree::Bst;

@@ -1,26 +1,34 @@
 //! Registry entries: `"sort"` (Algorithm 3, Type 1) and `"sort-batch"`
-//! (the §2.3 Type 3 batch execution), both over a seeded random
-//! permutation of `0..n` — plus their native streaming adapters, which
-//! reveal the same fixed permutation prefix by prefix and report each
-//! batch's sorted-rank insertions as the delta.
+//! (the §2.3 Type 3 batch execution), both over a seeded key sequence
+//! shaped by [`crate::workloads::shaped_keys`] (`"random"` by default;
+//! adversarial arrival orders behind the other shape names) — plus their
+//! native streaming adapters, which reveal the same fixed sequence
+//! prefix by prefix and report each batch's sorted-rank insertions as
+//! the delta.
 
 use ri_core::engine::json::Value;
-use ri_core::engine::registry::{ErasedIncremental, ErasedProblem, OutputSummary, Registry};
+use ri_core::engine::registry::{
+    ErasedIncremental, ErasedProblem, OutputSummary, Registry, WorkloadSpec,
+};
 use ri_core::engine::session::{BatchDelta, FeedState};
 use ri_core::engine::{Problem, RunConfig, RunReport};
-use ri_pram::random_permutation;
 
 use crate::problem::{BatchSortProblem, SortOutput, SortProblem};
+use crate::workloads::shaped_keys;
+
+fn spec_keys(spec: &WorkloadSpec) -> Result<Vec<usize>, String> {
+    shaped_keys(spec.n, spec.seed, spec.shape_or("random"), spec.param)
+}
 
 /// Register this crate's problems.
 pub fn register(reg: &mut Registry) {
     reg.register(
         "sort",
-        "incremental BST sort of a random permutation (§3, Type 1)",
+        "incremental BST sort of a shaped key sequence (§3, Type 1)",
         |spec| {
             Ok(Box::new(SortWorkload {
                 name: "sort",
-                keys: random_permutation(spec.n, spec.seed),
+                keys: spec_keys(spec)?,
             }))
         },
     );
@@ -30,15 +38,15 @@ pub fn register(reg: &mut Registry) {
         |spec| {
             Ok(Box::new(SortWorkload {
                 name: "sort-batch",
-                keys: random_permutation(spec.n, spec.seed),
+                keys: spec_keys(spec)?,
             }))
         },
     );
     reg.register_incremental("sort", |spec| {
-        Ok(Box::new(SortStream::open("sort", spec.n, spec.seed)))
+        Ok(Box::new(SortStream::open("sort", spec_keys(spec)?)))
     });
     reg.register_incremental("sort-batch", |spec| {
-        Ok(Box::new(SortStream::open("sort-batch", spec.n, spec.seed)))
+        Ok(Box::new(SortStream::open("sort-batch", spec_keys(spec)?)))
     });
 }
 
@@ -101,10 +109,11 @@ struct SortStream {
 }
 
 impl SortStream {
-    fn open(name: &'static str, capacity: usize, seed: u64) -> Self {
+    fn open(name: &'static str, keys: Vec<usize>) -> Self {
+        let capacity = keys.len();
         SortStream {
             name,
-            keys: random_permutation(capacity, seed),
+            keys,
             sorted: Vec::new(),
             state: FeedState::new(capacity),
         }
@@ -189,6 +198,32 @@ mod tests {
                 .unwrap();
             assert_eq!(report.items, 256);
             assert!(summary.to_json().contains("\"sorted\":true"), "{name}");
+        }
+    }
+
+    #[test]
+    fn shaped_specs_solve_and_unknown_shapes_are_rejected() {
+        let mut reg = Registry::new();
+        register(&mut reg);
+        for shape in crate::workloads::SHAPES {
+            let spec = WorkloadSpec::new(128, 3).shape(shape);
+            for name in ["sort", "sort-batch"] {
+                let (summary, _) = reg.solve(name, &spec, &RunConfig::new()).unwrap();
+                assert!(
+                    summary.to_json().contains("\"sorted\":true"),
+                    "{name}/{shape}"
+                );
+            }
+        }
+        let bad = WorkloadSpec::new(64, 1).shape("sideways");
+        for name in ["sort", "sort-batch"] {
+            let err = reg.solve(name, &bad, &RunConfig::new()).unwrap_err();
+            assert!(err.to_string().contains("unknown sort shape"), "{name}");
+            let err = match reg.construct_incremental(name, &bad) {
+                Err(e) => e,
+                Ok(_) => panic!("{name}: bad shape accepted by the stream ctor"),
+            };
+            assert!(err.to_string().contains("unknown sort shape"), "{name}");
         }
     }
 

@@ -1,0 +1,161 @@
+//! Seeded key-sequence generators behind the `sort`/`sort-batch`
+//! workload shapes.
+//!
+//! The paper's O(log n) dependence-depth bound is an expectation over a
+//! *random* insertion order; these shapes pick the orders the tail
+//! experiments sweep: random (the benign case, the theorem's regime) and
+//! the classic adversarial arrival orders — nearly-sorted, reverse,
+//! organ-pipe, few-distinct — whose BST dependence chains are Θ(n), the
+//! worst case the serving tier must survive. All sequences keep the sort
+//! contract of pairwise-distinct keys: `few-distinct` encodes `k` value
+//! classes as `class * n + arrival_index`, i.e. duplicates broken by
+//! arrival order, which preserves the deep-spine behaviour of repeated
+//! keys without violating strictness.
+
+use ri_pram::random_permutation;
+
+/// The shape vocabulary of `sort`/`sort-batch` (first entry is the
+/// default).
+pub const SHAPES: [&str; 5] = [
+    "random",
+    "nearly-sorted",
+    "reverse",
+    "organ-pipe",
+    "few-distinct",
+];
+
+/// Generate the key sequence for a named shape. Unknown names are a
+/// typed error (never a silent default); `param` is only meaningful for
+/// `few-distinct` (the number of value classes, default 8).
+pub fn shaped_keys(
+    n: usize,
+    seed: u64,
+    shape: &str,
+    param: Option<f64>,
+) -> Result<Vec<usize>, String> {
+    match shape {
+        "random" => Ok(random_permutation(n, seed)),
+        "nearly-sorted" => {
+            // Identity order with ~n/16 seeded transpositions: long
+            // ascending runs → near-worst right-spine dependence chains.
+            let mut keys: Vec<usize> = (0..n).collect();
+            if n >= 2 {
+                let swaps = (n / 16).max(1);
+                let pos = random_permutation(n, seed ^ 0x5047);
+                for s in 0..swaps.min(n / 2) {
+                    keys.swap(pos[2 * s], pos[2 * s + 1]);
+                }
+            }
+            Ok(keys)
+        }
+        "reverse" => Ok((0..n).rev().collect()),
+        "organ-pipe" => {
+            // Ascending evens then descending odds: rises to ~n, falls
+            // back — the classic organ-pipe profile with distinct keys.
+            let mut keys: Vec<usize> = (0..n).step_by(2).collect();
+            keys.extend((1..n).step_by(2).rev());
+            Ok(keys)
+        }
+        "few-distinct" => {
+            let classes = param.unwrap_or_else(|| 8.0f64.min(n.max(1) as f64));
+            if !classes.is_finite()
+                || classes < 1.0
+                || classes.fract() != 0.0
+                || classes > n.max(1) as f64
+            {
+                return Err(format!(
+                    "few-distinct needs an integer class count in [1, n], got {classes}"
+                ));
+            }
+            let k = classes as usize;
+            // Balanced random class per arrival, ties broken by arrival
+            // index — distinct keys whose sorted order is
+            // (class, arrival).
+            let assign = random_permutation(n, seed ^ 0xfd15);
+            let mut next_in_class = vec![0usize; k];
+            Ok((0..n)
+                .map(|i| {
+                    let c = assign[i] % k;
+                    let key = c * n + next_in_class[c];
+                    next_in_class[c] += 1;
+                    key
+                })
+                .collect())
+        }
+        other => Err(format!(
+            "unknown sort shape `{other}` (known: {})",
+            SHAPES.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation_of_distinct(keys: &[usize]) -> bool {
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).all(|w| w[0] < w[1])
+    }
+
+    #[test]
+    fn every_shape_yields_distinct_keys() {
+        for shape in SHAPES {
+            let keys = shaped_keys(300, 5, shape, None).unwrap();
+            assert_eq!(keys.len(), 300, "{shape}");
+            assert!(is_permutation_of_distinct(&keys), "{shape} has ties");
+            // Seeded shapes must be reproducible.
+            assert_eq!(keys, shaped_keys(300, 5, shape, None).unwrap(), "{shape}");
+        }
+    }
+
+    #[test]
+    fn deterministic_shapes_have_expected_order() {
+        assert_eq!(shaped_keys(4, 1, "reverse", None).unwrap(), [3, 2, 1, 0]);
+        assert_eq!(
+            shaped_keys(6, 1, "organ-pipe", None).unwrap(),
+            [0, 2, 4, 5, 3, 1]
+        );
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_ascending() {
+        let keys = shaped_keys(1000, 9, "nearly-sorted", None).unwrap();
+        let ascents = keys.windows(2).filter(|w| w[0] < w[1]).count();
+        // n/16 transpositions cost at most 2 descents each.
+        assert!(ascents >= 999 - 2 * 63, "only {ascents}/999 ascents");
+        assert_ne!(keys, (0..1000).collect::<Vec<_>>(), "no perturbation");
+    }
+
+    #[test]
+    fn few_distinct_has_k_classes() {
+        let keys = shaped_keys(200, 3, "few-distinct", Some(4.0)).unwrap();
+        let mut classes: Vec<usize> = keys.iter().map(|k| k / 200).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes.len(), 4);
+        assert!(is_permutation_of_distinct(&keys));
+    }
+
+    #[test]
+    fn bad_shapes_and_params_are_typed_errors() {
+        assert!(shaped_keys(10, 1, "sideways", None)
+            .unwrap_err()
+            .contains("unknown sort shape"));
+        for bad in [0.0, -1.0, 2.5, f64::NAN, f64::INFINITY, 1e18] {
+            assert!(
+                shaped_keys(10, 1, "few-distinct", Some(bad)).is_err(),
+                "{bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for shape in SHAPES {
+            assert_eq!(shaped_keys(0, 1, shape, None).unwrap(), Vec::<usize>::new());
+            assert_eq!(shaped_keys(1, 1, shape, None).unwrap(), [0]);
+        }
+    }
+}

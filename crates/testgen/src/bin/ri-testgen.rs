@@ -1,0 +1,215 @@
+//! `ri-testgen` — list the adversarial shape vocabulary or sweep the
+//! tail-concentration gates and write a bench artifact.
+//!
+//! ```text
+//! ri-testgen list
+//! ri-testgen sweep [--n N] [--seeds S] [--threads T]
+//!                  [--problems a,b] [--shapes x,y] [--all-shapes]
+//!                  [--gate] [--out PATH]
+//! ```
+//!
+//! `sweep` runs every (problem, hostile shape) pair — or the filtered
+//! set — across `S` seeds, sequential vs parallel, and reports the p99 /
+//! max of round count, special-iteration count, and dependence depth
+//! next to the committed [`ri_testgen::tail_budget`]. With `--gate` the
+//! process exits 1 on any budget violation or answer mismatch (the CI
+//! tail-gate step); `--out` writes the full JSON artifact.
+
+use std::process::ExitCode;
+
+use ri_core::engine::json::Value;
+use ri_testgen::{
+    all_shapes, sweep_shape, tail_budget, ShapeSweep, TailBudget, TAILGATE_N, TAILGATE_SEEDS,
+    VOCABULARY,
+};
+
+struct Args {
+    n: usize,
+    seeds: u64,
+    threads: usize,
+    problems: Option<Vec<String>>,
+    shapes: Option<Vec<String>>,
+    all_shapes: bool,
+    gate: bool,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ri-testgen list\n       ri-testgen sweep [--n N] [--seeds S] [--threads T] \
+         [--problems a,b] [--shapes x,y] [--all-shapes] [--gate] [--out PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut parsed = Args {
+        n: TAILGATE_N,
+        seeds: TAILGATE_SEEDS,
+        threads: 2,
+        problems: None,
+        shapes: None,
+        all_shapes: false,
+        gate: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--n" => parsed.n = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--seeds" => parsed.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--threads" => parsed.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--problems" => {
+                parsed.problems = Some(value("--problems").split(',').map(str::to_string).collect())
+            }
+            "--shapes" => {
+                parsed.shapes = Some(value("--shapes").split(',').map(str::to_string).collect())
+            }
+            "--all-shapes" => parsed.all_shapes = true,
+            "--gate" => parsed.gate = true,
+            "--out" => parsed.out = Some(value("--out")),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn list() {
+    for v in &VOCABULARY {
+        println!(
+            "{:<12} default={:<14} benign=[{}] hostile=[{}]",
+            v.problem,
+            v.default_shape,
+            v.benign.join(", "),
+            v.hostile.join(", ")
+        );
+    }
+}
+
+fn sweep_to_value(sweep: &ShapeSweep, budget: &TailBudget, violations: &[String]) -> Value {
+    let max_of = |metric: fn(&ri_testgen::TailSample) -> usize| {
+        sweep.samples.iter().map(metric).max().unwrap_or(0) as f64
+    };
+    Value::Obj(vec![
+        ("problem".into(), Value::Str(sweep.problem.clone())),
+        ("shape".into(), Value::Str(sweep.shape.clone())),
+        ("n".into(), Value::Num(sweep.n as f64)),
+        ("seeds".into(), Value::Num(sweep.samples.len() as f64)),
+        ("p99_rounds".into(), Value::Num(sweep.p99_rounds() as f64)),
+        (
+            "p99_specials".into(),
+            Value::Num(sweep.p99_specials() as f64),
+        ),
+        ("p99_depth".into(), Value::Num(sweep.p99_depth() as f64)),
+        ("max_rounds".into(), Value::Num(max_of(|s| s.rounds))),
+        ("max_specials".into(), Value::Num(max_of(|s| s.specials))),
+        ("max_depth".into(), Value::Num(max_of(|s| s.depth))),
+        ("budget_rounds".into(), Value::Num(budget.rounds as f64)),
+        ("budget_specials".into(), Value::Num(budget.specials as f64)),
+        ("budget_depth".into(), Value::Num(budget.depth as f64)),
+        (
+            "answers_match".into(),
+            Value::Bool(sweep.mismatches.is_empty()),
+        ),
+        ("ok".into(), Value::Bool(violations.is_empty())),
+        (
+            "violations".into(),
+            Value::Arr(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+        ),
+    ])
+}
+
+fn sweep(args: &Args) -> ExitCode {
+    let reg = parallel_ri::registry();
+    let mut results = Vec::new();
+    let mut all_ok = true;
+    for v in &VOCABULARY {
+        if let Some(filter) = &args.problems {
+            if !filter.iter().any(|p| p == v.problem) {
+                continue;
+            }
+        }
+        let shapes: Vec<&str> = if args.all_shapes {
+            all_shapes(v.problem)
+        } else {
+            v.hostile.to_vec()
+        };
+        for shape in shapes {
+            if let Some(filter) = &args.shapes {
+                if !filter.iter().any(|s| s == shape) {
+                    continue;
+                }
+            }
+            let sweep =
+                match sweep_shape(&reg, v.problem, shape, args.n, 0..args.seeds, args.threads) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("sweep failed: {e}");
+                        return ExitCode::from(1);
+                    }
+                };
+            let budget = tail_budget(v.problem, shape, args.n);
+            let violations = sweep.gate(&budget).err().unwrap_or_default();
+            println!(
+                "{:<12} {:<16} p99 rounds {:>5}/{:<5} specials {:>4}/{:<4} depth {:>5}/{:<5} {}",
+                sweep.problem,
+                sweep.shape,
+                sweep.p99_rounds(),
+                budget.rounds,
+                sweep.p99_specials(),
+                budget.specials,
+                sweep.p99_depth(),
+                budget.depth,
+                if violations.is_empty() { "ok" } else { "FAIL" }
+            );
+            for violation in &violations {
+                eprintln!("  {violation}");
+            }
+            all_ok &= violations.is_empty();
+            results.push(sweep_to_value(&sweep, &budget, &violations));
+        }
+    }
+    if let Some(out) = &args.out {
+        let doc = Value::Obj(vec![
+            ("bench".into(), Value::Str("testgen-tailgate".into())),
+            ("n".into(), Value::Num(args.n as f64)),
+            ("seeds".into(), Value::Num(args.seeds as f64)),
+            ("threads".into(), Value::Num(args.threads as f64)),
+            ("ok".into(), Value::Bool(all_ok)),
+            ("results".into(), Value::Arr(results)),
+        ]);
+        if let Err(e) = std::fs::write(out, doc.write() + "\n") {
+            eprintln!("writing {out}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {out}");
+    }
+    if args.gate && !all_ok {
+        eprintln!("tail gate FAILED");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => {
+            if argv.len() > 1 {
+                usage();
+            }
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("sweep") => sweep(&parse_args(&argv[1..])),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,179 @@
+//! Unknown workload shapes are *typed* errors, never silent defaults,
+//! and the bad-workload envelope is identical on every surface.
+//!
+//! Three layers of teeth:
+//!
+//! * deterministic: every registered problem rejects a nonsense shape
+//!   name as [`RegistryError::BadWorkload`] through both the one-shot
+//!   and (where present) the streaming constructor;
+//! * property-based: *any* shape string outside the problem's
+//!   vocabulary is rejected and never panics the constructor;
+//! * cross-surface: the direct `/solve` error body, the routed error
+//!   body, and `ServeError::from` of the in-process registry error are
+//!   the same structured envelope (`kind: bad-workload`, HTTP 400) —
+//!   the CLI, server, and router can never disagree about what a bad
+//!   workload looks like. Non-finite `param` (the `1e999` overflow
+//!   literal) rides the same path.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ri_core::engine::envelope::{ServeError, ServeErrorKind};
+use ri_core::engine::registry::RegistryError;
+use ri_core::engine::{RunConfig, ServeRequest, WorkloadSpec};
+use ri_router::{BackendSpec, BackendTarget, Router, RouterConfig};
+use ri_serve::http::ClientConn;
+use ri_serve::{ServeConfig, Server};
+use ri_testgen::{all_shapes, VOCABULARY};
+
+/// Assert `err` is the BadWorkload variant for `problem`.
+fn assert_bad_workload(problem: &str, err: &RegistryError, context: &str) {
+    match err {
+        RegistryError::BadWorkload { name, message } => {
+            assert_eq!(name, problem, "{context}");
+            assert!(!message.is_empty(), "{context}: empty message");
+        }
+        other => panic!("{context}: expected BadWorkload, got {other}"),
+    }
+}
+
+#[test]
+fn every_problem_rejects_unknown_shapes_with_a_typed_error() {
+    let reg = parallel_ri::registry();
+    let cfg = RunConfig::new();
+    for v in VOCABULARY {
+        let bad = WorkloadSpec::new(64, 1).shape("definitely-not-a-shape");
+        let err = reg
+            .solve(v.problem, &bad, &cfg)
+            .err()
+            .unwrap_or_else(|| panic!("{}: bad shape solved", v.problem));
+        assert_bad_workload(v.problem, &err, &format!("{} solve", v.problem));
+        if reg.has_incremental(v.problem) {
+            let err = match reg.construct_incremental(v.problem, &bad) {
+                Err(e) => e,
+                Ok(_) => panic!("{}: bad shape accepted by the stream ctor", v.problem),
+            };
+            assert_bad_workload(v.problem, &err, &format!("{} stream", v.problem));
+        }
+        // And every *known* shape constructs — the vocabulary is the
+        // exact acceptance set, in both directions.
+        for shape in all_shapes(v.problem) {
+            let good = WorkloadSpec::new(64, 1).shape(shape);
+            reg.construct(v.problem, &good)
+                .unwrap_or_else(|e| panic!("{}/{shape}: {e}", v.problem));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any shape string outside the vocabulary is a typed rejection on
+    /// every problem — no constructor panics, none silently falls back
+    /// to its default family.
+    #[test]
+    fn arbitrary_unknown_shapes_are_rejected(raw in proptest::collection::vec(any::<u8>(), 1..24)) {
+        const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 _-";
+        let shape: String = raw
+            .iter()
+            .map(|&b| CHARSET[b as usize % CHARSET.len()] as char)
+            .collect();
+        let reg = parallel_ri::registry();
+        let cfg = RunConfig::new();
+        for v in VOCABULARY {
+            prop_assume!(!all_shapes(v.problem).contains(&shape.as_str()));
+            let spec = WorkloadSpec::new(48, 2).shape(&shape);
+            let err = reg
+                .solve(v.problem, &spec, &cfg)
+                .err()
+                .unwrap_or_else(|| panic!("{}: `{shape}` solved", v.problem));
+            assert_bad_workload(v.problem, &err, &format!("{}/`{shape}`", v.problem));
+        }
+    }
+}
+
+/// POST `body` to `/solve` on `addr`-like target and return (status,
+/// parsed error envelope).
+fn post_solve(conn: &mut ClientConn, body: &str) -> (u16, ServeError) {
+    let resp = conn
+        .request("POST", "/solve", Some(body))
+        .expect("request completes");
+    let err = ServeError::from_json(&resp.body)
+        .unwrap_or_else(|e| panic!("body is not an error envelope ({e}): {}", resp.body));
+    (resp.status, err)
+}
+
+#[test]
+fn bad_workloads_produce_the_same_envelope_on_every_surface() {
+    let reg = parallel_ri::registry();
+    let backend = Server::start(
+        parallel_ri::registry(),
+        ServeConfig {
+            threads: 2,
+            executors: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("backend starts");
+    let router = Router::start(
+        RouterConfig::default(),
+        vec![BackendSpec {
+            shard_id: "s0".into(),
+            target: BackendTarget::Attach(backend.local_addr()),
+        }],
+    )
+    .expect("router starts");
+    let mut direct = ClientConn::new(backend.local_addr(), Duration::from_secs(60));
+    let mut routed = ClientConn::new(router.local_addr(), Duration::from_secs(60));
+
+    for v in VOCABULARY {
+        // The in-process truth: what the registry error maps to.
+        let bad = WorkloadSpec::new(64, 1).shape("definitely-not-a-shape");
+        let registry_err = reg.solve(v.problem, &bad, &RunConfig::new()).unwrap_err();
+        let expected = ServeError::from(registry_err);
+        assert_eq!(expected.kind, ServeErrorKind::BadWorkload, "{}", v.problem);
+
+        let mut request = ServeRequest::new(v.problem);
+        request.workload = bad;
+        request.config = RunConfig::new().seed(3).parallel();
+        let body = request.to_json();
+
+        let (direct_status, direct_err) = post_solve(&mut direct, &body);
+        assert_eq!(direct_status, 400, "{} direct", v.problem);
+        assert_eq!(direct_err, expected, "{} direct envelope", v.problem);
+
+        let (routed_status, routed_err) = post_solve(&mut routed, &body);
+        assert_eq!(routed_status, 400, "{} routed", v.problem);
+        assert_eq!(routed_err, expected, "{} routed envelope", v.problem);
+    }
+
+    // Non-finite param: the overflow literal `1e999` parses to infinity
+    // and must be shed as the same structured bad-workload on both
+    // surfaces, not a panic in a generator.
+    for v in VOCABULARY {
+        let body = format!(
+            "{{\"problem\":\"{}\",\"workload\":{{\"n\":64,\"seed\":1,\"param\":1e999}}}}",
+            v.problem
+        );
+        for (surface, conn) in [("direct", &mut direct), ("routed", &mut routed)] {
+            let (status, err) = post_solve(conn, &body);
+            assert_eq!(status, 400, "{} {surface}", v.problem);
+            assert_eq!(
+                err.kind,
+                ServeErrorKind::BadWorkload,
+                "{} {surface}: {}",
+                v.problem,
+                err.message
+            );
+            assert!(
+                err.message.contains("not finite"),
+                "{} {surface}: {}",
+                v.problem,
+                err.message
+            );
+        }
+    }
+
+    router.shutdown();
+    backend.shutdown();
+}

@@ -1,0 +1,104 @@
+//! The committed tail-concentration gates: every hostile shape of every
+//! registered problem, swept across [`TAILGATE_SEEDS`] seeds at
+//! [`TAILGATE_N`], must keep its p99 round count / special-iteration
+//! count / dependence depth within [`tail_budget`] AND produce identical
+//! sequential/parallel answers on every seed.
+//!
+//! This is the Sen-style claim under test: the input is adversarial
+//! (degenerate geometry, hostile arrival orders, deep digraphs), only
+//! the insertion order / priority randomness varies with the seed, and
+//! the tail of the work/depth distribution must still concentrate. A
+//! trip here means a *distributional* regression — or, for answer
+//! mismatches, a mode-variance bug — not an unlucky seed: all sweeps
+//! are fully seeded and deterministic.
+//!
+//! One `#[test]` per problem so a regression names its problem directly
+//! and the sweeps run in parallel under the default harness.
+
+use ri_testgen::{sweep_shape, tail_budget, vocabulary, TAILGATE_N, TAILGATE_SEEDS};
+
+/// Sweep every hostile shape of `problem` and assert the gate.
+fn gate_problem(problem: &str) {
+    let reg = parallel_ri::registry();
+    let vocab = vocabulary(problem).expect("unknown problem in tailgate");
+    let mut violations = Vec::new();
+    for shape in vocab.hostile {
+        let sweep = sweep_shape(&reg, problem, shape, TAILGATE_N, 0..TAILGATE_SEEDS, 2)
+            .unwrap_or_else(|e| panic!("{problem}/{shape}: sweep failed: {e}"));
+        assert_eq!(
+            sweep.samples.len(),
+            TAILGATE_SEEDS as usize,
+            "{problem}/{shape}: wrong seed count"
+        );
+        if let Err(mut v) = sweep.gate(&tail_budget(problem, shape, TAILGATE_N)) {
+            violations.append(&mut v);
+        }
+    }
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+}
+
+#[test]
+fn sort_hostile_tails_concentrate() {
+    gate_problem("sort");
+}
+
+#[test]
+fn sort_batch_hostile_tails_concentrate() {
+    gate_problem("sort-batch");
+}
+
+#[test]
+fn delaunay_hostile_tails_concentrate() {
+    gate_problem("delaunay");
+}
+
+#[test]
+fn closest_pair_hostile_tails_concentrate() {
+    gate_problem("closest-pair");
+}
+
+#[test]
+fn enclosing_hostile_tails_concentrate() {
+    gate_problem("enclosing");
+}
+
+#[test]
+fn lp_hostile_tails_concentrate() {
+    gate_problem("lp");
+}
+
+#[test]
+fn lp_d_hostile_tails_concentrate() {
+    gate_problem("lp-d");
+}
+
+#[test]
+fn le_lists_hostile_tails_concentrate() {
+    gate_problem("le-lists");
+}
+
+#[test]
+fn scc_hostile_tails_concentrate() {
+    gate_problem("scc");
+}
+
+/// The benign default shapes must pass their budgets too — the gate is
+/// not allowed to be a hostile-only special case.
+#[test]
+fn default_shapes_pass_their_budgets() {
+    let reg = parallel_ri::registry();
+    for v in ri_testgen::VOCABULARY {
+        let sweep = sweep_shape(
+            &reg,
+            v.problem,
+            v.default_shape,
+            TAILGATE_N,
+            0..TAILGATE_SEEDS,
+            2,
+        )
+        .unwrap_or_else(|e| panic!("{}/{}: sweep failed: {e}", v.problem, v.default_shape));
+        sweep
+            .gate(&tail_budget(v.problem, v.default_shape, TAILGATE_N))
+            .unwrap_or_else(|v| panic!("{}", v.join("\n")));
+    }
+}
