@@ -11,7 +11,7 @@
 //!         [--executors E] [--out PATH]
 //!         [--router] [--shards S] [--witness PATH]
 //!         [--stream] [--sessions S] [--rps R] [--batches B]
-//!         [--batch-count C] [--gate-p99 MS]
+//!         [--batch-count C] [--gate-p99 MS] [--chaos PROFILE]
 //! ```
 //!
 //! `--mix` draws each request's workload shape from the `ri-testgen`
@@ -55,6 +55,18 @@
 //! exceeds the budget — the CI regression gate for the streaming path.
 //! `--stream` composes with `--router` (sticky sessions over the fleet)
 //! and `--witness` (the streamed log replays with `ri witness replay`).
+//!
+//! `--chaos PROFILE` runs the burst as a chaos soak: a deterministic
+//! [`FaultPlan`] is installed on every target shard via
+//! `POST /admin/chaos` before the burst (profiles `latency`, `stall`,
+//! `drop`, `error`, `crash`, `mixed`, or a raw `seed=...` spec), the
+//! client honors `Retry-After`/`X-RI-Retry-After-Ms` hints on retryable
+//! errors (and re-sends idempotent solves on transport failures — a
+//! dropped response never loses a request), and results default to
+//! `BENCH_PR10.json` with retry/breaker/deadline counters folded in.
+//! Under `--router` the fleet's circuit breakers, backoff, and deadline
+//! propagation absorb the injected faults; the soak fails on any
+//! unrecovered request.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,8 +74,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parallel_ri::registry;
+use ri_core::engine::faults::{FaultPlan, RETRY_AFTER_MS_HEADER};
 use ri_core::engine::json::{self, Value};
-use ri_core::engine::{ServeRequest, ServeResponse, WorkloadSpec};
+use ri_core::engine::{ServeError, ServeRequest, ServeResponse, WorkloadSpec};
 use ri_router::{BackendSpec, BackendTarget, Router, RouterConfig};
 use ri_serve::{http, ServeConfig, Server};
 
@@ -86,6 +99,7 @@ struct Args {
     batches: usize,
     batch_count: usize,
     gate_p99: Option<f64>,
+    chaos: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -108,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         batches: 6,
         batch_count: 32,
         gate_p99: None,
+        chaos: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -186,6 +201,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --gate-p99: {e}"))?,
                 )
             }
+            "--chaos" => args.chaos = Some(value("--chaos")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -212,7 +228,132 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("--mix must be `benign` or `hostile`, got `{mix}`"));
         }
     }
+    if let Some(profile) = &args.chaos {
+        chaos_spec(profile)?; // validate up front, before booting anything
+    }
     Ok(args)
+}
+
+/// Resolve a `--chaos` profile name to a deterministic [`FaultPlan`]
+/// spec (a raw `seed=...` spec is validated and passed through). Each
+/// named profile pins its own seed so a profile names one reproducible
+/// fault schedule, not a family of them.
+fn chaos_spec(profile: &str) -> Result<String, String> {
+    let spec = if profile.contains('=') {
+        profile.to_string()
+    } else {
+        match profile {
+            "latency" => "seed=42,latency=0.3:40".to_string(),
+            "stall" => "seed=42,stall=0.15:120".to_string(),
+            "drop" => "seed=42,drop=0.15".to_string(),
+            "error" | "503" => "seed=42,error=0.25".to_string(),
+            "crash" => "seed=42,crash-after=200".to_string(),
+            "mixed" => "seed=42,latency=0.15:30,drop=0.08,error=0.12".to_string(),
+            other => {
+                return Err(format!(
+                    "unknown --chaos profile `{other}` (latency|stall|drop|error|crash|mixed \
+                     or a raw seed=... spec)"
+                ))
+            }
+        }
+    };
+    match FaultPlan::parse(&spec) {
+        Ok(Some(_)) => Ok(spec),
+        Ok(None) => Err("--chaos spec resolves to no faults".into()),
+        Err(e) => Err(format!("bad --chaos spec `{spec}`: {e}")),
+    }
+}
+
+/// Install the chaos plan on every target shard via `POST /admin/chaos`
+/// (the shards inject the faults; the router in between is what the
+/// soak exercises).
+fn install_chaos(addrs: &[SocketAddr], spec: &str) {
+    let body = Value::Obj(vec![("spec".into(), Value::Str(spec.into()))]).write();
+    for &addr in addrs {
+        match http::request(
+            addr,
+            "POST",
+            "/admin/chaos",
+            Some(&body),
+            Duration::from_secs(10),
+        ) {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(resp) => fail(format!(
+                "installing chaos on {addr}: status {}: {}",
+                resp.status, resp.body
+            )),
+            Err(e) => fail(format!("installing chaos on {addr}: {e}")),
+        }
+    }
+    eprintln!(
+        "loadgen: chaos plan `{spec}` installed on {} shard(s)",
+        addrs.len()
+    );
+}
+
+/// Whether an error response means "never ran; safe to re-send": trust
+/// the envelope's `retryable` when the body parses, else fall back to
+/// the status code.
+fn response_retryable(resp: &http::HttpResponse) -> bool {
+    match ServeError::from_json(&resp.body) {
+        Ok(err) => err.retryable,
+        Err(_) => matches!(resp.status, 503 | 504),
+    }
+}
+
+/// The server's retry hint in milliseconds: ms-precision
+/// `X-RI-Retry-After-Ms` when present, else whole-second `Retry-After`.
+fn retry_hint_ms(resp: &http::HttpResponse) -> Option<u64> {
+    resp.header(RETRY_AFTER_MS_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .or_else(|| {
+            resp.header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(|secs| secs.saturating_mul(1000))
+        })
+}
+
+/// Cap on any single client-side Retry-After sleep, so a pathological
+/// hint cannot wedge the generator.
+const MAX_CLIENT_RETRY_SLEEP_MS: u64 = 2_000;
+
+/// Re-sends per request before a chaos soak gives up on it. High enough
+/// that the heaviest profile (`error=0.25` straight at one shard) fails
+/// a request with probability ~`0.25^9`.
+const CLIENT_MAX_RETRIES: usize = 8;
+
+/// Send via `send`, honoring `Retry-After` on retryable error envelopes
+/// with up to `max_retries` re-sends. With `retry_transport` (idempotent
+/// requests under chaos: a dropped response must not lose the request),
+/// transport errors are also retried after a short fixed pause. Every
+/// re-send is counted into `retries`.
+fn with_retry_after(
+    mut send: impl FnMut() -> std::io::Result<http::HttpResponse>,
+    retry_transport: bool,
+    max_retries: usize,
+    retries: &AtomicUsize,
+) -> std::io::Result<http::HttpResponse> {
+    let mut taken = 0usize;
+    loop {
+        let outcome = send();
+        let pause_ms = match &outcome {
+            Ok(resp) if resp.status != 200 && response_retryable(resp) => Some(
+                retry_hint_ms(resp)
+                    .unwrap_or(50)
+                    .min(MAX_CLIENT_RETRY_SLEEP_MS),
+            ),
+            Err(_) if retry_transport => Some(25),
+            _ => None,
+        };
+        match pause_ms {
+            Some(ms) if taken < max_retries => {
+                std::thread::sleep(Duration::from_millis(ms));
+                taken += 1;
+                retries.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => return outcome,
+        }
+    }
 }
 
 /// The shape cycle `--mix` draws from for `problem`: the testgen
@@ -268,6 +409,8 @@ fn router_stats_value(router: &Router) -> Value {
         ("shards".into(), pick("shards")),
         ("retries".into(), pick("retries")),
         ("routed".into(), pick("routed")),
+        ("errored".into(), pick("errored")),
+        ("robustness".into(), pick("robustness")),
         ("sessions".into(), pick("sessions")),
         ("cache".into(), pick("cache")),
         ("witness".into(), pick("witness")),
@@ -292,11 +435,13 @@ struct StreamSample {
 fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f64) {
     let capacity = args.batches * args.batch_count;
     let interval = Duration::from_secs_f64(1.0 / args.rps);
+    let client_retries = AtomicUsize::new(0);
     // The schedule starts shortly after every session thread has opened.
     let t0 = Instant::now() + Duration::from_millis(50);
     let results: Vec<(Vec<StreamSample>, Vec<String>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.sessions)
             .map(|s| {
+                let client_retries = &client_retries;
                 scope.spawn(move || {
                     let mut samples = Vec::new();
                     let mut lifecycle = Vec::new();
@@ -308,7 +453,17 @@ fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f6
                         req.workload = req.workload.shape(shapes[s % shapes.len()]);
                     }
                     req.config.seed = 7;
-                    let opened = match conn.request("POST", "/stream", Some(&req.to_json())) {
+                    let open_body = req.to_json();
+                    // Session opens and batches retry only on *retryable*
+                    // error envelopes (never blind transport re-sends: a
+                    // duplicate open leaks a session, a duplicate batch
+                    // corrupts the sequence).
+                    let opened = match with_retry_after(
+                        || conn.request("POST", "/stream", Some(&open_body)),
+                        false,
+                        CLIENT_MAX_RETRIES,
+                        client_retries,
+                    ) {
                         Ok(resp) if resp.status == 200 => {
                             json::parse(&resp.body).ok().and_then(|v| {
                                 let id = v
@@ -358,7 +513,12 @@ fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f6
                         let send = Instant::now();
                         let lateness_ms =
                             send.saturating_duration_since(scheduled).as_secs_f64() * 1000.0;
-                        let outcome = conn.request("POST", &path, Some(&body));
+                        let outcome = with_retry_after(
+                            || conn.request("POST", &path, Some(&body)),
+                            false,
+                            CLIENT_MAX_RETRIES,
+                            client_retries,
+                        );
                         let latency_ms = send.elapsed().as_secs_f64() * 1000.0;
                         let (ok, detail) = match outcome {
                             Ok(resp) if resp.status == 200 => match json::parse(&resp.body) {
@@ -487,6 +647,10 @@ fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f6
                     Value::Num((samples.len() - batch_failures) as f64),
                 ),
                 ("failed".into(), Value::Num(failed as f64)),
+                (
+                    "client_retries".into(),
+                    Value::Num(client_retries.load(Ordering::Relaxed) as f64),
+                ),
                 ("wall_seconds".into(), Value::Num(round3(wall))),
                 (
                     "achieved_rps".into(),
@@ -525,7 +689,9 @@ fn run_stream(args: &Args, addr: SocketAddr, problem: &str) -> (Value, usize, f6
 fn main() {
     let args = parse_args().unwrap_or_else(|e| fail(e));
     let out = args.out.clone().unwrap_or_else(|| {
-        if args.stream {
+        if args.chaos.is_some() {
+            "BENCH_PR10.json".to_string()
+        } else if args.stream {
             "BENCH_PR7.json".to_string()
         } else if args.router {
             "BENCH_PR6.json".to_string()
@@ -608,6 +774,29 @@ fn main() {
         }
     };
 
+    // Chaos soak: install the fault plan on every shard before the
+    // burst. In `--router` mode the faults land behind the front tier
+    // (the breakers/backoff/deadlines under test); otherwise they land
+    // on the single target server and the *client's* Retry-After
+    // handling is what recovers.
+    let chaos = args
+        .chaos
+        .as_deref()
+        .map(|p| chaos_spec(p).unwrap_or_else(|e| fail(e)));
+    if let Some(spec) = &chaos {
+        let targets: Vec<SocketAddr> = match &fleet {
+            Some((_, backends)) => backends.iter().map(|b| b.local_addr()).collect(),
+            None => vec![addr],
+        };
+        install_chaos(&targets, spec);
+    }
+    let chaos_value = || {
+        chaos
+            .as_deref()
+            .map(|s| Value::Str(s.into()))
+            .unwrap_or(Value::Null)
+    };
+
     if args.stream {
         let problem = args
             .problems
@@ -638,6 +827,9 @@ fn main() {
             None => Value::Null,
         };
         if let Value::Obj(members) = &mut doc {
+            if let Some((_, Value::Obj(cfg))) = members.iter_mut().find(|(k, _)| k == "config") {
+                cfg.push(("chaos".into(), chaos_value()));
+            }
             members.push(("gate".into(), gate));
             members.push(("router".into(), router_stats.unwrap_or(Value::Null)));
         }
@@ -708,15 +900,20 @@ fn main() {
     };
 
     let next = AtomicUsize::new(0);
+    let client_retries = AtomicUsize::new(0);
     let bodies = Arc::new(bodies);
     let total = args.requests;
     let use_keep_alive = args.router;
+    // Solves are idempotent (same request ⇒ same deterministic result),
+    // so under chaos a transport failure is also safe to re-send.
+    let retry_transport = chaos.is_some();
     let t0 = Instant::now();
     let samples: Vec<Sample> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.concurrency)
             .map(|_| {
                 let bodies = Arc::clone(&bodies);
                 let next = &next;
+                let client_retries = &client_retries;
                 s.spawn(move || {
                     // Router mode: one keep-alive connection per client
                     // thread, reused across its whole share of the burst.
@@ -730,16 +927,21 @@ fn main() {
                         }
                         let (problem, body) = &bodies[i % bodies.len()];
                         let t = Instant::now();
-                        let outcome = match conn.as_mut() {
-                            Some(c) => c.request("POST", "/solve", Some(body)),
-                            None => http::request(
-                                addr,
-                                "POST",
-                                "/solve",
-                                Some(body),
-                                Duration::from_secs(120),
-                            ),
-                        };
+                        let outcome = with_retry_after(
+                            || match conn.as_mut() {
+                                Some(c) => c.request("POST", "/solve", Some(body)),
+                                None => http::request(
+                                    addr,
+                                    "POST",
+                                    "/solve",
+                                    Some(body),
+                                    Duration::from_secs(120),
+                                ),
+                            },
+                            retry_transport,
+                            CLIENT_MAX_RETRIES,
+                            client_retries,
+                        );
                         let latency = t.elapsed();
                         let (ok, detail) = match outcome {
                             Ok(resp) if resp.status == 200 => {
@@ -858,6 +1060,7 @@ fn main() {
                         Value::Null
                     },
                 ),
+                ("chaos".into(), chaos_value()),
             ]),
         ),
         (
@@ -869,6 +1072,10 @@ fn main() {
                     Value::Num((samples.len() - failures.len()) as f64),
                 ),
                 ("failed".into(), Value::Num(failures.len() as f64)),
+                (
+                    "client_retries".into(),
+                    Value::Num(client_retries.load(Ordering::Relaxed) as f64),
+                ),
                 ("wall_seconds".into(), Value::Num(round3(wall))),
                 (
                     "throughput_rps".into(),

@@ -30,6 +30,12 @@
 //!   [`ServeRequest`] / [`ServeResponse`] / [`ServeError`] with JSON
 //!   round-trips, shared by the `ri` CLI and the `ri-serve` HTTP server
 //!   so both speak exactly one parse path;
+//! * [`faults`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   mapping request indices to injectable faults (latency, stalls,
+//!   mid-response drops, spurious 503s, crash-after-N) so chaos runs
+//!   against the serving tier are bit-reproducible, plus the
+//!   deadline-budget and retry-hint header names shared by serve,
+//!   router, and loadgen;
 //! * [`session`] — the streaming-session envelope
 //!   ([`StreamSpec`] / [`BatchRequest`] / [`BatchDelta`]): open a
 //!   session over a fixed instance and reveal it batch by batch through
@@ -70,6 +76,7 @@
 //! ```
 
 pub mod envelope;
+pub mod faults;
 pub mod grain;
 pub mod json;
 pub mod registry;
@@ -80,6 +87,7 @@ pub mod session;
 pub mod witness;
 
 pub use envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
+pub use faults::{FaultKind, FaultPlan};
 pub use registry::{
     ErasedIncremental, ErasedProblem, OutputSummary, Registry, RegistryError, WorkloadSpec,
 };

@@ -12,6 +12,8 @@ use std::time::Duration;
 
 use ri_serve::http::ClientConn;
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+
 /// How the router reaches a shard: attach to an already-running
 /// `ri-serve` (in-process servers in tests, externally managed fleets),
 /// or spawn one as a child process.
@@ -107,6 +109,8 @@ pub struct Backend {
     conns: Mutex<Vec<ClientConn>>,
     /// The child process when the router spawned this shard.
     child: Mutex<Option<Child>>,
+    /// Circuit breaker gating the ring walk's admissions to this shard.
+    breaker: CircuitBreaker,
 }
 
 impl Backend {
@@ -123,6 +127,7 @@ impl Backend {
             batches_served: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             child: Mutex::new(None),
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
         }
     }
 
@@ -243,6 +248,11 @@ impl Backend {
         self.batches_served.load(Ordering::SeqCst)
     }
 
+    /// This shard's circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
     /// Refresh the shard's self-reported session stats from a health poll.
     pub(crate) fn record_session_stats(&self, open: u64, batches: u64) {
         self.sessions_open.store(open, Ordering::SeqCst);
@@ -265,11 +275,18 @@ impl Backend {
         self.failed.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Check out a keep-alive connection (pooled or fresh).
+    /// Check out a keep-alive connection (pooled or fresh). The caller's
+    /// timeout is applied either way, so a pooled connection honors the
+    /// current request's deadline budget rather than the budget it was
+    /// created under.
     pub(crate) fn checkout(&self, timeout: Duration) -> ClientConn {
-        lock(&self.conns)
-            .pop()
-            .unwrap_or_else(|| ClientConn::new(self.addr, timeout))
+        match lock(&self.conns).pop() {
+            Some(mut conn) => {
+                conn.set_timeout(timeout);
+                conn
+            }
+            None => ClientConn::new(self.addr, timeout),
+        }
     }
 
     /// Return a connection to the pool (dropped when the pool is full —

@@ -7,6 +7,9 @@
 //!           [--threads-per-shard K] [--executors-per-shard E]
 //!           [--witness PATH] [--replicas R] [--max-attempts A]
 //!           [--health-interval-ms MS] [--cache-capacity C]
+//!           [--request-timeout-ms MS] [--breaker-window N]
+//!           [--breaker-min-failures F] [--breaker-open-ms MS]
+//!           [--backoff-base-ms MS] [--backoff-cap-ms MS]
 //! ```
 //!
 //! Prints `routing on ADDR` once the listener is up (scripts wait on
@@ -23,16 +26,24 @@ fn usage_text() -> &'static str {
      \x20                [--spawn N --serve-bin PATH] [--threads-per-shard K]\n\
      \x20                [--executors-per-shard E] [--witness PATH] [--replicas R]\n\
      \x20                [--max-attempts A] [--health-interval-ms MS]\n\
-     \x20                [--cache-capacity C]\n\
+     \x20                [--cache-capacity C] [--request-timeout-ms MS]\n\
+     \x20                [--breaker-window N] [--breaker-min-failures F]\n\
+     \x20                [--breaker-open-ms MS] [--backoff-base-ms MS]\n\
+     \x20                [--backoff-cap-ms MS]\n\
      \n\
      Routes POST /solve across ri-serve shards by consistent-hashing the\n\
-     request's determinism key; retries shed requests on the next shard;\n\
-     serves the cluster view on GET /healthz; drains shards via\n\
+     request's determinism key; retries shed requests on the next shard\n\
+     (spaced by exponential backoff with deterministic jitter, gated by\n\
+     per-shard circuit breakers, bounded by the request's X-RI-Deadline-Ms\n\
+     budget); serves the cluster view on GET /healthz; drains shards via\n\
      POST /admin/drain {\"shard_id\": ...}. --backend attaches to running\n\
      shards (repeatable; SHARD_ID defaults to s0, s1, ...); --spawn N starts\n\
      N ri-serve children from --serve-bin on ephemeral ports. --witness\n\
      appends one JSON record per routed solve, replayable with\n\
-     `ri witness replay PATH`."
+     `ri witness replay PATH`. --breaker-window/--breaker-min-failures\n\
+     size the failure window that opens a shard's breaker;\n\
+     --breaker-open-ms is its cooldown before a half-open probe;\n\
+     --backoff-base-ms/--backoff-cap-ms shape the inter-retry backoff."
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -108,6 +119,36 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                 cfg.cache_capacity = value("--cache-capacity")?
                     .parse()
                     .map_err(|e| format!("bad --cache-capacity: {e}"))?
+            }
+            "--request-timeout-ms" => {
+                cfg.request_timeout_ms = value("--request-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --request-timeout-ms: {e}"))?
+            }
+            "--breaker-window" => {
+                cfg.breaker_window = value("--breaker-window")?
+                    .parse()
+                    .map_err(|e| format!("bad --breaker-window: {e}"))?
+            }
+            "--breaker-min-failures" => {
+                cfg.breaker_min_failures = value("--breaker-min-failures")?
+                    .parse()
+                    .map_err(|e| format!("bad --breaker-min-failures: {e}"))?
+            }
+            "--breaker-open-ms" => {
+                cfg.breaker_open_ms = value("--breaker-open-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --breaker-open-ms: {e}"))?
+            }
+            "--backoff-base-ms" => {
+                cfg.backoff_base_ms = value("--backoff-base-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --backoff-base-ms: {e}"))?
+            }
+            "--backoff-cap-ms" => {
+                cfg.backoff_cap_ms = value("--backoff-cap-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --backoff-cap-ms: {e}"))?
             }
             other => return Err(format!("unknown flag `{other}`")),
         }

@@ -1,0 +1,321 @@
+//! Per-shard circuit breaker: closed → open on a failure-rate window →
+//! half-open probe → closed again.
+//!
+//! Every proxied request outcome (success, retryable shed, transport
+//! error) is recorded into a sliding window of the most recent
+//! [`BreakerConfig::window`] outcomes. While **closed**, the breaker
+//! admits everything; once the window holds at least
+//! [`BreakerConfig::min_failures`] failures *and* failures are at least
+//! half the window, it **opens** and sheds all traffic for
+//! [`BreakerConfig::open_ms`]. After that cooldown the first admission
+//! request becomes a single **half-open probe**: if the probe succeeds
+//! the breaker closes with a fresh window; if it fails the breaker
+//! re-opens and the cooldown restarts. Shedding is what keeps a routed
+//! fleet's tail latency flat while one shard misbehaves — the ring walk
+//! skips open breakers instead of burning a timeout on each attempt —
+//! and the half-open probe is what re-admits the shard once it recovers.
+//!
+//! All transitions and rejected admissions are counted so the router's
+//! `/healthz` can report breaker behaviour per shard.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tunables for a [`CircuitBreaker`]. Shared by every shard's breaker;
+/// set from `RouterConfig` at router start.
+#[derive(Clone, Debug)]
+pub struct BreakerConfig {
+    /// Number of most-recent request outcomes kept in the sliding window.
+    pub window: usize,
+    /// Minimum failures in the window before the breaker may open (also
+    /// requires failures ≥ half the recorded outcomes).
+    pub min_failures: usize,
+    /// Cooldown in milliseconds an open breaker sheds traffic before
+    /// allowing a half-open probe.
+    pub open_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            min_failures: 5,
+            open_ms: 500,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Admitting all traffic; outcomes fill the sliding window.
+    Closed,
+    /// Shedding all traffic until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly one probe request is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case name used in `/healthz` JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What [`CircuitBreaker::admit`] decided for one prospective request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: send the request normally.
+    Admit,
+    /// Breaker half-open and this caller won the single probe slot: send
+    /// the request; its outcome decides whether the breaker closes.
+    Probe,
+    /// Breaker open (or a probe is already in flight): skip this shard.
+    Shed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Sliding window of recent outcomes, `true` = success.
+    outcomes: VecDeque<bool>,
+    opened_at: Option<Instant>,
+    probe_inflight: bool,
+}
+
+impl Inner {
+    fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|ok| !**ok).count()
+    }
+}
+
+/// A sliding-window circuit breaker guarding one backend shard.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<Inner>,
+    opened: AtomicU64,
+    half_opened: AtomicU64,
+    reclosed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            inner: Mutex::new(Inner {
+                cfg,
+                state: BreakerState::Closed,
+                outcomes: VecDeque::new(),
+                opened_at: None,
+                probe_inflight: false,
+            }),
+            opened: AtomicU64::new(0),
+            half_opened: AtomicU64::new(0),
+            reclosed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the tunables (used once at router start, after backends
+    /// are constructed with defaults). Resets nothing else.
+    pub fn reconfigure(&self, cfg: BreakerConfig) {
+        self.lock().cfg = cfg;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Decide whether a request may be sent to this shard right now.
+    pub fn admit(&self) -> Admission {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => Admission::Admit,
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .map(|t| t.elapsed().as_millis() as u64 >= inner.cfg.open_ms)
+                    .unwrap_or(true);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_inflight = true;
+                    self.half_opened.fetch_add(1, Ordering::Relaxed);
+                    Admission::Probe
+                } else {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    Admission::Shed
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_inflight {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    Admission::Shed
+                } else {
+                    inner.probe_inflight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of an admitted request (`true` = the shard
+    /// answered usefully). Failures are transport errors and retryable
+    /// shed responses; a non-retryable application error still counts as
+    /// success — the shard is responsive.
+    pub fn record(&self, ok: bool) {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.outcomes.push_back(ok);
+                while inner.outcomes.len() > inner.cfg.window {
+                    inner.outcomes.pop_front();
+                }
+                let failures = inner.failures();
+                if failures >= inner.cfg.min_failures && failures * 2 >= inner.outcomes.len() {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe's verdict: close on success, re-open on failure.
+                inner.probe_inflight = false;
+                if ok {
+                    inner.state = BreakerState::Closed;
+                    inner.outcomes.clear();
+                    self.reclosed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A request admitted before the breaker opened finished after
+            // the transition; its outcome no longer matters.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state (for `/healthz` and the ring walk's shed test).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Counters: (opened, half_opened, reclosed, rejected).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.opened.load(Ordering::Relaxed),
+            self.half_opened.load(Ordering::Relaxed),
+            self.reclosed.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_failures: 4,
+            open_ms: 30,
+        }
+    }
+
+    #[test]
+    fn stays_closed_below_the_failure_floor() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..3 {
+            assert_eq!(b.admit(), Admission::Admit);
+            b.record(false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn opens_on_failure_window_then_sheds() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..4 {
+            b.record(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Shed);
+        let (opened, _, _, rejected) = b.counters();
+        assert_eq!(opened, 1);
+        assert_eq!(rejected, 1);
+    }
+
+    #[test]
+    fn failure_rate_must_reach_half_the_window() {
+        let b = CircuitBreaker::new(fast_cfg());
+        // 4 failures diluted by enough successes stay under 50%.
+        for _ in 0..3 {
+            b.record(false);
+        }
+        for _ in 0..5 {
+            b.record(true);
+        }
+        b.record(false); // window now 3 failures + 5 successes → closed
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_success_recloses() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..4 {
+            b.record(false);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Probe);
+        // Only one probe is allowed while it is in flight.
+        assert_eq!(b.admit(), Admission::Shed);
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Admit);
+        let (_, half_opened, reclosed, _) = b.counters();
+        assert_eq!(half_opened, 1);
+        assert_eq!(reclosed, 1);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..4 {
+            b.record(false);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Shed);
+        let (opened, _, reclosed, _) = b.counters();
+        assert_eq!(opened, 2);
+        assert_eq!(reclosed, 0);
+    }
+
+    #[test]
+    fn reclosing_clears_the_window() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..4 {
+            b.record(false);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record(true);
+        // One more failure must not immediately re-open: the old window
+        // of failures was discarded on re-close.
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -12,11 +12,21 @@
 //!   `GET /healthz` (verifying each shard answers with the expected
 //!   `shard_id`) into the cluster view the router's own `/healthz`
 //!   serves.
-//! * **Retry** — a shard that answers a *retryable* error (`503`/`504`:
-//!   the solve never ran) or fails at the transport level is failed over
-//!   to the next distinct shard on the ring. Safe by construction:
-//!   every solve is deterministic and side-effect-free, so a retry can
-//!   never double-apply anything.
+//! * **Retry with breakers, backoff, and deadlines** — a shard that
+//!   answers a *retryable* error (`503`/`504`: the solve never ran) or
+//!   fails at the transport level is failed over to the next distinct
+//!   shard on the ring. Safe by construction: every solve is
+//!   deterministic and side-effect-free, so a retry can never
+//!   double-apply anything. Each shard sits behind a per-shard
+//!   [`breaker::CircuitBreaker`] (closed → open on a failure-rate
+//!   window → half-open probe), so a misbehaving shard is shed from the
+//!   walk instead of burning a timeout per request; retry attempts are
+//!   spaced by exponential backoff with deterministic jitter (floored
+//!   by the shard's own `Retry-After` hint); and every request carries
+//!   a deadline budget — `X-RI-Deadline-Ms` at ingress (defaulting to
+//!   `request_timeout_ms`), decremented per hop and per retry and
+//!   forwarded to the shards, answering a structured `504` when
+//!   exhausted instead of burning a full timeout per attempt.
 //! * **Sticky streaming sessions** — `POST /stream` assigns the session
 //!   an id (`rs-<seq>` unless the client names one), consistent-hashes
 //!   *the id* onto the ring, and pins every later `/stream/<id>/...`
@@ -48,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod breaker;
 pub mod cache;
 pub mod ring;
 
@@ -60,6 +71,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ri_core::engine::envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
+use ri_core::engine::faults::{backoff_jitter_ms, DEADLINE_HEADER, RETRY_AFTER_MS_HEADER};
 use ri_core::engine::json::{self, Value};
 use ri_core::engine::session::{BatchDelta, BatchRequest, StreamSpec};
 use ri_core::engine::witness::{witness_key, StreamBatchRecord, WitnessLog, WitnessRecord};
@@ -68,6 +80,7 @@ use ri_serve::http::{
 };
 
 pub use backend::{Backend, BackendSpec, BackendState, BackendTarget};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::ResultCache;
 pub use ring::HashRing;
 
@@ -95,6 +108,19 @@ pub struct RouterConfig {
     pub max_body_bytes: usize,
     /// Maximum simultaneous connection-handler threads.
     pub max_connections: usize,
+    /// Per-shard circuit breaker: sliding-window size in outcomes.
+    pub breaker_window: usize,
+    /// Per-shard circuit breaker: minimum failures in the window before
+    /// it may open (failures must also be ≥ half the window).
+    pub breaker_min_failures: usize,
+    /// Per-shard circuit breaker: cooldown (ms) an open breaker sheds
+    /// traffic before allowing a half-open probe.
+    pub breaker_open_ms: u64,
+    /// Backoff before retry attempt k: `base · 2^(k-1)` plus
+    /// deterministic jitter in `[0, base)`, capped at `backoff_cap_ms`.
+    pub backoff_base_ms: u64,
+    /// Upper bound (ms) on any single inter-retry backoff sleep.
+    pub backoff_cap_ms: u64,
 }
 
 impl Default for RouterConfig {
@@ -109,6 +135,11 @@ impl Default for RouterConfig {
             witness_path: None,
             max_body_bytes: 1 << 20,
             max_connections: 256,
+            breaker_window: 16,
+            breaker_min_failures: 5,
+            breaker_open_ms: 500,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 1_000,
         }
     }
 }
@@ -125,6 +156,13 @@ struct StickySession {
     open_body: String,
     /// Counts of the batches served to the client, in order.
     batches: Vec<usize>,
+    /// Shard-side state is unknown: a batch's response was lost in
+    /// transit, so the batch may or may not have executed on the shard.
+    /// The session must be rebuilt (close-and-replay, restoring exactly
+    /// `batches`) before another batch may run — proxying to a dirty
+    /// session could double-execute the lost batch and skew the delta
+    /// sequence the client observes.
+    dirty: bool,
 }
 
 struct Shared {
@@ -150,6 +188,12 @@ struct Shared {
     retries: AtomicU64,
     /// `/solve` requests answered with an error envelope.
     errored: AtomicU64,
+    /// Requests answered `504` because their deadline budget ran out.
+    deadline_expired: AtomicU64,
+    /// Inter-retry backoff sleeps taken.
+    backoff_sleeps: AtomicU64,
+    /// Total milliseconds spent in inter-retry backoff sleeps.
+    backoff_total_ms: AtomicU64,
     draining: AtomicBool,
     connections: AtomicUsize,
 }
@@ -220,10 +264,24 @@ impl Router {
             routed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             errored: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            backoff_sleeps: AtomicU64::new(0),
+            backoff_total_ms: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             cfg,
         });
+
+        // Backends are built with default breaker tunables; apply the
+        // router's configured ones now that cfg is settled.
+        let breaker_cfg = BreakerConfig {
+            window: shared.cfg.breaker_window.max(1),
+            min_failures: shared.cfg.breaker_min_failures.max(1),
+            open_ms: shared.cfg.breaker_open_ms,
+        };
+        for backend in &shared.backends {
+            backend.breaker().reconfigure(breaker_cfg.clone());
+        }
 
         // Prime the health view synchronously once, so requests arriving
         // right after start() don't race an all-Unknown fleet.
@@ -387,8 +445,12 @@ fn reject_connection(shared: &Shared, mut stream: TcpStream, why: &str) {
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Socket timeouts are derived from the configured request budget
+    // (floored at 10 s for idle keep-alive reads) — a fleet tuned for
+    // long solves must not have the router's own sockets cut them short.
+    let io_timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(10_000));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
     let _ = stream.set_nodelay(true);
 
     let mut carry = Vec::new();
@@ -413,13 +475,33 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             };
 
         let keep_alive = request.keep_alive() && !shared.draining.load(Ordering::SeqCst);
+        // The end-to-end deadline budget for this request: the client's
+        // `X-RI-Deadline-Ms` when present (clamped to the router's own
+        // ceiling), else the configured request timeout. Decremented
+        // across retries and forwarded to the shards.
+        let budget_ms = request
+            .header(DEADLINE_HEADER)
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map_or(shared.cfg.request_timeout_ms, |b| {
+                b.min(shared.cfg.request_timeout_ms)
+            });
         match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body, keep_alive),
+            ("POST", "/solve") => {
+                handle_solve(shared, &mut stream, &request.body, keep_alive, budget_ms)
+            }
             ("POST", "/stream") => {
-                handle_stream_open(shared, &mut stream, &request.body, keep_alive)
+                handle_stream_open(shared, &mut stream, &request.body, keep_alive, budget_ms)
             }
             (method, path) if path.strip_prefix("/stream/").is_some_and(|r| !r.is_empty()) => {
-                handle_stream_session(shared, &mut stream, method, path, &request.body, keep_alive)
+                handle_stream_session(
+                    shared,
+                    &mut stream,
+                    method,
+                    path,
+                    &request.body,
+                    keep_alive,
+                    budget_ms,
+                )
             }
             ("GET", "/healthz") => {
                 let body = health_value(shared).write();
@@ -457,8 +539,15 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
-/// `POST /solve`: validate, check the cache, then walk the ring.
-fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+/// `POST /solve`: validate, check the cache, then walk the ring under
+/// breaker gating, backoff, and the request's deadline budget.
+fn handle_solve(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    body: &[u8],
+    keep_alive: bool,
+    budget_ms: u64,
+) {
     // Parse with the same envelope code the backends use, so the router
     // rejects malformed requests itself instead of burning a backend
     // attempt on them (and so error shapes match shard-direct calls).
@@ -485,102 +574,291 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
         return;
     }
 
-    // The ring walk from the key's home shard, restricted to routable
-    // backends; `max_attempts` caps how many we burn per request.
-    let order = shared.ring.order(&key);
-    let candidates: Vec<usize> = order
-        .iter()
-        .copied()
-        .filter(|&i| shared.backends[i].routable())
-        .take(shared.cfg.max_attempts.max(1))
-        .collect();
-    if candidates.is_empty() {
-        let err = ServeError::new(
-            ServeErrorKind::Overloaded,
-            "no routable shard (all draining or detached); retry later",
-        );
-        respond_error(shared, stream, &err, keep_alive, &[]);
-        return;
+    match walk_ring(shared, &key, "POST", "/solve", Some(text), budget_ms) {
+        WalkOutcome::Served { index, resp } => {
+            let backend = &shared.backends[index];
+            record_witness(shared, backend.shard_id(), &key, &resp.body);
+            backend.count_served();
+            shared.routed.fetch_add(1, Ordering::SeqCst);
+            let shard = backend.shard_id().to_string();
+            let _ = write_response_opts(
+                stream,
+                200,
+                keep_alive,
+                &[("X-RI-Shard", &shard), ("X-RI-Cache", "miss")],
+                &resp.body,
+            );
+        }
+        WalkOutcome::Forward { index, resp } => {
+            forward_response(shared, stream, index, &resp, keep_alive);
+        }
+        WalkOutcome::Exhausted { sent, hint_ms } => {
+            respond_exhausted(shared, stream, sent, hint_ms, keep_alive, "the request");
+        }
+        WalkOutcome::DeadlineExpired => {
+            respond_deadline_expired(shared, stream, budget_ms, keep_alive);
+        }
+        WalkOutcome::NoCandidates => {
+            let err = ServeError::new(
+                ServeErrorKind::Overloaded,
+                "no routable shard (all draining or detached); retry later",
+            );
+            respond_error(shared, stream, &err, keep_alive, &[]);
+        }
     }
+}
 
-    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
-    let last = candidates.len() - 1;
-    for (attempt, &index) in candidates.iter().enumerate() {
+/// Outcome of one breaker-gated, deadline-bounded ring walk.
+enum WalkOutcome {
+    /// A shard answered 200.
+    Served {
+        /// Index into `Shared::backends` of the serving shard.
+        index: usize,
+        /// The shard's response.
+        resp: HttpResponse,
+    },
+    /// A shard answered a structured error the client must see: either
+    /// non-retryable, or retryable but the walk ran out of attempts —
+    /// forward the shard's own envelope rather than synthesizing one.
+    Forward { index: usize, resp: HttpResponse },
+    /// Every admitted attempt failed at the transport level (or every
+    /// routable shard's breaker shed the request: `sent == 0`).
+    Exhausted {
+        /// Attempts actually proxied.
+        sent: usize,
+        /// The freshest shard `Retry-After` hint (ms), when one arrived.
+        hint_ms: Option<u64>,
+    },
+    /// The deadline budget ran out before any shard answered.
+    DeadlineExpired,
+    /// No routable backend exists at all.
+    NoCandidates,
+}
+
+/// Walk the ring from `ring_key`'s home shard: skip unroutable shards
+/// and open breakers, space retry attempts by deterministic backoff
+/// (floored by shard `Retry-After` hints), bound everything by the
+/// deadline budget, and forward the *remaining* budget to each shard so
+/// the whole chain shares one clock. Records every admitted attempt's
+/// outcome into the shard's breaker.
+fn walk_ring(
+    shared: &Shared,
+    ring_key: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    budget_ms: u64,
+) -> WalkOutcome {
+    let t0 = Instant::now();
+    let budget = Duration::from_millis(budget_ms);
+    let jitter_key = ring::fnv1a(ring_key.as_bytes());
+    let max_attempts = shared.cfg.max_attempts.max(1);
+    let mut sent = 0usize;
+    let mut hint_ms: Option<u64> = None;
+    let mut saw_routable = false;
+    let mut last_retryable: Option<(usize, HttpResponse)> = None;
+
+    for &index in &shared.ring.order(ring_key) {
+        if sent >= max_attempts {
+            break;
+        }
         let backend = &shared.backends[index];
+        if !backend.routable() {
+            continue;
+        }
+        saw_routable = true;
+        if sent > 0 {
+            // Space this retry out instead of hammering the next shard
+            // the instant the previous one failed; the sleep never
+            // overruns the remaining budget.
+            let delay = backoff_delay_ms(&shared.cfg, jitter_key, sent as u32, hint_ms);
+            let remaining = budget.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                return WalkOutcome::DeadlineExpired;
+            }
+            let sleep = Duration::from_millis(delay).min(remaining);
+            if !sleep.is_zero() {
+                shared.backoff_sleeps.fetch_add(1, Ordering::SeqCst);
+                shared
+                    .backoff_total_ms
+                    .fetch_add(sleep.as_millis() as u64, Ordering::SeqCst);
+                std::thread::sleep(sleep);
+            }
+        }
+        let remaining = budget.saturating_sub(t0.elapsed());
+        if remaining < Duration::from_millis(1) {
+            return WalkOutcome::DeadlineExpired;
+        }
+        // Admission is checked *after* the deadline so a half-open
+        // probe slot is never claimed and then abandoned unsent.
+        if backend.breaker().admit() == Admission::Shed {
+            continue;
+        }
+        if sent > 0 {
+            shared.retries.fetch_add(1, Ordering::SeqCst);
+        }
+        let attempt_timeout = remaining.min(Duration::from_millis(
+            shared.cfg.request_timeout_ms.max(100),
+        ));
+        let forwarded = remaining.as_millis().min(u64::MAX as u128) as u64;
+        let deadline_hdr = forwarded.to_string();
         backend.begin_request();
-        let outcome = proxy_solve(backend, text, timeout);
+        let outcome = proxy_request_opts(
+            backend,
+            method,
+            path,
+            body,
+            attempt_timeout,
+            &[(DEADLINE_HEADER, &deadline_hdr)],
+            true,
+        );
         backend.end_request();
+        sent += 1;
         match outcome {
             Ok(resp) if resp.status == 200 => {
-                record_witness(shared, backend.shard_id(), &key, &resp.body);
-                backend.count_served();
-                shared.routed.fetch_add(1, Ordering::SeqCst);
-                let shard = backend.shard_id().to_string();
-                let _ = write_response_opts(
-                    stream,
-                    200,
-                    keep_alive,
-                    &[("X-RI-Shard", &shard), ("X-RI-Cache", "miss")],
-                    &resp.body,
-                );
-                return;
+                backend.breaker().record(true);
+                return WalkOutcome::Served { index, resp };
             }
-            Ok(resp) if attempt < last && retryable_response(&resp) => {
-                // The backend shed the request without running it:
-                // fail over to the next shard on the ring.
+            Ok(resp) if retryable_response(&resp) => {
+                // The shard shed the request without running it: note
+                // its retry hint and fail over along the ring.
+                backend.breaker().record(false);
                 backend.count_failed();
-                shared.retries.fetch_add(1, Ordering::SeqCst);
+                hint_ms = retry_hint_ms(&resp).or(hint_ms);
+                last_retryable = Some((index, resp));
             }
             Ok(resp) => {
-                // A non-retryable error (or a retryable one with no
-                // shards left): forward the backend's own envelope.
-                shared.errored.fetch_add(1, Ordering::SeqCst);
-                let shard = backend.shard_id().to_string();
-                let mut extra: Vec<(&str, &str)> = vec![("X-RI-Shard", &shard)];
-                if resp.status == 503 {
-                    extra.push(("Retry-After", "1"));
-                }
-                let _ = write_response_opts(stream, resp.status, keep_alive, &extra, &resp.body);
-                return;
+                // A non-retryable error: the shard is responsive (the
+                // breaker sees success) and the client must see it.
+                backend.breaker().record(true);
+                return WalkOutcome::Forward { index, resp };
             }
             Err(_) => {
-                // Transport failure: the shard is gone or wedged. Mark it
-                // so routing avoids it until a health poll clears it.
+                // Transport failure: the shard is gone or wedged. Mark
+                // it so routing avoids it until a health poll clears it.
+                backend.breaker().record(false);
                 backend.observe(false);
                 backend.count_failed();
-                if attempt < last {
-                    shared.retries.fetch_add(1, Ordering::SeqCst);
-                } else {
-                    let err = ServeError::new(
-                        ServeErrorKind::Overloaded,
-                        format!(
-                            "every candidate shard failed (tried {}); retry later",
-                            candidates.len()
-                        ),
-                    );
-                    respond_error(shared, stream, &err, keep_alive, &[]);
-                    return;
-                }
             }
         }
     }
-    // All candidates answered retryable errors.
+    if let Some((index, resp)) = last_retryable {
+        // Out of attempts with a structured retryable envelope in hand:
+        // forward the shard's own answer (it carries the best hint).
+        return WalkOutcome::Forward { index, resp };
+    }
+    if !saw_routable {
+        return WalkOutcome::NoCandidates;
+    }
+    WalkOutcome::Exhausted { sent, hint_ms }
+}
+
+/// The deterministic inter-retry backoff: `base · 2^(k-1)` plus seeded
+/// jitter in `[0, base)`, capped at `backoff_cap_ms`, then floored by
+/// the shard's own `Retry-After` hint (itself capped, so a pathological
+/// hint cannot eat the whole budget sleeping).
+fn backoff_delay_ms(
+    cfg: &RouterConfig,
+    jitter_key: u64,
+    attempt: u32,
+    hint_ms: Option<u64>,
+) -> u64 {
+    let base = cfg.backoff_base_ms;
+    let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+    let jitter = backoff_jitter_ms(jitter_key, attempt, base);
+    let hint = hint_ms.unwrap_or(0).min(cfg.backoff_cap_ms);
+    exp.saturating_add(jitter).min(cfg.backoff_cap_ms).max(hint)
+}
+
+/// A shard's retry hint in milliseconds: the ms-precision
+/// `X-RI-Retry-After-Ms` when present, else `Retry-After` seconds.
+fn retry_hint_ms(resp: &HttpResponse) -> Option<u64> {
+    if let Some(ms) = resp
+        .header(RETRY_AFTER_MS_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        return Some(ms);
+    }
+    resp.header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|secs| secs.saturating_mul(1000))
+}
+
+/// Forward a shard's own error envelope to the client, preserving its
+/// retry hints (or supplying the legacy `Retry-After: 1` when the shard
+/// sent none) and naming the shard.
+fn forward_response(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    index: usize,
+    resp: &HttpResponse,
+    keep_alive: bool,
+) {
+    shared.errored.fetch_add(1, Ordering::SeqCst);
+    if resp.status == 504 {
+        shared.deadline_expired.fetch_add(1, Ordering::SeqCst);
+    }
+    let shard = shared.backends[index].shard_id().to_string();
+    let mut extra: Vec<(&str, &str)> = vec![("X-RI-Shard", &shard)];
+    if resp.status == 503 {
+        extra.push(("Retry-After", resp.header("retry-after").unwrap_or("1")));
+        if let Some(ms) = resp.header(RETRY_AFTER_MS_HEADER) {
+            extra.push((RETRY_AFTER_MS_HEADER, ms));
+        }
+    }
+    let _ = write_response_opts(stream, resp.status, keep_alive, &extra, &resp.body);
+}
+
+/// Answer the synthesized 503 for a walk that ran dry: either every
+/// admitted attempt failed at the transport level, or (with `sent == 0`)
+/// every routable shard's breaker was open.
+fn respond_exhausted(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    sent: usize,
+    hint_ms: Option<u64>,
+    keep_alive: bool,
+    what: &str,
+) {
+    let err = if sent == 0 {
+        ServeError::new(
+            ServeErrorKind::Overloaded,
+            format!("every routable shard's circuit breaker is open for {what}; retry later"),
+        )
+    } else {
+        ServeError::new(
+            ServeErrorKind::Overloaded,
+            format!("every candidate shard failed {what} (tried {sent}); retry later"),
+        )
+    };
+    let hint = hint_ms.unwrap_or(1_000);
+    let secs = hint.div_ceil(1000).max(1).to_string();
+    let ms = hint.to_string();
+    respond_error(
+        shared,
+        stream,
+        &err,
+        keep_alive,
+        &[("Retry-After", &secs), (RETRY_AFTER_MS_HEADER, &ms)],
+    );
+}
+
+/// Answer the structured 504 for an exhausted deadline budget.
+fn respond_deadline_expired(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    budget_ms: u64,
+    keep_alive: bool,
+) {
     let err = ServeError::new(
-        ServeErrorKind::Overloaded,
-        format!(
-            "every candidate shard shed the request (tried {}); retry later",
-            candidates.len()
-        ),
+        ServeErrorKind::DeadlineExceeded,
+        format!("deadline budget of {budget_ms} ms exhausted before any shard answered"),
     );
     respond_error(shared, stream, &err, keep_alive, &[]);
 }
 
-/// Proxy one `/solve` to a backend over its pooled keep-alive connection.
-fn proxy_solve(backend: &Backend, body: &str, timeout: Duration) -> io::Result<HttpResponse> {
-    proxy_request(backend, "POST", "/solve", Some(body), timeout)
-}
-
-/// Proxy one request to a backend over its pooled keep-alive connection.
+/// Proxy one idempotent request to a backend over its pooled keep-alive
+/// connection (stale-connection retry enabled).
 fn proxy_request(
     backend: &Backend,
     method: &str,
@@ -588,8 +866,25 @@ fn proxy_request(
     body: Option<&str>,
     timeout: Duration,
 ) -> io::Result<HttpResponse> {
+    proxy_request_opts(backend, method, path, body, timeout, &[], true)
+}
+
+/// Proxy one request to a backend over its pooled keep-alive connection,
+/// with extra headers (the forwarded deadline budget) and explicit
+/// stale-retry control — `retry_stale: false` for non-idempotent
+/// requests (stream batches), where a blind re-send on a half-written
+/// pooled connection could execute the batch twice.
+fn proxy_request_opts(
+    backend: &Backend,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    extra: &[(&str, &str)],
+    retry_stale: bool,
+) -> io::Result<HttpResponse> {
     let mut conn = backend.checkout(timeout);
-    let result = conn.request(method, path, body);
+    let result = conn.request_with(method, path, body, extra, retry_stale);
     if result.is_ok() {
         backend.checkin(conn);
     }
@@ -598,8 +893,15 @@ fn proxy_request(
 
 /// `POST /stream`: assign the session id, pick its home shard by
 /// consistent-hashing *the id*, and open it there (failing over along
-/// the ring like `/solve` — an open has no state to lose yet).
-fn handle_stream_open(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+/// the ring like `/solve` — an open has no state to lose yet, so it
+/// shares the breaker/backoff/deadline walk).
+fn handle_stream_open(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    body: &[u8],
+    keep_alive: bool,
+    budget_ms: u64,
+) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
         Err(_) => {
@@ -632,91 +934,50 @@ fn handle_stream_open(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8],
     spec.session_id = Some(id.clone());
     let open_body = spec.to_json();
 
-    let order = shared.ring.order(&id);
-    let candidates: Vec<usize> = order
-        .iter()
-        .copied()
-        .filter(|&i| shared.backends[i].routable())
-        .take(shared.cfg.max_attempts.max(1))
-        .collect();
-    if candidates.is_empty() {
-        let err = ServeError::new(
-            ServeErrorKind::Overloaded,
-            "no routable shard (all draining or detached); retry later",
-        );
-        respond_error(shared, stream, &err, keep_alive, &[]);
-        return;
-    }
-
-    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
-    let last = candidates.len() - 1;
-    for (attempt, &index) in candidates.iter().enumerate() {
-        let backend = &shared.backends[index];
-        backend.begin_request();
-        let outcome = proxy_request(backend, "POST", "/stream", Some(&open_body), timeout);
-        backend.end_request();
-        match outcome {
-            Ok(resp) if resp.status == 200 => {
-                lock(&shared.sticky).insert(
-                    id.clone(),
-                    Arc::new(Mutex::new(StickySession {
-                        shard: index,
-                        open_body,
-                        batches: Vec::new(),
-                    })),
-                );
-                let shard = backend.shard_id().to_string();
-                let _ = write_response_opts(
-                    stream,
-                    200,
-                    keep_alive,
-                    &[("X-RI-Shard", &shard)],
-                    &resp.body,
-                );
-                return;
-            }
-            Ok(resp) if attempt < last && retryable_response(&resp) => {
-                backend.count_failed();
-                shared.retries.fetch_add(1, Ordering::SeqCst);
-            }
-            Ok(resp) => {
-                let shard = backend.shard_id().to_string();
-                let mut extra: Vec<(&str, &str)> = vec![("X-RI-Shard", &shard)];
-                if resp.status == 503 {
-                    extra.push(("Retry-After", "1"));
-                }
-                shared.errored.fetch_add(1, Ordering::SeqCst);
-                let _ = write_response_opts(stream, resp.status, keep_alive, &extra, &resp.body);
-                return;
-            }
-            Err(_) => {
-                backend.observe(false);
-                backend.count_failed();
-                if attempt < last {
-                    shared.retries.fetch_add(1, Ordering::SeqCst);
-                } else {
-                    let err = ServeError::new(
-                        ServeErrorKind::Overloaded,
-                        format!(
-                            "every candidate shard failed to open the session (tried {}); \
-                             retry later",
-                            candidates.len()
-                        ),
-                    );
-                    respond_error(shared, stream, &err, keep_alive, &[]);
-                    return;
-                }
-            }
+    match walk_ring(shared, &id, "POST", "/stream", Some(&open_body), budget_ms) {
+        WalkOutcome::Served { index, resp } => {
+            lock(&shared.sticky).insert(
+                id.clone(),
+                Arc::new(Mutex::new(StickySession {
+                    shard: index,
+                    open_body,
+                    batches: Vec::new(),
+                    dirty: false,
+                })),
+            );
+            let shard = shared.backends[index].shard_id().to_string();
+            let _ = write_response_opts(
+                stream,
+                200,
+                keep_alive,
+                &[("X-RI-Shard", &shard)],
+                &resp.body,
+            );
+        }
+        WalkOutcome::Forward { index, resp } => {
+            forward_response(shared, stream, index, &resp, keep_alive);
+        }
+        WalkOutcome::Exhausted { sent, hint_ms } => {
+            respond_exhausted(
+                shared,
+                stream,
+                sent,
+                hint_ms,
+                keep_alive,
+                "the session open",
+            );
+        }
+        WalkOutcome::DeadlineExpired => {
+            respond_deadline_expired(shared, stream, budget_ms, keep_alive);
+        }
+        WalkOutcome::NoCandidates => {
+            let err = ServeError::new(
+                ServeErrorKind::Overloaded,
+                "no routable shard (all draining or detached); retry later",
+            );
+            respond_error(shared, stream, &err, keep_alive, &[]);
         }
     }
-    let err = ServeError::new(
-        ServeErrorKind::Overloaded,
-        format!(
-            "every candidate shard shed the open (tried {}); retry later",
-            candidates.len()
-        ),
-    );
-    respond_error(shared, stream, &err, keep_alive, &[]);
 }
 
 /// `/stream/<id>[/batch]`: sticky-route to the session's pinned shard,
@@ -728,6 +989,7 @@ fn handle_stream_session(
     path: &str,
     body: &[u8],
     keep_alive: bool,
+    budget_ms: u64,
 ) {
     let rest = path.strip_prefix("/stream/").unwrap_or_default();
     let (id, action) = match rest.strip_suffix("/batch") {
@@ -743,7 +1005,7 @@ fn handle_stream_session(
         return;
     }
     match (method, action) {
-        ("POST", "batch") => handle_stream_batch(shared, stream, id, body, keep_alive),
+        ("POST", "batch") => handle_stream_batch(shared, stream, id, body, keep_alive, budget_ms),
         ("GET", "") => handle_stream_info(shared, stream, id, keep_alive),
         ("DELETE", "") => handle_stream_close(shared, stream, id, keep_alive),
         _ => {
@@ -775,12 +1037,20 @@ fn respond_no_session(shared: &Shared, stream: &mut TcpStream, id: &str, keep_al
 /// are strictly ordered and migration never races a batch. On transport
 /// failure (or an unroutable pin) the session is migrated via
 /// close-and-replay and the batch retried once on its new home.
+///
+/// A batch is **non-idempotent** (it advances session state), so it is
+/// proxied with the stale-connection retry disabled: a half-written
+/// request on a stale pooled connection surfaces as a transport error
+/// and recovery goes through close-and-replay migration — which rebuilds
+/// the *pre-batch* state, making the router-level retry safe — never
+/// through a blind re-send that could execute the batch twice.
 fn handle_stream_batch(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
     id: &str,
     body: &[u8],
     keep_alive: bool,
+    budget_ms: u64,
 ) {
     let request = match std::str::from_utf8(body)
         .map_err(|_| ServeError::bad_request("request body is not UTF-8"))
@@ -797,7 +1067,8 @@ fn handle_stream_batch(
         return;
     };
     let mut sess = lock(&entry);
-    let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
+    let t0 = Instant::now();
+    let budget = Duration::from_millis(budget_ms);
     let batch_path = format!("/stream/{id}/batch");
     let batch_body = request.to_json();
 
@@ -805,7 +1076,19 @@ fn handle_stream_batch(
     // home. A second failure answers 503 — the batch is retryable from
     // the client's side because a failed attempt never advanced state.
     for attempt in 0..2 {
-        if !shared.backends[sess.shard].routable() && !migrate_session(shared, id, &mut sess) {
+        let remaining = budget.saturating_sub(t0.elapsed());
+        if remaining < Duration::from_millis(1) {
+            respond_deadline_expired(shared, stream, budget_ms, keep_alive);
+            return;
+        }
+        // A dirty session's shard-side state is unknown (a previous
+        // batch's response was lost in transit and may have executed):
+        // rebuilding from the recorded history is the only safe way to
+        // serve another batch, so migration is mandatory — not optional —
+        // before proxying anything.
+        if (sess.dirty || !shared.backends[sess.shard].routable())
+            && !migrate_session(shared, id, &mut sess)
+        {
             let err = ServeError::new(
                 ServeErrorKind::Overloaded,
                 format!("session `{id}` has no routable shard; retry later"),
@@ -814,11 +1097,24 @@ fn handle_stream_batch(
             return;
         }
         let backend = &shared.backends[sess.shard];
+        let attempt_timeout = remaining.min(Duration::from_millis(
+            shared.cfg.request_timeout_ms.max(100),
+        ));
+        let deadline_hdr = (remaining.as_millis().min(u64::MAX as u128) as u64).to_string();
         backend.begin_request();
-        let outcome = proxy_request(backend, "POST", &batch_path, Some(&batch_body), timeout);
+        let outcome = proxy_request_opts(
+            backend,
+            "POST",
+            &batch_path,
+            Some(&batch_body),
+            attempt_timeout,
+            &[(DEADLINE_HEADER, &deadline_hdr)],
+            false, // non-idempotent: never blind-retry a stale connection
+        );
         backend.end_request();
         match outcome {
             Ok(resp) if resp.status == 200 => {
+                backend.breaker().record(true);
                 sess.batches.push(request.count);
                 backend.count_served();
                 shared.stream_batches.fetch_add(1, Ordering::SeqCst);
@@ -837,6 +1133,7 @@ fn handle_stream_batch(
                 // The shard shed the batch without running it (draining
                 // or overloaded): session state did not advance, so
                 // close-and-replay on another shard is safe.
+                backend.breaker().record(false);
                 backend.count_failed();
                 shared.retries.fetch_add(1, Ordering::SeqCst);
                 if migrate_session(shared, id, &mut sess) {
@@ -849,20 +1146,42 @@ fn handle_stream_batch(
                 respond_error(shared, stream, &err, keep_alive, &[]);
                 return;
             }
+            Ok(resp) if resp.status == 404 => {
+                // The shard is responsive but has no such session: it was
+                // evicted there (TTL sweep, a restart, or a migration
+                // whose close outlived its reopen). The router still holds
+                // the full history, so rebuild instead of forwarding a
+                // terminal 404 for a session that is recoverable.
+                backend.breaker().record(true);
+                if attempt == 0 {
+                    shared.retries.fetch_add(1, Ordering::SeqCst);
+                    if migrate_session(shared, id, &mut sess) {
+                        continue;
+                    }
+                }
+                let err = ServeError::new(
+                    ServeErrorKind::Overloaded,
+                    format!("session `{id}` was evicted and could not be rebuilt; retry later"),
+                );
+                respond_error(shared, stream, &err, keep_alive, &[]);
+                return;
+            }
             Ok(resp) => {
                 // The shard answered: a structured error the client must
                 // see (bad count, overfeed, ...). Never migrate on these —
                 // the session is alive and its state did not advance.
-                let shard = backend.shard_id().to_string();
-                let mut extra: Vec<(&str, &str)> = vec![("X-RI-Shard", &shard)];
-                if resp.status == 503 {
-                    extra.push(("Retry-After", "1"));
-                }
-                shared.errored.fetch_add(1, Ordering::SeqCst);
-                let _ = write_response_opts(stream, resp.status, keep_alive, &extra, &resp.body);
+                backend.breaker().record(true);
+                forward_response(shared, stream, sess.shard, &resp, keep_alive);
                 return;
             }
             Err(_) => {
+                // The batch was sent but no response came back: it may or
+                // may not have executed, so the shard-side state is now
+                // unknown. Mark the session dirty — if migration fails
+                // here, the flag forces a rebuild before any later client
+                // retry can touch the (possibly advanced) old state.
+                sess.dirty = true;
+                backend.breaker().record(false);
                 backend.observe(false);
                 backend.count_failed();
                 if attempt == 0 {
@@ -954,19 +1273,34 @@ fn handle_stream_close(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str, k
 /// walk, and re-feed the recorded batch counts. Determinism makes the
 /// rebuilt session bit-identical to the lost one, so re-feeds are
 /// internal bookkeeping: they are neither witnessed nor counted as
-/// client-served batches. Returns false when no shard could take it
-/// (stickiness is kept, so a later batch retries migration).
+/// client-served batches. The old shard itself is the last-resort rebuild
+/// target (its copy was just closed, so reopening there is clean) —
+/// without it, a single-survivor fleet could strand a session forever.
+/// Returns false when no shard could take it (stickiness is kept, so a
+/// later batch retries migration); on success the rebuilt state is known
+/// exactly, so the session's dirty flag is cleared.
 fn migrate_session(shared: &Shared, id: &str, sess: &mut StickySession) -> bool {
     let timeout = Duration::from_millis(shared.cfg.request_timeout_ms.max(100));
     let old = sess.shard;
     let path = format!("/stream/{id}");
     // The old shard may be draining rather than dead: free its slot.
     let _ = proxy_request(&shared.backends[old], "DELETE", &path, None, timeout);
-    for &index in &shared.ring.order(id) {
-        if index == old || !shared.backends[index].routable() {
-            continue;
-        }
+    let mut candidates: Vec<usize> = shared
+        .ring
+        .order(id)
+        .iter()
+        .copied()
+        .filter(|&index| index != old && shared.backends[index].routable())
+        .collect();
+    if shared.backends[old].routable() {
+        candidates.push(old);
+    }
+    for index in candidates {
         let backend = &shared.backends[index];
+        // A previous migration attempt may have left an orphan copy here
+        // (its open succeeded but the response was lost): close it first
+        // so the reopen never collides with a half-built ghost.
+        let _ = proxy_request(backend, "DELETE", &path, None, timeout);
         match proxy_request(backend, "POST", "/stream", Some(&sess.open_body), timeout) {
             Ok(resp) if resp.status == 200 => {}
             Ok(_) => continue, // admission-full or draining mid-open: next shard
@@ -975,10 +1309,20 @@ fn migrate_session(shared: &Shared, id: &str, sess: &mut StickySession) -> bool 
                 continue;
             }
         }
+        // Re-feeds advance session state and are therefore proxied
+        // without the stale-connection retry, like client batches.
         let refed = sess.batches.iter().all(|&count| {
             let body = format!("{{\"count\":{count}}}");
             matches!(
-                proxy_request(backend, "POST", &format!("{path}/batch"), Some(&body), timeout),
+                proxy_request_opts(
+                    backend,
+                    "POST",
+                    &format!("{path}/batch"),
+                    Some(&body),
+                    timeout,
+                    &[],
+                    false,
+                ),
                 Ok(r) if r.status == 200
             )
         });
@@ -989,6 +1333,7 @@ fn migrate_session(shared: &Shared, id: &str, sess: &mut StickySession) -> bool 
             continue;
         }
         sess.shard = index;
+        sess.dirty = false;
         shared.sessions_migrated.fetch_add(1, Ordering::SeqCst);
         return true;
     }
@@ -1149,9 +1494,18 @@ fn respond_error(
     extra: &[(&str, &str)],
 ) {
     shared.errored.fetch_add(1, Ordering::SeqCst);
+    if err.kind == ServeErrorKind::DeadlineExceeded {
+        shared.deadline_expired.fetch_add(1, Ordering::SeqCst);
+    }
     let status = err.http_status();
     let mut headers: Vec<(&str, &str)> = extra.to_vec();
-    if status == 503 {
+    // Callers with a real pressure hint pass their own Retry-After via
+    // `extra`; the constant is only the fallback.
+    if status == 503
+        && !headers
+            .iter()
+            .any(|(k, _)| k.eq_ignore_ascii_case("retry-after"))
+    {
         headers.push(("Retry-After", "1"));
     }
     let _ = write_response_opts(stream, status, keep_alive, &headers, &err.to_json());
@@ -1172,6 +1526,7 @@ fn health_value(shared: &Shared) -> Value {
         if state == BackendState::Healthy {
             healthy += 1;
         }
+        let (opened, half_opened, reclosed, rejected) = backend.breaker().counters();
         shards.push(Value::Obj(vec![
             ("shard_id".into(), Value::Str(backend.shard_id().into())),
             ("addr".into(), Value::Str(backend.addr().to_string())),
@@ -1186,6 +1541,19 @@ fn health_value(shared: &Shared) -> Value {
             (
                 "batches_served".into(),
                 Value::Num(backend.batches_served() as f64),
+            ),
+            (
+                "breaker".into(),
+                Value::Obj(vec![
+                    (
+                        "state".into(),
+                        Value::Str(backend.breaker().state().as_str().into()),
+                    ),
+                    ("opened".into(), Value::Num(opened as f64)),
+                    ("half_opened".into(), Value::Num(half_opened as f64)),
+                    ("reclosed".into(), Value::Num(reclosed as f64)),
+                    ("rejected".into(), Value::Num(rejected as f64)),
+                ]),
             ),
         ]));
     }
@@ -1225,6 +1593,33 @@ fn health_value(shared: &Shared) -> Value {
             Value::Num(shared.errored.load(Ordering::SeqCst) as f64),
         ),
         (
+            "robustness".into(),
+            Value::Obj(vec![
+                (
+                    "deadline_expired".into(),
+                    Value::Num(shared.deadline_expired.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "backoff_sleeps".into(),
+                    Value::Num(shared.backoff_sleeps.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "backoff_total_ms".into(),
+                    Value::Num(shared.backoff_total_ms.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "breakers_open".into(),
+                    Value::Num(
+                        shared
+                            .backends
+                            .iter()
+                            .filter(|b| b.breaker().state() != BreakerState::Closed)
+                            .count() as f64,
+                    ),
+                ),
+            ]),
+        ),
+        (
             "sessions".into(),
             Value::Obj(vec![
                 ("open".into(), Value::Num(lock(&shared.sticky).len() as f64)),
@@ -1248,4 +1643,79 @@ fn health_value(shared: &Shared) -> Value {
         ),
         ("witness".into(), witness),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(status: u16, headers: &[(&str, &str)], body: &str) -> HttpResponse {
+        HttpResponse {
+            status,
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+                .collect(),
+            body: body.to_string(),
+        }
+    }
+
+    #[test]
+    fn retryable_classification_trusts_the_envelope() {
+        // A parseable envelope decides retryability regardless of status.
+        let shed = ServeError::new(ServeErrorKind::Overloaded, "queue full");
+        assert!(retryable_response(&resp(503, &[], &shed.to_json())));
+        let expired = ServeError::new(ServeErrorKind::DeadlineExceeded, "too slow");
+        assert!(retryable_response(&resp(504, &[], &expired.to_json())));
+        // An envelope explicitly marked non-retryable wins even on 503.
+        let pinned = ServeError::new(ServeErrorKind::Overloaded, "nope").retryable(false);
+        assert!(!retryable_response(&resp(503, &[], &pinned.to_json())));
+        // A non-retryable kind stays non-retryable.
+        let bad = ServeError::bad_request("unknown problem");
+        assert!(!retryable_response(&resp(400, &[], &bad.to_json())));
+    }
+
+    #[test]
+    fn retryable_classification_falls_back_to_the_status_code() {
+        assert!(retryable_response(&resp(503, &[], "not json at all")));
+        assert!(retryable_response(&resp(504, &[], "")));
+        assert!(!retryable_response(&resp(500, &[], "not json")));
+        assert!(!retryable_response(&resp(200, &[], "{}")));
+    }
+
+    #[test]
+    fn retry_hints_prefer_the_ms_header() {
+        let both = resp(
+            503,
+            &[("Retry-After", "2"), (RETRY_AFTER_MS_HEADER, "350")],
+            "{}",
+        );
+        assert_eq!(retry_hint_ms(&both), Some(350));
+        let secs_only = resp(503, &[("Retry-After", "2")], "{}");
+        assert_eq!(retry_hint_ms(&secs_only), Some(2_000));
+        assert_eq!(retry_hint_ms(&resp(503, &[], "{}")), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_hint_floored() {
+        let cfg = RouterConfig::default();
+        let key = ring::fnv1a(b"some-witness-key");
+        // Deterministic: the same (key, attempt) always yields the same
+        // delay, and jitter stays under one base step.
+        for attempt in 1..=4u32 {
+            let a = backoff_delay_ms(&cfg, key, attempt, None);
+            let b = backoff_delay_ms(&cfg, key, attempt, None);
+            assert_eq!(a, b);
+            let exp = cfg.backoff_base_ms << (attempt - 1);
+            assert!(
+                a >= exp && a < exp + cfg.backoff_base_ms,
+                "attempt {attempt}: {a}"
+            );
+        }
+        // Capped.
+        assert!(backoff_delay_ms(&cfg, key, 12, None) <= cfg.backoff_cap_ms);
+        // A shard's Retry-After hint floors the delay (capped too).
+        assert!(backoff_delay_ms(&cfg, key, 1, Some(400)) >= 400);
+        assert!(backoff_delay_ms(&cfg, key, 1, Some(60_000)) <= cfg.backoff_cap_ms);
+    }
 }

@@ -4,7 +4,7 @@
 //! ri-serve [--addr HOST:PORT] [--threads K] [--executors E]
 //!          [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]
 //!          [--max-connections C] [--shard-id ID] [--max-sessions S]
-//!          [--session-ttl-ms MS] [--session-bytes B]
+//!          [--session-ttl-ms MS] [--session-bytes B] [--chaos SPEC]
 //! ```
 //!
 //! Prints `listening on ADDR` once the listener is up (scripts wait on
@@ -20,7 +20,7 @@ fn usage_text() -> &'static str {
     "usage: ri-serve [--addr HOST:PORT] [--threads K] [--executors E]\n\
      \x20              [--max-inflight N] [--deadline-ms MS] [--max-body-bytes B]\n\
      \x20              [--max-connections C] [--shard-id ID] [--max-sessions S]\n\
-     \x20              [--session-ttl-ms MS] [--session-bytes B]\n\
+     \x20              [--session-ttl-ms MS] [--session-bytes B] [--chaos SPEC]\n\
      \n\
      Serves POST /solve ({problem, workload, config} JSON -> {summary, report}),\n\
      POST /stream (+ /stream/<id>/batch, GET/DELETE /stream/<id>),\n\
@@ -32,7 +32,11 @@ fn usage_text() -> &'static str {
      --max-connections bounds simultaneous connection handlers; --shard-id\n\
      names this process in /healthz (set by ri-router when it spawns shards);\n\
      --max-sessions bounds open streaming sessions, --session-ttl-ms their\n\
-     idle eviction, --session-bytes each session's resident state."
+     idle eviction, --session-bytes each session's resident state. --chaos\n\
+     installs a deterministic fault-injection plan (e.g.\n\
+     `seed=42,latency=0.2:25,drop=0.1,error=0.1,crash-after=500`; also\n\
+     settable at runtime via POST /admin/chaos); a crash-after fault exits\n\
+     the process with code 3."
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -43,6 +47,9 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 fn parse_config(args: &[String]) -> Result<ServeConfig, String> {
     let mut cfg = ServeConfig {
         addr: "127.0.0.1:8077".into(),
+        // A real process honors crash-after by exiting (in-process test
+        // servers emulate the crash by going dark instead).
+        chaos_exit: true,
         ..ServeConfig::default()
     };
     let mut it = args.iter();
@@ -99,6 +106,10 @@ fn parse_config(args: &[String]) -> Result<ServeConfig, String> {
                 cfg.session_bytes = value("--session-bytes")?
                     .parse()
                     .map_err(|e| format!("bad --session-bytes: {e}"))?
+            }
+            "--chaos" => {
+                cfg.chaos = ri_core::engine::faults::FaultPlan::parse(&value("--chaos")?)
+                    .map_err(|e| format!("bad --chaos: {e}"))?;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }

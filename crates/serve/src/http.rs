@@ -442,9 +442,12 @@ fn read_response(stream: &mut impl Read, carry: &mut Vec<u8>) -> io::Result<Http
 /// the server closed it in between (an idle-timeout race every keep-alive
 /// client must tolerate). The stale-connection retry re-sends at most
 /// once, and only when the failed attempt ran on a *reused* connection —
-/// a fresh connection's failure is reported, not retried. Safe here
-/// because every request this system makes is idempotent by construction
-/// (deterministic solves, reads).
+/// a fresh connection's failure is reported, not retried. Safe for
+/// idempotent requests (deterministic solves, reads); **non-idempotent**
+/// requests — a stream batch advances session state — must go through
+/// [`ClientConn::request_with`] with `retry_stale: false`, so a failure
+/// surfaces as a transport error the caller recovers from by
+/// close-and-replay instead of a blind re-send that could execute twice.
 #[derive(Debug)]
 pub struct ClientConn {
     addr: SocketAddr,
@@ -475,22 +478,57 @@ impl ClientConn {
         self.stream.is_some()
     }
 
-    /// Perform one request, reusing the held connection when possible.
+    /// Update the timeout for subsequent requests: applied to the held
+    /// stream immediately and to any future reconnect. This is what lets
+    /// a *pooled* connection honor a per-request deadline budget instead
+    /// of the timeout it was created with (zero is clamped up to 1 ms —
+    /// `set_read_timeout(Some(0))` is an error).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.timeout = timeout;
+        if let Some(stream) = &self.stream {
+            if stream.set_read_timeout(Some(timeout)).is_err()
+                || stream.set_write_timeout(Some(timeout)).is_err()
+            {
+                self.stream = None;
+            }
+        }
+    }
+
+    /// Perform one request, reusing the held connection when possible
+    /// (idempotent form: a stale reused connection is retried once).
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> io::Result<HttpResponse> {
+        self.request_with(method, path, body, &[], true)
+    }
+
+    /// [`ClientConn::request`] with extra request headers (e.g. the
+    /// propagated `X-RI-Deadline-Ms` budget) and explicit stale-retry
+    /// control: pass `retry_stale: false` for non-idempotent requests
+    /// (stream batches), so a mid-request connection failure is
+    /// reported instead of blindly re-sent — the request may already
+    /// have executed server-side even though no response arrived.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra: &[(&str, &str)],
+        retry_stale: bool,
+    ) -> io::Result<HttpResponse> {
         let reused = self.stream.is_some();
-        match self.request_once(method, path, body) {
+        match self.request_once(method, path, body, extra) {
             Ok(resp) => Ok(resp),
-            Err(e) if reused => {
+            Err(e) if reused && retry_stale => {
                 // The held connection was stale (server idle-closed it);
                 // retry exactly once on a fresh one.
                 self.stream = None;
                 let _ = e;
-                self.request_once(method, path, body)
+                self.request_once(method, path, body, extra)
             }
             Err(e) => {
                 self.stream = None;
@@ -504,6 +542,7 @@ impl ClientConn {
         method: &str,
         path: &str,
         body: Option<&str>,
+        extra: &[(&str, &str)],
     ) -> io::Result<HttpResponse> {
         if self.stream.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
@@ -516,11 +555,16 @@ impl ClientConn {
         let result = {
             let stream = self.stream.as_mut().expect("connected above");
             let body = body.unwrap_or("");
-            let head = format!(
-                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            use std::fmt::Write as _;
+            let mut head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n",
                 self.addr,
                 body.len()
             );
+            for (name, value) in extra {
+                let _ = write!(head, "{name}: {value}\r\n");
+            }
+            head.push_str("\r\n");
             stream
                 .write_all(head.as_bytes())
                 .and_then(|_| stream.write_all(body.as_bytes()))

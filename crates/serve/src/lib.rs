@@ -15,6 +15,11 @@
 //!   /stream/<id>` inspects it, `DELETE /stream/<id>` closes it. See
 //!   [`session`] for lifecycle, admission and eviction.
 //! * `GET /problems` — the registry listing (names + descriptions).
+//! * `POST /admin/chaos` / `GET /admin/chaos` — install, clear, or
+//!   inspect the deterministic fault-injection plan
+//!   ([`ri_core::engine::faults::FaultPlan`]): seeded per-request
+//!   latency/stall/drop/503/crash faults for chaos soaks. Admin and
+//!   health paths are never themselves faulted.
 //! * `GET /healthz` — liveness plus queue observability (depth, inflight,
 //!   served counts), session counters (`sessions_open`,
 //!   `sessions_evicted`, `batches_served`, scratch rollups), the
@@ -61,17 +66,18 @@
 pub mod http;
 pub mod session;
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ri_core::engine::envelope::{ServeError, ServeErrorKind, ServeRequest, ServeResponse};
-use ri_core::engine::json::Value;
+use ri_core::engine::faults::{FaultKind, FaultPlan, DEADLINE_HEADER, RETRY_AFTER_MS_HEADER};
+use ri_core::engine::json::{self, Value};
 use ri_core::engine::session::{BatchRequest, StreamSpec};
 use ri_core::engine::{ExecMode, Registry, Runner};
 
@@ -117,6 +123,13 @@ pub struct ServeConfig {
     pub session_ttl_ms: u64,
     /// Per-session resident-byte cap for streaming state.
     pub session_bytes: usize,
+    /// Initial fault-injection plan (the `--chaos` flag); also settable
+    /// at runtime via `POST /admin/chaos`. `None` = no chaos.
+    pub chaos: Option<FaultPlan>,
+    /// Whether a `crash-after` fault exits the process (the `ri-serve`
+    /// binary does; in-process test servers emulate the crash by going
+    /// dark — dropping every connection without a byte — instead).
+    pub chaos_exit: bool,
 }
 
 impl Default for ServeConfig {
@@ -133,16 +146,85 @@ impl Default for ServeConfig {
             max_sessions: 64,
             session_ttl_ms: 300_000,
             session_bytes: 64 << 20,
+            chaos: None,
+            chaos_exit: false,
         }
     }
 }
 
-/// One queued solve: the parsed request, when it was admitted, and the
-/// channel its response goes back on.
+/// One queued solve: the parsed request, when it was admitted, its
+/// effective queue-wait deadline (the server default clamped by any
+/// propagated `X-RI-Deadline-Ms` budget), and the channel its response
+/// goes back on.
 struct Job {
     request: ServeRequest,
     enqueued: Instant,
+    deadline_ms: u64,
     reply: SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+/// Runtime fault-injection state: the active plan (swappable via
+/// `POST /admin/chaos`), the monotone request index that keys the
+/// schedule, and the per-class injection counters surfaced in
+/// `/healthz`. Installing a plan resets the index, so a chaos phase
+/// always starts at schedule position 0.
+struct ChaosState {
+    plan: Mutex<Option<Arc<FaultPlan>>>,
+    index: AtomicU64,
+    injected_latency: AtomicU64,
+    injected_stall: AtomicU64,
+    injected_drop: AtomicU64,
+    injected_error: AtomicU64,
+    /// Set once a `crash-after` budget is exhausted: the shard goes dark
+    /// (every connection dropped without a byte) until a new plan is
+    /// installed in-process or the process is restarted.
+    crashed: AtomicBool,
+}
+
+impl ChaosState {
+    fn new(plan: Option<FaultPlan>) -> Self {
+        ChaosState {
+            plan: Mutex::new(plan.map(Arc::new)),
+            index: AtomicU64::new(0),
+            injected_latency: AtomicU64::new(0),
+            injected_stall: AtomicU64::new(0),
+            injected_drop: AtomicU64::new(0),
+            injected_error: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Swap the active plan (None clears), resetting the schedule index,
+    /// the injection counters, and an emulated crash.
+    fn install(&self, plan: Option<FaultPlan>) {
+        *lock(&self.plan) = plan.map(Arc::new);
+        self.index.store(0, Ordering::SeqCst);
+        self.injected_latency.store(0, Ordering::SeqCst);
+        self.injected_stall.store(0, Ordering::SeqCst);
+        self.injected_drop.store(0, Ordering::SeqCst);
+        self.injected_error.store(0, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Draw the fault for the next faultable request (if a plan is
+    /// active), advancing the schedule index and counting the injection.
+    fn next_fault(&self) -> Option<FaultKind> {
+        let plan = lock(&self.plan).clone()?;
+        let index = self.index.fetch_add(1, Ordering::SeqCst);
+        let fault = plan.fault_for(index)?;
+        match fault {
+            FaultKind::Latency { .. } => &self.injected_latency,
+            FaultKind::Stall { .. } => &self.injected_stall,
+            FaultKind::DropMidResponse => &self.injected_drop,
+            FaultKind::Err503 => &self.injected_error,
+            FaultKind::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                return Some(fault);
+            }
+        }
+        .fetch_add(1, Ordering::SeqCst);
+        Some(fault)
+    }
 }
 
 /// State shared by the acceptor, connection threads and executors.
@@ -169,6 +251,15 @@ struct Shared {
     connections: AtomicUsize,
     /// The streaming session store (`/stream` endpoints).
     sessions: SessionManager,
+    /// Fault-injection state (`--chaos` / `POST /admin/chaos`).
+    chaos: ChaosState,
+    /// Cumulative wall-milliseconds executors spent inside solves — the
+    /// numerator of the mean-service-time estimate behind the
+    /// pressure-derived `Retry-After`.
+    busy_ms: AtomicU64,
+    /// Requests answered `504 deadline-exceeded` (queue wait or an
+    /// exhausted propagated budget).
+    deadline_expired: AtomicU64,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -206,6 +297,7 @@ impl Server {
             idle_ttl_ms: cfg.session_ttl_ms,
             max_session_bytes: cfg.session_bytes,
         });
+        let chaos = ChaosState::new(cfg.chaos.clone());
         let shared = Arc::new(Shared {
             registry,
             pool_width,
@@ -217,6 +309,9 @@ impl Server {
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             sessions,
+            chaos,
+            busy_ms: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             cfg,
         });
 
@@ -258,6 +353,15 @@ impl Server {
     /// Width of the shared solve pool.
     pub fn pool_width(&self) -> usize {
         self.shared.pool_width
+    }
+
+    /// Install (or clear, with `""`/`"off"`) a fault-injection plan —
+    /// the in-process equivalent of `POST /admin/chaos`. Resets the
+    /// schedule index, injection counters, and any emulated crash.
+    pub fn set_chaos(&self, spec: &str) -> Result<(), String> {
+        let plan = FaultPlan::parse(spec)?;
+        self.shared.chaos.install(plan);
+        Ok(())
     }
 
     /// Graceful shutdown: stop accepting, answer everything already
@@ -354,12 +458,23 @@ fn reject_connection(shared: &Shared, mut stream: TcpStream, why: &str) {
 /// connection afterwards, since framing beyond a malformed request is
 /// unknowable.
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Socket timeouts derive from the queue deadline, not a magic 10 s:
+    // a client is given at least the full deadline window to feed or
+    // drain a request before the socket gives up on it.
+    let io_timeout = Duration::from_millis(shared.cfg.deadline_ms.max(10_000));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
     let _ = stream.set_nodelay(true);
 
     let mut carry = Vec::new();
     loop {
+        // An emulated crash (in-process `crash-after`): the shard is
+        // dark — drop the connection without a byte, exactly like a dead
+        // process's RSTs look to the peer.
+        if shared.chaos.crashed.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         let request =
             match read_request_buffered(&mut stream, &mut carry, shared.cfg.max_body_bytes) {
                 Ok(r) => r,
@@ -399,28 +514,96 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         // response of a draining server to close.
         let keep_alive = request.keep_alive() && !shared.draining.load(Ordering::SeqCst);
 
-        match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/solve") => handle_solve(shared, &mut stream, &request.body, keep_alive),
-            ("POST", "/stream") => {
-                handle_stream_open(shared, &mut stream, &request.body, keep_alive)
+        // The propagated end-to-end budget (router ingress sets it,
+        // decrementing per hop): clamps this request's queue deadline.
+        let budget_ms = request
+            .header(DEADLINE_HEADER)
+            .and_then(|v| v.trim().parse::<u64>().ok());
+
+        // Fault injection applies to the request-serving paths only —
+        // never to health polls or chaos administration, so an operator
+        // (and the router's health loop) can always see and steer a
+        // chaotic shard.
+        let method = request.method.as_str();
+        let path = request.path.as_str();
+        let faultable = matches!((method, path), ("POST", "/solve") | ("POST", "/stream"))
+            || (method == "POST"
+                && path.strip_prefix("/stream/").is_some_and(|r| !r.is_empty())
+                && path.ends_with("/batch"));
+        let fault = if faultable {
+            shared.chaos.next_fault()
+        } else {
+            None
+        };
+        let mut write_fault = None;
+        match fault {
+            Some(FaultKind::Crash) => {
+                if shared.cfg.chaos_exit {
+                    std::process::exit(3);
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
             }
+            Some(FaultKind::Latency { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultKind::Err503) => {
+                let err = ServeError::new(
+                    ServeErrorKind::Overloaded,
+                    "chaos: injected spurious 503; retry elsewhere",
+                );
+                respond_error(
+                    shared,
+                    &mut ChaosWriter::new(&stream, None),
+                    &err,
+                    keep_alive,
+                );
+                if !keep_alive {
+                    return;
+                }
+                continue;
+            }
+            Some(f @ (FaultKind::Stall { .. } | FaultKind::DropMidResponse)) => {
+                write_fault = Some(f);
+            }
+            None => {}
+        }
+
+        // All responses for this request flow through one chaos-aware
+        // writer, so stall/drop faults apply uniformly wherever the
+        // handler answers from.
+        let mut out = ChaosWriter::new(&stream, write_fault);
+        match (method, path) {
+            ("POST", "/solve") => {
+                handle_solve(shared, &mut out, &request.body, keep_alive, budget_ms)
+            }
+            ("POST", "/stream") => handle_stream_open(shared, &mut out, &request.body, keep_alive),
             (method, path) if path.strip_prefix("/stream/").is_some_and(|r| !r.is_empty()) => {
-                handle_stream_session(shared, &mut stream, method, path, &request.body, keep_alive)
+                handle_stream_session(shared, &mut out, method, path, &request.body, keep_alive)
             }
             ("GET", "/healthz") => {
                 let body = health_value(shared).write();
-                let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
+                let _ = write_response_opts(&mut out, 200, keep_alive, &[], &body);
             }
             ("GET", "/problems") => {
                 let body = problems_value(&shared.registry).write();
-                let _ = write_response_opts(&mut stream, 200, keep_alive, &[], &body);
+                let _ = write_response_opts(&mut out, 200, keep_alive, &[], &body);
             }
-            (_, "/solve") | (_, "/stream") | (_, "/healthz") | (_, "/problems") => {
+            ("POST", "/admin/chaos") => {
+                handle_chaos_admin(shared, &mut out, &request.body, keep_alive)
+            }
+            ("GET", "/admin/chaos") => {
+                let body = chaos_value(shared).write();
+                let _ = write_response_opts(&mut out, 200, keep_alive, &[], &body);
+            }
+            (_, "/solve")
+            | (_, "/stream")
+            | (_, "/healthz")
+            | (_, "/problems")
+            | (_, "/admin/chaos") => {
                 let err = ServeError::new(
                     ServeErrorKind::MethodNotAllowed,
                     format!("{} is not supported on {}", request.method, request.path),
                 );
-                respond_error(shared, &mut stream, &err, keep_alive);
+                respond_error(shared, &mut out, &err, keep_alive);
             }
             (_, path) => {
                 let err = ServeError::new(
@@ -430,17 +613,168 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                          GET /problems, GET /healthz"
                     ),
                 );
-                respond_error(shared, &mut stream, &err, keep_alive);
+                respond_error(shared, &mut out, &err, keep_alive);
             }
         }
-        if !keep_alive {
+        if out.severed() || !keep_alive {
             return;
         }
     }
 }
 
+/// A per-request response writer that can inject write-side faults: it
+/// buffers the response and applies the fault at flush — `Stall` writes
+/// the head, holds, then completes; `DropMidResponse` writes the head
+/// plus half the body and severs the connection, leaving the peer with
+/// a truncated `Content-Length` frame (a transport error, not a
+/// structured envelope — exactly what a mid-response crash looks like).
+struct ChaosWriter<'a> {
+    stream: &'a TcpStream,
+    fault: Option<FaultKind>,
+    buf: Vec<u8>,
+    severed: bool,
+}
+
+impl<'a> ChaosWriter<'a> {
+    fn new(stream: &'a TcpStream, fault: Option<FaultKind>) -> Self {
+        ChaosWriter {
+            stream,
+            fault,
+            buf: Vec::new(),
+            severed: false,
+        }
+    }
+
+    /// Whether a drop fault severed the connection (the keep-alive loop
+    /// must end; there is no usable framing left).
+    fn severed(&self) -> bool {
+        self.severed
+    }
+}
+
+impl Write for ChaosWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let data = std::mem::take(&mut self.buf);
+        if data.is_empty() {
+            return Ok(());
+        }
+        let head_end = data
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map_or(0, |p| p + 4);
+        let mut out = self.stream;
+        match self.fault.take() {
+            Some(FaultKind::Stall { ms }) => {
+                out.write_all(&data[..head_end])?;
+                out.flush()?;
+                std::thread::sleep(Duration::from_millis(ms));
+                out.write_all(&data[head_end..])?;
+                out.flush()
+            }
+            Some(FaultKind::DropMidResponse) => {
+                let cut = head_end + (data.len() - head_end) / 2;
+                let _ = out.write_all(&data[..cut]);
+                let _ = out.flush();
+                let _ = self.stream.shutdown(Shutdown::Both);
+                self.severed = true;
+                Ok(())
+            }
+            _ => {
+                out.write_all(&data)?;
+                out.flush()
+            }
+        }
+    }
+}
+
+/// `POST /admin/chaos`: install or clear the fault plan at runtime. The
+/// body is either `{"spec": "..."}` or a bare spec string; an empty /
+/// `"off"` spec clears. Answers with the applied plan (or `null`).
+fn handle_chaos_admin(shared: &Arc<Shared>, out: &mut impl Write, body: &[u8], keep_alive: bool) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t.trim(),
+        Err(_) => {
+            let err = ServeError::bad_request("request body is not UTF-8");
+            respond_error(shared, out, &err, keep_alive);
+            return;
+        }
+    };
+    let spec = match json::parse(text) {
+        Ok(v) => match v.get("spec").and_then(|s| s.as_str()) {
+            Some(s) => s.to_string(),
+            None => {
+                let err = ServeError::bad_request("chaos body wants {\"spec\": \"...\"}");
+                respond_error(shared, out, &err, keep_alive);
+                return;
+            }
+        },
+        // Not JSON: treat the raw body as the spec itself.
+        Err(_) => text.to_string(),
+    };
+    match FaultPlan::parse(&spec) {
+        Ok(plan) => {
+            shared.chaos.install(plan);
+            let body = chaos_value(shared).write();
+            let _ = write_response_opts(out, 200, keep_alive, &[], &body);
+        }
+        Err(msg) => {
+            let err = ServeError::bad_request(msg);
+            respond_error(shared, out, &err, keep_alive);
+        }
+    }
+}
+
+/// The `/admin/chaos` document: the active plan (or `null`) plus the
+/// schedule index and per-class injection counters.
+fn chaos_value(shared: &Shared) -> Value {
+    let plan = lock(&shared.chaos.plan)
+        .as_ref()
+        .map_or(Value::Null, |p| p.to_value());
+    Value::Obj(vec![
+        ("chaos".into(), plan),
+        (
+            "index".into(),
+            Value::Num(shared.chaos.index.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "injected_latency".into(),
+            Value::Num(shared.chaos.injected_latency.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "injected_stall".into(),
+            Value::Num(shared.chaos.injected_stall.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "injected_drop".into(),
+            Value::Num(shared.chaos.injected_drop.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "injected_error".into(),
+            Value::Num(shared.chaos.injected_error.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "crashed".into(),
+            Value::Bool(shared.chaos.crashed.load(Ordering::SeqCst)),
+        ),
+    ])
+}
+
 /// `POST /solve`: parse, admit, enqueue, wait for the executor's answer.
-fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+/// `budget_ms` is the propagated `X-RI-Deadline-Ms` budget (if any): it
+/// clamps the queue-wait deadline, and a budget that arrives already
+/// exhausted is answered `504` without touching the queue.
+fn handle_solve(
+    shared: &Arc<Shared>,
+    stream: &mut impl Write,
+    body: &[u8],
+    keep_alive: bool,
+    budget_ms: Option<u64>,
+) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
         Err(_) => {
@@ -449,6 +783,15 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
             return;
         }
     };
+    let deadline_ms = budget_ms.map_or(shared.cfg.deadline_ms, |b| b.min(shared.cfg.deadline_ms));
+    if deadline_ms == 0 {
+        let err = ServeError::new(
+            ServeErrorKind::DeadlineExceeded,
+            "deadline budget exhausted before the request could be queued",
+        );
+        respond_error(shared, stream, &err, keep_alive);
+        return;
+    }
     let mut request = match ServeRequest::from_json(text) {
         Ok(r) => r,
         Err(err) => {
@@ -481,6 +824,7 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
     let job = Job {
         request,
         enqueued: Instant::now(),
+        deadline_ms,
         reply: reply_tx,
     };
     let sent = {
@@ -502,7 +846,7 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
 
     // The executor always replies (deadline misses and panics included);
     // the generous timeout only guards against executor-thread death.
-    let deadline = Duration::from_millis(shared.cfg.deadline_ms);
+    let deadline = Duration::from_millis(deadline_ms);
     match reply_rx.recv_timeout(deadline + Duration::from_secs(600)) {
         Ok(Ok(response)) => {
             shared.served.fetch_add(1, Ordering::SeqCst);
@@ -520,7 +864,12 @@ fn handle_solve(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_
 /// and byte-cap checks live in the [`SessionManager`]; this handler
 /// parses, clamps the config to the shared pool (like `/solve`), and
 /// answers with the session-info document.
-fn handle_stream_open(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8], keep_alive: bool) {
+fn handle_stream_open(
+    shared: &Arc<Shared>,
+    stream: &mut impl Write,
+    body: &[u8],
+    keep_alive: bool,
+) {
     // A draining server sheds state-advancing stream requests with a
     // retryable error, so a router reopens the session elsewhere instead
     // of parking new state on a shard about to disappear.
@@ -557,7 +906,7 @@ fn handle_stream_open(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8],
 /// the one-shot solve queue.
 fn handle_stream_session(
     shared: &Arc<Shared>,
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     method: &str,
     path: &str,
     body: &[u8],
@@ -650,7 +999,7 @@ fn executor_loop(shared: &Arc<Shared>, rx: &Mutex<Receiver<Job>>) {
 
 fn run_job(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
     let waited = job.enqueued.elapsed();
-    let deadline = Duration::from_millis(shared.cfg.deadline_ms);
+    let deadline = Duration::from_millis(job.deadline_ms);
     if waited > deadline {
         return Err(ServeError::new(
             ServeErrorKind::DeadlineExceeded,
@@ -662,11 +1011,17 @@ fn run_job(shared: &Shared, job: &Job) -> Result<ServeResponse, ServeError> {
         ));
     }
     let req = &job.request;
+    let t0 = Instant::now();
     let solved = catch_unwind(AssertUnwindSafe(|| {
         shared
             .registry
             .solve(&req.problem, &req.workload, &req.config)
     }));
+    // Feed the mean-service-time estimate behind the pressure-derived
+    // `Retry-After` (failures included: they occupied an executor too).
+    shared
+        .busy_ms
+        .fetch_add(t0.elapsed().as_millis() as u64, Ordering::SeqCst);
     match solved {
         Ok(Ok((summary, report))) => Ok(ServeResponse {
             problem: req.problem.clone(),
@@ -703,16 +1058,47 @@ fn drain(stream: &mut impl std::io::Read, limit: usize) {
     }
 }
 
+/// Estimated wait (in milliseconds) until an executor frees up: queue
+/// depth × mean service time ÷ executor width, clamped to a sane band.
+/// This is what `Retry-After` on a `503` reports — actual queue
+/// pressure, not a constant — so a client that honors it returns when
+/// the queue has plausibly drained instead of hammering immediately.
+fn retry_after_ms(shared: &Shared) -> u64 {
+    let served = shared.served.load(Ordering::SeqCst) as u64;
+    let busy = shared.busy_ms.load(Ordering::SeqCst);
+    // Before any solve completes there is no estimate; assume a short
+    // service time rather than a punitive one.
+    let mean_ms = busy
+        .checked_div(served)
+        .map_or(25, |mean| mean.clamp(1, 10_000));
+    let waiting = shared.queue_depth.load(Ordering::SeqCst) as u64 + 1;
+    let executors = shared.cfg.executors.max(1) as u64;
+    (waiting * mean_ms).div_ceil(executors).clamp(25, 30_000)
+}
+
 /// Write an error envelope and count it — the ONE counting point for
-/// `errored`, so a failed solve is not double-counted by the executor
-/// and the connection thread. Retryable rejections (`503 overloaded`)
-/// carry `Retry-After` so well-behaved clients back off before the
-/// router's next-shard retry.
+/// `errored` (and `deadline_expired`), so a failed solve is not
+/// double-counted by the executor and the connection thread. Retryable
+/// rejections (`503 overloaded`) carry a pressure-derived `Retry-After`
+/// (whole seconds, per HTTP) plus the millisecond-precision
+/// `X-RI-Retry-After-Ms` the router's backoff and `loadgen` honor.
 fn respond_error(shared: &Shared, stream: &mut impl Write, err: &ServeError, keep_alive: bool) {
     shared.errored.fetch_add(1, Ordering::SeqCst);
+    if err.kind == ServeErrorKind::DeadlineExceeded {
+        shared.deadline_expired.fetch_add(1, Ordering::SeqCst);
+    }
     let status = err.http_status();
+    let (secs, ms);
+    let hint_headers;
     let extra: &[(&str, &str)] = if status == 503 {
-        &[("Retry-After", "1")]
+        let hint = retry_after_ms(shared);
+        secs = hint.div_ceil(1000).max(1).to_string();
+        ms = hint.to_string();
+        hint_headers = [
+            ("Retry-After", secs.as_str()),
+            (RETRY_AFTER_MS_HEADER, ms.as_str()),
+        ];
+        &hint_headers
     } else {
         &[]
     };
@@ -760,8 +1146,19 @@ fn health_value(shared: &Shared) -> Value {
             "errored".into(),
             Value::Num(shared.errored.load(Ordering::SeqCst) as f64),
         ),
+        (
+            "deadline_expired".into(),
+            Value::Num(shared.deadline_expired.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "retry_after_ms".into(),
+            Value::Num(retry_after_ms(shared) as f64),
+        ),
     ];
     members.extend(shared.sessions.health_members());
+    if lock(&shared.chaos.plan).is_some() || shared.chaos.crashed.load(Ordering::SeqCst) {
+        members.push(("chaos".into(), chaos_value(shared)));
+    }
     Value::Obj(members)
 }
 

@@ -1,0 +1,146 @@
+//! The keep-alive client's stale-connection contract, pinned down with
+//! a connection-counting test double and a real chaotic shard:
+//!
+//! - a request that lands on a *stale pooled* connection (the server
+//!   idle-closed it in between) is retried exactly once on a fresh
+//!   connection and executes exactly once server-side;
+//! - with `retry_stale: false` (non-idempotent stream batches) the same
+//!   failure is reported, never blindly re-sent;
+//! - a mid-response failure on a *fresh* connection is reported, not
+//!   retried — the shard's `served` counter proves the request executed
+//!   exactly once even though no response arrived.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parallel_ri::registry;
+use ri_core::engine::json::{self, Value};
+use ri_serve::http::{read_request, ClientConn};
+use ri_serve::{ServeConfig, Server};
+
+/// A server double that speaks just enough HTTP: each accepted
+/// connection serves exactly `requests_per_conn` responses, then closes
+/// — the deterministic version of a keep-alive idle timeout. Counts
+/// every connection accepted and every request actually read.
+struct OneShotServer {
+    addr: SocketAddr,
+    connections: Arc<AtomicUsize>,
+    requests: Arc<AtomicUsize>,
+}
+
+impl OneShotServer {
+    fn start(requests_per_conn: usize) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("double binds");
+        let addr = listener.local_addr().expect("double addr");
+        let connections = Arc::new(AtomicUsize::new(0));
+        let requests = Arc::new(AtomicUsize::new(0));
+        let (conns, reqs) = (Arc::clone(&connections), Arc::clone(&requests));
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                conns.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..requests_per_conn {
+                    if read_request(&mut stream, 1 << 20).is_err() {
+                        break;
+                    }
+                    reqs.fetch_add(1, Ordering::SeqCst);
+                    let body = "{\"ok\":true}";
+                    let head = format!(
+                        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                         Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                        body.len()
+                    );
+                    if stream
+                        .write_all(head.as_bytes())
+                        .and_then(|_| stream.write_all(body.as_bytes()))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                // Connection dropped here: the client's pooled stream is
+                // now stale, exactly like an idle-timeout close.
+            }
+        });
+        OneShotServer {
+            addr,
+            connections,
+            requests,
+        }
+    }
+}
+
+/// A stale pooled connection is retried exactly once — the server sees
+/// the retried request on one fresh connection, never twice — and with
+/// `retry_stale: false` the staleness surfaces as an error instead.
+#[test]
+fn stale_pooled_connection_retries_exactly_once_never_twice() {
+    let server = OneShotServer::start(1);
+    let mut conn = ClientConn::new(server.addr, Duration::from_secs(5));
+
+    // Request 1: fresh connection, served, connection then closed
+    // server-side while the client still holds it.
+    let resp = conn.request("POST", "/solve", Some("{}")).expect("first");
+    assert_eq!(resp.status, 200);
+    assert!(conn.is_connected(), "the client pools the connection");
+
+    // Request 2 lands on the stale pooled connection: one transparent
+    // retry on a fresh connection, and the server received the request
+    // exactly twice in total — the copy written into the dead socket
+    // reached nobody, so nothing executed twice.
+    let resp = conn.request("POST", "/solve", Some("{}")).expect("second");
+    assert_eq!(resp.status, 200);
+    assert_eq!(server.requests.load(Ordering::SeqCst), 2, "no double run");
+    assert_eq!(server.connections.load(Ordering::SeqCst), 2, "one retry");
+
+    // Request 3 on the (again stale) pooled connection, but flagged
+    // non-idempotent: the failure is reported, nothing is re-sent.
+    assert!(conn.is_connected());
+    let outcome = conn.request_with("POST", "/stream/x/batch", Some("{}"), &[], false);
+    assert!(outcome.is_err(), "staleness surfaces to the caller");
+    assert_eq!(server.requests.load(Ordering::SeqCst), 2, "no blind resend");
+    assert_eq!(server.connections.load(Ordering::SeqCst), 2);
+}
+
+/// A mid-response connection drop on a *fresh* connection is reported,
+/// not retried: the shard's own `served` counter proves the solve
+/// executed exactly once even though the client never saw the response.
+#[test]
+fn fresh_connection_failure_is_reported_not_resent() {
+    let server = Server::start(
+        registry(),
+        ServeConfig {
+            threads: 2,
+            executors: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    // Every faultable request executes, then its response is severed
+    // halfway through the Content-Length frame.
+    server.set_chaos("seed=3,drop=1.0").expect("chaos installs");
+
+    let mut conn = ClientConn::new(server.local_addr(), Duration::from_secs(5));
+    let body = "{\"problem\":\"sort\",\"workload\":{\"n\":16,\"seed\":1},\
+                \"config\":{\"seed\":7}}";
+    let outcome = conn.request("POST", "/solve", Some(body));
+    assert!(
+        outcome.is_err(),
+        "a truncated response is a transport error, got {outcome:?}"
+    );
+
+    // The healthz path is never faulted: read the counters directly.
+    let health = conn.request("GET", "/healthz", None).expect("healthz");
+    assert_eq!(health.status, 200);
+    let view = json::parse(&health.body).expect("healthz parses");
+    assert_eq!(
+        view.get("served").and_then(Value::as_f64),
+        Some(1.0),
+        "executed exactly once, retried zero times: {}",
+        health.body
+    );
+    server.shutdown();
+}
